@@ -1,0 +1,37 @@
+//! Throughput of the robot-testbed simulator: how fast the 86-channel stream
+//! (Table 1) can be generated, which bounds the size of full-scale runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use varade_robot::dataset::{DatasetBuilder, DatasetConfig};
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robot_dataset");
+    group.sample_size(10);
+
+    group.bench_function("smoke_dataset_86ch", |b| {
+        b.iter(|| {
+            let config = DatasetConfig::smoke_test();
+            black_box(DatasetBuilder::new(config).build().expect("dataset builds"))
+        })
+    });
+
+    group.bench_function("ten_seconds_at_50hz_86ch", |b| {
+        b.iter(|| {
+            let config = DatasetConfig {
+                sample_rate_hz: 50.0,
+                train_duration_s: 10.0,
+                test_duration_s: 5.0,
+                n_collisions: 1,
+                ..DatasetConfig::smoke_test()
+            };
+            black_box(DatasetBuilder::new(config).build().expect("dataset builds"))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_generation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Per-detector single-window inference latency (the quantity behind the
+//! "Inference Frequency" column of Table 2, measured here on the host CPU for
+//! scaled-down models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use varade::{VaradeConfig, VaradeDetector};
+use varade_detectors::{
+    AnomalyDetector, AutoencoderConfig, AutoencoderDetector, GbrfConfig, GbrfDetector,
+    IsolationForestConfig, IsolationForestDetector, KnnConfig, KnnDetector,
+};
+use varade_timeseries::MultivariateSeries;
+
+/// Builds a small multivariate training series with `channels` channels.
+fn series(n: usize, channels: usize) -> MultivariateSeries {
+    let names: Vec<String> = (0..channels).map(|c| format!("ch{c}")).collect();
+    let mut s = MultivariateSeries::new(names, 25.0).expect("valid schema");
+    for t in 0..n {
+        let row: Vec<f32> = (0..channels)
+            .map(|c| ((t as f32 * 0.21) + c as f32 * 0.4).sin() * 0.7)
+            .collect();
+        s.push_row(&row).expect("row width matches");
+    }
+    s
+}
+
+fn bench_detector_inference(c: &mut Criterion) {
+    let channels = 16;
+    let train = series(600, channels);
+    let test = series(200, channels);
+    let mut group = c.benchmark_group("detector_score_series_200_samples");
+    group.sample_size(10);
+
+    let mut varade = VaradeDetector::new(VaradeConfig {
+        window: 32,
+        base_feature_maps: 8,
+        epochs: 1,
+        max_train_windows: 64,
+        ..VaradeConfig::default()
+    });
+    varade.fit(&train).expect("varade fit");
+    group.bench_function("varade", |b| {
+        b.iter(|| black_box(varade.score_series(black_box(&test)).expect("score")))
+    });
+
+    let mut ae = AutoencoderDetector::new(AutoencoderConfig {
+        window: 32,
+        base_channels: 8,
+        n_stages: 2,
+        epochs: 1,
+        max_train_windows: 64,
+        ..AutoencoderConfig::default()
+    });
+    ae.fit(&train).expect("ae fit");
+    group.bench_function("autoencoder", |b| {
+        b.iter(|| black_box(ae.score_series(black_box(&test)).expect("score")))
+    });
+
+    let mut gbrf = GbrfDetector::new(GbrfConfig {
+        n_trees: 10,
+        max_depth: 2,
+        max_train_rows: 300,
+        rows_per_tree: 150,
+        ..GbrfConfig::default()
+    });
+    gbrf.fit(&train).expect("gbrf fit");
+    group.bench_function("gbrf", |b| {
+        b.iter(|| black_box(gbrf.score_series(black_box(&test)).expect("score")))
+    });
+
+    let mut knn = KnnDetector::new(KnnConfig { k: 5, max_reference_points: 500 });
+    knn.fit(&train).expect("knn fit");
+    group.bench_function("knn", |b| {
+        b.iter(|| black_box(knn.score_series(black_box(&test)).expect("score")))
+    });
+
+    let mut iforest = IsolationForestDetector::new(IsolationForestConfig {
+        n_trees: 50,
+        subsample: 128,
+        ..IsolationForestConfig::default()
+    });
+    iforest.fit(&train).expect("iforest fit");
+    group.bench_function("isolation_forest", |b| {
+        b.iter(|| black_box(iforest.score_series(black_box(&test)).expect("score")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector_inference);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the neural-network substrate: the strided convolution
+//! at the heart of VARADE, the LSTM step used by AR-LSTM and the dense head.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use varade_tensor::layers::{Conv1d, Linear, Lstm};
+use varade_tensor::{Layer, Tensor};
+
+fn bench_layers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("layer_forward");
+
+    let mut conv = Conv1d::new(86, 128, 2, 2, 0, &mut rng);
+    let conv_input = Tensor::ones(&[1, 86, 512]);
+    group.bench_function("conv1d_86x512_to_128x256", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&conv_input)).expect("forward")))
+    });
+
+    let mut lstm = Lstm::new(86, 64, &mut rng);
+    let lstm_input = Tensor::ones(&[1, 86, 64]);
+    group.bench_function("lstm_86_to_64_over_64_steps", |b| {
+        b.iter(|| black_box(lstm.forward(black_box(&lstm_input)).expect("forward")))
+    });
+
+    let mut linear = Linear::new(2048, 172, &mut rng);
+    let linear_input = Tensor::ones(&[1, 2048]);
+    group.bench_function("linear_2048_to_172", |b| {
+        b.iter(|| black_box(linear.forward(black_box(&linear_input)).expect("forward")))
+    });
+
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("layer_backward");
+
+    let mut conv = Conv1d::new(32, 64, 2, 2, 0, &mut rng);
+    let input = Tensor::ones(&[1, 32, 256]);
+    let output = conv.forward(&input).expect("forward");
+    let grad = Tensor::ones(output.shape());
+    group.bench_function("conv1d_32x256_backward", |b| {
+        b.iter(|| {
+            conv.zero_grad();
+            black_box(conv.backward(black_box(&grad)).expect("backward"))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Cost of the evaluation metrics (AUC-ROC over a full test recording) and of
+//! the analytical edge model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use varade_edge::device::EdgeDevice;
+use varade_edge::execution::estimate;
+use varade_edge::workload::DetectorWorkload;
+use varade_metrics::{auc_roc, RocCurve};
+
+fn bench_metrics(c: &mut Criterion) {
+    // Deterministic pseudo-random scores over a long stream.
+    let n = 100_000;
+    let scores: Vec<f32> = (0..n).map(|i| ((i * 2_654_435_761_u64) % 10_000) as f32 / 10_000.0).collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 97 == 0).collect();
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("auc_roc_100k_points", |b| {
+        b.iter(|| black_box(auc_roc(black_box(&scores), black_box(&labels)).expect("auc")))
+    });
+    group.bench_function("roc_curve_100k_points", |b| {
+        b.iter(|| black_box(RocCurve::compute(black_box(&scores), black_box(&labels)).expect("roc")))
+    });
+    group.finish();
+}
+
+fn bench_edge_model(c: &mut Criterion) {
+    let workloads = DetectorWorkload::paper_workloads(86);
+    let boards = EdgeDevice::paper_boards();
+    c.bench_function("edge_model_12_estimates", |b| {
+        b.iter(|| {
+            for w in &workloads {
+                for d in &boards {
+                    black_box(estimate(black_box(w), black_box(d)));
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_edge_model);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 1**: the VARADE architecture summary for the paper's
+//! full-size configuration (window T = 512, 86 channels, feature maps
+//! 128 → 1024, linear variational head).
+//!
+//! Run with `cargo run --release -p varade-bench --bin exp_architecture`.
+
+use varade::{VaradeConfig, VaradeModel};
+use varade_robot::schema;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = VaradeConfig::paper_full_size();
+    let n_channels = schema::TOTAL_CHANNELS;
+    let mut model = VaradeModel::from_config(config, n_channels)?;
+
+    println!("VARADE architecture (paper Figure 1)");
+    println!("window T = {}, input channels = {}", config.window, n_channels);
+    println!("convolutional layers = {}", config.n_layers());
+    println!();
+    println!("{:<4} {:<12} {:>20}", "#", "layer", "output shape");
+    for (i, row) in model.summary().iter().enumerate() {
+        println!("{:<4} {:<12} {:>20}", i, row.name, format!("{:?}", row.output_shape));
+    }
+    println!();
+    println!("trainable parameters: {}", model.parameter_count());
+    let profile = model.inference_profile();
+    println!("per-inference cost:   {:.2} MFLOPs, {:.2} MB parameters, {:.2} MB activations",
+        profile.flops / 1e6,
+        profile.param_bytes / 1e6,
+        profile.activation_bytes / 1e6);
+    Ok(())
+}

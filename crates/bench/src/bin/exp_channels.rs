@@ -1,0 +1,31 @@
+//! Regenerates **Table 1**: the 86-channel description of the data stream
+//! collected from the (simulated) robotic manipulator.
+//!
+//! Run with `cargo run --release -p varade-bench --bin exp_channels`.
+
+use varade_robot::schema::{channel_schema, ChannelGroup};
+
+fn main() {
+    let schema = channel_schema();
+    println!("Table 1 — channel description ({} channels)", schema.len());
+    println!();
+    println!("| Channel name | Unit | Description |");
+    println!("|---|---|---|");
+    let mut current_group: Option<ChannelGroup> = None;
+    for channel in &schema {
+        if current_group != Some(channel.group) {
+            let header = match channel.group {
+                ChannelGroup::ActionId => "Action",
+                ChannelGroup::Joint => "Joint Channels",
+                ChannelGroup::Power => "Power Channels",
+            };
+            println!("| **{header}** | | |");
+            current_group = Some(channel.group);
+        }
+        println!("| {} | {} | {} |", channel.name, channel.unit, channel.description);
+    }
+    let joints = schema.iter().filter(|c| c.group == ChannelGroup::Joint).count();
+    let power = schema.iter().filter(|c| c.group == ChannelGroup::Power).count();
+    println!();
+    println!("action ID: 1, joint channels: {joints} (7 IMU sensors x 11), power channels: {power}");
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table 2**: the six anomaly detectors executed "in real time"
+//! on the two simulated edge boards (Jetson Xavier NX, Jetson AGX Orin).
+//!
+//! Accuracy (AUC-ROC) is obtained by actually training scaled-down versions of
+//! every detector on the simulated robot dataset; the platform columns
+//! (CPU/GPU utilization, memory, power, inference frequency) come from the
+//! analytical edge model applied to the paper-scale architectures.
+//!
+//! Run with `cargo run --release -p varade-bench --bin exp_table2`
+//! (add `--smoke` for a quick low-fidelity run, `--json <path>` to also dump
+//! the table as JSON).
+
+use std::io::Write as _;
+
+use varade_bench::{compare_line, paper_row};
+use varade_edge::table::{ExperimentConfig, ExperimentRunner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if smoke { ExperimentConfig::smoke_test() } else { ExperimentConfig::scaled() };
+    eprintln!(
+        "running Table 2 experiment ({} configuration): training 6 detectors on {} channels ...",
+        if smoke { "smoke" } else { "scaled" },
+        86
+    );
+    let outcome = ExperimentRunner::new(config).run()?;
+
+    println!("Table 2 — anomaly detection models on the two edge processing units (reproduced)");
+    println!();
+    println!("{}", outcome.table.to_markdown());
+
+    println!("Paper vs. measured (AUC-ROC and inference frequency, Jetson Xavier NX):");
+    for row in outcome.table.board_rows("Jetson Xavier NX") {
+        if row.detector == "Idle" {
+            continue;
+        }
+        if let (Some(paper), Some(auc), Some(freq)) =
+            (paper_row("Jetson Xavier NX", &row.detector), row.auc_roc, row.inference_frequency_hz)
+        {
+            println!("{}", compare_line(&format!("{} AUC-ROC", row.detector), paper.auc_roc.unwrap_or(0.0), auc));
+            println!(
+                "{}",
+                compare_line(
+                    &format!("{} frequency (Hz)", row.detector),
+                    paper.inference_frequency_hz.unwrap_or(0.0),
+                    freq
+                )
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut file = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(&outcome.table)?;
+        file.write_all(json.as_bytes())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

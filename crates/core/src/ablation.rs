@@ -1,0 +1,206 @@
+//! Ablation studies over VARADE's design choices.
+//!
+//! The paper motivates three design decisions that this module makes
+//! measurable (see DESIGN.md §4):
+//!
+//! 1. using the predicted **variance** as the anomaly score instead of the
+//!    conventional prediction-error norm (§3.1–3.2);
+//! 2. the **KL weight λ** of Eq. 7, which regularizes the predicted
+//!    distribution towards the prior;
+//! 3. the **window size T**, which fixes the network depth and drives the
+//!    accuracy/latency trade-off that makes VARADE edge-friendly.
+
+use varade_detectors::{AnomalyDetector, DetectorError};
+use varade_metrics::auc_roc;
+use varade_tensor::ComputeProfile;
+use varade_timeseries::MultivariateSeries;
+
+use crate::{ScoringRule, VaradeConfig, VaradeDetector};
+
+/// Result of one ablation variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Human-readable variant label (e.g. `"lambda=0.1"`).
+    pub variant: String,
+    /// AUC-ROC obtained on the test split.
+    pub auc_roc: f64,
+    /// Per-inference compute profile of the fitted variant.
+    pub profile: ComputeProfile,
+}
+
+/// Trains one detector variant and evaluates it.
+fn evaluate_variant(
+    variant: String,
+    config: VaradeConfig,
+    scoring: ScoringRule,
+    train: &MultivariateSeries,
+    test: &MultivariateSeries,
+    labels: &[bool],
+) -> Result<AblationResult, DetectorError> {
+    let mut detector = VaradeDetector::with_scoring(config, scoring);
+    detector.fit(train)?;
+    let scores = detector.score_series(test)?;
+    let auc = auc_roc(&scores, labels)
+        .map_err(|e| DetectorError::InvalidData(format!("auc computation failed: {e}")))?;
+    Ok(AblationResult { variant, auc_roc: auc, profile: detector.profile()? })
+}
+
+/// Ablation 1: variance scoring vs. prediction-error scoring on the same
+/// architecture and training budget.
+///
+/// # Errors
+///
+/// Propagates training/scoring errors and AUC computation errors (e.g. if the
+/// labels contain a single class).
+pub fn compare_scoring_rules(
+    config: VaradeConfig,
+    train: &MultivariateSeries,
+    test: &MultivariateSeries,
+    labels: &[bool],
+) -> Result<Vec<AblationResult>, DetectorError> {
+    Ok(vec![
+        evaluate_variant("score=variance".into(), config, ScoringRule::Variance, train, test, labels)?,
+        evaluate_variant(
+            "score=prediction-error".into(),
+            config,
+            ScoringRule::PredictionError,
+            train,
+            test,
+            labels,
+        )?,
+    ])
+}
+
+/// Ablation 2: sweep of the KL weight λ (Eq. 7).
+///
+/// # Errors
+///
+/// Same conditions as [`compare_scoring_rules`].
+pub fn sweep_kl_weight(
+    base: VaradeConfig,
+    lambdas: &[f32],
+    train: &MultivariateSeries,
+    test: &MultivariateSeries,
+    labels: &[bool],
+) -> Result<Vec<AblationResult>, DetectorError> {
+    lambdas
+        .iter()
+        .map(|&kl_weight| {
+            let config = VaradeConfig { kl_weight, ..base };
+            evaluate_variant(
+                format!("lambda={kl_weight}"),
+                config,
+                ScoringRule::Variance,
+                train,
+                test,
+                labels,
+            )
+        })
+        .collect()
+}
+
+/// Ablation 3: sweep of the context window T (and therefore network depth).
+///
+/// # Errors
+///
+/// Same conditions as [`compare_scoring_rules`]; each window must be a power
+/// of two accepted by [`VaradeConfig::validate`].
+pub fn sweep_window(
+    base: VaradeConfig,
+    windows: &[usize],
+    train: &MultivariateSeries,
+    test: &MultivariateSeries,
+    labels: &[bool],
+) -> Result<Vec<AblationResult>, DetectorError> {
+    windows
+        .iter()
+        .map(|&window| {
+            let config = VaradeConfig { window, ..base };
+            evaluate_variant(
+                format!("window={window}"),
+                config,
+                ScoringRule::Variance,
+                train,
+                test,
+                labels,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varade_timeseries::MultivariateSeries;
+
+    fn tiny_config() -> VaradeConfig {
+        VaradeConfig {
+            window: 8,
+            base_feature_maps: 8,
+            epochs: 2,
+            batch_size: 8,
+            learning_rate: 2e-3,
+            max_train_windows: 48,
+            ..VaradeConfig::default()
+        }
+    }
+
+    fn wave_series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..n {
+            let v = (t as f32 * 0.3).sin();
+            s.push_row(&[v, v * 0.4]).unwrap();
+        }
+        s
+    }
+
+    fn spiked_test(n: usize) -> (MultivariateSeries, Vec<bool>) {
+        let normal = wave_series(n);
+        let mut data = normal.as_slice().to_vec();
+        let mut labels = vec![false; n];
+        for t in (n / 2)..(n / 2 + 5) {
+            data[t * 2] += 4.0;
+            data[t * 2 + 1] += 4.0;
+            labels[t] = true;
+        }
+        let s = MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
+        (s, labels)
+    }
+
+    #[test]
+    fn scoring_rule_comparison_produces_two_results() {
+        let train = wave_series(150);
+        let (test, labels) = spiked_test(80);
+        let results = compare_scoring_rules(tiny_config(), &train, &test, &labels).unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!((0.0..=1.0).contains(&r.auc_roc), "auc {r:?}");
+            assert!(r.profile.flops > 0.0);
+        }
+    }
+
+    #[test]
+    fn kl_sweep_produces_one_result_per_lambda() {
+        let train = wave_series(120);
+        let (test, labels) = spiked_test(60);
+        let results = sweep_kl_weight(tiny_config(), &[0.0, 0.1], &train, &test, &labels).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].variant, "lambda=0");
+    }
+
+    #[test]
+    fn window_sweep_reports_increasing_cost() {
+        let train = wave_series(150);
+        let (test, labels) = spiked_test(80);
+        let results = sweep_window(tiny_config(), &[8, 16], &train, &test, &labels).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[1].profile.flops > results[0].profile.flops);
+    }
+
+    #[test]
+    fn invalid_window_in_sweep_propagates_error() {
+        let train = wave_series(100);
+        let (test, labels) = spiked_test(60);
+        assert!(sweep_window(tiny_config(), &[10], &train, &test, &labels).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! VARADE hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::VaradeError;
+
+/// Hyper-parameters of the VARADE model and its training loop.
+///
+/// The paper's full-size configuration (§3.1, §3.4) uses an input window of
+/// `T = 512`, which implies 8 convolutional layers (the time axis is halved at
+/// each layer until it reaches 2), feature maps doubling every two layers
+/// starting at 128 (so the final layer has 1024), and Adam with a fixed
+/// learning rate of 1e-5. [`VaradeConfig::default`] is a laptop-scale
+/// configuration that preserves the architecture's shape; use
+/// [`VaradeConfig::paper_full_size`] for the exact paper model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VaradeConfig {
+    /// Input window length `T`. Must be a power of two, at least 4.
+    pub window: usize,
+    /// Feature maps of the first convolutional layer (paper: 128).
+    pub base_feature_maps: usize,
+    /// Weight `λ` of the KL-divergence term in the loss (paper Eq. 7).
+    pub kl_weight: f32,
+    /// Training epochs over the sampled windows.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-5 with long training; the scaled default
+    /// uses a larger rate to converge within a few epochs).
+    pub learning_rate: f32,
+    /// Maximum number of training windows sampled from the series.
+    pub max_train_windows: usize,
+    /// Random seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for VaradeConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            base_feature_maps: 16,
+            kl_weight: 0.1,
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            max_train_windows: 384,
+            seed: 42,
+        }
+    }
+}
+
+impl VaradeConfig {
+    /// The paper's full-size model: `T = 512`, 8 layers, feature maps
+    /// 128 → 1024, Adam at 1e-5.
+    pub fn paper_full_size() -> Self {
+        Self {
+            window: 512,
+            base_feature_maps: 128,
+            kl_weight: 0.1,
+            epochs: 50,
+            batch_size: 64,
+            learning_rate: 1e-5,
+            max_train_windows: usize::MAX,
+            seed: 42,
+        }
+    }
+
+    /// Number of convolutional layers implied by the window size: the time
+    /// axis is halved until it reaches 2, so `n_layers = log2(window) - 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use varade::VaradeConfig;
+    /// assert_eq!(VaradeConfig::paper_full_size().n_layers(), 8);
+    /// ```
+    pub fn n_layers(&self) -> usize {
+        if self.window < 4 {
+            0
+        } else {
+            (self.window.trailing_zeros() as usize).saturating_sub(1)
+        }
+    }
+
+    /// Feature maps of the `i`-th convolutional layer (0-based): doubling
+    /// every two layers starting from [`VaradeConfig::base_feature_maps`].
+    pub fn feature_maps_at(&self, layer: usize) -> usize {
+        self.base_feature_maps * (1 << (layer / 2))
+    }
+
+    /// Feature maps of the final convolutional layer.
+    pub fn final_feature_maps(&self) -> usize {
+        if self.n_layers() == 0 {
+            self.base_feature_maps
+        } else {
+            self.feature_maps_at(self.n_layers() - 1)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::InvalidConfig`] if the window is not a power of
+    /// two at least 4, or any other field is zero/non-positive.
+    pub fn validate(&self) -> Result<(), VaradeError> {
+        if self.window < 4 || !self.window.is_power_of_two() {
+            return Err(VaradeError::InvalidConfig(format!(
+                "window must be a power of two >= 4, got {}",
+                self.window
+            )));
+        }
+        if self.base_feature_maps == 0 {
+            return Err(VaradeError::InvalidConfig("base feature maps must be positive".into()));
+        }
+        if self.kl_weight < 0.0 {
+            return Err(VaradeError::InvalidConfig("kl weight must be non-negative".into()));
+        }
+        if self.batch_size == 0 || self.epochs == 0 {
+            return Err(VaradeError::InvalidConfig("epochs and batch size must be positive".into()));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(VaradeError::InvalidConfig("learning rate must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_3_1() {
+        let cfg = VaradeConfig::paper_full_size();
+        assert_eq!(cfg.window, 512);
+        assert_eq!(cfg.n_layers(), 8);
+        assert_eq!(cfg.base_feature_maps, 128);
+        // Feature maps double every two layers: 128,128,256,256,512,512,1024,1024.
+        assert_eq!(cfg.feature_maps_at(0), 128);
+        assert_eq!(cfg.feature_maps_at(1), 128);
+        assert_eq!(cfg.feature_maps_at(2), 256);
+        assert_eq!(cfg.feature_maps_at(6), 1024);
+        assert_eq!(cfg.final_feature_maps(), 1024);
+        assert!((cfg.learning_rate - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_count_follows_window_size() {
+        let mk = |w| VaradeConfig { window: w, ..VaradeConfig::default() };
+        assert_eq!(mk(4).n_layers(), 1);
+        assert_eq!(mk(8).n_layers(), 2);
+        assert_eq!(mk(64).n_layers(), 5);
+        assert_eq!(mk(512).n_layers(), 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let ok = VaradeConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(VaradeConfig { window: 48, ..ok }.validate().is_err());
+        assert!(VaradeConfig { window: 2, ..ok }.validate().is_err());
+        assert!(VaradeConfig { base_feature_maps: 0, ..ok }.validate().is_err());
+        assert!(VaradeConfig { kl_weight: -0.1, ..ok }.validate().is_err());
+        assert!(VaradeConfig { batch_size: 0, ..ok }.validate().is_err());
+        assert!(VaradeConfig { epochs: 0, ..ok }.validate().is_err());
+        assert!(VaradeConfig { learning_rate: 0.0, ..ok }.validate().is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Streaming front-end for real-time edge inference.
+//!
+//! The autoregressive design of VARADE "is naturally suited to handle
+//! streaming data with minimal latency" (paper §3.1): every new sample slides
+//! the context window by one and yields a new anomaly score. This module wraps
+//! a fitted [`VaradeDetector`] behind a push-based API that mirrors the
+//! inference script running on the Jetson boards (§4.3).
+
+use varade_timeseries::{MinMaxNormalizer, StreamingWindow};
+
+use crate::{VaradeDetector, VaradeError};
+
+/// A push-based streaming scorer built on a fitted [`VaradeDetector`].
+///
+/// Samples are normalized with the training normalizer, buffered into the
+/// detector's context window and scored one at a time.
+pub struct StreamingVarade {
+    detector: VaradeDetector,
+    normalizer: Option<MinMaxNormalizer>,
+    buffer: StreamingWindow,
+    pending_context: Option<Vec<f32>>,
+    scores_emitted: u64,
+}
+
+impl std::fmt::Debug for StreamingVarade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingVarade")
+            .field("detector", &self.detector)
+            .field("normalized", &self.normalizer.is_some())
+            .field("scores_emitted", &self.scores_emitted)
+            .finish()
+    }
+}
+
+impl StreamingVarade {
+    /// Wraps a fitted detector. Pass the training [`MinMaxNormalizer`] to
+    /// normalize raw sensor samples on the fly, or `None` if the stream is
+    /// already normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::NotFitted`] if the detector has not been fitted.
+    pub fn new(
+        detector: VaradeDetector,
+        n_channels: usize,
+        normalizer: Option<MinMaxNormalizer>,
+    ) -> Result<Self, VaradeError> {
+        if detector.model().is_none() {
+            return Err(VaradeError::NotFitted);
+        }
+        let window = detector.config().window;
+        let buffer = StreamingWindow::new(n_channels, window)?;
+        Ok(Self { detector, normalizer, buffer, pending_context: None, scores_emitted: 0 })
+    }
+
+    /// Number of scores produced so far.
+    pub fn scores_emitted(&self) -> u64 {
+        self.scores_emitted
+    }
+
+    /// Consumes the wrapper and returns the underlying detector.
+    pub fn into_detector(self) -> VaradeDetector {
+        self.detector
+    }
+
+    /// Pushes one raw sample; returns an anomaly score once the context window
+    /// is full (the first `window` samples only warm up the buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::InvalidData`] if the sample width does not match
+    /// the channel count.
+    pub fn push(&mut self, sample: &[f32]) -> Result<Option<f32>, VaradeError> {
+        let mut row = sample.to_vec();
+        if let Some(norm) = &self.normalizer {
+            norm.transform_row(&mut row)?;
+        }
+        // Score the previous context against the newly observed sample, then
+        // slide the window.
+        let score = match self.pending_context.take() {
+            Some(context) => Some(self.detector.score_window(&context, &row)?),
+            None => None,
+        };
+        if let Some(window) = self.buffer.push(&row)? {
+            self.pending_context = Some(window);
+        }
+        if score.is_some() {
+            self.scores_emitted += 1;
+        }
+        Ok(score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VaradeConfig;
+    use varade_detectors::AnomalyDetector;
+    use varade_timeseries::MultivariateSeries;
+
+    fn tiny_config() -> VaradeConfig {
+        VaradeConfig {
+            window: 8,
+            base_feature_maps: 8,
+            epochs: 3,
+            batch_size: 8,
+            learning_rate: 2e-3,
+            max_train_windows: 64,
+            ..VaradeConfig::default()
+        }
+    }
+
+    fn wave_series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..n {
+            let v = (t as f32 * 0.3).sin();
+            s.push_row(&[v, -v * 0.5]).unwrap();
+        }
+        s
+    }
+
+    fn fitted_detector() -> VaradeDetector {
+        let mut det = VaradeDetector::new(tiny_config());
+        det.fit(&wave_series(200)).unwrap();
+        det
+    }
+
+    #[test]
+    fn requires_a_fitted_detector() {
+        let det = VaradeDetector::new(tiny_config());
+        assert!(matches!(StreamingVarade::new(det, 2, None), Err(VaradeError::NotFitted)));
+    }
+
+    #[test]
+    fn emits_scores_only_after_warmup() {
+        let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        let test = wave_series(30);
+        let mut scores = Vec::new();
+        for t in 0..test.len() {
+            if let Some(s) = stream.push(test.row(t)).unwrap() {
+                scores.push(s);
+            }
+        }
+        // Window = 8: the first score appears with the 9th sample.
+        assert_eq!(scores.len(), 30 - 8);
+        assert_eq!(stream.scores_emitted(), (30 - 8) as u64);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn streaming_scores_match_batch_scores() {
+        let mut det = fitted_detector();
+        let test = wave_series(40);
+        let batch_scores = det.score_series(&test).unwrap();
+        let mut stream = StreamingVarade::new(det, 2, None).unwrap();
+        let mut streamed = vec![f32::NAN; test.len()];
+        for t in 0..test.len() {
+            if let Some(s) = stream.push(test.row(t)).unwrap() {
+                streamed[t] = s;
+            }
+        }
+        for t in 9..test.len() {
+            assert!(
+                (streamed[t] - batch_scores[t]).abs() < 1e-5,
+                "mismatch at {t}: {} vs {}",
+                streamed[t],
+                batch_scores[t]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_sample_width() {
+        let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        assert!(stream.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn applies_normalizer_when_provided() {
+        let train_raw = {
+            // Raw data in volts-scale so normalization matters.
+            let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+            for t in 0..200 {
+                let v = (t as f32 * 0.3).sin() * 100.0 + 200.0;
+                s.push_row(&[v, -v]).unwrap();
+            }
+            s
+        };
+        let normalizer = MinMaxNormalizer::fit(&train_raw).unwrap();
+        let train = normalizer.transform(&train_raw).unwrap();
+        let mut det = VaradeDetector::new(tiny_config());
+        det.fit(&train).unwrap();
+        let mut stream = StreamingVarade::new(det, 2, Some(normalizer)).unwrap();
+        let mut produced = 0;
+        for t in 0..50 {
+            let v = (t as f32 * 0.3).sin() * 100.0 + 200.0;
+            if stream.push(&[v, -v]).unwrap().is_some() {
+                produced += 1;
+            }
+        }
+        assert!(produced > 0);
+        let det = stream.into_detector();
+        assert!(det.is_fitted());
+    }
+}

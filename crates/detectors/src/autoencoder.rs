@@ -1,0 +1,369 @@
+//! Convolutional autoencoder (AE) reconstruction detector.
+//!
+//! The paper's reconstruction baseline: a convolutional autoencoder built from
+//! ResNet blocks (6 blocks in the full-size configuration, He et al. 2016).
+//! The anomaly score is the Euclidean norm of the difference between the
+//! reconstructed and the observed values (§3.3).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use varade_tensor::layers::{Conv1d, ResidualConvBlock, Sequential, Upsample1d};
+use varade_tensor::{loss, optim::Adam, ComputeProfile, Layer, Tensor};
+use varade_timeseries::MultivariateSeries;
+
+use crate::{fill_warmup, AnomalyDetector, DetectorError};
+
+/// Configuration of the convolutional autoencoder detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoencoderConfig {
+    /// Window length reconstructed by the autoencoder. Must be divisible by
+    /// `2^n_stages`.
+    pub window: usize,
+    /// Feature maps after the first encoder convolution.
+    pub base_channels: usize,
+    /// Number of downsampling stages (each halves the time axis and hosts one
+    /// residual block in the encoder and one in the decoder).
+    pub n_stages: usize,
+    /// Training epochs over the sampled windows.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Maximum number of training windows sampled from the series.
+    pub max_train_windows: usize,
+    /// Random seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for AutoencoderConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            base_channels: 16,
+            n_stages: 2,
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            max_train_windows: 384,
+            seed: 19,
+        }
+    }
+}
+
+impl AutoencoderConfig {
+    /// The paper's full-size architecture: 6 residual blocks (3 encoder
+    /// stages + mirrored decoder) over a 512-sample window.
+    pub fn paper_full_size() -> Self {
+        Self {
+            window: 512,
+            base_channels: 64,
+            n_stages: 3,
+            epochs: 50,
+            batch_size: 64,
+            learning_rate: 1e-5,
+            max_train_windows: usize::MAX,
+            seed: 19,
+        }
+    }
+
+    /// Total number of residual blocks in the architecture (encoder + decoder).
+    pub fn total_res_blocks(&self) -> usize {
+        2 * self.n_stages
+    }
+}
+
+/// Convolutional autoencoder reconstruction detector.
+pub struct AutoencoderDetector {
+    config: AutoencoderConfig,
+    model: Option<Sequential>,
+    n_channels: usize,
+}
+
+impl std::fmt::Debug for AutoencoderDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutoencoderDetector")
+            .field("config", &self.config)
+            .field("fitted", &self.model.is_some())
+            .field("n_channels", &self.n_channels)
+            .finish()
+    }
+}
+
+impl AutoencoderDetector {
+    /// Creates an unfitted detector.
+    pub fn new(config: AutoencoderConfig) -> Self {
+        Self { config, model: None, n_channels: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AutoencoderConfig {
+        &self.config
+    }
+
+    /// Builds the encoder–decoder network for `n_channels` input channels.
+    pub fn build_model(config: &AutoencoderConfig, n_channels: usize, rng: &mut StdRng) -> Sequential {
+        let mut model = Sequential::empty();
+        // Encoder: each stage halves the time axis and hosts a residual block.
+        let mut in_ch = n_channels;
+        let mut ch = config.base_channels;
+        for _ in 0..config.n_stages {
+            model.push(Box::new(Conv1d::new(in_ch, ch, 2, 2, 0, rng)));
+            model.push(Box::new(ResidualConvBlock::new(ch, ch, rng)));
+            in_ch = ch;
+            ch *= 2;
+        }
+        // Decoder: mirrored upsampling path back to the original channel count.
+        let mut ch = in_ch;
+        for stage in 0..config.n_stages {
+            model.push(Box::new(Upsample1d::new(2)));
+            let out_ch = if stage + 1 == config.n_stages { n_channels } else { ch / 2 };
+            model.push(Box::new(Conv1d::new(ch, out_ch.max(1), 3, 1, 1, rng)));
+            if stage + 1 != config.n_stages {
+                model.push(Box::new(ResidualConvBlock::new(out_ch.max(1), out_ch.max(1), rng)));
+            }
+            ch = out_ch.max(1);
+        }
+        model
+    }
+
+    /// Compute profile of an arbitrary configuration without training it —
+    /// used to model the paper-scale network on the edge boards.
+    pub fn profile_for(config: &AutoencoderConfig, n_channels: usize) -> ComputeProfile {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let model = Self::build_model(config, n_channels, &mut rng);
+        model.profile(&[1, n_channels, config.window])
+    }
+
+    fn validate_config(&self) -> Result<(), DetectorError> {
+        let cfg = &self.config;
+        if cfg.window == 0 || cfg.base_channels == 0 || cfg.n_stages == 0 || cfg.batch_size == 0 {
+            return Err(DetectorError::InvalidConfig(
+                "window, base channels, stages and batch size must be positive".into(),
+            ));
+        }
+        if cfg.window % (1 << cfg.n_stages) != 0 {
+            return Err(DetectorError::InvalidConfig(format!(
+                "window {} must be divisible by 2^{}",
+                cfg.window, cfg.n_stages
+            )));
+        }
+        Ok(())
+    }
+
+    /// Extracts the channel-major window ending at (and including) `end`.
+    fn window_at(series: &MultivariateSeries, end: usize, window: usize) -> Vec<f32> {
+        let start = end + 1 - window;
+        let c = series.n_channels();
+        let mut out = Vec::with_capacity(c * window);
+        for ci in 0..c {
+            for t in start..=end {
+                out.push(series.value(t, ci));
+            }
+        }
+        out
+    }
+
+    /// Reconstruction error norm of the final time step of each window in a batch.
+    fn last_step_errors(input: &Tensor, recon: &Tensor) -> Vec<f32> {
+        let (b, c, t) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        (0..b)
+            .map(|bi| {
+                let mut err_sq = 0.0f32;
+                for ci in 0..c {
+                    let diff = recon.at(&[bi, ci, t - 1]) - input.at(&[bi, ci, t - 1]);
+                    err_sq += diff * diff;
+                }
+                err_sq.sqrt()
+            })
+            .collect()
+    }
+}
+
+impl AnomalyDetector for AutoencoderDetector {
+    fn name(&self) -> &'static str {
+        "AE"
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
+        self.validate_config()?;
+        let cfg = self.config;
+        if train.len() < cfg.window + 1 {
+            return Err(DetectorError::InvalidData(format!(
+                "training series of length {} too short for window {}",
+                train.len(),
+                cfg.window
+            )));
+        }
+        train.check_finite()?;
+        self.n_channels = train.n_channels();
+        let usable = train.len() - cfg.window;
+        let stride = (usable / cfg.max_train_windows.max(1)).max(1);
+        let ends: Vec<usize> = (cfg.window - 1..train.len()).step_by(stride).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = Self::build_model(&cfg, self.n_channels, &mut rng);
+        let mut optimizer = Adam::new(cfg.learning_rate).with_clip_norm(5.0);
+        for _epoch in 0..cfg.epochs {
+            for chunk in ends.chunks(cfg.batch_size) {
+                let mut data = Vec::with_capacity(chunk.len() * self.n_channels * cfg.window);
+                for &end in chunk {
+                    data.extend_from_slice(&Self::window_at(train, end, cfg.window));
+                }
+                let input = Tensor::from_vec(data, &[chunk.len(), self.n_channels, cfg.window])?;
+                model.zero_grad();
+                let recon = model.forward(&input)?;
+                let (_, grad) = loss::mse_loss(&recon, &input)?;
+                model.backward(&grad)?;
+                optimizer.step(&mut model);
+            }
+        }
+        self.model = Some(model);
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
+        let cfg = self.config;
+        if self.model.is_none() {
+            return Err(DetectorError::NotFitted { detector: "AE" });
+        }
+        if test.n_channels() != self.n_channels {
+            return Err(DetectorError::InvalidData(format!(
+                "expected {} channels, got {}",
+                self.n_channels,
+                test.n_channels()
+            )));
+        }
+        if test.len() < cfg.window {
+            return Err(DetectorError::InvalidData("test series shorter than the window".into()));
+        }
+        let model = self.model.as_mut().expect("checked above");
+        let ends: Vec<usize> = (cfg.window - 1..test.len()).collect();
+        let mut scores = vec![0.0f32; test.len()];
+        for chunk in ends.chunks(cfg.batch_size.max(1)) {
+            let mut data = Vec::with_capacity(chunk.len() * self.n_channels * cfg.window);
+            for &end in chunk {
+                data.extend_from_slice(&Self::window_at(test, end, cfg.window));
+            }
+            let input = Tensor::from_vec(data, &[chunk.len(), self.n_channels, cfg.window])?;
+            let recon = model.forward(&input)?;
+            for (i, &end) in chunk.iter().enumerate() {
+                scores[end] = Self::last_step_errors(&input, &recon)[i];
+            }
+        }
+        fill_warmup(&mut scores, cfg.window - 1);
+        Ok(scores)
+    }
+
+    fn profile(&self) -> Result<ComputeProfile, DetectorError> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or(DetectorError::NotFitted { detector: "AE" })?;
+        Ok(model.profile(&[1, self.n_channels, self.config.window]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> AutoencoderConfig {
+        AutoencoderConfig {
+            window: 16,
+            base_channels: 8,
+            n_stages: 2,
+            epochs: 3,
+            batch_size: 8,
+            learning_rate: 2e-3,
+            max_train_windows: 64,
+            seed: 2,
+        }
+    }
+
+    fn wave_series(n: usize, channels: usize) -> MultivariateSeries {
+        let names: Vec<String> = (0..channels).map(|c| format!("ch{c}")).collect();
+        let mut s = MultivariateSeries::new(names, 10.0).unwrap();
+        for t in 0..n {
+            let row: Vec<f32> = (0..channels)
+                .map(|c| ((t as f32 * 0.3) + c as f32 * 0.5).sin() * 0.7)
+                .collect();
+            s.push_row(&row).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn model_reconstructs_input_shape() {
+        let cfg = tiny_config();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = AutoencoderDetector::build_model(&cfg, 5, &mut rng);
+        let x = Tensor::zeros(&[2, 5, 16]);
+        let y = model.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 5, 16]);
+    }
+
+    #[test]
+    fn total_res_blocks_matches_paper_for_full_config() {
+        assert_eq!(AutoencoderConfig::paper_full_size().total_res_blocks(), 6);
+        assert_eq!(tiny_config().total_res_blocks(), 4);
+    }
+
+    #[test]
+    fn fit_and_score_produce_scores_for_each_sample() {
+        let train = wave_series(160, 3);
+        let mut det = AutoencoderDetector::new(tiny_config());
+        det.fit(&train).unwrap();
+        let scores = det.score_series(&wave_series(60, 3)).unwrap();
+        assert_eq!(scores.len(), 60);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn anomalous_spike_has_larger_reconstruction_error() {
+        let train = wave_series(240, 2);
+        let mut det = AutoencoderDetector::new(tiny_config());
+        det.fit(&train).unwrap();
+        let normal = wave_series(80, 2);
+        let mut data = normal.as_slice().to_vec();
+        for t in 50..54 {
+            data[t * 2] += 5.0;
+            data[t * 2 + 1] += 5.0;
+        }
+        let spiked = MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
+        let normal_scores = det.score_series(&normal).unwrap();
+        let spiked_scores = det.score_series(&spiked).unwrap();
+        let normal_max = normal_scores.iter().copied().fold(f32::MIN, f32::max);
+        let spike_peak = spiked_scores[50..56].iter().copied().fold(f32::MIN, f32::max);
+        assert!(spike_peak > normal_max, "spike {spike_peak} vs normal {normal_max}");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_windows() {
+        let mut det = AutoencoderDetector::new(AutoencoderConfig { window: 10, ..tiny_config() });
+        assert!(det.fit(&wave_series(100, 2)).is_err());
+        let mut det = AutoencoderDetector::new(AutoencoderConfig { n_stages: 0, ..tiny_config() });
+        assert!(det.fit(&wave_series(100, 2)).is_err());
+    }
+
+    #[test]
+    fn scoring_before_fit_and_channel_mismatch_are_rejected() {
+        let mut det = AutoencoderDetector::new(tiny_config());
+        assert!(det.score_series(&wave_series(50, 2)).is_err());
+        assert!(det.profile().is_err());
+        det.fit(&wave_series(100, 2)).unwrap();
+        assert!(det.score_series(&wave_series(100, 3)).is_err());
+        assert!(det.score_series(&wave_series(4, 2)).is_err());
+    }
+
+    #[test]
+    fn paper_profile_is_heavier_than_scaled() {
+        let scaled = AutoencoderDetector::profile_for(&tiny_config(), 86);
+        let paper = AutoencoderDetector::profile_for(&AutoencoderConfig::paper_full_size(), 86);
+        assert!(paper.flops > scaled.flops * 10.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Gradient Boosted Regression Forest (GBRF) forecasting detector.
+//!
+//! Following Huang et al. (2021) with the paper's modifications (§3.3): the
+//! number of trees is raised from 5 to 30, the dimensionality-reduction step
+//! is removed, and the anomaly score is the Euclidean norm of the difference
+//! between the forecast and the observed next sample — the same scoring rule
+//! as AR-LSTM.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use varade_tensor::{ComputeProfile, ExecutionUnit};
+use varade_timeseries::MultivariateSeries;
+
+use crate::tree::GradientBoostedTrees;
+use crate::{fill_warmup, AnomalyDetector, DetectorError};
+
+/// Configuration of the GBRF detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbrfConfig {
+    /// Boosted trees per channel ensemble (paper: 30).
+    pub n_trees: usize,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// Number of past samples of a channel used as forecasting features.
+    pub lag: usize,
+    /// Boosting learning rate.
+    pub learning_rate: f32,
+    /// Maximum number of training rows used per channel (uniform subsample).
+    pub max_train_rows: usize,
+    /// Rows subsampled per tree during boosting.
+    pub rows_per_tree: usize,
+    /// Random seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbrfConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 30,
+            max_depth: 3,
+            lag: 4,
+            learning_rate: 0.3,
+            max_train_rows: 1_200,
+            rows_per_tree: 400,
+            seed: 13,
+        }
+    }
+}
+
+/// Gradient-boosted forecasting detector: one boosted ensemble per channel
+/// predicting the channel's next value from its own recent history.
+#[derive(Debug, Clone)]
+pub struct GbrfDetector {
+    config: GbrfConfig,
+    ensembles: Vec<GradientBoostedTrees>,
+    n_channels: usize,
+}
+
+impl GbrfDetector {
+    /// Creates an unfitted detector.
+    pub fn new(config: GbrfConfig) -> Self {
+        Self { config, ensembles: Vec::new(), n_channels: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GbrfConfig {
+        &self.config
+    }
+
+    /// Analytical compute profile for an arbitrary forest size, used to model
+    /// the paper-scale deployment.
+    pub fn profile_for(n_channels: usize, n_trees: usize, max_depth: usize, lag: usize) -> ComputeProfile {
+        let c = n_channels as f64;
+        let t = n_trees as f64;
+        let d = max_depth as f64;
+        ComputeProfile {
+            // Per channel: traverse every tree (one comparison per level) and sum.
+            flops: c * t * (2.0 * d + 2.0),
+            // Each tree stores up to 2^(d+1) nodes of ~16 bytes.
+            param_bytes: c * t * (2f64.powf(d + 1.0)) * 16.0,
+            activation_bytes: 4.0 * c * lag as f64,
+            // Independent per-channel ensembles parallelize well across CPU cores.
+            parallel_fraction: 0.85,
+            unit: ExecutionUnit::Cpu,
+        }
+    }
+
+    /// Builds the lagged feature vector for channel `c` ending right before `t`.
+    fn features(series: &MultivariateSeries, c: usize, t: usize, lag: usize) -> Vec<f32> {
+        (1..=lag).map(|k| series.value(t - k, c)).collect()
+    }
+}
+
+impl AnomalyDetector for GbrfDetector {
+    fn name(&self) -> &'static str {
+        "GBRF"
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
+        let cfg = self.config;
+        if cfg.lag == 0 {
+            return Err(DetectorError::InvalidConfig("lag must be at least 1".into()));
+        }
+        if train.len() <= cfg.lag + 2 {
+            return Err(DetectorError::InvalidData(format!(
+                "training series of length {} too short for lag {}",
+                train.len(),
+                cfg.lag
+            )));
+        }
+        train.check_finite()?;
+        self.n_channels = train.n_channels();
+        let usable = train.len() - cfg.lag;
+        let stride = (usable / cfg.max_train_rows.max(1)).max(1);
+        let targets: Vec<usize> = (cfg.lag..train.len()).step_by(stride).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ensembles = Vec::with_capacity(self.n_channels);
+        for c in 0..self.n_channels {
+            let x: Vec<Vec<f32>> =
+                targets.iter().map(|&t| Self::features(train, c, t, cfg.lag)).collect();
+            let y: Vec<f32> = targets.iter().map(|&t| train.value(t, c)).collect();
+            let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+            let ensemble = GradientBoostedTrees::fit(
+                &refs,
+                &y,
+                cfg.n_trees,
+                cfg.max_depth,
+                cfg.learning_rate,
+                cfg.rows_per_tree,
+                &mut rng,
+            )?;
+            ensembles.push(ensemble);
+        }
+        self.ensembles = ensembles;
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.ensembles.is_empty()
+    }
+
+    fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
+        if !self.is_fitted() {
+            return Err(DetectorError::NotFitted { detector: "GBRF" });
+        }
+        if test.n_channels() != self.n_channels {
+            return Err(DetectorError::InvalidData(format!(
+                "expected {} channels, got {}",
+                self.n_channels,
+                test.n_channels()
+            )));
+        }
+        let lag = self.config.lag;
+        if test.len() <= lag {
+            return Err(DetectorError::InvalidData("test series shorter than the lag window".into()));
+        }
+        let mut scores = vec![0.0f32; test.len()];
+        for t in lag..test.len() {
+            let mut err_sq = 0.0f32;
+            for (c, ensemble) in self.ensembles.iter().enumerate() {
+                let features = Self::features(test, c, t, lag);
+                let pred = ensemble.predict(&features);
+                let diff = pred - test.value(t, c);
+                err_sq += diff * diff;
+            }
+            scores[t] = err_sq.sqrt();
+        }
+        fill_warmup(&mut scores, lag);
+        Ok(scores)
+    }
+
+    fn profile(&self) -> Result<ComputeProfile, DetectorError> {
+        if !self.is_fitted() {
+            return Err(DetectorError::NotFitted { detector: "GBRF" });
+        }
+        Ok(Self::profile_for(
+            self.n_channels,
+            self.config.n_trees,
+            self.config.max_depth,
+            self.config.lag,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_small() -> GbrfConfig {
+        GbrfConfig { n_trees: 10, max_depth: 2, lag: 3, max_train_rows: 300, rows_per_tree: 150, ..GbrfConfig::default() }
+    }
+
+    fn periodic_series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..n {
+            let v = (t as f32 * 0.2).sin();
+            s.push_row(&[v, (t as f32 * 0.2 + 1.0).cos() * 0.5]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn anomalous_jump_scores_higher_than_normal_continuation() {
+        let train = periodic_series(400);
+        let mut det = GbrfDetector::new(config_small());
+        det.fit(&train).unwrap();
+        // Build a test series with a sudden level shift at t = 80..85.
+        let normal = periodic_series(100);
+        let mut data = normal.as_slice().to_vec();
+        for t in 80..85 {
+            for c in 0..2 {
+                data[t * 2 + c] += 3.0;
+            }
+        }
+        let spiked =
+            MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
+        let normal_scores = det.score_series(&normal).unwrap();
+        let spiked_scores = det.score_series(&spiked).unwrap();
+        let normal_max = normal_scores.iter().copied().fold(f32::MIN, f32::max);
+        assert!(spiked_scores[80] > normal_max, "{} <= {}", spiked_scores[80], normal_max);
+    }
+
+    #[test]
+    fn forecasts_on_training_data_are_accurate() {
+        let train = periodic_series(400);
+        let mut det = GbrfDetector::new(config_small());
+        det.fit(&train).unwrap();
+        let scores = det.score_series(&train).unwrap();
+        let mean = scores.iter().sum::<f32>() / scores.len() as f32;
+        assert!(mean < 0.2, "mean forecast error too large: {mean}");
+    }
+
+    #[test]
+    fn validates_fit_inputs() {
+        let mut det = GbrfDetector::new(GbrfConfig { lag: 0, ..config_small() });
+        assert!(det.fit(&periodic_series(100)).is_err());
+        let mut det = GbrfDetector::new(config_small());
+        assert!(det.fit(&periodic_series(4)).is_err());
+        assert!(det.score_series(&periodic_series(50)).is_err());
+        assert!(det.profile().is_err());
+    }
+
+    #[test]
+    fn validates_score_inputs() {
+        let mut det = GbrfDetector::new(config_small());
+        det.fit(&periodic_series(200)).unwrap();
+        let wrong = MultivariateSeries::new(vec!["x".into()], 1.0).unwrap();
+        assert!(det.score_series(&wrong).is_err());
+        let short = periodic_series(2);
+        assert!(det.score_series(&short).is_err());
+    }
+
+    #[test]
+    fn profile_is_light_and_cpu_preferred() {
+        let p = GbrfDetector::profile_for(86, 30, 3, 4);
+        assert_eq!(p.unit, ExecutionUnit::Cpu);
+        // Tree inference is far cheaper than any neural forward pass at this scale.
+        assert!(p.flops < 1.0e6);
+    }
+
+    #[test]
+    fn warmup_samples_do_not_dominate_the_ranking() {
+        let train = periodic_series(300);
+        let mut det = GbrfDetector::new(config_small());
+        det.fit(&train).unwrap();
+        let scores = det.score_series(&periodic_series(50)).unwrap();
+        let warm_max = scores[..3].iter().copied().fold(f32::MIN, f32::max);
+        let overall_max = scores.iter().copied().fold(f32::MIN, f32::max);
+        assert!(warm_max <= overall_max);
+    }
+}

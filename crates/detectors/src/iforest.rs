@@ -1,0 +1,349 @@
+//! Isolation Forest outlier detector (Liu et al. 2012; paper §3.3).
+//!
+//! An ensemble of 100 random isolation trees, each built on a subsample of the
+//! training points. The anomaly score of a point is `2^(-E[h(x)] / c(n))`
+//! where `E[h(x)]` is its average path length across trees and `c(n)` the
+//! expected path length of an unsuccessful BST search.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use varade_tensor::{ComputeProfile, ExecutionUnit};
+use varade_timeseries::MultivariateSeries;
+
+use crate::{AnomalyDetector, DetectorError};
+
+/// Configuration of the Isolation Forest detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsolationForestConfig {
+    /// Number of isolation trees (paper: 100).
+    pub n_trees: usize,
+    /// Subsample size per tree (Liu et al. recommend 256).
+    pub subsample: usize,
+    /// Expected fraction of outliers, used to derive a decision threshold
+    /// (paper: 0.1 as recommended by the reference).
+    pub contamination: f64,
+    /// Random seed for tree construction.
+    pub seed: u64,
+}
+
+impl Default for IsolationForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 100, subsample: 256, contamination: 0.1, seed: 7 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum IsoNode {
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Leaf { size: usize },
+}
+
+#[derive(Debug, Clone)]
+struct IsoTree {
+    nodes: Vec<IsoNode>,
+}
+
+/// Average path length of an unsuccessful search in a BST of `n` nodes.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+}
+
+impl IsoTree {
+    fn build(points: &[&[f32]], max_depth: usize, rng: &mut StdRng) -> Self {
+        let mut tree = Self { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..points.len()).collect();
+        tree.grow(points, &indices, max_depth, rng);
+        tree
+    }
+
+    fn grow(&mut self, points: &[&[f32]], indices: &[usize], depth_left: usize, rng: &mut StdRng) -> usize {
+        if depth_left == 0 || indices.len() <= 1 {
+            self.nodes.push(IsoNode::Leaf { size: indices.len() });
+            return self.nodes.len() - 1;
+        }
+        let n_features = points[0].len();
+        // Pick a random feature with a non-degenerate range (few retries).
+        let mut chosen: Option<(usize, f32, f32)> = None;
+        for _ in 0..8 {
+            let feature = rng.gen_range(0..n_features);
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &i in indices {
+                lo = lo.min(points[i][feature]);
+                hi = hi.max(points[i][feature]);
+            }
+            if hi > lo {
+                chosen = Some((feature, lo, hi));
+                break;
+            }
+        }
+        let Some((feature, lo, hi)) = chosen else {
+            self.nodes.push(IsoNode::Leaf { size: indices.len() });
+            return self.nodes.len() - 1;
+        };
+        let threshold = rng.gen_range(lo..hi);
+        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+        for &i in indices {
+            if points[i][feature] < threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(IsoNode::Leaf { size: indices.len() });
+            return self.nodes.len() - 1;
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(IsoNode::Leaf { size: indices.len() });
+        let left = self.grow(points, &left_idx, depth_left - 1, rng);
+        let right = self.grow(points, &right_idx, depth_left - 1, rng);
+        self.nodes[node_id] = IsoNode::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Path length of a point, with the standard leaf-size correction.
+    fn path_length(&self, point: &[f32]) -> f64 {
+        let mut node = 0usize;
+        let mut depth = 0.0f64;
+        loop {
+            match &self.nodes[node] {
+                IsoNode::Leaf { size } => return depth + average_path_length(*size),
+                IsoNode::Split { feature, threshold, left, right } => {
+                    depth += 1.0;
+                    node = if point[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+}
+
+/// Isolation Forest anomaly detector.
+#[derive(Debug, Clone)]
+pub struct IsolationForestDetector {
+    config: IsolationForestConfig,
+    trees: Vec<IsoTree>,
+    subsample_size: usize,
+    n_channels: usize,
+    threshold: f32,
+}
+
+impl IsolationForestDetector {
+    /// Creates an unfitted detector.
+    pub fn new(config: IsolationForestConfig) -> Self {
+        Self { config, trees: Vec::new(), subsample_size: 0, n_channels: 0, threshold: 0.5 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IsolationForestConfig {
+        &self.config
+    }
+
+    /// The decision threshold derived from the contamination rate during `fit`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    fn score_point(&self, point: &[f32]) -> f32 {
+        let avg_path: f64 = self.trees.iter().map(|t| t.path_length(point)).sum::<f64>()
+            / self.trees.len() as f64;
+        let c = average_path_length(self.subsample_size);
+        if c <= 0.0 {
+            return 0.5;
+        }
+        (2.0f64.powf(-avg_path / c)) as f32
+    }
+
+    /// Analytical compute profile for a paper-scale forest.
+    pub fn profile_for(n_trees: usize, subsample: usize, n_channels: usize) -> ComputeProfile {
+        let depth = (subsample.max(2) as f64).log2().ceil();
+        ComputeProfile {
+            // One comparison per level per tree plus the final aggregation.
+            flops: n_trees as f64 * (depth * 2.0 + 4.0),
+            // Each tree stores about 2*subsample nodes of ~16 bytes.
+            param_bytes: n_trees as f64 * 2.0 * subsample as f64 * 16.0,
+            activation_bytes: 4.0 * n_channels as f64,
+            // Tree traversal is branchy and pointer-chasing: poor GPU fit.
+            parallel_fraction: 0.7,
+            unit: ExecutionUnit::Cpu,
+        }
+    }
+}
+
+impl AnomalyDetector for IsolationForestDetector {
+    fn name(&self) -> &'static str {
+        "Isolation Forest"
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
+        if self.config.n_trees == 0 || self.config.subsample < 2 {
+            return Err(DetectorError::InvalidConfig(
+                "isolation forest needs at least one tree and a subsample of 2".into(),
+            ));
+        }
+        if !(0.0..=0.5).contains(&self.config.contamination) {
+            return Err(DetectorError::InvalidConfig("contamination must be in [0, 0.5]".into()));
+        }
+        if train.len() < 8 {
+            return Err(DetectorError::InvalidData("training series too short".into()));
+        }
+        train.check_finite()?;
+        self.n_channels = train.n_channels();
+        let rows: Vec<&[f32]> = (0..train.len()).map(|t| train.row(t)).collect();
+        let subsample = self.config.subsample.min(rows.len());
+        let max_depth = (subsample as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.subsample_size = subsample;
+        self.trees = (0..self.config.n_trees)
+            .map(|_| {
+                let sample: Vec<&[f32]> = (0..subsample)
+                    .map(|_| rows[rng.gen_range(0..rows.len())])
+                    .collect();
+                IsoTree::build(&sample, max_depth, &mut rng)
+            })
+            .collect();
+        // Threshold at the (1 - contamination) quantile of training scores.
+        let mut train_scores: Vec<f32> = rows.iter().map(|r| self.score_point(r)).collect();
+        train_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((1.0 - self.config.contamination) * (train_scores.len() - 1) as f64).round() as usize;
+        self.threshold = train_scores[idx.min(train_scores.len() - 1)];
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
+        if !self.is_fitted() {
+            return Err(DetectorError::NotFitted { detector: "Isolation Forest" });
+        }
+        if test.n_channels() != self.n_channels {
+            return Err(DetectorError::InvalidData(format!(
+                "expected {} channels, got {}",
+                self.n_channels,
+                test.n_channels()
+            )));
+        }
+        Ok((0..test.len()).map(|t| self.score_point(test.row(t))).collect())
+    }
+
+    fn profile(&self) -> Result<ComputeProfile, DetectorError> {
+        if !self.is_fitted() {
+            return Err(DetectorError::NotFitted { detector: "Isolation Forest" });
+        }
+        Ok(Self::profile_for(self.trees.len(), self.subsample_size, self.n_channels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..n {
+            let v = (t as f32 * 0.17).sin() * 0.2;
+            s.push_row(&[v, 0.5 + v * 0.3]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn average_path_length_matches_known_values() {
+        assert_eq!(average_path_length(1), 0.0);
+        assert_eq!(average_path_length(0), 0.0);
+        // c(2) = 2*(ln(1)+gamma) - 2*1/2 = 2*0.5772 - 1 = 0.1544
+        assert!((average_path_length(2) - 0.1544).abs() < 1e-3);
+        assert!(average_path_length(256) > average_path_length(64));
+    }
+
+    #[test]
+    fn outliers_score_higher_than_cluster_points() {
+        let train = clustered_series(400);
+        let mut det = IsolationForestDetector::new(IsolationForestConfig {
+            n_trees: 50,
+            subsample: 128,
+            ..IsolationForestConfig::default()
+        });
+        det.fit(&train).unwrap();
+        let mut test = clustered_series(50);
+        test.push_row(&[5.0, -5.0]).unwrap();
+        let scores = det.score_series(&test).unwrap();
+        let outlier = *scores.last().unwrap();
+        let inlier_mean = scores[..50].iter().sum::<f32>() / 50.0;
+        // The far-away point must isolate noticeably faster than the cluster average
+        // and rank above every inlier.
+        let inlier_max = scores[..50].iter().copied().fold(f32::MIN, f32::max);
+        assert!(outlier > inlier_mean + 0.05, "outlier {outlier} vs inlier mean {inlier_mean}");
+        assert!(outlier >= inlier_max, "outlier {outlier} vs inlier max {inlier_max}");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let train = clustered_series(300);
+        let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+        det.fit(&train).unwrap();
+        let scores = det.score_series(&train).unwrap();
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn threshold_respects_contamination() {
+        let train = clustered_series(300);
+        let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+        det.fit(&train).unwrap();
+        let scores = det.score_series(&train).unwrap();
+        let above = scores.iter().filter(|&&s| s > det.threshold()).count() as f64;
+        // Roughly 10% of training points should exceed the threshold.
+        assert!(above / scores.len() as f64 <= 0.2);
+    }
+
+    #[test]
+    fn fit_validation() {
+        let mut det = IsolationForestDetector::new(IsolationForestConfig {
+            n_trees: 0,
+            ..IsolationForestConfig::default()
+        });
+        assert!(det.fit(&clustered_series(100)).is_err());
+        let mut det = IsolationForestDetector::new(IsolationForestConfig {
+            contamination: 0.9,
+            ..IsolationForestConfig::default()
+        });
+        assert!(det.fit(&clustered_series(100)).is_err());
+        let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+        assert!(det.fit(&clustered_series(4)).is_err());
+        assert!(det.score_series(&clustered_series(10)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = clustered_series(200);
+        let run = |seed| {
+            let mut det = IsolationForestDetector::new(IsolationForestConfig {
+                n_trees: 20,
+                subsample: 64,
+                contamination: 0.1,
+                seed,
+            });
+            det.fit(&train).unwrap();
+            det.score_series(&train).unwrap()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn profile_is_cheap_and_cpu_bound() {
+        let p = IsolationForestDetector::profile_for(100, 256, 86);
+        assert_eq!(p.unit, ExecutionUnit::Cpu);
+        // Tree traversal is orders of magnitude cheaper than a forward pass.
+        assert!(p.flops < 10_000.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! k-nearest-neighbour outlier detector.
+//!
+//! Following Goldstein & Uchida (2016) and paper §3.3, the anomaly score of a
+//! data point is the distance to its k-th (maximum over the k) nearest
+//! neighbour among the normal training points, with k = 5.
+
+use varade_tensor::{ComputeProfile, ExecutionUnit};
+use varade_timeseries::MultivariateSeries;
+
+use crate::{fill_warmup, AnomalyDetector, DetectorError};
+
+/// Configuration of the kNN detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnConfig {
+    /// Number of neighbours considered (paper: 5).
+    pub k: usize,
+    /// Maximum number of training points retained (the paper's full training
+    /// set has millions of samples; a uniform subsample keeps brute-force
+    /// search tractable on the edge and in this reproduction).
+    pub max_reference_points: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 5, max_reference_points: 2_000 }
+    }
+}
+
+impl KnnConfig {
+    /// The reference-point budget assumed for the paper-scale deployment,
+    /// used only for compute profiling.
+    pub const PAPER_REFERENCE_POINTS: usize = 100_000;
+}
+
+/// k-nearest-neighbour anomaly detector using maximum neighbour distance.
+#[derive(Debug, Clone)]
+pub struct KnnDetector {
+    config: KnnConfig,
+    reference: Vec<Vec<f32>>,
+    n_channels: usize,
+}
+
+impl KnnDetector {
+    /// Creates an unfitted detector.
+    pub fn new(config: KnnConfig) -> Self {
+        Self { config, reference: Vec::new(), n_channels: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KnnConfig {
+        &self.config
+    }
+
+    /// Number of retained reference points (0 before fitting).
+    pub fn reference_len(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Distance to the k-th nearest reference point (max over the k nearest).
+    fn score_point(&self, point: &[f32]) -> f32 {
+        let k = self.config.k.min(self.reference.len());
+        // Maintain the k smallest squared distances seen so far.
+        let mut best = vec![f32::INFINITY; k];
+        for r in &self.reference {
+            let mut d = 0.0f32;
+            for (a, b) in point.iter().zip(r.iter()) {
+                let diff = a - b;
+                d += diff * diff;
+            }
+            // Insert into the sorted best-list if it improves the current worst.
+            if d < best[k - 1] {
+                let mut i = k - 1;
+                while i > 0 && best[i - 1] > d {
+                    best[i] = best[i - 1];
+                    i -= 1;
+                }
+                best[i] = d;
+            }
+        }
+        best[k - 1].sqrt()
+    }
+
+    /// Analytical compute profile for an arbitrary reference-set size, used to
+    /// model the paper-scale deployment on the edge boards.
+    pub fn profile_for(n_channels: usize, reference_points: usize, k: usize) -> ComputeProfile {
+        let c = n_channels as f64;
+        let n = reference_points as f64;
+        ComputeProfile {
+            // 3 flops per dimension per reference point (sub, mul, add) + top-k maintenance.
+            flops: n * (3.0 * c + k as f64),
+            param_bytes: 4.0 * n * c,
+            activation_bytes: 4.0 * c,
+            // Brute-force search parallelizes, but the paper observes kNN
+            // "cannot fully benefit from GPU parallelism (especially with a
+            // few channels)" and saturates the CPU instead.
+            parallel_fraction: 0.6,
+            unit: ExecutionUnit::Cpu,
+        }
+    }
+}
+
+impl AnomalyDetector for KnnDetector {
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
+        if self.config.k == 0 {
+            return Err(DetectorError::InvalidConfig("k must be at least 1".into()));
+        }
+        if train.len() <= self.config.k {
+            return Err(DetectorError::InvalidData(format!(
+                "training series of length {} too short for k = {}",
+                train.len(),
+                self.config.k
+            )));
+        }
+        train.check_finite()?;
+        self.n_channels = train.n_channels();
+        // Uniform subsample without replacement: every `stride`-th row.
+        let stride = (train.len() / self.config.max_reference_points.max(1)).max(1);
+        self.reference = (0..train.len())
+            .step_by(stride)
+            .map(|t| train.row(t).to_vec())
+            .collect();
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.reference.is_empty()
+    }
+
+    fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
+        if !self.is_fitted() {
+            return Err(DetectorError::NotFitted { detector: "kNN" });
+        }
+        if test.n_channels() != self.n_channels {
+            return Err(DetectorError::InvalidData(format!(
+                "expected {} channels, got {}",
+                self.n_channels,
+                test.n_channels()
+            )));
+        }
+        let mut scores: Vec<f32> = (0..test.len()).map(|t| self.score_point(test.row(t))).collect();
+        fill_warmup(&mut scores, 0);
+        Ok(scores)
+    }
+
+    fn profile(&self) -> Result<ComputeProfile, DetectorError> {
+        if !self.is_fitted() {
+            return Err(DetectorError::NotFitted { detector: "kNN" });
+        }
+        Ok(Self::profile_for(self.n_channels, self.reference.len(), self.config.k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..n {
+            let v = (t as f32 * 0.31).sin();
+            s.push_row(&[v, v * 0.5 + 0.1]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let train = sine_series(300);
+        let mut det = KnnDetector::new(KnnConfig::default());
+        det.fit(&train).unwrap();
+        let mut test = sine_series(50);
+        test.push_row(&[8.0, -7.0]).unwrap();
+        let scores = det.score_series(&test).unwrap();
+        let outlier = *scores.last().unwrap();
+        let max_inlier = scores[..50].iter().copied().fold(f32::MIN, f32::max);
+        assert!(outlier > max_inlier * 3.0, "outlier {outlier} vs inlier max {max_inlier}");
+    }
+
+    #[test]
+    fn scoring_training_data_gives_small_scores() {
+        let train = sine_series(200);
+        let mut det = KnnDetector::new(KnnConfig::default());
+        det.fit(&train).unwrap();
+        let scores = det.score_series(&train).unwrap();
+        assert_eq!(scores.len(), 200);
+        assert!(scores.iter().all(|&s| s < 0.5));
+    }
+
+    #[test]
+    fn subsampling_caps_reference_points() {
+        let train = sine_series(500);
+        let mut det = KnnDetector::new(KnnConfig { k: 5, max_reference_points: 100 });
+        det.fit(&train).unwrap();
+        assert!(det.reference_len() <= 101);
+        assert!(det.reference_len() >= 90);
+    }
+
+    #[test]
+    fn requires_fit_before_scoring_and_validates_channels() {
+        let mut det = KnnDetector::new(KnnConfig::default());
+        let test = sine_series(20);
+        assert!(matches!(det.score_series(&test), Err(DetectorError::NotFitted { .. })));
+        assert!(det.profile().is_err());
+        det.fit(&sine_series(100)).unwrap();
+        let other = MultivariateSeries::new(vec!["only".into()], 1.0).unwrap();
+        assert!(det.score_series(&other).is_err());
+    }
+
+    #[test]
+    fn rejects_too_short_training_series() {
+        let mut det = KnnDetector::new(KnnConfig::default());
+        assert!(det.fit(&sine_series(4)).is_err());
+        let mut det = KnnDetector::new(KnnConfig { k: 0, max_reference_points: 10 });
+        assert!(det.fit(&sine_series(100)).is_err());
+    }
+
+    #[test]
+    fn profile_prefers_cpu_and_scales_with_reference_points() {
+        let small = KnnDetector::profile_for(86, 1_000, 5);
+        let large = KnnDetector::profile_for(86, 100_000, 5);
+        assert_eq!(small.unit, ExecutionUnit::Cpu);
+        assert!(large.flops > small.flops * 50.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! # varade-detectors
+//!
+//! The five light baseline anomaly detectors the VARADE paper benchmarks
+//! against (§3.3), implemented from scratch on top of `varade-tensor` and
+//! plain Rust:
+//!
+//! * [`ArLstmDetector`] — autoregressive LSTM forecaster (5 recurrent layers ×
+//!   256 units in the paper), scored by prediction-error norm;
+//! * [`GbrfDetector`] — gradient-boosted regression forest forecaster
+//!   (30 trees), scored by prediction-error norm;
+//! * [`AutoencoderDetector`] — convolutional autoencoder with 6 ResNet blocks,
+//!   scored by reconstruction-error norm;
+//! * [`KnnDetector`] — k-nearest-neighbour outlier detector (k = 5, maximum
+//!   neighbour distance);
+//! * [`IsolationForestDetector`] — 100 isolation trees with the standard
+//!   path-length score and contamination 0.1.
+//!
+//! All detectors implement the [`AnomalyDetector`] trait: fit on a normal
+//! training series, then produce one anomaly score per test sample. Higher
+//! scores mean "more anomalous". Each detector also reports a
+//! [`ComputeProfile`] for the edge-platform simulator, both for the actual
+//! fitted model and for the paper's full-size configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use varade_detectors::{AnomalyDetector, KnnDetector, KnnConfig};
+//! use varade_timeseries::MultivariateSeries;
+//!
+//! # fn main() -> Result<(), varade_detectors::DetectorError> {
+//! let mut train = MultivariateSeries::new(vec!["x".into(), "y".into()], 10.0).unwrap();
+//! for t in 0..100 {
+//!     let v = (t as f32 * 0.3).sin();
+//!     train.push_row(&[v, -v]).unwrap();
+//! }
+//! let mut detector = KnnDetector::new(KnnConfig::default());
+//! detector.fit(&train)?;
+//! let scores = detector.score_series(&train)?;
+//! assert_eq!(scores.len(), train.len());
+//! # Ok(())
+//! # }
+//! ```
+
+mod autoencoder;
+mod gbrf;
+mod iforest;
+mod knn;
+mod lstm;
+pub mod tree;
+
+use std::fmt;
+
+pub use autoencoder::{AutoencoderConfig, AutoencoderDetector};
+pub use gbrf::{GbrfConfig, GbrfDetector};
+pub use iforest::{IsolationForestConfig, IsolationForestDetector};
+pub use knn::{KnnConfig, KnnDetector};
+pub use lstm::{ArLstmConfig, ArLstmDetector};
+
+use varade_tensor::ComputeProfile;
+use varade_timeseries::MultivariateSeries;
+
+/// Errors produced by anomaly detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorError {
+    /// The detector was asked to score data before being fitted.
+    NotFitted {
+        /// Name of the detector that was misused.
+        detector: &'static str,
+    },
+    /// The training or test data is unusable (too short, wrong channel count, …).
+    InvalidData(String),
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// An underlying tensor/layer operation failed.
+    Tensor(varade_tensor::TensorError),
+    /// An underlying time-series operation failed.
+    Series(varade_timeseries::SeriesError),
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::NotFitted { detector } => {
+                write!(f, "detector {detector} must be fitted before scoring")
+            }
+            DetectorError::InvalidData(reason) => write!(f, "invalid data: {reason}"),
+            DetectorError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            DetectorError::Tensor(err) => write!(f, "tensor error: {err}"),
+            DetectorError::Series(err) => write!(f, "series error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectorError::Tensor(err) => Some(err),
+            DetectorError::Series(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<varade_tensor::TensorError> for DetectorError {
+    fn from(err: varade_tensor::TensorError) -> Self {
+        DetectorError::Tensor(err)
+    }
+}
+
+impl From<varade_timeseries::SeriesError> for DetectorError {
+    fn from(err: varade_timeseries::SeriesError) -> Self {
+        DetectorError::Series(err)
+    }
+}
+
+/// A point-wise anomaly detector trained on normal data only.
+///
+/// Implementations follow the protocol of the paper: `fit` sees only normal
+/// operation, `score_series` assigns an anomaly score to every sample of a
+/// test stream (higher = more anomalous), and the score is later thresholded
+/// or ranked by the evaluation code.
+pub trait AnomalyDetector {
+    /// Short name used in tables and figures (e.g. `"AR-LSTM"`).
+    fn name(&self) -> &'static str;
+
+    /// Fits the detector on a normal (anomaly-free) training series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidData`] if the series is too short or
+    /// malformed for this detector.
+    fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError>;
+
+    /// Whether `fit` has completed successfully.
+    fn is_fitted(&self) -> bool;
+
+    /// Scores every sample of a test series.
+    ///
+    /// The output has exactly one score per input sample. Samples that fall
+    /// inside the initial warm-up window (before the detector has enough
+    /// context) receive the lowest score of the series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::NotFitted`] if called before `fit`, or
+    /// [`DetectorError::InvalidData`] if the series is incompatible with the
+    /// fitted model.
+    fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError>;
+
+    /// Per-inference compute cost of the fitted model, consumed by the edge
+    /// simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::NotFitted`] if called before `fit`.
+    fn profile(&self) -> Result<ComputeProfile, DetectorError>;
+}
+
+/// Replaces warm-up scores (prefix of length `warmup`) with the minimum of the
+/// remaining scores so they never rank as anomalies.
+pub(crate) fn fill_warmup(scores: &mut [f32], warmup: usize) {
+    if scores.is_empty() || warmup == 0 {
+        return;
+    }
+    let rest_min = scores[warmup.min(scores.len())..]
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min);
+    let fill = if rest_min.is_finite() { rest_min } else { 0.0 };
+    for s in scores.iter_mut().take(warmup) {
+        *s = fill;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_warmup_uses_minimum_of_rest() {
+        let mut scores = vec![9.0, 9.0, 0.5, 2.0, 0.2];
+        fill_warmup(&mut scores, 2);
+        assert_eq!(scores[0], 0.2);
+        assert_eq!(scores[1], 0.2);
+        assert_eq!(scores[2], 0.5);
+    }
+
+    #[test]
+    fn fill_warmup_handles_degenerate_inputs() {
+        let mut empty: Vec<f32> = vec![];
+        fill_warmup(&mut empty, 3);
+        let mut all_warm = vec![1.0, 2.0];
+        fill_warmup(&mut all_warm, 5);
+        assert_eq!(all_warm, vec![0.0, 0.0]);
+        let mut none = vec![3.0, 4.0];
+        fill_warmup(&mut none, 0);
+        assert_eq!(none, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn detector_error_display_and_source() {
+        use std::error::Error;
+        let e = DetectorError::NotFitted { detector: "kNN" };
+        assert!(e.to_string().contains("kNN"));
+        assert!(e.source().is_none());
+        let e: DetectorError = varade_tensor::TensorError::BackwardBeforeForward { layer: "x" }.into();
+        assert!(e.source().is_some());
+        let e: DetectorError = varade_timeseries::SeriesError::Empty.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! Autoregressive LSTM (AR-LSTM) forecasting detector.
+//!
+//! The paper's recurrent baseline: a stack of LSTM layers (5 × 256 units in
+//! the full-size configuration, following Sak et al. 2014) followed by two
+//! fully connected layers, forecasting the next sample of the stream. The
+//! anomaly score is the Euclidean norm of the prediction error (§3.3).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use varade_tensor::layers::{LastTimeStep, Linear, Lstm, Relu, Sequential};
+use varade_tensor::{loss, optim::Adam, ComputeProfile, Layer, Tensor};
+use varade_timeseries::{MultivariateSeries, WindowIter};
+
+use crate::{fill_warmup, AnomalyDetector, DetectorError};
+
+/// Configuration of the AR-LSTM detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArLstmConfig {
+    /// Context window length fed to the recurrent stack.
+    pub window: usize,
+    /// Hidden units per LSTM layer.
+    pub hidden_size: usize,
+    /// Number of stacked LSTM layers.
+    pub n_layers: usize,
+    /// Width of the first fully connected layer.
+    pub fc_size: usize,
+    /// Training epochs over the sampled windows.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate. The paper fixes 1e-5 with long training; the
+    /// scaled-down default uses a larger rate to converge within few epochs.
+    pub learning_rate: f32,
+    /// Maximum number of training windows sampled from the series.
+    pub max_train_windows: usize,
+    /// Random seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ArLstmConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            hidden_size: 32,
+            n_layers: 2,
+            fc_size: 64,
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            max_train_windows: 384,
+            seed: 11,
+        }
+    }
+}
+
+impl ArLstmConfig {
+    /// The paper's full-size architecture: 5 LSTM layers × 256 units, 2 fully
+    /// connected layers, window 512, learning rate 1e-5.
+    pub fn paper_full_size() -> Self {
+        Self {
+            window: 512,
+            hidden_size: 256,
+            n_layers: 5,
+            fc_size: 256,
+            epochs: 50,
+            batch_size: 64,
+            learning_rate: 1e-5,
+            max_train_windows: usize::MAX,
+            seed: 11,
+        }
+    }
+}
+
+/// Autoregressive LSTM forecasting detector.
+pub struct ArLstmDetector {
+    config: ArLstmConfig,
+    model: Option<Sequential>,
+    n_channels: usize,
+}
+
+impl std::fmt::Debug for ArLstmDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArLstmDetector")
+            .field("config", &self.config)
+            .field("fitted", &self.model.is_some())
+            .field("n_channels", &self.n_channels)
+            .finish()
+    }
+}
+
+impl ArLstmDetector {
+    /// Creates an unfitted detector.
+    pub fn new(config: ArLstmConfig) -> Self {
+        Self { config, model: None, n_channels: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ArLstmConfig {
+        &self.config
+    }
+
+    /// Builds the forecasting network for `n_channels` input channels.
+    pub fn build_model(config: &ArLstmConfig, n_channels: usize, rng: &mut StdRng) -> Sequential {
+        let mut model = Sequential::empty();
+        let mut in_size = n_channels;
+        for _ in 0..config.n_layers.max(1) {
+            model.push(Box::new(Lstm::new(in_size, config.hidden_size, rng)));
+            in_size = config.hidden_size;
+        }
+        model.push(Box::new(LastTimeStep::new()));
+        model.push(Box::new(Linear::new(config.hidden_size, config.fc_size, rng)));
+        model.push(Box::new(Relu::new()));
+        model.push(Box::new(Linear::new(config.fc_size, n_channels, rng)));
+        model
+    }
+
+    /// Compute profile of an arbitrary configuration without training it —
+    /// used to model the paper-scale network on the edge boards.
+    pub fn profile_for(config: &ArLstmConfig, n_channels: usize) -> ComputeProfile {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let model = Self::build_model(config, n_channels, &mut rng);
+        model.profile(&[1, n_channels, config.window])
+    }
+
+    /// Converts a batch of channel-major windows into a `[batch, C, T]` tensor.
+    fn batch_tensor(contexts: &[&[f32]], n_channels: usize, window: usize) -> Result<Tensor, DetectorError> {
+        let mut data = Vec::with_capacity(contexts.len() * n_channels * window);
+        for ctx in contexts {
+            data.extend_from_slice(ctx);
+        }
+        Ok(Tensor::from_vec(data, &[contexts.len(), n_channels, window])?)
+    }
+
+    fn validate_series(&self, series: &MultivariateSeries) -> Result<(), DetectorError> {
+        if series.len() <= self.config.window {
+            return Err(DetectorError::InvalidData(format!(
+                "series of length {} too short for window {}",
+                series.len(),
+                self.config.window
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl AnomalyDetector for ArLstmDetector {
+    fn name(&self) -> &'static str {
+        "AR-LSTM"
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
+        let cfg = self.config;
+        if cfg.window == 0 || cfg.hidden_size == 0 || cfg.batch_size == 0 {
+            return Err(DetectorError::InvalidConfig(
+                "window, hidden size and batch size must be positive".into(),
+            ));
+        }
+        self.validate_series(train)?;
+        train.check_finite()?;
+        self.n_channels = train.n_channels();
+        let usable = train.len() - cfg.window;
+        let stride = (usable / cfg.max_train_windows.max(1)).max(1);
+        let windows: Vec<_> = WindowIter::forecasting(train, cfg.window, stride)?.collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = Self::build_model(&cfg, self.n_channels, &mut rng);
+        let mut optimizer = Adam::new(cfg.learning_rate).with_clip_norm(5.0);
+        for _epoch in 0..cfg.epochs {
+            for chunk in windows.chunks(cfg.batch_size) {
+                let contexts: Vec<&[f32]> = chunk.iter().map(|w| w.context.as_slice()).collect();
+                let input = Self::batch_tensor(&contexts, self.n_channels, cfg.window)?;
+                let mut target_data = Vec::with_capacity(chunk.len() * self.n_channels);
+                for w in chunk {
+                    target_data.extend_from_slice(&w.target);
+                }
+                let target = Tensor::from_vec(target_data, &[chunk.len(), self.n_channels])?;
+                model.zero_grad();
+                let pred = model.forward(&input)?;
+                let (_, grad) = loss::mse_loss(&pred, &target)?;
+                model.backward(&grad)?;
+                optimizer.step(&mut model);
+            }
+        }
+        self.model = Some(model);
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
+        let cfg = self.config;
+        if self.model.is_none() {
+            return Err(DetectorError::NotFitted { detector: "AR-LSTM" });
+        }
+        if test.n_channels() != self.n_channels {
+            return Err(DetectorError::InvalidData(format!(
+                "expected {} channels, got {}",
+                self.n_channels,
+                test.n_channels()
+            )));
+        }
+        self.validate_series(test)?;
+        let windows: Vec<_> = WindowIter::forecasting(test, cfg.window, 1)?.collect();
+        let model = self.model.as_mut().expect("checked above");
+        let mut scores = vec![0.0f32; test.len()];
+        for chunk in windows.chunks(cfg.batch_size.max(1)) {
+            let contexts: Vec<&[f32]> = chunk.iter().map(|w| w.context.as_slice()).collect();
+            let input = Self::batch_tensor(&contexts, self.n_channels, cfg.window)?;
+            let pred = model.forward(&input)?;
+            for (row, w) in chunk.iter().enumerate() {
+                let mut err_sq = 0.0f32;
+                for c in 0..self.n_channels {
+                    let diff = pred.at(&[row, c]) - w.target[c];
+                    err_sq += diff * diff;
+                }
+                scores[w.target_index] = err_sq.sqrt();
+            }
+        }
+        fill_warmup(&mut scores, cfg.window);
+        Ok(scores)
+    }
+
+    fn profile(&self) -> Result<ComputeProfile, DetectorError> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or(DetectorError::NotFitted { detector: "AR-LSTM" })?;
+        Ok(model.profile(&[1, self.n_channels, self.config.window]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ArLstmConfig {
+        ArLstmConfig {
+            window: 8,
+            hidden_size: 8,
+            n_layers: 1,
+            fc_size: 8,
+            epochs: 2,
+            batch_size: 8,
+            learning_rate: 5e-3,
+            max_train_windows: 64,
+            seed: 3,
+        }
+    }
+
+    fn wave_series(n: usize, channels: usize) -> MultivariateSeries {
+        let names: Vec<String> = (0..channels).map(|c| format!("ch{c}")).collect();
+        let mut s = MultivariateSeries::new(names, 10.0).unwrap();
+        for t in 0..n {
+            let row: Vec<f32> = (0..channels)
+                .map(|c| ((t as f32 * 0.25) + c as f32).sin() * 0.8)
+                .collect();
+            s.push_row(&row).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn fit_and_score_produce_one_score_per_sample() {
+        let train = wave_series(200, 3);
+        let mut det = ArLstmDetector::new(tiny_config());
+        det.fit(&train).unwrap();
+        assert!(det.is_fitted());
+        let test = wave_series(60, 3);
+        let scores = det.score_series(&test).unwrap();
+        assert_eq!(scores.len(), 60);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn spike_scores_higher_than_normal_signal() {
+        let train = wave_series(300, 2);
+        let mut det = ArLstmDetector::new(tiny_config());
+        det.fit(&train).unwrap();
+        let normal = wave_series(80, 2);
+        let mut data = normal.as_slice().to_vec();
+        for t in 60..64 {
+            data[t * 2] += 4.0;
+            data[t * 2 + 1] -= 4.0;
+        }
+        let spiked = MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
+        let normal_scores = det.score_series(&normal).unwrap();
+        let spiked_scores = det.score_series(&spiked).unwrap();
+        let normal_max = normal_scores.iter().copied().fold(f32::MIN, f32::max);
+        let spike_peak = spiked_scores[60..66].iter().copied().fold(f32::MIN, f32::max);
+        assert!(spike_peak > normal_max, "spike {spike_peak} vs normal max {normal_max}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut det = ArLstmDetector::new(tiny_config());
+        assert!(det.score_series(&wave_series(50, 3)).is_err());
+        assert!(det.profile().is_err());
+        assert!(det.fit(&wave_series(5, 3)).is_err());
+        let mut det = ArLstmDetector::new(ArLstmConfig { window: 0, ..tiny_config() });
+        assert!(det.fit(&wave_series(50, 3)).is_err());
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected_after_fit() {
+        let mut det = ArLstmDetector::new(tiny_config());
+        det.fit(&wave_series(100, 2)).unwrap();
+        assert!(det.score_series(&wave_series(100, 3)).is_err());
+    }
+
+    #[test]
+    fn paper_profile_is_much_heavier_than_scaled_profile() {
+        let scaled = ArLstmDetector::profile_for(&tiny_config(), 86);
+        let paper = ArLstmDetector::profile_for(&ArLstmConfig::paper_full_size(), 86);
+        assert!(paper.flops > scaled.flops * 100.0);
+        // Recurrence limits parallel speed-up.
+        assert!(paper.parallel_fraction < 0.6);
+    }
+
+    #[test]
+    fn fitted_profile_reports_positive_cost() {
+        let mut det = ArLstmDetector::new(tiny_config());
+        det.fit(&wave_series(100, 2)).unwrap();
+        let p = det.profile().unwrap();
+        assert!(p.flops > 0.0);
+        assert!(p.param_bytes > 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! CART regression trees and gradient boosting, the substrate of the GBRF
+//! baseline (Huang et al. 2021, as adapted in paper §3.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::DetectorError;
+
+/// A node of a binary regression tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// Internal split: `feature < threshold` goes left, otherwise right.
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    /// Leaf prediction.
+    Leaf { value: f32 },
+}
+
+/// A CART regression tree grown with variance-reduction (mean-squared-error)
+/// splits and recursive binary splitting, as prescribed by the reference
+/// papers (§3.4).
+///
+/// # Examples
+///
+/// ```
+/// use varade_detectors::tree::RegressionTree;
+///
+/// # fn main() -> Result<(), varade_detectors::DetectorError> {
+/// // y = 1 if x > 0.5 else 0
+/// let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 / 19.0]).collect();
+/// let y: Vec<f32> = x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+/// let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+/// let tree = RegressionTree::fit(&refs, &y, 3, 2)?;
+/// assert!((tree.predict(&[0.9]) - 1.0).abs() < 1e-6);
+/// assert!((tree.predict(&[0.1]) - 0.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree of at most `max_depth` levels, stopping when a node holds
+    /// fewer than `min_samples_split` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::InvalidData`] if `x` and `y` are empty or have
+    /// mismatched lengths, and [`DetectorError::InvalidConfig`] for a zero
+    /// depth or split size.
+    pub fn fit(
+        x: &[&[f32]],
+        y: &[f32],
+        max_depth: usize,
+        min_samples_split: usize,
+    ) -> Result<Self, DetectorError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(DetectorError::InvalidData(format!(
+                "tree needs matching non-empty x ({}) and y ({})",
+                x.len(),
+                y.len()
+            )));
+        }
+        if max_depth == 0 || min_samples_split < 2 {
+            return Err(DetectorError::InvalidConfig(
+                "max_depth must be >= 1 and min_samples_split >= 2".into(),
+            ));
+        }
+        let n_features = x[0].len();
+        let mut tree = Self { nodes: Vec::new(), n_features };
+        let indices: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, &indices, max_depth, min_samples_split);
+        Ok(tree)
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of input features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn mean(y: &[f32], indices: &[usize]) -> f32 {
+        indices.iter().map(|&i| y[i]).sum::<f32>() / indices.len() as f32
+    }
+
+    fn sse(y: &[f32], indices: &[usize], mean: f32) -> f32 {
+        indices.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum()
+    }
+
+    /// Recursively grows the subtree for `indices`, returning its node id.
+    fn grow(
+        &mut self,
+        x: &[&[f32]],
+        y: &[f32],
+        indices: &[usize],
+        depth_left: usize,
+        min_samples_split: usize,
+    ) -> usize {
+        let mean = Self::mean(y, indices);
+        if depth_left == 0 || indices.len() < min_samples_split {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let parent_sse = Self::sse(y, indices, mean);
+        let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, sse)
+        for feature in 0..self.n_features {
+            let mut values: Vec<f32> = indices.iter().map(|&i| x[i][feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints between consecutive distinct values
+            // (capped to keep fitting cheap on wide feature sets).
+            let max_candidates = 16usize;
+            let step = (values.len() / max_candidates).max(1);
+            for w in values.windows(2).step_by(step) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (mut left, mut right) = (Vec::new(), Vec::new());
+                for &i in indices {
+                    if x[i][feature] < threshold {
+                        left.push(i);
+                    } else {
+                        right.push(i);
+                    }
+                }
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                let l_mean = Self::mean(y, &left);
+                let r_mean = Self::mean(y, &right);
+                let sse = Self::sse(y, &left, l_mean) + Self::sse(y, &right, r_mean);
+                if best.map_or(true, |(_, _, b)| sse < b) {
+                    best = Some((feature, threshold, sse));
+                }
+            }
+        }
+        let Some((feature, threshold, split_sse)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        if split_sse >= parent_sse - 1e-12 {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+        for &i in indices {
+            if x[i][feature] < threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
+        // Reserve a slot for this split, then grow children.
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        let left = self.grow(x, y, &left_idx, depth_left - 1, min_samples_split);
+        let right = self.grow(x, y, &right_idx, depth_left - 1, min_samples_split);
+        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the training feature count.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A gradient-boosted ensemble of regression trees for a single output,
+/// trained on the mean-squared-error criterion (residual fitting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientBoostedTrees {
+    base_prediction: f32,
+    learning_rate: f32,
+    trees: Vec<RegressionTree>,
+}
+
+impl GradientBoostedTrees {
+    /// Fits `n_trees` boosted trees of depth `max_depth` with the given
+    /// learning rate. `subsample` rows (chosen without replacement per tree)
+    /// bounds the per-tree fitting cost; pass `x.len()` to use all rows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RegressionTree::fit`], plus an invalid-config error
+    /// for zero trees or a non-positive learning rate.
+    pub fn fit(
+        x: &[&[f32]],
+        y: &[f32],
+        n_trees: usize,
+        max_depth: usize,
+        learning_rate: f32,
+        subsample: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self, DetectorError> {
+        if n_trees == 0 || learning_rate <= 0.0 {
+            return Err(DetectorError::InvalidConfig(
+                "boosting needs at least one tree and a positive learning rate".into(),
+            ));
+        }
+        if x.is_empty() || x.len() != y.len() {
+            return Err(DetectorError::InvalidData("mismatched or empty x/y".into()));
+        }
+        let base_prediction = y.iter().sum::<f32>() / y.len() as f32;
+        let mut residuals: Vec<f32> = y.iter().map(|&v| v - base_prediction).collect();
+        let mut trees = Vec::with_capacity(n_trees);
+        let all_indices: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..n_trees {
+            let rows: Vec<usize> = if subsample >= x.len() {
+                all_indices.clone()
+            } else {
+                let mut shuffled = all_indices.clone();
+                shuffled.shuffle(rng);
+                shuffled.truncate(subsample.max(2));
+                shuffled
+            };
+            let sub_x: Vec<&[f32]> = rows.iter().map(|&i| x[i]).collect();
+            let sub_y: Vec<f32> = rows.iter().map(|&i| residuals[i]).collect();
+            let tree = RegressionTree::fit(&sub_x, &sub_y, max_depth, 4)?;
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= learning_rate * tree.predict(x[i]);
+            }
+            trees.push(tree);
+        }
+        Ok(Self { base_prediction, learning_rate, trees })
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count across all trees (used by the compute profile).
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(RegressionTree::node_count).sum()
+    }
+
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        self.base_prediction
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(features)).sum::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn step_data(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / (n - 1) as f32, 0.5]).collect();
+        let y: Vec<f32> = x.iter().map(|r| if r[0] > 0.6 { 2.0 } else { -1.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn tree_learns_a_step_function() {
+        let (x, y) = step_data(40);
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        let tree = RegressionTree::fit(&refs, &y, 4, 2).unwrap();
+        assert!((tree.predict(&[0.9, 0.5]) - 2.0).abs() < 1e-4);
+        assert!((tree.predict(&[0.1, 0.5]) + 1.0).abs() < 1e-4);
+        assert!(tree.node_count() >= 3);
+    }
+
+    #[test]
+    fn depth_one_tree_is_a_single_split() {
+        let (x, y) = step_data(40);
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        let tree = RegressionTree::fit(&refs, &y, 1, 2).unwrap();
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        let y = vec![3.5; 10];
+        let tree = RegressionTree::fit(&refs, &y, 5, 2).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[100.0]), 3.5);
+    }
+
+    #[test]
+    fn tree_input_validation() {
+        let refs: Vec<&[f32]> = vec![];
+        assert!(RegressionTree::fit(&refs, &[], 3, 2).is_err());
+        let x = [vec![1.0f32]];
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        assert!(RegressionTree::fit(&refs, &[1.0, 2.0], 3, 2).is_err());
+        assert!(RegressionTree::fit(&refs, &[1.0], 0, 2).is_err());
+        assert!(RegressionTree::fit(&refs, &[1.0], 3, 1).is_err());
+    }
+
+    #[test]
+    fn boosting_outperforms_a_single_tree_on_a_smooth_target() {
+        // y = sin(4x): a depth-2 tree underfits, boosting does much better.
+        let n = 120;
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / (n - 1) as f32]).collect();
+        let y: Vec<f32> = x.iter().map(|r| (4.0 * r[0]).sin()).collect();
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let single = RegressionTree::fit(&refs, &y, 2, 2).unwrap();
+        let boosted = GradientBoostedTrees::fit(&refs, &y, 30, 2, 0.3, n, &mut rng).unwrap();
+        let mse = |pred: &dyn Fn(&[f32]) -> f32| {
+            x.iter()
+                .zip(y.iter())
+                .map(|(xi, &yi)| (pred(xi.as_slice()) - yi).powi(2))
+                .sum::<f32>()
+                / n as f32
+        };
+        let single_mse = mse(&|f| single.predict(f));
+        let boosted_mse = mse(&|f| boosted.predict(f));
+        assert!(boosted_mse < single_mse * 0.5, "boosting {boosted_mse} vs single {single_mse}");
+        assert_eq!(boosted.n_trees(), 30);
+        assert!(boosted.total_nodes() > 30);
+    }
+
+    #[test]
+    fn boosting_validates_configuration() {
+        let x = [vec![0.0f32], vec![1.0f32]];
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        let y = [0.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(GradientBoostedTrees::fit(&refs, &y, 0, 2, 0.1, 2, &mut rng).is_err());
+        assert!(GradientBoostedTrees::fit(&refs, &y, 3, 2, 0.0, 2, &mut rng).is_err());
+        assert!(GradientBoostedTrees::fit(&[], &[], 3, 2, 0.1, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn subsampled_boosting_still_fits_reasonably() {
+        let n = 200;
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / (n - 1) as f32]).collect();
+        let y: Vec<f32> = x.iter().map(|r| 2.0 * r[0]).collect();
+        let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let boosted = GradientBoostedTrees::fit(&refs, &y, 20, 3, 0.3, 50, &mut rng).unwrap();
+        let err = (boosted.predict(&[0.75]) - 1.5).abs();
+        assert!(err < 0.3, "prediction error too large: {err}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Edge-board descriptors.
+//!
+//! The idle baselines come directly from the Idle rows of the paper's Table 2
+//! (the mean board state measured for 6 minutes with no detector running,
+//! §4.3). Throughput figures are effective small-batch rates, not datasheet
+//! peaks: single-sample inference on a Jetson never reaches peak TFLOPS.
+
+use serde::{Deserialize, Serialize};
+
+/// Board state with no anomaly-detection workload running (Table 2, Idle rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdleBaseline {
+    /// Mean CPU utilization in percent.
+    pub cpu_percent: f64,
+    /// Mean GPU utilization in percent.
+    pub gpu_percent: f64,
+    /// Mean RAM usage in MB.
+    pub ram_mb: f64,
+    /// Mean GPU RAM usage in MB.
+    pub gpu_ram_mb: f64,
+    /// Mean power draw in watts.
+    pub power_w: f64,
+}
+
+/// An edge board model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeDevice {
+    /// Human-readable board name as it appears in Table 2.
+    pub name: String,
+    /// Number of CPU cores.
+    pub cpu_cores: usize,
+    /// Effective per-core CPU throughput in GFLOP/s for this kind of workload.
+    pub cpu_gflops_per_core: f64,
+    /// Effective GPU throughput in GFLOP/s for small-batch inference.
+    pub gpu_gflops: f64,
+    /// Effective serial (single-lane) throughput in GFLOP/s for the
+    /// non-parallelizable fraction of a GPU workload.
+    pub gpu_serial_gflops: f64,
+    /// Memory bandwidth in GB/s (shared between CPU and GPU on Jetson boards).
+    pub memory_bandwidth_gbps: f64,
+    /// Total RAM in MB.
+    pub ram_mb: f64,
+    /// RAM addressable by the GPU in MB (unified memory on Jetson).
+    pub gpu_ram_mb: f64,
+    /// Idle baseline measured with no detector running.
+    pub idle: IdleBaseline,
+    /// Additional power drawn by one fully busy CPU core, in watts.
+    pub cpu_watts_per_core: f64,
+    /// Additional power drawn by a fully busy GPU, in watts.
+    pub gpu_watts_full: f64,
+    /// Host-side speed factor scaling framework dispatch overheads
+    /// (1.0 = Xavier NX class; larger is faster).
+    pub host_speed_factor: f64,
+}
+
+impl EdgeDevice {
+    /// NVIDIA Jetson Xavier NX: 6 Carmel cores, 384-core Volta GPU, 16 GB of
+    /// unified LPDDR4x (paper §4.3). Idle baseline from Table 2.
+    pub fn jetson_xavier_nx() -> Self {
+        Self {
+            name: "Jetson Xavier NX".to_string(),
+            cpu_cores: 6,
+            cpu_gflops_per_core: 4.0,
+            gpu_gflops: 220.0,
+            gpu_serial_gflops: 10.0,
+            memory_bandwidth_gbps: 51.2,
+            ram_mb: 16_384.0,
+            gpu_ram_mb: 16_384.0,
+            idle: IdleBaseline {
+                cpu_percent: 36.465,
+                gpu_percent: 52.100,
+                ram_mb: 5_130.219,
+                gpu_ram_mb: 537.235,
+                power_w: 5.851,
+            },
+            cpu_watts_per_core: 1.3,
+            gpu_watts_full: 6.0,
+            host_speed_factor: 1.0,
+        }
+    }
+
+    /// NVIDIA Jetson AGX Orin: 12 Cortex-A78AE cores, 2048-core Ampere GPU,
+    /// 32 GB of unified LPDDR5 (paper §4.3). Idle baseline from Table 2.
+    pub fn jetson_agx_orin() -> Self {
+        Self {
+            name: "Jetson AGX Orin".to_string(),
+            cpu_cores: 12,
+            cpu_gflops_per_core: 8.0,
+            gpu_gflops: 500.0,
+            gpu_serial_gflops: 18.0,
+            memory_bandwidth_gbps: 204.8,
+            ram_mb: 32_768.0,
+            gpu_ram_mb: 32_768.0,
+            idle: IdleBaseline {
+                cpu_percent: 4.875,
+                gpu_percent: 0.0,
+                ram_mb: 3_916.715,
+                gpu_ram_mb: 243.289,
+                power_w: 7.522,
+            },
+            cpu_watts_per_core: 1.6,
+            gpu_watts_full: 12.0,
+            host_speed_factor: 2.1,
+        }
+    }
+
+    /// Both boards evaluated in the paper, in Table 2 order.
+    pub fn paper_boards() -> Vec<Self> {
+        vec![Self::jetson_xavier_nx(), Self::jetson_agx_orin()]
+    }
+
+    /// Aggregate CPU throughput with `fraction` of the work parallelizable
+    /// across the available cores (Amdahl's law).
+    pub fn cpu_effective_gflops(&self, parallel_fraction: f64) -> f64 {
+        let p = parallel_fraction.clamp(0.0, 1.0);
+        let n = self.cpu_cores as f64;
+        let speedup = 1.0 / ((1.0 - p) + p / n);
+        self.cpu_gflops_per_core * speedup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orin_is_strictly_faster_than_xavier() {
+        let xavier = EdgeDevice::jetson_xavier_nx();
+        let orin = EdgeDevice::jetson_agx_orin();
+        assert!(orin.gpu_gflops > xavier.gpu_gflops);
+        assert!(orin.cpu_cores > xavier.cpu_cores);
+        assert!(orin.memory_bandwidth_gbps > xavier.memory_bandwidth_gbps);
+        assert!(orin.host_speed_factor > xavier.host_speed_factor);
+    }
+
+    #[test]
+    fn idle_baselines_match_table_two() {
+        let xavier = EdgeDevice::jetson_xavier_nx();
+        assert!((xavier.idle.power_w - 5.851).abs() < 1e-6);
+        assert!((xavier.idle.ram_mb - 5_130.219).abs() < 1e-3);
+        let orin = EdgeDevice::jetson_agx_orin();
+        assert!((orin.idle.gpu_percent - 0.0).abs() < 1e-9);
+        assert!((orin.idle.power_w - 7.522).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amdahl_scaling_is_bounded_by_core_count() {
+        let xavier = EdgeDevice::jetson_xavier_nx();
+        let serial = xavier.cpu_effective_gflops(0.0);
+        let parallel = xavier.cpu_effective_gflops(1.0);
+        assert!((serial - xavier.cpu_gflops_per_core).abs() < 1e-9);
+        assert!((parallel - xavier.cpu_gflops_per_core * 6.0).abs() < 1e-9);
+        let half = xavier.cpu_effective_gflops(0.5);
+        assert!(half > serial && half < parallel);
+    }
+
+    #[test]
+    fn paper_boards_lists_both_devices() {
+        let boards = EdgeDevice::paper_boards();
+        assert_eq!(boards.len(), 2);
+        assert!(boards[0].name.contains("Xavier"));
+        assert!(boards[1].name.contains("Orin"));
+    }
+}

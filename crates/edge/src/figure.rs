@@ -1,0 +1,124 @@
+//! Figure 3: inference frequency vs. accuracy, marker size ∝ power.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table2;
+
+/// One scatter point of Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigurePoint {
+    /// Detector name (marker colour in the paper).
+    pub detector: String,
+    /// Board name (marker shape in the paper).
+    pub board: String,
+    /// X coordinate: inference frequency in Hz.
+    pub inference_frequency_hz: f64,
+    /// Y coordinate: AUC-ROC.
+    pub auc_roc: f64,
+    /// Marker size: power consumption in watts.
+    pub power_w: f64,
+}
+
+/// Extracts the Figure 3 series from a regenerated Table 2 (idle rows are
+/// skipped because they have no accuracy or frequency).
+pub fn figure3_points(table: &Table2) -> Vec<FigurePoint> {
+    table
+        .rows
+        .iter()
+        .filter_map(|row| {
+            let auc = row.auc_roc?;
+            let freq = row.inference_frequency_hz?;
+            Some(FigurePoint {
+                detector: row.detector.clone(),
+                board: row.board.clone(),
+                inference_frequency_hz: freq,
+                auc_roc: auc,
+                power_w: row.power_w,
+            })
+        })
+        .collect()
+}
+
+/// Renders the Figure 3 series as CSV (one row per point), convenient for
+/// re-plotting with external tools.
+pub fn figure3_csv(points: &[FigurePoint]) -> String {
+    let mut out = String::from("detector,board,inference_frequency_hz,auc_roc,power_w\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.4}\n",
+            p.detector, p.board, p.inference_frequency_hz, p.auc_roc, p.power_w
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table2Row;
+
+    fn sample_table() -> Table2 {
+        Table2 {
+            rows: vec![
+                Table2Row {
+                    board: "B".into(),
+                    detector: "Idle".into(),
+                    cpu_percent: 0.0,
+                    gpu_percent: 0.0,
+                    ram_mb: 0.0,
+                    gpu_ram_mb: 0.0,
+                    power_w: 5.0,
+                    auc_roc: None,
+                    inference_frequency_hz: None,
+                },
+                Table2Row {
+                    board: "B".into(),
+                    detector: "VARADE".into(),
+                    cpu_percent: 0.0,
+                    gpu_percent: 0.0,
+                    ram_mb: 0.0,
+                    gpu_ram_mb: 0.0,
+                    power_w: 6.3,
+                    auc_roc: Some(0.84),
+                    inference_frequency_hz: Some(14.9),
+                },
+                Table2Row {
+                    board: "B".into(),
+                    detector: "GBRF".into(),
+                    cpu_percent: 0.0,
+                    gpu_percent: 0.0,
+                    ram_mb: 0.0,
+                    gpu_ram_mb: 0.0,
+                    power_w: 6.1,
+                    auc_roc: Some(0.655),
+                    inference_frequency_hz: Some(20.6),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn idle_rows_are_skipped() {
+        let points = figure3_points(&sample_table());
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.detector != "Idle"));
+    }
+
+    #[test]
+    fn points_carry_frequency_accuracy_and_power() {
+        let points = figure3_points(&sample_table());
+        let varade = points.iter().find(|p| p.detector == "VARADE").unwrap();
+        assert_eq!(varade.inference_frequency_hz, 14.9);
+        assert_eq!(varade.auc_roc, 0.84);
+        assert_eq!(varade.power_w, 6.3);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_point() {
+        let points = figure3_points(&sample_table());
+        let csv = figure3_csv(&points);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("detector,board,"));
+        assert!(csv.contains("VARADE,B,14.9000,0.8400,6.3000"));
+    }
+}

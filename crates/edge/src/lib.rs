@@ -1,0 +1,119 @@
+//! # varade-edge
+//!
+//! An analytical simulator of the two NVIDIA Jetson edge boards used in the
+//! paper's evaluation (§4.3–4.4): the Jetson Xavier NX and the Jetson AGX
+//! Orin. The physical boards (and the TensorFlow/Sklearn stacks running on
+//! them) are not available to this reproduction, so their behaviour is modelled
+//! analytically:
+//!
+//! * [`device`] — board descriptors: CPU cores and per-core throughput, GPU
+//!   throughput, memory bandwidth, RAM/GPU-RAM capacity, idle baselines
+//!   (taken from the paper's Idle rows of Table 2) and dynamic power
+//!   coefficients;
+//! * [`workload`] — per-detector workload descriptors combining the compute
+//!   profile of the paper-scale model with the measured per-call dispatch
+//!   overhead of the original TensorFlow/Sklearn stacks;
+//! * [`execution`] — a roofline-style execution model that turns a workload
+//!   and a device into inference frequency, CPU/GPU utilization, RAM/GPU-RAM
+//!   footprint and power draw;
+//! * [`table`] — the end-to-end experiment runner that regenerates Table 2
+//!   (training all six detectors on the simulated robot dataset, evaluating
+//!   AUC-ROC and estimating edge behaviour on both boards);
+//! * [`figure`] — the inference-frequency vs. accuracy series of Figure 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use varade_edge::device::EdgeDevice;
+//! use varade_edge::execution::estimate;
+//! use varade_edge::workload::DetectorWorkload;
+//! use varade_tensor::ComputeProfile;
+//!
+//! let device = EdgeDevice::jetson_xavier_nx();
+//! let workload = DetectorWorkload::tensorflow_gpu(
+//!     "demo",
+//!     ComputeProfile { flops: 1e8, param_bytes: 4e6, ..ComputeProfile::default() },
+//!     18,
+//! );
+//! let estimate = estimate(&workload, &device);
+//! assert!(estimate.inference_frequency_hz > 0.0);
+//! assert!(estimate.power_w >= device.idle.power_w);
+//! ```
+
+pub mod device;
+pub mod execution;
+pub mod figure;
+pub mod table;
+pub mod workload;
+
+use std::fmt;
+
+/// Errors produced by the edge simulator and experiment runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeError {
+    /// A detector failed to train or score.
+    Detector(varade_detectors::DetectorError),
+    /// A metric computation failed (e.g. single-class labels).
+    Metric(String),
+    /// The robot simulator failed to build the dataset.
+    Robot(String),
+    /// An experiment configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::Detector(err) => write!(f, "detector error: {err}"),
+            EdgeError::Metric(reason) => write!(f, "metric error: {reason}"),
+            EdgeError::Robot(reason) => write!(f, "robot simulator error: {reason}"),
+            EdgeError::InvalidConfig(reason) => write!(f, "invalid experiment configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeError::Detector(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<varade_detectors::DetectorError> for EdgeError {
+    fn from(err: varade_detectors::DetectorError) -> Self {
+        EdgeError::Detector(err)
+    }
+}
+
+impl From<varade_metrics::MetricError> for EdgeError {
+    fn from(err: varade_metrics::MetricError) -> Self {
+        EdgeError::Metric(err.to_string())
+    }
+}
+
+impl From<varade_robot::RobotError> for EdgeError {
+    fn from(err: varade_robot::RobotError) -> Self {
+        EdgeError::Robot(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: EdgeError = varade_metrics::MetricError::Empty.into();
+        assert!(e.to_string().contains("metric"));
+        let e: EdgeError = varade_robot::RobotError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("robot"));
+        let e: EdgeError =
+            varade_detectors::DetectorError::NotFitted { detector: "kNN" }.into();
+        assert!(e.source().is_some());
+        let e = EdgeError::InvalidConfig("bad".into());
+        assert!(e.source().is_none());
+    }
+}

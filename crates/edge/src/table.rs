@@ -1,0 +1,356 @@
+//! End-to-end experiment runner regenerating the paper's Table 2.
+//!
+//! For every detector the runner:
+//!
+//! 1. trains a scaled-down instance on the normal split of the simulated
+//!    robot dataset and computes its AUC-ROC on the collision split (the
+//!    accuracy column of Table 2);
+//! 2. builds the paper-scale workload descriptor and estimates its behaviour
+//!    on each edge board with the roofline model (the CPU/GPU/RAM/power and
+//!    inference-frequency columns).
+//!
+//! Accuracy comes from real training on simulated data; platform metrics come
+//! from the analytical device model — see DESIGN.md for the substitution
+//! rationale.
+
+use serde::{Deserialize, Serialize};
+
+use varade::{VaradeConfig, VaradeDetector};
+use varade_detectors::{
+    AnomalyDetector, ArLstmConfig, ArLstmDetector, AutoencoderConfig, AutoencoderDetector,
+    GbrfConfig, GbrfDetector, IsolationForestConfig, IsolationForestDetector, KnnConfig,
+    KnnDetector,
+};
+use varade_metrics::auc_roc;
+use varade_robot::dataset::{DatasetBuilder, DatasetConfig, RobotDataset};
+
+use crate::device::EdgeDevice;
+use crate::execution::estimate;
+use crate::workload::DetectorWorkload;
+use crate::EdgeError;
+
+/// One row of the regenerated Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Board the row refers to.
+    pub board: String,
+    /// Detector name, or `"Idle"` for the baseline row.
+    pub detector: String,
+    /// Mean CPU utilization in percent.
+    pub cpu_percent: f64,
+    /// Mean GPU utilization in percent.
+    pub gpu_percent: f64,
+    /// RAM usage in MB.
+    pub ram_mb: f64,
+    /// GPU RAM usage in MB.
+    pub gpu_ram_mb: f64,
+    /// Power draw in watts.
+    pub power_w: f64,
+    /// AUC-ROC on the collision experiment (absent for the Idle row).
+    pub auc_roc: Option<f64>,
+    /// Inference frequency in Hz (absent for the Idle row).
+    pub inference_frequency_hz: Option<f64>,
+}
+
+/// The regenerated Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Table2 {
+    /// All rows, grouped by board in the paper's order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Rows belonging to one board.
+    pub fn board_rows(&self, board: &str) -> Vec<&Table2Row> {
+        self.rows.iter().filter(|r| r.board == board).collect()
+    }
+
+    /// Finds a specific detector row on a specific board.
+    pub fn row(&self, board: &str, detector: &str) -> Option<&Table2Row> {
+        self.rows.iter().find(|r| r.board == board && r.detector == detector)
+    }
+
+    /// Renders the table as GitHub-flavoured markdown, mirroring the paper's
+    /// column order.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| Board | Model | CPU (%) | GPU (%) | RAM (MB) | GPU RAM (MB) | Power (W) | AUC-ROC | Inference (Hz) |\n\
+             |---|---|---|---|---|---|---|---|---|\n",
+        );
+        for r in &self.rows {
+            let auc = r.auc_roc.map_or_else(|| ".".to_string(), |v| format!("{v:.3}"));
+            let freq = r
+                .inference_frequency_hz
+                .map_or_else(|| ".".to_string(), |v| format!("{v:.3}"));
+            out.push_str(&format!(
+                "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |\n",
+                r.board, r.detector, r.cpu_percent, r.gpu_percent, r.ram_mb, r.gpu_ram_mb, r.power_w, auc, freq
+            ));
+        }
+        out
+    }
+}
+
+/// Scaled-down training configurations used to obtain the AUC column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSuiteConfig {
+    /// VARADE configuration.
+    pub varade: VaradeConfig,
+    /// AR-LSTM configuration.
+    pub ar_lstm: ArLstmConfig,
+    /// Autoencoder configuration.
+    pub autoencoder: AutoencoderConfig,
+    /// GBRF configuration.
+    pub gbrf: GbrfConfig,
+    /// kNN configuration.
+    pub knn: KnnConfig,
+    /// Isolation Forest configuration.
+    pub isolation_forest: IsolationForestConfig,
+}
+
+impl DetectorSuiteConfig {
+    /// Laptop-scale configurations preserving each architecture's shape.
+    pub fn scaled() -> Self {
+        Self {
+            varade: VaradeConfig { window: 64, base_feature_maps: 16, epochs: 3, ..VaradeConfig::default() },
+            ar_lstm: ArLstmConfig { window: 32, hidden_size: 32, n_layers: 2, epochs: 2, ..ArLstmConfig::default() },
+            autoencoder: AutoencoderConfig { window: 32, base_channels: 16, n_stages: 2, epochs: 2, ..AutoencoderConfig::default() },
+            gbrf: GbrfConfig::default(),
+            knn: KnnConfig::default(),
+            isolation_forest: IsolationForestConfig::default(),
+        }
+    }
+
+    /// Tiny configurations for smoke tests and CI.
+    pub fn smoke_test() -> Self {
+        Self {
+            varade: VaradeConfig {
+                window: 16,
+                base_feature_maps: 8,
+                epochs: 4,
+                learning_rate: 3e-3,
+                kl_weight: 0.02,
+                max_train_windows: 192,
+                ..VaradeConfig::default()
+            },
+            ar_lstm: ArLstmConfig {
+                window: 16,
+                hidden_size: 12,
+                n_layers: 1,
+                fc_size: 16,
+                epochs: 1,
+                max_train_windows: 64,
+                ..ArLstmConfig::default()
+            },
+            autoencoder: AutoencoderConfig {
+                window: 16,
+                base_channels: 8,
+                n_stages: 2,
+                epochs: 1,
+                max_train_windows: 64,
+                ..AutoencoderConfig::default()
+            },
+            gbrf: GbrfConfig {
+                n_trees: 8,
+                max_depth: 2,
+                max_train_rows: 300,
+                rows_per_tree: 150,
+                ..GbrfConfig::default()
+            },
+            knn: KnnConfig { k: 5, max_reference_points: 400 },
+            isolation_forest: IsolationForestConfig { n_trees: 30, subsample: 128, ..IsolationForestConfig::default() },
+        }
+    }
+}
+
+/// Configuration of a Table 2 regeneration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Robot dataset configuration (normal + collision recordings).
+    pub dataset: DatasetConfig,
+    /// Scaled detector configurations used for the AUC column.
+    pub detectors: DetectorSuiteConfig,
+    /// Boards to evaluate.
+    pub boards: Vec<EdgeDevice>,
+}
+
+impl ExperimentConfig {
+    /// The default laptop-scale experiment.
+    pub fn scaled() -> Self {
+        Self {
+            dataset: DatasetConfig::scaled(),
+            detectors: DetectorSuiteConfig::scaled(),
+            boards: EdgeDevice::paper_boards(),
+        }
+    }
+
+    /// A tiny experiment for smoke tests and CI.
+    pub fn smoke_test() -> Self {
+        Self {
+            dataset: DatasetConfig::smoke_test(),
+            detectors: DetectorSuiteConfig::smoke_test(),
+            boards: EdgeDevice::paper_boards(),
+        }
+    }
+}
+
+/// AUC obtained by one detector on the collision experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorAccuracy {
+    /// Detector name.
+    pub name: String,
+    /// AUC-ROC on the collision split.
+    pub auc_roc: f64,
+}
+
+/// Complete outcome of a Table 2 regeneration run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The regenerated table (both boards, idle rows included).
+    pub table: Table2,
+    /// Per-detector accuracy, shared by both boards.
+    pub accuracies: Vec<DetectorAccuracy>,
+    /// The dataset the detectors were trained and evaluated on.
+    pub dataset: RobotDataset,
+}
+
+/// Runs the Table 2 experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    config: ExperimentConfig,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner from a configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Trains every detector, evaluates accuracy and assembles Table 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError`] if dataset generation, training, scoring or the
+    /// AUC computation fails.
+    pub fn run(&self) -> Result<ExperimentOutcome, EdgeError> {
+        let dataset = DatasetBuilder::new(self.config.dataset.clone()).build()?;
+        let accuracies = self.evaluate_accuracy(&dataset)?;
+        let n_channels = dataset.train.n_channels();
+        let workloads = DetectorWorkload::paper_workloads(n_channels);
+        let mut table = Table2::default();
+        for board in &self.config.boards {
+            table.rows.push(Table2Row {
+                board: board.name.clone(),
+                detector: "Idle".to_string(),
+                cpu_percent: board.idle.cpu_percent,
+                gpu_percent: board.idle.gpu_percent,
+                ram_mb: board.idle.ram_mb,
+                gpu_ram_mb: board.idle.gpu_ram_mb,
+                power_w: board.idle.power_w,
+                auc_roc: None,
+                inference_frequency_hz: None,
+            });
+            for workload in &workloads {
+                let est = estimate(workload, board);
+                let auc = accuracies
+                    .iter()
+                    .find(|a| a.name == workload.name)
+                    .map(|a| a.auc_roc);
+                table.rows.push(Table2Row {
+                    board: board.name.clone(),
+                    detector: workload.name.clone(),
+                    cpu_percent: est.cpu_percent,
+                    gpu_percent: est.gpu_percent,
+                    ram_mb: est.ram_mb,
+                    gpu_ram_mb: est.gpu_ram_mb,
+                    power_w: est.power_w,
+                    auc_roc: auc,
+                    inference_frequency_hz: Some(est.inference_frequency_hz),
+                });
+            }
+        }
+        Ok(ExperimentOutcome { table, accuracies, dataset })
+    }
+
+    /// Trains each detector on the normal split and computes AUC-ROC on the
+    /// collision split.
+    fn evaluate_accuracy(&self, dataset: &RobotDataset) -> Result<Vec<DetectorAccuracy>, EdgeError> {
+        let cfg = &self.config.detectors;
+        let mut detectors: Vec<Box<dyn AnomalyDetector>> = vec![
+            Box::new(ArLstmDetector::new(cfg.ar_lstm)),
+            Box::new(GbrfDetector::new(cfg.gbrf)),
+            Box::new(AutoencoderDetector::new(cfg.autoencoder)),
+            Box::new(KnnDetector::new(cfg.knn)),
+            Box::new(IsolationForestDetector::new(cfg.isolation_forest)),
+            Box::new(VaradeDetector::new(cfg.varade)),
+        ];
+        let mut accuracies = Vec::with_capacity(detectors.len());
+        for detector in detectors.iter_mut() {
+            detector.fit(&dataset.train)?;
+            let scores = detector.score_series(&dataset.test)?;
+            let auc = auc_roc(&scores, &dataset.labels)?;
+            accuracies.push(DetectorAccuracy { name: detector.name().to_string(), auc_roc: auc });
+        }
+        Ok(accuracies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_contains_all_rows() {
+        let table = Table2 {
+            rows: vec![
+                Table2Row {
+                    board: "Board".into(),
+                    detector: "Idle".into(),
+                    cpu_percent: 10.0,
+                    gpu_percent: 0.0,
+                    ram_mb: 1000.0,
+                    gpu_ram_mb: 100.0,
+                    power_w: 5.0,
+                    auc_roc: None,
+                    inference_frequency_hz: None,
+                },
+                Table2Row {
+                    board: "Board".into(),
+                    detector: "VARADE".into(),
+                    cpu_percent: 20.0,
+                    gpu_percent: 70.0,
+                    ram_mb: 1500.0,
+                    gpu_ram_mb: 900.0,
+                    power_w: 6.5,
+                    auc_roc: Some(0.84),
+                    inference_frequency_hz: Some(15.0),
+                },
+            ],
+        };
+        let md = table.to_markdown();
+        assert!(md.contains("| Board | Idle |"));
+        assert!(md.contains("0.840"));
+        assert!(md.contains("15.000"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(table.board_rows("Board").len(), 2);
+        assert!(table.row("Board", "VARADE").is_some());
+        assert!(table.row("Board", "kNN").is_none());
+    }
+
+    #[test]
+    fn experiment_configs_are_constructible() {
+        let scaled = ExperimentConfig::scaled();
+        assert_eq!(scaled.boards.len(), 2);
+        assert_eq!(scaled.dataset.n_actions, 30);
+        let smoke = ExperimentConfig::smoke_test();
+        assert!(smoke.detectors.varade.window <= scaled.detectors.varade.window);
+    }
+
+    // The full experiment run is exercised by the cross-crate integration test
+    // `tests/experiment_shape.rs`, which uses the smoke-test configuration.
+}

@@ -1,0 +1,204 @@
+//! Per-detector workload descriptors.
+//!
+//! A workload combines the analytical [`ComputeProfile`] of the paper-scale
+//! model with properties of the software stack it originally ran on
+//! (TensorFlow 2.11 or Sklearn 1.1.2, §3.4). The per-call dispatch overhead of
+//! those stacks cannot be derived from first principles without reimplementing
+//! them, so it is treated as an empirical constant per detector family,
+//! calibrated once against the paper's own Table 2 measurements on the Jetson
+//! Xavier NX and then scaled by each board's host speed. This calibration is
+//! documented in DESIGN.md (substitution table) and EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use varade::VaradeConfig;
+use varade_detectors::{
+    ArLstmConfig, ArLstmDetector, AutoencoderConfig, AutoencoderDetector, GbrfDetector,
+    IsolationForestDetector, KnnDetector,
+};
+use varade_tensor::{ComputeProfile, ExecutionUnit};
+
+/// Software stack a detector originally ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Framework {
+    /// TensorFlow 2.11 with GPU execution.
+    TensorFlowGpu,
+    /// Scikit-learn 1.1.2 (CPU).
+    Sklearn,
+}
+
+impl Framework {
+    /// Host RAM claimed by the framework runtime itself, in MB.
+    pub fn base_ram_mb(self) -> f64 {
+        match self {
+            Framework::TensorFlowGpu => 320.0,
+            Framework::Sklearn => 90.0,
+        }
+    }
+
+    /// GPU RAM claimed by the framework context (CUDA/cuDNN handles), in MB.
+    pub fn base_gpu_ram_mb(self) -> f64 {
+        match self {
+            Framework::TensorFlowGpu => 260.0,
+            Framework::Sklearn => 0.0,
+        }
+    }
+}
+
+/// Everything the execution model needs to know about one detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorWorkload {
+    /// Detector name as it appears in Table 2.
+    pub name: String,
+    /// Per-inference compute profile of the paper-scale model.
+    pub profile: ComputeProfile,
+    /// Software stack the detector runs on.
+    pub framework: Framework,
+    /// Measured per-call dispatch overhead of that stack for this detector
+    /// family on the reference board (Jetson Xavier NX), in seconds.
+    pub dispatch_overhead_s: f64,
+    /// Kernel launches (or per-layer dispatches) issued per inference call;
+    /// counted as GPU-resident time by the utilization model.
+    pub kernel_launches: usize,
+}
+
+impl DetectorWorkload {
+    /// Builds a TensorFlow-GPU workload with the family's default dispatch
+    /// overhead.
+    pub fn tensorflow_gpu(name: &str, profile: ComputeProfile, kernel_launches: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            profile,
+            framework: Framework::TensorFlowGpu,
+            dispatch_overhead_s: 0.020,
+            kernel_launches,
+        }
+    }
+
+    /// Builds an Sklearn (CPU) workload with the family's default dispatch
+    /// overhead.
+    pub fn sklearn(name: &str, profile: ComputeProfile) -> Self {
+        Self {
+            name: name.to_string(),
+            profile,
+            framework: Framework::Sklearn,
+            dispatch_overhead_s: 0.030,
+            kernel_launches: 0,
+        }
+    }
+
+    /// Overrides the dispatch overhead (calibration hook).
+    pub fn with_dispatch_overhead(mut self, seconds: f64) -> Self {
+        self.dispatch_overhead_s = seconds;
+        self
+    }
+
+    /// The VARADE workload at paper scale (T = 512, feature maps 128→1024,
+    /// 86 channels).
+    pub fn varade_paper(n_channels: usize) -> Self {
+        let model = varade::VaradeModel::from_config(VaradeConfig::paper_full_size(), n_channels)
+            .expect("paper configuration is valid");
+        let profile = model.inference_profile();
+        // 8 conv + 8 relu + flatten + linear = 18 dispatches.
+        Self::tensorflow_gpu("VARADE", profile, 18).with_dispatch_overhead(0.045)
+    }
+
+    /// The AR-LSTM workload at paper scale (5 × 256 LSTM layers, window 512).
+    pub fn ar_lstm_paper(n_channels: usize) -> Self {
+        let profile = ArLstmDetector::profile_for(&ArLstmConfig::paper_full_size(), n_channels);
+        Self::tensorflow_gpu("AR-LSTM", profile, 8).with_dispatch_overhead(0.020)
+    }
+
+    /// The convolutional-autoencoder workload at paper scale (6 ResNet
+    /// blocks, window 512).
+    pub fn autoencoder_paper(n_channels: usize) -> Self {
+        let profile = AutoencoderDetector::profile_for(&AutoencoderConfig::paper_full_size(), n_channels);
+        // Reconstruction of the whole window requires several dependent
+        // encoder/decoder stages; the original implementation pays a far
+        // larger per-call cost than the forecasting models (Table 2: 2.2 Hz).
+        Self::tensorflow_gpu("AE", profile, 26).with_dispatch_overhead(0.380)
+    }
+
+    /// The GBRF workload at paper scale (30 trees per channel, depth 3).
+    pub fn gbrf_paper(n_channels: usize) -> Self {
+        let profile = GbrfDetector::profile_for(n_channels, 30, 3, 4);
+        Self::sklearn("GBRF", profile).with_dispatch_overhead(0.040)
+    }
+
+    /// The kNN workload at paper scale: k = 5 against the full normal
+    /// training recording (390 min × 200 Hz ≈ 4.68 M reference points), which
+    /// is what makes brute-force neighbour search the slowest detector of
+    /// Table 2.
+    pub fn knn_paper(n_channels: usize) -> Self {
+        let reference_points = 390 * 60 * 200;
+        let profile = KnnDetector::profile_for(n_channels, reference_points, 5);
+        Self::sklearn("kNN", profile).with_dispatch_overhead(0.550)
+    }
+
+    /// The Isolation Forest workload at paper scale (100 trees, subsample 256).
+    pub fn isolation_forest_paper(n_channels: usize) -> Self {
+        let profile = IsolationForestDetector::profile_for(100, 256, n_channels);
+        Self::sklearn("Isolation Forest", profile).with_dispatch_overhead(0.190)
+    }
+
+    /// All six Table 2 workloads in the paper's row order.
+    pub fn paper_workloads(n_channels: usize) -> Vec<Self> {
+        vec![
+            Self::ar_lstm_paper(n_channels),
+            Self::gbrf_paper(n_channels),
+            Self::autoencoder_paper(n_channels),
+            Self::knn_paper(n_channels),
+            Self::isolation_forest_paper(n_channels),
+            Self::varade_paper(n_channels),
+        ]
+    }
+
+    /// Whether the heavy lifting happens on the GPU.
+    pub fn runs_on_gpu(&self) -> bool {
+        self.framework == Framework::TensorFlowGpu && self.profile.unit == ExecutionUnit::Gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_cover_all_six_detectors() {
+        let workloads = DetectorWorkload::paper_workloads(86);
+        let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest", "VARADE"]);
+    }
+
+    #[test]
+    fn neural_workloads_are_much_heavier_than_tree_workloads() {
+        let varade = DetectorWorkload::varade_paper(86);
+        let lstm = DetectorWorkload::ar_lstm_paper(86);
+        let gbrf = DetectorWorkload::gbrf_paper(86);
+        let iforest = DetectorWorkload::isolation_forest_paper(86);
+        assert!(varade.profile.flops > gbrf.profile.flops * 100.0);
+        assert!(lstm.profile.flops > varade.profile.flops, "AR-LSTM should out-FLOP VARADE");
+        assert!(iforest.profile.flops < 1e6);
+    }
+
+    #[test]
+    fn knn_reference_set_dominates_its_memory_footprint() {
+        let knn = DetectorWorkload::knn_paper(86);
+        // 4.68 M points × 86 channels × 4 bytes ≈ 1.6 GB of reference data.
+        assert!(knn.profile.param_bytes > 1.0e9);
+        assert!(!knn.runs_on_gpu());
+    }
+
+    #[test]
+    fn frameworks_report_memory_overheads() {
+        assert!(Framework::TensorFlowGpu.base_ram_mb() > Framework::Sklearn.base_ram_mb());
+        assert_eq!(Framework::Sklearn.base_gpu_ram_mb(), 0.0);
+        assert!(DetectorWorkload::varade_paper(86).runs_on_gpu());
+    }
+
+    #[test]
+    fn dispatch_overhead_override_applies() {
+        let w = DetectorWorkload::sklearn("x", ComputeProfile::default()).with_dispatch_overhead(0.5);
+        assert_eq!(w.dispatch_overhead_s, 0.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Event-level (per-anomaly) detection metrics.
+//!
+//! The paper's test run contains 125 discrete collision events (§4.3). Besides
+//! the point-wise AUC-ROC, it is useful to know how many of those events were
+//! detected at all — an event counts as detected if at least one sample inside
+//! it is flagged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MetricError;
+
+/// Summary of event-level detection at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventSummary {
+    /// Number of ground-truth anomaly events (contiguous labelled segments).
+    pub total_events: usize,
+    /// Events containing at least one sample scored at or above the threshold.
+    pub detected_events: usize,
+    /// Number of normal samples incorrectly flagged.
+    pub false_alarm_points: usize,
+}
+
+impl EventSummary {
+    /// Fraction of events detected; 1.0 when there are no events.
+    pub fn detection_rate(&self) -> f64 {
+        if self.total_events == 0 {
+            1.0
+        } else {
+            self.detected_events as f64 / self.total_events as f64
+        }
+    }
+}
+
+/// Computes event-level recall: contiguous runs of `true` labels form events,
+/// and an event is detected when any of its samples has `score >= threshold`.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if the inputs are empty, mismatched or contain NaN.
+pub fn event_recall(scores: &[f32], labels: &[bool], threshold: f32) -> Result<EventSummary, MetricError> {
+    if scores.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if scores.len() != labels.len() {
+        return Err(MetricError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+    }
+    if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+        return Err(MetricError::NanScore { index });
+    }
+    let mut total_events = 0;
+    let mut detected_events = 0;
+    let mut false_alarm_points = 0;
+    let mut in_event = false;
+    let mut event_hit = false;
+    for (&s, &l) in scores.iter().zip(labels.iter()) {
+        if l {
+            if !in_event {
+                in_event = true;
+                event_hit = false;
+                total_events += 1;
+            }
+            if s >= threshold {
+                event_hit = true;
+            }
+        } else {
+            if in_event {
+                if event_hit {
+                    detected_events += 1;
+                }
+                in_event = false;
+            }
+            if s >= threshold {
+                false_alarm_points += 1;
+            }
+        }
+    }
+    if in_event && event_hit {
+        detected_events += 1;
+    }
+    Ok(EventSummary { total_events, detected_events, false_alarm_points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_contiguous_events() {
+        let labels = [false, true, true, false, true, false, true, true, true];
+        let scores = [0.0; 9];
+        let s = event_recall(&scores, &labels, 0.5).unwrap();
+        assert_eq!(s.total_events, 3);
+        assert_eq!(s.detected_events, 0);
+        assert_eq!(s.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn one_hit_inside_event_counts_as_detected() {
+        let labels = [false, true, true, true, false];
+        let scores = [0.0, 0.0, 0.9, 0.0, 0.0];
+        let s = event_recall(&scores, &labels, 0.5).unwrap();
+        assert_eq!(s.total_events, 1);
+        assert_eq!(s.detected_events, 1);
+        assert_eq!(s.false_alarm_points, 0);
+    }
+
+    #[test]
+    fn false_alarms_are_counted_outside_events() {
+        let labels = [false, false, true, false];
+        let scores = [0.9, 0.1, 0.9, 0.9];
+        let s = event_recall(&scores, &labels, 0.5).unwrap();
+        assert_eq!(s.detected_events, 1);
+        assert_eq!(s.false_alarm_points, 2);
+    }
+
+    #[test]
+    fn trailing_event_is_closed_properly() {
+        let labels = [false, true, true];
+        let scores = [0.0, 0.0, 0.9];
+        let s = event_recall(&scores, &labels, 0.5).unwrap();
+        assert_eq!(s.total_events, 1);
+        assert_eq!(s.detected_events, 1);
+    }
+
+    #[test]
+    fn no_events_gives_full_detection_rate() {
+        let labels = [false, false];
+        let scores = [0.1, 0.2];
+        let s = event_recall(&scores, &labels, 0.5).unwrap();
+        assert_eq!(s.total_events, 0);
+        assert_eq!(s.detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(event_recall(&[], &[], 0.5).is_err());
+        assert!(event_recall(&[1.0], &[true, false], 0.5).is_err());
+        assert!(event_recall(&[f32::NAN], &[true], 0.5).is_err());
+    }
+}

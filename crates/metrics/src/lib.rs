@@ -1,0 +1,116 @@
+//! # varade-metrics
+//!
+//! Evaluation metrics for anomaly detection, matching the protocol of the
+//! VARADE paper: the detector is interpreted as a binary classifier whose
+//! anomaly score is swept over all thresholds, and accuracy is summarized as
+//! the Area Under the ROC Curve (AUC-ROC, §4.3). Precision/recall, F1 and an
+//! event-level (per-collision) metric are also provided.
+//!
+//! # Examples
+//!
+//! ```
+//! use varade_metrics::auc_roc;
+//!
+//! # fn main() -> Result<(), varade_metrics::MetricError> {
+//! let scores = [0.1, 0.9, 0.2, 0.8];
+//! let labels = [false, true, false, true];
+//! assert_eq!(auc_roc(&scores, &labels)?, 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod event;
+mod pr;
+mod roc;
+mod threshold;
+
+use std::fmt;
+
+pub use event::{event_recall, EventSummary};
+pub use pr::{average_precision, PrCurve, PrPoint};
+pub use roc::{auc_roc, RocCurve, RocPoint};
+pub use threshold::{best_f1, confusion_at_threshold, ConfusionMatrix};
+
+/// Errors produced by metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Scores and labels have different lengths.
+    LengthMismatch {
+        /// Number of scores provided.
+        scores: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// The metric needs at least one positive and one negative label.
+    SingleClass,
+    /// No data points were provided.
+    Empty,
+    /// A score was NaN, which makes ranking undefined.
+    NanScore {
+        /// Index of the offending score.
+        index: usize,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::LengthMismatch { scores, labels } => {
+                write!(f, "scores ({scores}) and labels ({labels}) have different lengths")
+            }
+            MetricError::SingleClass => {
+                write!(f, "metric requires both positive and negative examples")
+            }
+            MetricError::Empty => write!(f, "no data points provided"),
+            MetricError::NanScore { index } => write!(f, "score at index {index} is NaN"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// Validates the common preconditions shared by all ranking metrics.
+pub(crate) fn validate(scores: &[f32], labels: &[bool]) -> Result<(), MetricError> {
+    if scores.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if scores.len() != labels.len() {
+        return Err(MetricError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+    }
+    if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+        return Err(MetricError::NanScore { index });
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    if positives == 0 || positives == labels.len() {
+        return Err(MetricError::SingleClass);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_all_failure_modes() {
+        assert_eq!(validate(&[], &[]), Err(MetricError::Empty));
+        assert!(matches!(
+            validate(&[1.0], &[true, false]),
+            Err(MetricError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            validate(&[1.0, f32::NAN], &[true, false]),
+            Err(MetricError::NanScore { index: 1 })
+        ));
+        assert_eq!(validate(&[1.0, 2.0], &[true, true]), Err(MetricError::SingleClass));
+        assert_eq!(validate(&[1.0, 2.0], &[false, false]), Err(MetricError::SingleClass));
+        assert!(validate(&[1.0, 2.0], &[true, false]).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = MetricError::LengthMismatch { scores: 3, labels: 2 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().chars().next().unwrap().is_lowercase());
+    }
+}

@@ -1,0 +1,111 @@
+//! Precision–recall curve and average precision.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{validate, MetricError};
+
+/// One point of the precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Recall (true-positive rate) at this threshold.
+    pub recall: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Score threshold that produces this operating point.
+    pub threshold: f32,
+}
+
+/// A precision–recall curve with its average precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrCurve {
+    /// Operating points ordered by decreasing threshold (increasing recall).
+    pub points: Vec<PrPoint>,
+    /// Average precision (area under the PR curve, step interpolation).
+    pub average_precision: f64,
+}
+
+impl PrCurve {
+    /// Computes the precision–recall curve for anomaly `scores` against
+    /// boolean `labels` (`true` = anomalous).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError`] under the same conditions as
+    /// [`RocCurve::compute`](crate::RocCurve::compute).
+    pub fn compute(scores: &[f32], labels: &[bool]) -> Result<Self, MetricError> {
+        validate(scores, labels)?;
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN ruled out by validate"));
+        let total_pos = labels.iter().filter(|&&l| l).count() as f64;
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut points = Vec::new();
+        let mut ap = 0.0;
+        let mut prev_recall = 0.0;
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            let mut j = i;
+            while j < order.len() && scores[order[j]] == threshold {
+                if labels[order[j]] {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+                j += 1;
+            }
+            let recall = tp / total_pos;
+            let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 1.0 };
+            ap += (recall - prev_recall) * precision;
+            points.push(PrPoint { recall, precision, threshold });
+            prev_recall = recall;
+            i = j;
+        }
+        Ok(Self { points, average_precision: ap })
+    }
+}
+
+/// Convenience wrapper returning only the average precision.
+///
+/// # Errors
+///
+/// Same conditions as [`PrCurve::compute`].
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> Result<f64, MetricError> {
+    Ok(PrCurve::compute(scores, labels)?.average_precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_ap_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_ranking_gives_ap_near_positive_rate() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        let ap = average_precision(&scores, &labels).unwrap();
+        // AP = 0.5*(1/3) + 0.5*(2/4) = 0.41666
+        assert!((ap - (0.5 / 3.0 + 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_reaches_one_at_the_last_point() {
+        let scores = [0.3, 0.9, 0.4, 0.2, 0.8];
+        let labels = [false, true, true, false, false];
+        let curve = PrCurve::compute(&scores, &labels).unwrap();
+        assert!((curve.points.last().unwrap().recall - 1.0).abs() < 1e-12);
+        assert!(curve.average_precision > 0.0 && curve.average_precision <= 1.0);
+    }
+
+    #[test]
+    fn errors_propagate_from_validation() {
+        assert!(average_precision(&[1.0], &[true]).is_err());
+        assert!(average_precision(&[1.0, f32::NAN], &[true, false]).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Receiver Operating Characteristic curve and AUC.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{validate, MetricError};
+
+/// One point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub false_positive_rate: f64,
+    /// True-positive rate at this threshold.
+    pub true_positive_rate: f64,
+    /// Score threshold that produces this operating point.
+    pub threshold: f32,
+}
+
+/// A full ROC curve with its area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Operating points ordered by decreasing threshold (increasing FPR).
+    pub points: Vec<RocPoint>,
+    /// Area under the curve.
+    pub auc: f64,
+}
+
+impl RocCurve {
+    /// Computes the ROC curve for anomaly `scores` against boolean `labels`
+    /// (`true` = anomalous). Higher scores must indicate "more anomalous".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError`] if the inputs are empty, mismatched, contain
+    /// NaN scores, or contain a single class.
+    pub fn compute(scores: &[f32], labels: &[bool]) -> Result<Self, MetricError> {
+        validate(scores, labels)?;
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN ruled out by validate"));
+        let total_pos = labels.iter().filter(|&&l| l).count() as f64;
+        let total_neg = labels.len() as f64 - total_pos;
+        let mut points = vec![RocPoint {
+            false_positive_rate: 0.0,
+            true_positive_rate: 0.0,
+            threshold: f32::INFINITY,
+        }];
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut auc = 0.0;
+        let mut prev_fpr = 0.0;
+        let mut prev_tpr = 0.0;
+        let mut i = 0;
+        while i < order.len() {
+            // Process ties as a single threshold step so the curve (and AUC)
+            // is invariant to the ordering of equal scores.
+            let threshold = scores[order[i]];
+            let mut j = i;
+            while j < order.len() && scores[order[j]] == threshold {
+                if labels[order[j]] {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+                j += 1;
+            }
+            let fpr = fp / total_neg;
+            let tpr = tp / total_pos;
+            auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+            points.push(RocPoint { false_positive_rate: fpr, true_positive_rate: tpr, threshold });
+            prev_fpr = fpr;
+            prev_tpr = tpr;
+            i = j;
+        }
+        Ok(Self { points, auc })
+    }
+}
+
+/// Convenience wrapper returning only the AUC-ROC value, the headline metric
+/// of the paper's Table 2.
+///
+/// # Errors
+///
+/// Same conditions as [`RocCurve::compute`].
+pub fn auc_roc(scores: &[f32], labels: &[bool]) -> Result<f64, MetricError> {
+    Ok(RocCurve::compute(scores, labels)?.auc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn random_interleaving_gives_half() {
+        let scores = [0.4, 0.3, 0.2, 0.1];
+        let labels = [true, false, true, false];
+        // Rank statistic: P(score_pos > score_neg) = (1 + 0.5*0 ... ) compute directly:
+        // pairs: (0.4>0.3)=1, (0.4>0.1)=1, (0.2>0.3)=0, (0.2>0.1)=1 -> 3/4
+        assert!((auc_roc(&scores, &labels).unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_are_handled_as_half_credit() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        // Can't be computed as all same class; mix classes with equal scores.
+        let labels = [true, false, true, false];
+        assert!((auc_roc(&scores, &labels).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_matches_mann_whitney_on_known_example() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, false, true, true];
+        // Positive scores {0.35, 0.8}, negative {0.1, 0.4}.
+        // Pairs where pos > neg: (0.35>0.1)=1, (0.35>0.4)=0, (0.8>0.1)=1, (0.8>0.4)=1 -> 3/4
+        assert!((auc_roc(&scores, &labels).unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_starts_at_origin_and_ends_at_one_one() {
+        let scores = [0.9, 0.1, 0.5, 0.3, 0.7];
+        let labels = [true, false, true, false, false];
+        let curve = RocCurve::compute(&scores, &labels).unwrap();
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!((first.false_positive_rate, first.true_positive_rate), (0.0, 0.0));
+        assert_eq!((last.false_positive_rate, last.true_positive_rate), (1.0, 1.0));
+        assert!(curve.auc >= 0.0 && curve.auc <= 1.0);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transformations() {
+        let scores = [0.9f32, 0.1, 0.5, 0.3, 0.7, 0.65];
+        let labels = [true, false, true, false, false, true];
+        let base = auc_roc(&scores, &labels).unwrap();
+        let scaled: Vec<f32> = scores.iter().map(|s| s * 100.0 + 5.0).collect();
+        let exp: Vec<f32> = scores.iter().map(|s| s.exp()).collect();
+        assert!((auc_roc(&scaled, &labels).unwrap() - base).abs() < 1e-12);
+        assert!((auc_roc(&exp, &labels).unwrap() - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_propagate_from_validation() {
+        assert!(auc_roc(&[], &[]).is_err());
+        assert!(auc_roc(&[1.0, 2.0], &[true, true]).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Threshold-based classification summaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{validate, MetricError};
+
+/// Counts of a binary confusion matrix at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ConfusionMatrix {
+    /// Anomalous points scored at or above the threshold.
+    pub true_positives: usize,
+    /// Normal points scored at or above the threshold.
+    pub false_positives: usize,
+    /// Normal points scored below the threshold.
+    pub true_negatives: usize,
+    /// Anomalous points scored below the threshold.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Precision (`tp / (tp + fp)`); 0 when no positives are predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall (`tp / (tp + fn)`); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all points.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
+        if total == 0 {
+            0.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the confusion matrix obtained by flagging every point whose score is
+/// `>= threshold` as anomalous.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if the inputs are empty, mismatched or contain NaN.
+/// (A single class is allowed here, unlike for ranking metrics.)
+pub fn confusion_at_threshold(
+    scores: &[f32],
+    labels: &[bool],
+    threshold: f32,
+) -> Result<ConfusionMatrix, MetricError> {
+    if scores.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if scores.len() != labels.len() {
+        return Err(MetricError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+    }
+    if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+        return Err(MetricError::NanScore { index });
+    }
+    let mut cm = ConfusionMatrix::default();
+    for (&s, &l) in scores.iter().zip(labels.iter()) {
+        match (s >= threshold, l) {
+            (true, true) => cm.true_positives += 1,
+            (true, false) => cm.false_positives += 1,
+            (false, false) => cm.true_negatives += 1,
+            (false, true) => cm.false_negatives += 1,
+        }
+    }
+    Ok(cm)
+}
+
+/// Sweeps all candidate thresholds and returns `(best F1, threshold)`.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] under the same conditions as ranking metrics (both
+/// classes must be present for F1 to be meaningful).
+pub fn best_f1(scores: &[f32], labels: &[bool]) -> Result<(f64, f32), MetricError> {
+    validate(scores, labels)?;
+    let mut candidates: Vec<f32> = scores.to_vec();
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out by validate"));
+    candidates.dedup();
+    let mut best = (0.0f64, candidates[0]);
+    for &t in &candidates {
+        let f1 = confusion_at_threshold(scores, labels, t)?.f1();
+        if f1 > best.0 {
+            best = (f1, t);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_are_exact() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let cm = confusion_at_threshold(&scores, &labels, 0.5).unwrap();
+        assert_eq!(cm.true_positives, 1);
+        assert_eq!(cm.false_positives, 1);
+        assert_eq!(cm.false_negatives, 1);
+        assert_eq!(cm.true_negatives, 1);
+        assert!((cm.precision() - 0.5).abs() < 1e-12);
+        assert!((cm.recall() - 0.5).abs() < 1e-12);
+        assert!((cm.f1() - 0.5).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusion_rates_are_zero_not_nan() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn best_f1_finds_perfect_separator() {
+        let scores = [0.9, 0.85, 0.2, 0.15];
+        let labels = [true, true, false, false];
+        let (f1, t) = best_f1(&scores, &labels).unwrap();
+        assert_eq!(f1, 1.0);
+        assert!(t > 0.2 && t <= 0.85);
+    }
+
+    #[test]
+    fn best_f1_on_noisy_scores_is_between_zero_and_one() {
+        let scores = [0.5, 0.4, 0.6, 0.3, 0.7, 0.2];
+        let labels = [true, false, false, true, true, false];
+        let (f1, _) = best_f1(&scores, &labels).unwrap();
+        assert!(f1 > 0.0 && f1 <= 1.0);
+    }
+
+    #[test]
+    fn threshold_errors() {
+        assert!(confusion_at_threshold(&[], &[], 0.0).is_err());
+        assert!(confusion_at_threshold(&[1.0], &[true, false], 0.0).is_err());
+        assert!(confusion_at_threshold(&[f32::NAN], &[true], 0.0).is_err());
+        assert!(best_f1(&[1.0, 2.0], &[true, true]).is_err());
+    }
+}

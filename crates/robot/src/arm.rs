@@ -1,0 +1,345 @@
+//! Kinematic simulator of the 7-joint collaborative robot arm.
+//!
+//! The real KUKA LBR iiwa executes a cyclic production process made of 30
+//! machine services ("actions") exposed by its PLC (paper §4.1, §4.3). The
+//! simulator reproduces the kinematic character of that workload: each action
+//! moves every joint from its current angle to an action-specific target angle
+//! along a minimum-jerk trajectory, and actions repeat in a fixed cycle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::RobotError;
+
+/// Kinematic state of one joint at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JointState {
+    /// Joint angle in degrees.
+    pub angle_deg: f32,
+    /// Angular velocity in degrees per second.
+    pub velocity_deg_s: f32,
+    /// Angular acceleration in degrees per second squared.
+    pub acceleration_deg_s2: f32,
+}
+
+/// One robot action: target joint angles and a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// Action identifier (0-based; reported on the `action ID` channel).
+    pub id: u32,
+    /// Target angle for each joint in degrees.
+    pub target_angles_deg: [f32; crate::schema::NUM_JOINTS],
+    /// Time the action takes to complete, in seconds.
+    pub duration_s: f32,
+}
+
+/// A cyclic library of actions representing the robot's production program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionLibrary {
+    actions: Vec<Action>,
+}
+
+impl ActionLibrary {
+    /// Generates `n_actions` deterministic pseudo-random actions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RobotError::InvalidConfig`] if `n_actions` is zero.
+    pub fn generate(n_actions: usize, seed: u64) -> Result<Self, RobotError> {
+        if n_actions == 0 {
+            return Err(RobotError::InvalidConfig("action library needs at least one action".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actions = (0..n_actions)
+            .map(|id| {
+                let mut target_angles_deg = [0.0f32; crate::schema::NUM_JOINTS];
+                for (joint, angle) in target_angles_deg.iter_mut().enumerate() {
+                    // Joints closer to the base move through wider ranges.
+                    let range = 150.0 - 15.0 * joint as f32;
+                    *angle = rng.gen_range(-range..range);
+                }
+                Action {
+                    id: id as u32,
+                    target_angles_deg,
+                    duration_s: rng.gen_range(1.5..4.0),
+                }
+            })
+            .collect();
+        Ok(Self { actions })
+    }
+
+    /// Number of actions in the cycle.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the library is empty (never true for a generated library).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The action at a given position of the cycle.
+    pub fn action(&self, index: usize) -> &Action {
+        &self.actions[index % self.actions.len()]
+    }
+}
+
+/// Minimum-jerk interpolation factor and its first two derivatives at
+/// normalized time `s ∈ [0, 1]`.
+fn min_jerk(s: f32) -> (f32, f32, f32) {
+    let s = s.clamp(0.0, 1.0);
+    let pos = 10.0 * s.powi(3) - 15.0 * s.powi(4) + 6.0 * s.powi(5);
+    let vel = 30.0 * s.powi(2) - 60.0 * s.powi(3) + 30.0 * s.powi(4);
+    let acc = 60.0 * s - 180.0 * s.powi(2) + 120.0 * s.powi(3);
+    (pos, vel, acc)
+}
+
+/// The arm simulator: advances joint states through the action cycle.
+///
+/// Every execution of an action is slightly different from the previous one —
+/// target angles and durations receive a small per-execution jitter, like a
+/// real manipulator whose trajectories depend on payload, controller state and
+/// sensor noise. This keeps the "normal" stream from being perfectly
+/// repeatable, which is what makes forecasting genuinely uncertain.
+///
+/// # Examples
+///
+/// ```
+/// use varade_robot::arm::{ActionLibrary, ArmSimulator};
+///
+/// # fn main() -> Result<(), varade_robot::RobotError> {
+/// let library = ActionLibrary::generate(5, 42)?;
+/// let mut arm = ArmSimulator::new(library);
+/// let state = arm.step(0.01);
+/// assert_eq!(state.joints.len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArmSimulator {
+    library: ActionLibrary,
+    current_action: usize,
+    time_in_action: f32,
+    current_duration_s: f32,
+    start_angles_deg: [f32; crate::schema::NUM_JOINTS],
+    current_targets_deg: [f32; crate::schema::NUM_JOINTS],
+    joints: [JointState; crate::schema::NUM_JOINTS],
+    execution_rng: StdRng,
+    target_jitter_deg: f32,
+    duration_jitter: f32,
+}
+
+/// Snapshot of the arm at one simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmSnapshot {
+    /// Identifier of the action currently executing.
+    pub action_id: u32,
+    /// Kinematic state of each joint.
+    pub joints: [JointState; crate::schema::NUM_JOINTS],
+    /// Fraction of the current action already completed (0..=1).
+    pub action_progress: f32,
+}
+
+impl ArmSimulator {
+    /// Creates a simulator starting at the home position (all joints at 0°),
+    /// with the default per-execution jitter and a fixed jitter seed.
+    pub fn new(library: ActionLibrary) -> Self {
+        Self::with_seed(library, 0x5EED)
+    }
+
+    /// Creates a simulator whose per-execution jitter is driven by `seed`.
+    pub fn with_seed(library: ActionLibrary, seed: u64) -> Self {
+        let first_action = library.action(0).clone();
+        Self {
+            current_duration_s: first_action.duration_s,
+            current_targets_deg: first_action.target_angles_deg,
+            library,
+            current_action: 0,
+            time_in_action: 0.0,
+            start_angles_deg: [0.0; crate::schema::NUM_JOINTS],
+            joints: [JointState::default(); crate::schema::NUM_JOINTS],
+            execution_rng: StdRng::seed_from_u64(seed),
+            target_jitter_deg: 6.0,
+            duration_jitter: 0.15,
+        }
+    }
+
+    /// Overrides the per-execution jitter amplitudes (degrees of target jitter,
+    /// relative duration jitter). Zero disables the variability entirely.
+    pub fn with_jitter(mut self, target_jitter_deg: f32, duration_jitter: f32) -> Self {
+        self.target_jitter_deg = target_jitter_deg.max(0.0);
+        self.duration_jitter = duration_jitter.clamp(0.0, 0.9);
+        self
+    }
+
+    /// The action library driving the simulation.
+    pub fn library(&self) -> &ActionLibrary {
+        &self.library
+    }
+
+    /// Draws the jittered targets and duration for the action at `index`.
+    fn begin_action(&mut self, index: usize) {
+        let action = self.library.action(index).clone();
+        let mut targets = action.target_angles_deg;
+        for t in &mut targets {
+            *t += self.execution_rng.gen_range(-1.0..1.0) * self.target_jitter_deg;
+        }
+        let duration = action.duration_s
+            * (1.0 + self.execution_rng.gen_range(-1.0..1.0) * self.duration_jitter);
+        self.current_targets_deg = targets;
+        self.current_duration_s = duration.max(0.2);
+    }
+
+    /// Advances the simulation by `dt` seconds and returns the new snapshot.
+    pub fn step(&mut self, dt: f32) -> ArmSnapshot {
+        self.time_in_action += dt;
+        if self.time_in_action >= self.current_duration_s {
+            // Action finished: latch final angles and move to the next action.
+            for (joint, state) in self.joints.iter_mut().enumerate() {
+                state.angle_deg = self.current_targets_deg[joint];
+                state.velocity_deg_s = 0.0;
+                state.acceleration_deg_s2 = 0.0;
+            }
+            self.start_angles_deg = self.current_targets_deg;
+            self.current_action = (self.current_action + 1) % self.library.len();
+            self.time_in_action = 0.0;
+            self.begin_action(self.current_action);
+        }
+        let action_id = self.library.action(self.current_action).id;
+        let duration = self.current_duration_s;
+        let s = self.time_in_action / duration;
+        let (pos, vel, acc) = min_jerk(s);
+        for (joint, state) in self.joints.iter_mut().enumerate() {
+            let delta = self.current_targets_deg[joint] - self.start_angles_deg[joint];
+            state.angle_deg = self.start_angles_deg[joint] + delta * pos;
+            state.velocity_deg_s = delta * vel / duration;
+            state.acceleration_deg_s2 = delta * acc / (duration * duration);
+        }
+        ArmSnapshot {
+            action_id,
+            joints: self.joints,
+            action_progress: s.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_generation_is_deterministic_and_bounded() {
+        let a = ActionLibrary::generate(30, 7).unwrap();
+        let b = ActionLibrary::generate(30, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        for i in 0..30 {
+            let action = a.action(i);
+            assert!(action.duration_s >= 1.5 && action.duration_s < 4.0);
+            for (j, &angle) in action.target_angles_deg.iter().enumerate() {
+                assert!(angle.abs() <= 150.0 - 15.0 * j as f32);
+            }
+        }
+        assert!(ActionLibrary::generate(0, 7).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_programs() {
+        let a = ActionLibrary::generate(10, 1).unwrap();
+        let b = ActionLibrary::generate(10, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn min_jerk_boundary_conditions() {
+        let (p0, v0, a0) = min_jerk(0.0);
+        let (p1, v1, a1) = min_jerk(1.0);
+        assert!(p0.abs() < 1e-6 && v0.abs() < 1e-6 && a0.abs() < 1e-6);
+        assert!((p1 - 1.0).abs() < 1e-5 && v1.abs() < 1e-4 && a1.abs() < 1e-3);
+        // Peak velocity at the midpoint.
+        let (_, vmid, _) = min_jerk(0.5);
+        assert!(vmid > min_jerk(0.2).1 && vmid > min_jerk(0.8).1);
+    }
+
+    #[test]
+    fn joints_reach_action_targets_without_jitter() {
+        let library = ActionLibrary::generate(3, 11).unwrap();
+        let first_target = library.action(0).target_angles_deg;
+        let duration = library.action(0).duration_s;
+        let mut arm = ArmSimulator::new(library).with_jitter(0.0, 0.0);
+        let dt = 0.005;
+        let steps = (duration / dt) as usize + 2;
+        let mut last = arm.step(dt);
+        for _ in 0..steps {
+            last = arm.step(dt);
+        }
+        // By now the first action has completed; the start angles of the
+        // second action equal the first action's targets.
+        assert_eq!(arm.start_angles_deg, first_target);
+        assert_eq!(last.joints.len(), 7);
+    }
+
+    #[test]
+    fn jitter_makes_consecutive_cycles_differ() {
+        let library = ActionLibrary::generate(2, 11).unwrap();
+        let total: f32 = (0..2).map(|i| library.action(i).duration_s).sum();
+        let mut arm = ArmSimulator::with_seed(library, 3);
+        let dt = 0.01;
+        let steps_per_cycle = (total / dt) as usize;
+        let cycle = |arm: &mut ArmSimulator| -> Vec<f32> {
+            (0..steps_per_cycle).map(|_| arm.step(dt).joints[0].angle_deg).collect()
+        };
+        let first = cycle(&mut arm);
+        let second = cycle(&mut arm);
+        let max_diff = first
+            .iter()
+            .zip(second.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff > 0.5, "cycles should not repeat exactly, max diff {max_diff}");
+    }
+
+    #[test]
+    fn action_ids_cycle_through_the_library() {
+        let library = ActionLibrary::generate(2, 3).unwrap();
+        let total: f32 = (0..2).map(|i| library.action(i).duration_s).sum();
+        let mut arm = ArmSimulator::new(library);
+        let dt = 0.01;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..((2.5 * total / dt) as usize) {
+            seen.insert(arm.step(dt).action_id);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn velocity_is_consistent_with_angle_derivative() {
+        let library = ActionLibrary::generate(1, 5).unwrap();
+        let mut arm = ArmSimulator::new(library);
+        let dt = 0.001;
+        let mut prev = arm.step(dt);
+        for _ in 0..200 {
+            let cur = arm.step(dt);
+            for j in 0..7 {
+                let numeric_vel = (cur.joints[j].angle_deg - prev.joints[j].angle_deg) / dt;
+                let analytic = cur.joints[j].velocity_deg_s;
+                // Loose tolerance: finite differences vs analytic derivative.
+                assert!(
+                    (numeric_vel - analytic).abs() <= 0.05 * analytic.abs().max(5.0),
+                    "joint {j}: numeric {numeric_vel} vs analytic {analytic}"
+                );
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn progress_stays_in_unit_interval() {
+        let library = ActionLibrary::generate(4, 9).unwrap();
+        let mut arm = ArmSimulator::new(library);
+        for _ in 0..5000 {
+            let snap = arm.step(0.01);
+            assert!((0.0..=1.0).contains(&snap.action_progress));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # varade-robot
+//!
+//! A synthetic substitute for the paper's industrial testbed: a KUKA LBR iiwa
+//! collaborative robot instrumented with seven IMU sensors (one per joint) and
+//! a single-phase energy meter, streaming 86 channels (paper Table 1).
+//!
+//! Because the physical production line, its PLC and its sensors are not
+//! available, this crate simulates them:
+//!
+//! * [`arm`] — a 7-joint arm executing a cyclic program of 30 pick-and-place
+//!   actions with minimum-jerk joint trajectories;
+//! * [`imu`] — per-joint IMU models producing acceleration, angular velocity,
+//!   quaternion orientation and temperature with sensor noise and Kalman
+//!   smoothing;
+//! * [`power`] — a single-phase energy-meter model producing the eight
+//!   electrical channels;
+//! * [`anomaly`] — a collision injector that perturbs the stream with short
+//!   high-energy transients and records ground-truth labels;
+//! * [`dataset`] — builders for the normal training recording and the
+//!   collision test recording, already normalized and labelled;
+//! * [`schema`] — the exact 86-channel schema of Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use varade_robot::dataset::{DatasetBuilder, DatasetConfig};
+//!
+//! # fn main() -> Result<(), varade_robot::RobotError> {
+//! let config = DatasetConfig::smoke_test();
+//! let dataset = DatasetBuilder::new(config).build()?;
+//! assert_eq!(dataset.train.n_channels(), 86);
+//! assert_eq!(dataset.test.len(), dataset.labels.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod anomaly;
+pub mod arm;
+pub mod dataset;
+pub mod imu;
+pub mod power;
+pub mod schema;
+
+use std::fmt;
+
+/// Errors produced while simulating the robot testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RobotError {
+    /// A configuration value was out of its valid range.
+    InvalidConfig(String),
+    /// An underlying time-series operation failed.
+    Series(varade_timeseries::SeriesError),
+}
+
+impl fmt::Display for RobotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RobotError::InvalidConfig(reason) => write!(f, "invalid simulator configuration: {reason}"),
+            RobotError::Series(err) => write!(f, "time-series error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RobotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RobotError::Series(err) => Some(err),
+            RobotError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<varade_timeseries::SeriesError> for RobotError {
+    fn from(err: varade_timeseries::SeriesError) -> Self {
+        RobotError::Series(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = RobotError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e: RobotError = varade_timeseries::SeriesError::Empty.into();
+        assert!(e.source().is_some());
+    }
+}

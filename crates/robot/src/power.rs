@@ -1,0 +1,192 @@
+//! Single-phase energy-meter model (Eastron SDM230 analogue).
+//!
+//! The meter monitors the combined electrical consumption of the robot and its
+//! industrial PC and exposes eight quantities over Modbus (paper §4.1–4.2).
+//! Electrical power is derived from the mechanical effort of the joints so
+//! anomalies that are "transparent with respect to the robot trajectories,
+//! such as high power draw from a motor" still show up on these channels.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::arm::JointState;
+use crate::schema::POWER_CHANNELS;
+
+/// Configuration of the electrical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Constant draw of controller + industrial PC, in watts.
+    pub idle_power_w: f32,
+    /// Watts of electrical power per unit of mechanical effort.
+    pub watts_per_effort: f32,
+    /// Nominal mains voltage in volts.
+    pub nominal_voltage_v: f32,
+    /// Nominal mains frequency in hertz.
+    pub nominal_frequency_hz: f32,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        Self {
+            idle_power_w: 180.0,
+            watts_per_effort: 1.6,
+            nominal_voltage_v: 230.0,
+            nominal_frequency_hz: 50.0,
+        }
+    }
+}
+
+/// Simulated single-phase energy meter.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    config: PowerConfig,
+    cumulative_energy_kwh: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given electrical model.
+    pub fn new(config: PowerConfig) -> Self {
+        Self { config, cumulative_energy_kwh: 0.0 }
+    }
+
+    /// Cumulative imported energy so far, in kWh.
+    pub fn cumulative_energy_kwh(&self) -> f64 {
+        self.cumulative_energy_kwh
+    }
+
+    /// Produces the eight power channels for one sample covering `dt` seconds.
+    ///
+    /// `collision_intensity` models the brief motor-current surge caused by an
+    /// unexpected contact (zero during normal operation).
+    pub fn sample(
+        &mut self,
+        joints: &[JointState],
+        collision_intensity: f32,
+        dt: f32,
+        rng: &mut StdRng,
+    ) -> [f32; POWER_CHANNELS] {
+        let cfg = self.config;
+        // Mechanical effort: heavier joints (closer to the base) cost more.
+        let effort: f32 = joints
+            .iter()
+            .enumerate()
+            .map(|(j, s)| {
+                let mass_factor = 1.0 - 0.1 * j as f32;
+                mass_factor * (s.velocity_deg_s.abs() * 0.4 + s.acceleration_deg_s2.abs() * 0.1)
+            })
+            .sum();
+        let surge = collision_intensity * 350.0;
+        let power_w = cfg.idle_power_w
+            + cfg.watts_per_effort * effort
+            + surge
+            + rng.gen_range(-1.0..1.0) * 2.0;
+        let power_w = power_w.max(0.0);
+        let voltage = cfg.nominal_voltage_v + rng.gen_range(-1.0..1.0) * 0.8;
+        // Power factor dips slightly under heavy or anomalous load.
+        let power_factor = (0.86 - 0.02 * (effort / 200.0).min(1.0) - 0.05 * collision_intensity.min(1.0)
+            + rng.gen_range(-1.0..1.0) * 0.002)
+            .clamp(0.5, 0.99);
+        let apparent_power = power_w / power_factor;
+        let current = apparent_power / voltage;
+        let phase_angle_deg = power_factor.acos().to_degrees();
+        let reactive_power = apparent_power * (1.0 - power_factor * power_factor).sqrt();
+        let frequency = cfg.nominal_frequency_hz + rng.gen_range(-1.0..1.0) * 0.01;
+        self.cumulative_energy_kwh += (power_w as f64) * (dt as f64) / 3.6e6;
+        [
+            current,
+            frequency,
+            phase_angle_deg,
+            power_w,
+            power_factor,
+            reactive_power,
+            voltage,
+            self.cumulative_energy_kwh as f32,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    fn idle_joints() -> Vec<JointState> {
+        vec![JointState::default(); 7]
+    }
+
+    fn busy_joints() -> Vec<JointState> {
+        (0..7)
+            .map(|_| JointState { angle_deg: 30.0, velocity_deg_s: 90.0, acceleration_deg_s2: 40.0 })
+            .collect()
+    }
+
+    #[test]
+    fn idle_power_is_close_to_configured_baseline() {
+        let mut meter = EnergyMeter::new(PowerConfig::default());
+        let mut r = rng();
+        let s = meter.sample(&idle_joints(), 0.0, 0.005, &mut r);
+        assert!((s[3] - 180.0).abs() < 10.0, "power = {}", s[3]);
+        assert!((s[6] - 230.0).abs() < 3.0);
+        assert!((s[1] - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn motion_increases_power_draw() {
+        let mut meter = EnergyMeter::new(PowerConfig::default());
+        let mut r = rng();
+        let idle = meter.sample(&idle_joints(), 0.0, 0.005, &mut r)[3];
+        let busy = meter.sample(&busy_joints(), 0.0, 0.005, &mut r)[3];
+        assert!(busy > idle + 50.0, "idle {idle} vs busy {busy}");
+    }
+
+    #[test]
+    fn collision_produces_power_surge() {
+        let mut meter = EnergyMeter::new(PowerConfig::default());
+        let mut r = rng();
+        let normal = meter.sample(&busy_joints(), 0.0, 0.005, &mut r)[3];
+        let surged = meter.sample(&busy_joints(), 1.0, 0.005, &mut r)[3];
+        assert!(surged > normal + 300.0);
+    }
+
+    #[test]
+    fn electrical_relationships_are_consistent() {
+        let mut meter = EnergyMeter::new(PowerConfig::default());
+        let mut r = rng();
+        let s = meter.sample(&busy_joints(), 0.0, 0.005, &mut r);
+        let (current, _freq, phase, power, pf, reactive, voltage, _energy) =
+            (s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]);
+        // P = V * I * pf
+        assert!((power - voltage * current * pf).abs() < 2.0);
+        // Q = V * I * sin(phi)
+        let phi = phase.to_radians();
+        assert!((reactive - voltage * current * phi.sin()).abs() < 2.0);
+        assert!(pf > 0.5 && pf < 1.0);
+    }
+
+    #[test]
+    fn energy_accumulates_over_time() {
+        let mut meter = EnergyMeter::new(PowerConfig::default());
+        let mut r = rng();
+        for _ in 0..1000 {
+            meter.sample(&busy_joints(), 0.0, 0.01, &mut r);
+        }
+        assert!(meter.cumulative_energy_kwh() > 0.0);
+        // 10 s at a few hundred watts is on the order of 1e-3 kWh.
+        assert!(meter.cumulative_energy_kwh() < 0.01);
+    }
+
+    #[test]
+    fn power_never_goes_negative() {
+        let cfg = PowerConfig { idle_power_w: 0.5, ..PowerConfig::default() };
+        let mut meter = EnergyMeter::new(cfg);
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = meter.sample(&idle_joints(), 0.0, 0.005, &mut r);
+            assert!(s[3] >= 0.0);
+        }
+    }
+}

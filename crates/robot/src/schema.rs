@@ -1,0 +1,188 @@
+//! The 86-channel data schema of the paper's Table 1.
+//!
+//! The stream contains the robot action ID, eleven channels for each of the
+//! seven joint-mounted IMU sensors (3-axis acceleration, 3-axis angular
+//! velocity, 4 quaternion components, temperature) and eight channels from the
+//! single-phase energy meter.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of robot joints (each carries one IMU sensor).
+pub const NUM_JOINTS: usize = 7;
+/// Channels produced by each IMU sensor.
+pub const CHANNELS_PER_JOINT: usize = 11;
+/// Channels produced by the energy meter.
+pub const POWER_CHANNELS: usize = 8;
+/// Total channel count: action ID + joint channels + power channels.
+pub const TOTAL_CHANNELS: usize = 1 + NUM_JOINTS * CHANNELS_PER_JOINT + POWER_CHANNELS;
+
+/// Which logical group a channel belongs to (Table 1's three sections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelGroup {
+    /// The robot action identifier.
+    ActionId,
+    /// Channels collected from a joint-mounted IMU sensor.
+    Joint,
+    /// Channels collected from the energy meter.
+    Power,
+}
+
+/// Description of one channel, mirroring a row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelInfo {
+    /// Channel (column) name, e.g. `sensor_id_3_AccX`.
+    pub name: String,
+    /// Physical unit, e.g. `m/s^2`; `-` for dimensionless channels.
+    pub unit: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Group the channel belongs to.
+    pub group: ChannelGroup,
+}
+
+/// Per-joint IMU channel suffixes in column order.
+const JOINT_SUFFIXES: [(&str, &str, &str); CHANNELS_PER_JOINT] = [
+    ("AccX", "m/s^2", "X-axis acceleration"),
+    ("AccY", "m/s^2", "Y-axis acceleration"),
+    ("AccZ", "m/s^2", "Z-axis acceleration"),
+    ("GyroX", "deg/s", "X-axis angular velocity"),
+    ("GyroY", "deg/s", "Y-axis angular velocity"),
+    ("GyroZ", "deg/s", "Z-axis angular velocity"),
+    ("q1", "-", "Quaternion orientation component 1"),
+    ("q2", "-", "Quaternion orientation component 2"),
+    ("q3", "-", "Quaternion orientation component 3"),
+    ("q4", "-", "Quaternion orientation component 4"),
+    ("temp", "degC", "Temperature"),
+];
+
+/// Energy-meter channels in column order.
+///
+/// Table 1 lists seven electrical quantities and describes the meter as
+/// monitoring "eight quantities"; the cumulative imported energy reading of
+/// the Eastron SDM230 is the eighth and is included here so the stream has the
+/// paper's 86 channels in total.
+const POWER_INFO: [(&str, &str, &str); POWER_CHANNELS] = [
+    ("current", "A", "Current"),
+    ("frequency", "Hz", "Frequency"),
+    ("phase_angle", "degree", "Phase angle"),
+    ("power", "W", "Power"),
+    ("power_factor", "-", "Power factor"),
+    ("reactive_power", "VAr", "Reactive power"),
+    ("voltage", "V", "Voltage"),
+    ("energy", "kWh", "Cumulative imported energy"),
+];
+
+/// Returns the full ordered channel schema (86 entries).
+///
+/// # Examples
+///
+/// ```
+/// let schema = varade_robot::schema::channel_schema();
+/// assert_eq!(schema.len(), varade_robot::schema::TOTAL_CHANNELS);
+/// assert_eq!(schema[0].name, "action ID");
+/// ```
+pub fn channel_schema() -> Vec<ChannelInfo> {
+    let mut channels = Vec::with_capacity(TOTAL_CHANNELS);
+    channels.push(ChannelInfo {
+        name: "action ID".to_string(),
+        unit: "-".to_string(),
+        description: "Robot action ID".to_string(),
+        group: ChannelGroup::ActionId,
+    });
+    for joint in 0..NUM_JOINTS {
+        for (suffix, unit, description) in JOINT_SUFFIXES {
+            channels.push(ChannelInfo {
+                name: format!("sensor_id_{joint}_{suffix}"),
+                unit: unit.to_string(),
+                description: description.to_string(),
+                group: ChannelGroup::Joint,
+            });
+        }
+    }
+    for (name, unit, description) in POWER_INFO {
+        channels.push(ChannelInfo {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            description: description.to_string(),
+            group: ChannelGroup::Power,
+        });
+    }
+    channels
+}
+
+/// Returns just the ordered channel names.
+pub fn channel_names() -> Vec<String> {
+    channel_schema().into_iter().map(|c| c.name).collect()
+}
+
+/// Column index of the first channel belonging to a joint's IMU block.
+pub fn joint_block_start(joint: usize) -> usize {
+    assert!(joint < NUM_JOINTS, "joint index out of range");
+    1 + joint * CHANNELS_PER_JOINT
+}
+
+/// Column index of the first power channel.
+pub fn power_block_start() -> usize {
+    1 + NUM_JOINTS * CHANNELS_PER_JOINT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_86_channels() {
+        assert_eq!(TOTAL_CHANNELS, 86);
+        let schema = channel_schema();
+        assert_eq!(schema.len(), 86);
+    }
+
+    #[test]
+    fn groups_have_expected_sizes() {
+        let schema = channel_schema();
+        let action = schema.iter().filter(|c| c.group == ChannelGroup::ActionId).count();
+        let joint = schema.iter().filter(|c| c.group == ChannelGroup::Joint).count();
+        let power = schema.iter().filter(|c| c.group == ChannelGroup::Power).count();
+        assert_eq!(action, 1);
+        assert_eq!(joint, 77);
+        assert_eq!(power, 8);
+    }
+
+    #[test]
+    fn channel_names_are_unique() {
+        let names = channel_names();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+    }
+
+    #[test]
+    fn joint_blocks_are_contiguous() {
+        let names = channel_names();
+        for joint in 0..NUM_JOINTS {
+            let start = joint_block_start(joint);
+            assert_eq!(names[start], format!("sensor_id_{joint}_AccX"));
+            assert_eq!(names[start + 10], format!("sensor_id_{joint}_temp"));
+        }
+        assert_eq!(names[power_block_start()], "current");
+        assert_eq!(names[power_block_start() + 7], "energy");
+    }
+
+    #[test]
+    #[should_panic(expected = "joint index out of range")]
+    fn joint_block_start_rejects_out_of_range() {
+        let _ = joint_block_start(7);
+    }
+
+    #[test]
+    fn units_match_table_one() {
+        let schema = channel_schema();
+        let by_name = |n: &str| schema.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(by_name("sensor_id_0_AccZ").unit, "m/s^2");
+        assert_eq!(by_name("sensor_id_6_GyroY").unit, "deg/s");
+        assert_eq!(by_name("voltage").unit, "V");
+        assert_eq!(by_name("reactive_power").unit, "VAr");
+        assert_eq!(by_name("power_factor").unit, "-");
+    }
+}

@@ -1,0 +1,385 @@
+//! One-dimensional convolution over the time axis.
+
+use rand::rngs::StdRng;
+
+use crate::init::Init;
+use crate::profile::{ComputeProfile, ExecutionUnit};
+use crate::{Layer, Tensor, TensorError};
+
+/// 1-D convolution over `[batch, channels, time]` tensors.
+///
+/// VARADE's backbone uses kernel size 2 and stride 2 so the time axis is
+/// halved at every layer (paper §3.1); the convolutional autoencoder baseline
+/// uses kernel 3, stride 1, padding 1 inside its residual blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use varade_tensor::{layers::Conv1d, Layer, Tensor};
+///
+/// # fn main() -> Result<(), varade_tensor::TensorError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv1d::new(3, 8, 2, 2, 0, &mut rng);
+/// let x = Tensor::zeros(&[1, 3, 16]);
+/// let y = conv.forward(&x)?;
+/// assert_eq!(y.shape(), &[1, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel_size: usize,
+    stride: usize,
+    padding: usize,
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_padded_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a new convolution with He-uniform weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_size`, `stride`, `in_channels` or `out_channels` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel_size: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(kernel_size > 0 && stride > 0, "kernel size and stride must be positive");
+        let fan_in = in_channels * kernel_size;
+        let fan_out = out_channels * kernel_size;
+        let weight = Init::HeUniform.tensor(
+            &[out_channels, in_channels, kernel_size],
+            fan_in,
+            fan_out,
+            rng,
+        );
+        Self {
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride,
+            padding,
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            weight_grad: Tensor::zeros(&[out_channels, in_channels, kernel_size]),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            cached_padded_input: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (feature maps).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel width along the time axis.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Stride along the time axis.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding applied to both ends of the time axis.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Output length for a given input length, or `None` if the input is too
+    /// short for one kernel application.
+    pub fn output_len(&self, input_len: usize) -> Option<usize> {
+        let padded = input_len + 2 * self.padding;
+        if padded < self.kernel_size {
+            None
+        } else {
+            Some((padded - self.kernel_size) / self.stride + 1)
+        }
+    }
+
+    fn pad(&self, input: &Tensor) -> Tensor {
+        if self.padding == 0 {
+            return input.clone();
+        }
+        let (b, c, t) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(&[b, c, t + 2 * self.padding]);
+        for bi in 0..b {
+            for ci in 0..c {
+                for ti in 0..t {
+                    *out.at_mut(&[bi, ci, ti + self.padding]) = input.at(&[bi, ci, ti]);
+                }
+            }
+        }
+        out
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize), TensorError> {
+        if input.ndim() != 3 || input.shape()[1] != self.in_channels {
+            return Err(TensorError::InvalidInput {
+                layer: "conv1d",
+                reason: format!(
+                    "expected [batch, {}, time], got {:?}",
+                    self.in_channels,
+                    input.shape()
+                ),
+            });
+        }
+        let t = input.shape()[2];
+        let out_len = self.output_len(t).ok_or_else(|| TensorError::InvalidInput {
+            layer: "conv1d",
+            reason: format!(
+                "time axis {} (+2*{} padding) shorter than kernel {}",
+                t, self.padding, self.kernel_size
+            ),
+        })?;
+        Ok((input.shape()[0], out_len))
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let (batch, out_len) = self.check_input(input)?;
+        let padded = self.pad(input);
+        let padded_len = padded.shape()[2];
+        let mut out = Tensor::zeros(&[batch, self.out_channels, out_len]);
+        let x = padded.as_slice();
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let o = out.as_mut_slice();
+        let (ci_n, k) = (self.in_channels, self.kernel_size);
+        for bi in 0..batch {
+            for oc in 0..self.out_channels {
+                let w_oc = &w[oc * ci_n * k..(oc + 1) * ci_n * k];
+                let o_row =
+                    &mut o[(bi * self.out_channels + oc) * out_len..(bi * self.out_channels + oc + 1) * out_len];
+                for (ot, o_val) in o_row.iter_mut().enumerate() {
+                    let start = ot * self.stride;
+                    let mut acc = b[oc];
+                    for ic in 0..ci_n {
+                        let x_row = &x[(bi * ci_n + ic) * padded_len + start
+                            ..(bi * ci_n + ic) * padded_len + start + k];
+                        let w_row = &w_oc[ic * k..(ic + 1) * k];
+                        for (xv, wv) in x_row.iter().zip(w_row.iter()) {
+                            acc += xv * wv;
+                        }
+                    }
+                    *o_val = acc;
+                }
+            }
+        }
+        self.cached_padded_input = Some(padded);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let padded = self
+            .cached_padded_input
+            .as_ref()
+            .ok_or(TensorError::BackwardBeforeForward { layer: "conv1d" })?;
+        let batch = padded.shape()[0];
+        let padded_len = padded.shape()[2];
+        let out_len = (padded_len - self.kernel_size) / self.stride + 1;
+        if grad_output.shape() != [batch, self.out_channels, out_len] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![batch, self.out_channels, out_len],
+                got: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_padded = Tensor::zeros(&[batch, self.in_channels, padded_len]);
+        let x = padded.as_slice();
+        let w = self.weight.as_slice();
+        let go = grad_output.as_slice();
+        let gw = self.weight_grad.as_mut_slice();
+        let gb = self.bias_grad.as_mut_slice();
+        let gp = grad_padded.as_mut_slice();
+        let (ci_n, k) = (self.in_channels, self.kernel_size);
+        for bi in 0..batch {
+            for oc in 0..self.out_channels {
+                let go_row =
+                    &go[(bi * self.out_channels + oc) * out_len..(bi * self.out_channels + oc + 1) * out_len];
+                for (ot, &g) in go_row.iter().enumerate() {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[oc] += g;
+                    let start = ot * self.stride;
+                    for ic in 0..ci_n {
+                        let x_base = (bi * ci_n + ic) * padded_len + start;
+                        let w_base = (oc * ci_n + ic) * k;
+                        for kk in 0..k {
+                            gw[w_base + kk] += g * x[x_base + kk];
+                            gp[x_base + kk] += g * w[w_base + kk];
+                        }
+                    }
+                }
+            }
+        }
+        // Strip padding from the input gradient.
+        if self.padding == 0 {
+            return Ok(grad_padded);
+        }
+        let t = padded_len - 2 * self.padding;
+        let mut grad_input = Tensor::zeros(&[batch, self.in_channels, t]);
+        for bi in 0..batch {
+            for ci in 0..self.in_channels {
+                for ti in 0..t {
+                    *grad_input.at_mut(&[bi, ci, ti]) =
+                        grad_padded.at(&[bi, ci, ti + self.padding]);
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visitor(&mut self.weight, &mut self.weight_grad);
+        visitor(&mut self.bias, &mut self.bias_grad);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let out_len = self.output_len(input_shape[2]).unwrap_or(0);
+        vec![input_shape[0], self.out_channels, out_len]
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> ComputeProfile {
+        let batch = input_shape.first().copied().unwrap_or(1) as f64;
+        let out_len = self.output_len(input_shape[2]).unwrap_or(0) as f64;
+        let k = self.kernel_size as f64;
+        let cin = self.in_channels as f64;
+        let cout = self.out_channels as f64;
+        let in_elems = batch * cin * input_shape[2] as f64;
+        let out_elems = batch * cout * out_len;
+        ComputeProfile {
+            flops: batch * out_len * cout * cin * k * 2.0,
+            param_bytes: 4.0 * (cout * cin * k + cout),
+            activation_bytes: 4.0 * (in_elems + out_elems),
+            parallel_fraction: 0.97,
+            unit: ExecutionUnit::Gpu,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::{finite_difference_grad, relative_error};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn output_length_follows_conv_arithmetic() {
+        let conv = Conv1d::new(1, 1, 2, 2, 0, &mut rng());
+        assert_eq!(conv.output_len(16), Some(8));
+        assert_eq!(conv.output_len(17), Some(8));
+        assert_eq!(conv.output_len(2), Some(1));
+        assert_eq!(conv.output_len(1), None);
+        let padded = Conv1d::new(1, 1, 3, 1, 1, &mut rng());
+        assert_eq!(padded.output_len(10), Some(10));
+    }
+
+    #[test]
+    fn forward_matches_hand_computed_values() {
+        let mut conv = Conv1d::new(1, 1, 2, 2, 0, &mut rng());
+        conv.weight = Tensor::from_vec(vec![1.0, -1.0], &[1, 1, 2]).unwrap();
+        conv.bias = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], &[1, 1, 4]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        // windows (1,2) and (3,5): 1-2+0.5=-0.5, 3-5+0.5=-1.5
+        assert_eq!(y.as_slice(), &[-0.5, -1.5]);
+    }
+
+    #[test]
+    fn padded_same_convolution_preserves_length() {
+        let mut conv = Conv1d::new(2, 3, 3, 1, 1, &mut rng());
+        let x = Tensor::ones(&[2, 2, 7]);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 7]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut conv = Conv1d::new(2, 3, 2, 2, 0, &mut rng());
+        assert!(conv.forward(&Tensor::zeros(&[1, 3, 8])).is_err());
+        assert!(conv.forward(&Tensor::zeros(&[1, 2])).is_err());
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 1])).is_err());
+        assert!(conv.backward(&Tensor::zeros(&[1, 3, 4])).is_err());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let base = Conv1d::new(2, 3, 2, 2, 0, &mut rng());
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut loss_fn = |xs: &[f32]| {
+            let mut c = base.clone();
+            let t = Tensor::from_vec(xs.to_vec(), &[1, 2, 8]).unwrap();
+            c.forward(&t).unwrap().norm_sq()
+        };
+        let numeric = finite_difference_grad(&mut loss_fn, &x, 1e-3);
+        let mut c = base.clone();
+        let t = Tensor::from_vec(x.clone(), &[1, 2, 8]).unwrap();
+        let y = c.forward(&t).unwrap();
+        let analytic = c.backward(&y.scale(2.0)).unwrap();
+        assert!(relative_error(analytic.as_slice(), &numeric) < 1e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences_with_padding() {
+        let base = Conv1d::new(1, 2, 3, 1, 1, &mut rng());
+        let x = Tensor::from_vec((0..6).map(|i| (i as f32 * 0.7).cos()).collect(), &[1, 1, 6]).unwrap();
+        let w0 = base.weight.as_slice().to_vec();
+        let mut loss_fn = |ws: &[f32]| {
+            let mut c = base.clone();
+            c.weight = Tensor::from_vec(ws.to_vec(), &[2, 1, 3]).unwrap();
+            c.forward(&x).unwrap().norm_sq()
+        };
+        let numeric = finite_difference_grad(&mut loss_fn, &w0, 1e-3);
+        let mut c = base.clone();
+        let y = c.forward(&x).unwrap();
+        c.backward(&y.scale(2.0)).unwrap();
+        assert!(relative_error(c.weight_grad.as_slice(), &numeric) < 1e-2);
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_output_gradient() {
+        let mut conv = Conv1d::new(1, 1, 2, 2, 0, &mut rng());
+        let x = Tensor::ones(&[1, 1, 8]);
+        let y = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        // 4 output positions, gradient 1 each.
+        assert_eq!(conv.bias_grad.at(&[0]), 4.0);
+    }
+
+    #[test]
+    fn profile_counts_macs() {
+        let conv = Conv1d::new(4, 8, 2, 2, 0, &mut rng());
+        let p = conv.profile(&[1, 4, 16]);
+        // out_len = 8; flops = 8*8*4*2*2 = 1024
+        assert_eq!(p.flops, 1024.0);
+        assert_eq!(p.param_bytes, 4.0 * (8.0 * 4.0 * 2.0 + 8.0));
+    }
+}

@@ -1,0 +1,410 @@
+//! Long Short-Term Memory layer with full backpropagation through time.
+
+use rand::rngs::StdRng;
+
+use crate::init::Init;
+use crate::numerics::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+use crate::profile::{ComputeProfile, ExecutionUnit};
+use crate::{Layer, Tensor, TensorError};
+
+/// Per-time-step activations cached for backpropagation through time.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// A single-layer LSTM consuming `[batch, channels, time]` and producing the
+/// full hidden-state sequence `[batch, hidden, time]`.
+///
+/// Stack several [`Lstm`] layers inside a
+/// [`Sequential`](crate::layers::Sequential) to build the AR-LSTM baseline of
+/// the paper (5 layers × 256 units).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use varade_tensor::{layers::Lstm, Layer, Tensor};
+///
+/// # fn main() -> Result<(), varade_tensor::TensorError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut lstm = Lstm::new(3, 8, &mut rng);
+/// let x = Tensor::zeros(&[2, 3, 5]);
+/// let h = lstm.forward(&x)?;
+/// assert_eq!(h.shape(), &[2, 8, 5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    /// Input-to-hidden weights, `[4 * hidden, input]`, gate order (i, f, g, o).
+    weight_x: Tensor,
+    /// Hidden-to-hidden weights, `[4 * hidden, hidden]`.
+    weight_h: Tensor,
+    /// Gate biases, `[4 * hidden]`.
+    bias: Tensor,
+    weight_x_grad: Tensor,
+    weight_h_grad: Tensor,
+    bias_grad: Tensor,
+    cache: Option<(Vec<Vec<StepCache>>, Vec<usize>)>,
+}
+
+impl Lstm {
+    /// Creates a new LSTM layer with Xavier-initialized weights.
+    ///
+    /// The forget-gate bias is initialized to 1.0, a standard trick that
+    /// stabilizes early training.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
+        let weight_x = Init::XavierUniform.tensor(
+            &[4 * hidden_size, input_size],
+            input_size,
+            hidden_size,
+            rng,
+        );
+        let weight_h = Init::XavierUniform.tensor(
+            &[4 * hidden_size, hidden_size],
+            hidden_size,
+            hidden_size,
+            rng,
+        );
+        let mut bias = Tensor::zeros(&[4 * hidden_size]);
+        // Gate order (i, f, g, o): forget gates are the second block.
+        for idx in hidden_size..2 * hidden_size {
+            *bias.at_mut(&[idx]) = 1.0;
+        }
+        Self {
+            input_size,
+            hidden_size,
+            weight_x,
+            weight_h,
+            bias,
+            weight_x_grad: Tensor::zeros(&[4 * hidden_size, input_size]),
+            weight_h_grad: Tensor::zeros(&[4 * hidden_size, hidden_size]),
+            bias_grad: Tensor::zeros(&[4 * hidden_size]),
+            cache: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(), TensorError> {
+        if input.ndim() != 3 || input.shape()[1] != self.input_size || input.shape()[2] == 0 {
+            return Err(TensorError::InvalidInput {
+                layer: "lstm",
+                reason: format!(
+                    "expected [batch, {}, time>0], got {:?}",
+                    self.input_size,
+                    input.shape()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Computes the pre-activations `W_x x + W_h h + b` for all four gates.
+    fn gate_preactivations(&self, x: &[f32], h_prev: &[f32]) -> Vec<f32> {
+        let hs = self.hidden_size;
+        let is = self.input_size;
+        let wx = self.weight_x.as_slice();
+        let wh = self.weight_h.as_slice();
+        let b = self.bias.as_slice();
+        let mut pre = vec![0.0f32; 4 * hs];
+        for (row, pre_val) in pre.iter_mut().enumerate() {
+            let mut acc = b[row];
+            let wx_row = &wx[row * is..(row + 1) * is];
+            for (xv, wv) in x.iter().zip(wx_row.iter()) {
+                acc += xv * wv;
+            }
+            let wh_row = &wh[row * hs..(row + 1) * hs];
+            for (hv, wv) in h_prev.iter().zip(wh_row.iter()) {
+                acc += hv * wv;
+            }
+            *pre_val = acc;
+        }
+        pre
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_input(input)?;
+        let (batch, _, time) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let hs = self.hidden_size;
+        let mut output = Tensor::zeros(&[batch, hs, time]);
+        let mut caches: Vec<Vec<StepCache>> = Vec::with_capacity(batch);
+        for bi in 0..batch {
+            let mut h = vec![0.0f32; hs];
+            let mut c = vec![0.0f32; hs];
+            let mut batch_cache = Vec::with_capacity(time);
+            for t in 0..time {
+                let x: Vec<f32> = (0..self.input_size).map(|ci| input.at(&[bi, ci, t])).collect();
+                let pre = self.gate_preactivations(&x, &h);
+                let mut i_gate = vec![0.0f32; hs];
+                let mut f_gate = vec![0.0f32; hs];
+                let mut g_gate = vec![0.0f32; hs];
+                let mut o_gate = vec![0.0f32; hs];
+                let mut c_new = vec![0.0f32; hs];
+                let mut tanh_c = vec![0.0f32; hs];
+                let mut h_new = vec![0.0f32; hs];
+                for j in 0..hs {
+                    i_gate[j] = sigmoid(pre[j]);
+                    f_gate[j] = sigmoid(pre[hs + j]);
+                    g_gate[j] = pre[2 * hs + j].tanh();
+                    o_gate[j] = sigmoid(pre[3 * hs + j]);
+                    c_new[j] = f_gate[j] * c[j] + i_gate[j] * g_gate[j];
+                    tanh_c[j] = c_new[j].tanh();
+                    h_new[j] = o_gate[j] * tanh_c[j];
+                    *output.at_mut(&[bi, j, t]) = h_new[j];
+                }
+                batch_cache.push(StepCache {
+                    x,
+                    h_prev: h.clone(),
+                    c_prev: c.clone(),
+                    i: i_gate,
+                    f: f_gate,
+                    g: g_gate,
+                    o: o_gate,
+                    tanh_c,
+                });
+                h = h_new;
+                c = c_new;
+            }
+            caches.push(batch_cache);
+        }
+        self.cache = Some((caches, input.shape().to_vec()));
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let (caches, input_shape) = self
+            .cache
+            .as_ref()
+            .ok_or(TensorError::BackwardBeforeForward { layer: "lstm" })?;
+        let (batch, _, time) = (input_shape[0], input_shape[1], input_shape[2]);
+        let hs = self.hidden_size;
+        let is = self.input_size;
+        if grad_output.shape() != [batch, hs, time] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![batch, hs, time],
+                got: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(input_shape);
+        let wx = self.weight_x.as_slice().to_vec();
+        let wh = self.weight_h.as_slice().to_vec();
+        let gwx = self.weight_x_grad.as_mut_slice();
+        let gwh = self.weight_h_grad.as_mut_slice();
+        let gb = self.bias_grad.as_mut_slice();
+        for bi in 0..batch {
+            let cache = &caches[bi];
+            let mut dh_next = vec![0.0f32; hs];
+            let mut dc_next = vec![0.0f32; hs];
+            for t in (0..time).rev() {
+                let step = &cache[t];
+                // Total gradient w.r.t. h_t: from the output at t plus from the next step.
+                let mut dh = vec![0.0f32; hs];
+                for j in 0..hs {
+                    dh[j] = grad_output.at(&[bi, j, t]) + dh_next[j];
+                }
+                // dc_t = dh * o * (1 - tanh(c)^2) + dc_next
+                let mut dpre = vec![0.0f32; 4 * hs];
+                let mut dc_prev = vec![0.0f32; hs];
+                for j in 0..hs {
+                    let dc = dh[j] * step.o[j] * tanh_deriv_from_output(step.tanh_c[j]) + dc_next[j];
+                    let di = dc * step.g[j];
+                    let df = dc * step.c_prev[j];
+                    let dg = dc * step.i[j];
+                    let do_ = dh[j] * step.tanh_c[j];
+                    dpre[j] = di * sigmoid_deriv_from_output(step.i[j]);
+                    dpre[hs + j] = df * sigmoid_deriv_from_output(step.f[j]);
+                    dpre[2 * hs + j] = dg * tanh_deriv_from_output(step.g[j]);
+                    dpre[3 * hs + j] = do_ * sigmoid_deriv_from_output(step.o[j]);
+                    dc_prev[j] = dc * step.f[j];
+                }
+                // Accumulate parameter gradients and propagate to x and h_prev.
+                let mut dx = vec![0.0f32; is];
+                let mut dh_prev = vec![0.0f32; hs];
+                for (row, &dp) in dpre.iter().enumerate() {
+                    if dp == 0.0 {
+                        continue;
+                    }
+                    gb[row] += dp;
+                    let wx_row = &wx[row * is..(row + 1) * is];
+                    let gwx_row = &mut gwx[row * is..(row + 1) * is];
+                    for ii in 0..is {
+                        gwx_row[ii] += dp * step.x[ii];
+                        dx[ii] += dp * wx_row[ii];
+                    }
+                    let wh_row = &wh[row * hs..(row + 1) * hs];
+                    let gwh_row = &mut gwh[row * hs..(row + 1) * hs];
+                    for jj in 0..hs {
+                        gwh_row[jj] += dp * step.h_prev[jj];
+                        dh_prev[jj] += dp * wh_row[jj];
+                    }
+                }
+                for (ii, &v) in dx.iter().enumerate() {
+                    *grad_input.at_mut(&[bi, ii, t]) = v;
+                }
+                dh_next = dh_prev;
+                dc_next = dc_prev;
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visitor(&mut self.weight_x, &mut self.weight_x_grad);
+        visitor(&mut self.weight_h, &mut self.weight_h_grad);
+        visitor(&mut self.bias, &mut self.bias_grad);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.hidden_size, input_shape[2]]
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> ComputeProfile {
+        let batch = input_shape.first().copied().unwrap_or(1) as f64;
+        let time = input_shape.get(2).copied().unwrap_or(1) as f64;
+        let hs = self.hidden_size as f64;
+        let is = self.input_size as f64;
+        // Per step: 4 gates, each a (is + hs)-wide dot product, plus elementwise updates.
+        let flops = batch * time * (8.0 * hs * (is + hs) + 10.0 * hs);
+        ComputeProfile {
+            flops,
+            param_bytes: 4.0 * (4.0 * hs * (is + hs) + 4.0 * hs),
+            activation_bytes: 4.0 * batch * time * (is + 6.0 * hs),
+            // The recurrence serializes across time steps, so only the within-step
+            // work parallelizes; this is what makes AR-LSTM slow on wide GPUs.
+            parallel_fraction: 0.35,
+            unit: ExecutionUnit::Gpu,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::{finite_difference_grad, relative_error};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn output_shape_is_batch_hidden_time() {
+        let mut lstm = Lstm::new(4, 6, &mut rng());
+        let x = Tensor::ones(&[3, 4, 7]);
+        let y = lstm.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[3, 6, 7]);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded_by_one() {
+        let mut lstm = Lstm::new(2, 4, &mut rng());
+        let x = Tensor::full(&[1, 2, 20], 10.0);
+        let y = lstm.forward(&x).unwrap();
+        assert!(y.iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn zero_input_with_zero_state_gives_small_output() {
+        let mut lstm = Lstm::new(3, 5, &mut rng());
+        let x = Tensor::zeros(&[1, 3, 1]);
+        let y = lstm.forward(&x).unwrap();
+        // With zero input and zero initial state, h = o * tanh(i * g) where the
+        // pre-activations are just the biases; magnitudes stay well below 1.
+        assert!(y.iter().all(|v| v.abs() < 0.8));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_and_premature_backward() {
+        let mut lstm = Lstm::new(3, 5, &mut rng());
+        assert!(lstm.forward(&Tensor::zeros(&[1, 2, 4])).is_err());
+        assert!(lstm.forward(&Tensor::zeros(&[1, 3, 0])).is_err());
+        assert!(lstm.backward(&Tensor::zeros(&[1, 5, 4])).is_err());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let base = Lstm::new(2, 3, &mut rng());
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.63).sin() * 0.5).collect();
+        let mut loss_fn = |xs: &[f32]| {
+            let mut l = base.clone();
+            let t = Tensor::from_vec(xs.to_vec(), &[1, 2, 4]).unwrap();
+            l.forward(&t).unwrap().norm_sq()
+        };
+        let numeric = finite_difference_grad(&mut loss_fn, &x, 1e-3);
+        let mut l = base.clone();
+        let t = Tensor::from_vec(x.clone(), &[1, 2, 4]).unwrap();
+        let y = l.forward(&t).unwrap();
+        let analytic = l.backward(&y.scale(2.0)).unwrap();
+        assert!(relative_error(analytic.as_slice(), &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let base = Lstm::new(2, 2, &mut rng());
+        let x = Tensor::from_vec(
+            (0..6).map(|i| (i as f32 * 0.9).cos() * 0.5).collect(),
+            &[1, 2, 3],
+        )
+        .unwrap();
+        let w0 = base.weight_h.as_slice().to_vec();
+        let mut loss_fn = |ws: &[f32]| {
+            let mut l = base.clone();
+            l.weight_h = Tensor::from_vec(ws.to_vec(), &[8, 2]).unwrap();
+            l.forward(&x).unwrap().norm_sq()
+        };
+        let numeric = finite_difference_grad(&mut loss_fn, &w0, 1e-3);
+        let mut l = base.clone();
+        let y = l.forward(&x).unwrap();
+        l.backward(&y.scale(2.0)).unwrap();
+        assert!(relative_error(l.weight_h_grad.as_slice(), &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let lstm = Lstm::new(3, 4, &mut rng());
+        for j in 0..4 {
+            assert_eq!(lstm.bias.at(&[4 + j]), 1.0);
+            assert_eq!(lstm.bias.at(&[j]), 0.0);
+        }
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut lstm = Lstm::new(3, 4, &mut rng());
+        // 4H*(I+H) + 4H = 16*7 + 16 = 128
+        assert_eq!(lstm.param_count(), 128);
+    }
+
+    #[test]
+    fn profile_reports_limited_parallelism() {
+        let lstm = Lstm::new(8, 16, &mut rng());
+        let p = lstm.profile(&[1, 8, 32]);
+        assert!(p.parallel_fraction < 0.5);
+        assert!(p.flops > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Sequential container chaining layers.
+
+use crate::profile::ComputeProfile;
+use crate::{Layer, Tensor, TensorError};
+
+/// A container that applies layers in order and back-propagates in reverse.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use varade_tensor::{layers::{Linear, Relu, Sequential}, Layer, Tensor};
+///
+/// # fn main() -> Result<(), varade_tensor::TensorError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = Sequential::new(vec![
+///     Box::new(Linear::new(4, 8, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Linear::new(8, 1, &mut rng)),
+/// ]);
+/// let y = model.forward(&Tensor::zeros(&[2, 4]))?;
+/// assert_eq!(y.shape(), &[2, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential({names:?})")
+    }
+}
+
+impl Sequential {
+    /// Creates a container from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Creates an empty container to be extended with [`Sequential::push`].
+    pub fn empty() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the pipeline.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the container.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Human-readable per-layer summary (name and output shape) for a given
+    /// input shape — the equivalent of Keras' `model.summary()` used to
+    /// reproduce Figure 1.
+    pub fn summary(&self, input_shape: &[usize]) -> Vec<(String, Vec<usize>)> {
+        let mut shape = input_shape.to_vec();
+        let mut rows = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+            rows.push((layer.name().to_string(), shape.clone()));
+        }
+        rows
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+        }
+        shape
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> ComputeProfile {
+        let mut shape = input_shape.to_vec();
+        let mut profile = ComputeProfile::default();
+        for layer in &self.layers {
+            profile = profile.combine(&layer.profile(&shape));
+            shape = layer.output_shape(&shape);
+        }
+        profile
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv1d, Flatten, Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut r = rng();
+        let mut model = Sequential::new(vec![
+            Box::new(Conv1d::new(2, 4, 2, 2, 0, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 4, 3, &mut r)),
+        ]);
+        let y = model.forward(&Tensor::ones(&[2, 2, 8])).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(model.output_shape(&[2, 2, 8]), vec![2, 3]);
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_gradient() {
+        let mut r = rng();
+        let mut model = Sequential::new(vec![
+            Box::new(Conv1d::new(1, 2, 2, 2, 0, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(2 * 2, 1, &mut r)),
+        ]);
+        let x = Tensor::ones(&[1, 1, 4]);
+        let y = model.forward(&x).unwrap();
+        let g = model.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn summary_reports_every_layer() {
+        let mut r = rng();
+        let model = Sequential::new(vec![
+            Box::new(Conv1d::new(2, 4, 2, 2, 0, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+        ]);
+        let rows = model.summary(&[1, 2, 16]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ("conv1d".to_string(), vec![1, 4, 8]));
+        assert_eq!(rows[2], ("flatten".to_string(), vec![1, 32]));
+    }
+
+    #[test]
+    fn profile_accumulates_over_layers() {
+        let mut r = rng();
+        let model = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, &mut r)),
+        ]);
+        let p = model.profile(&[1, 4]);
+        assert_eq!(p.flops, 2.0 * 4.0 * 8.0 + 8.0 + 2.0 * 8.0 * 2.0);
+        let mut model = model;
+        assert_eq!(model.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut model = Sequential::empty();
+        assert!(model.is_empty());
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert_eq!(model.forward(&x).unwrap(), x);
+        assert_eq!(model.len(), 0);
+    }
+
+    #[test]
+    fn push_extends_pipeline() {
+        let mut r = rng();
+        let mut model = Sequential::empty();
+        model.push(Box::new(Linear::new(2, 2, &mut r)));
+        model.push(Box::new(Relu::new()));
+        assert_eq!(model.len(), 2);
+        assert_eq!(model.output_shape(&[1, 2]), vec![1, 2]);
+    }
+}

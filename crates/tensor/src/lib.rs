@@ -1,0 +1,170 @@
+//! # varade-tensor
+//!
+//! A from-scratch tensor and neural-network substrate for the VARADE
+//! reproduction. The original paper implemented its models in TensorFlow;
+//! this crate provides the minimal set of building blocks those models need —
+//! dense tensors, 1-D convolutions, linear layers, LSTMs, residual blocks,
+//! Gaussian negative-log-likelihood and KL-divergence losses, and the Adam
+//! optimizer — with hand-written forward and backward passes.
+//!
+//! Every layer also reports a [`profile::ComputeProfile`] describing its
+//! per-inference cost (FLOPs, parameter bytes, activation bytes, parallel
+//! fraction), which the `varade-edge` crate uses to estimate behaviour on
+//! edge devices.
+//!
+//! # Examples
+//!
+//! Train a tiny regression model with Adam:
+//!
+//! ```
+//! use varade_tensor::{Tensor, layers::{Linear, Relu, Sequential}, loss, optim::Adam, Layer};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), varade_tensor::TensorError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = Sequential::new(vec![
+//!     Box::new(Linear::new(2, 8, &mut rng)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(8, 1, &mut rng)),
+//! ]);
+//! let mut opt = Adam::new(1e-2);
+//! let x = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2])?;
+//! let y = Tensor::from_vec(vec![1.0, -1.0], &[2, 1])?;
+//! for _ in 0..50 {
+//!     model.zero_grad();
+//!     let pred = model.forward(&x)?;
+//!     let (loss, grad) = loss::mse_loss(&pred, &y)?;
+//!     model.backward(&grad)?;
+//!     opt.step(&mut model);
+//!     let _ = loss;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod numerics;
+pub mod optim;
+pub mod profile;
+mod tensor;
+
+use std::fmt;
+
+pub use profile::{ComputeProfile, ExecutionUnit};
+pub use tensor::Tensor;
+
+/// Errors produced by tensor operations and layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// An operation received operands with incompatible shapes.
+    ShapeMismatch {
+        /// Shape the operation expected (or the left-hand operand's shape).
+        expected: Vec<usize>,
+        /// Shape it received instead.
+        got: Vec<usize>,
+    },
+    /// A layer received an input whose rank or dimensions it cannot process.
+    InvalidInput {
+        /// The layer that rejected the input.
+        layer: &'static str,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// `backward` was called before `forward` cached the activations it needs.
+    BackwardBeforeForward {
+        /// The layer that was misused.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            TensorError::InvalidInput { layer, reason } => {
+                write!(f, "invalid input to {layer}: {reason}")
+            }
+            TensorError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on {layer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A differentiable layer with explicitly managed parameters and gradients.
+///
+/// Layers cache whatever they need during [`Layer::forward`] so that a
+/// subsequent [`Layer::backward`] can compute gradients with respect to both
+/// the input and the layer's parameters. Parameter/gradient pairs are exposed
+/// through [`Layer::visit_params`] so optimizers can update them without
+/// knowing the layer's internals.
+pub trait Layer {
+    /// Runs the forward pass, caching activations needed for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError>;
+
+    /// Back-propagates `grad_output` (gradient of the loss with respect to
+    /// this layer's output), accumulating parameter gradients and returning
+    /// the gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward` or if `grad_output` has an
+    /// unexpected shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError>;
+
+    /// Visits every `(parameter, gradient)` pair in a stable order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Resets all parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, grad| grad.fill_zero());
+    }
+
+    /// Shape of the output produced for an input of the given shape.
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Per-inference compute cost for an input of the given shape.
+    fn profile(&self, input_shape: &[usize]) -> ComputeProfile;
+
+    /// Short human-readable layer name used in model summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _| count += p.len());
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TensorError::ShapeMismatch { expected: vec![2, 3], got: vec![4] };
+        assert!(e.to_string().contains("shape mismatch"));
+        let e = TensorError::InvalidInput { layer: "conv1d", reason: "rank".into() };
+        assert!(e.to_string().contains("conv1d"));
+        let e = TensorError::BackwardBeforeForward { layer: "linear" };
+        assert!(e.to_string().contains("linear"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+        assert_send_sync::<Tensor>();
+    }
+}

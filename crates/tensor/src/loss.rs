@@ -1,0 +1,303 @@
+//! Loss functions used by VARADE and its baselines.
+//!
+//! Every loss returns the mean-reduced scalar value together with the
+//! gradient(s) with respect to its inputs, already divided by the element
+//! count so they can be fed straight into [`Layer::backward`](crate::Layer).
+
+use crate::numerics::clamp_log_var;
+use crate::{Tensor, TensorError};
+
+/// Mean squared error between `pred` and `target`.
+///
+/// Returns `(loss, d loss / d pred)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+///
+/// # Examples
+///
+/// ```
+/// use varade_tensor::{loss::mse_loss, Tensor};
+/// # fn main() -> Result<(), varade_tensor::TensorError> {
+/// let pred = Tensor::from_vec(vec![1.0, 2.0], &[2])?;
+/// let target = Tensor::from_vec(vec![0.0, 2.0], &[2])?;
+/// let (l, grad) = mse_loss(&pred, &target)?;
+/// assert!((l - 0.5).abs() < 1e-6);
+/// assert_eq!(grad.shape(), &[2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: pred.shape().to_vec(),
+            got: target.shape().to_vec(),
+        });
+    }
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target)?;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// Gaussian negative log-likelihood of `target` under `N(mu, exp(log_var))`,
+/// ignoring the constant `log(2π)/2` term exactly as in the paper (Eq. 4–5):
+///
+/// `NLL = ½ (log σ² + (y − μ)² / σ²)`
+///
+/// Returns `(loss, d loss / d mu, d loss / d log_var)`, mean-reduced.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the three tensors do not share a
+/// shape.
+pub fn gaussian_nll_loss(
+    mu: &Tensor,
+    log_var: &Tensor,
+    target: &Tensor,
+) -> Result<(f32, Tensor, Tensor), TensorError> {
+    if mu.shape() != target.shape() || log_var.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: target.shape().to_vec(),
+            got: mu.shape().to_vec(),
+        });
+    }
+    let n = mu.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad_mu = Tensor::zeros(mu.shape());
+    let mut grad_log_var = Tensor::zeros(mu.shape());
+    {
+        let gm = grad_mu.as_mut_slice();
+        let gl = grad_log_var.as_mut_slice();
+        for (idx, ((&m, &lv_raw), &y)) in mu
+            .iter()
+            .zip(log_var.iter())
+            .zip(target.iter())
+            .enumerate()
+        {
+            let lv = clamp_log_var(lv_raw);
+            let var = lv.exp();
+            let err = y - m;
+            loss += 0.5 * (lv + err * err / var);
+            gm[idx] = (m - y) / var / n;
+            gl[idx] = 0.5 * (1.0 - err * err / var) / n;
+        }
+    }
+    Ok((loss / n, grad_mu, grad_log_var))
+}
+
+/// KL divergence between `N(mu, exp(log_var))` and the standard normal prior
+/// (paper Eq. 6):
+///
+/// `D_KL = −½ (1 + log σ² − μ² − σ²)`
+///
+/// Returns `(loss, d loss / d mu, d loss / d log_var)`, mean-reduced.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn kl_divergence_loss(mu: &Tensor, log_var: &Tensor) -> Result<(f32, Tensor, Tensor), TensorError> {
+    if mu.shape() != log_var.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: mu.shape().to_vec(),
+            got: log_var.shape().to_vec(),
+        });
+    }
+    let n = mu.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad_mu = Tensor::zeros(mu.shape());
+    let mut grad_log_var = Tensor::zeros(mu.shape());
+    {
+        let gm = grad_mu.as_mut_slice();
+        let gl = grad_log_var.as_mut_slice();
+        for (idx, (&m, &lv_raw)) in mu.iter().zip(log_var.iter()).enumerate() {
+            let lv = clamp_log_var(lv_raw);
+            let var = lv.exp();
+            loss += -0.5 * (1.0 + lv - m * m - var);
+            gm[idx] = m / n;
+            gl[idx] = 0.5 * (var - 1.0) / n;
+        }
+    }
+    Ok((loss / n, grad_mu, grad_log_var))
+}
+
+/// The full VARADE training objective (paper Eq. 7):
+/// `L = L_recon + λ · D_KL`.
+///
+/// Returns `(total loss, d loss / d mu, d loss / d log_var)`, mean-reduced.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the tensors do not share a shape.
+pub fn elbo_loss(
+    mu: &Tensor,
+    log_var: &Tensor,
+    target: &Tensor,
+    kl_weight: f32,
+) -> Result<(f32, Tensor, Tensor), TensorError> {
+    let (recon, mut grad_mu, mut grad_log_var) = gaussian_nll_loss(mu, log_var, target)?;
+    let (kl, kl_grad_mu, kl_grad_log_var) = kl_divergence_loss(mu, log_var)?;
+    grad_mu.axpy(kl_weight, &kl_grad_mu)?;
+    grad_log_var.axpy(kl_weight, &kl_grad_log_var)?;
+    Ok((recon + kl_weight * kl, grad_mu, grad_log_var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::{finite_difference_grad, relative_error};
+
+    #[test]
+    fn mse_of_identical_tensors_is_zero() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let (l, g) = mse_loss(&a, &a).unwrap();
+        assert_eq!(l, 0.0);
+        assert!(g.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let target = Tensor::from_vec(vec![0.5, -0.5, 1.0, 0.0], &[4]).unwrap();
+        let p0 = vec![0.1, 0.2, -0.3, 0.4];
+        let mut f = |ps: &[f32]| {
+            let p = Tensor::from_vec(ps.to_vec(), &[4]).unwrap();
+            mse_loss(&p, &target).unwrap().0
+        };
+        let numeric = finite_difference_grad(&mut f, &p0, 1e-3);
+        let p = Tensor::from_vec(p0.clone(), &[4]).unwrap();
+        let (_, analytic) = mse_loss(&p, &target).unwrap();
+        assert!(relative_error(analytic.as_slice(), &numeric) < 1e-2);
+    }
+
+    #[test]
+    fn mse_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(mse_loss(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gaussian_nll_is_minimized_at_true_mean_and_variance() {
+        // For target 0 and unit variance the NLL at mu=0, log_var=0 is 0.
+        let mu = Tensor::zeros(&[1]);
+        let lv = Tensor::zeros(&[1]);
+        let y = Tensor::zeros(&[1]);
+        let (l, gm, glv) = gaussian_nll_loss(&mu, &lv, &y).unwrap();
+        assert!((l - 0.0).abs() < 1e-6);
+        assert!(gm.at(&[0]).abs() < 1e-6);
+        // At the optimum of sigma (sigma^2 = err^2 = 0) the log-var gradient pushes variance down.
+        assert!(glv.at(&[0]) > 0.0);
+    }
+
+    #[test]
+    fn gaussian_nll_increases_with_prediction_error() {
+        let lv = Tensor::zeros(&[1]);
+        let y = Tensor::zeros(&[1]);
+        let near = gaussian_nll_loss(&Tensor::from_vec(vec![0.1], &[1]).unwrap(), &lv, &y).unwrap().0;
+        let far = gaussian_nll_loss(&Tensor::from_vec(vec![2.0], &[1]).unwrap(), &lv, &y).unwrap().0;
+        assert!(far > near);
+    }
+
+    #[test]
+    fn gaussian_nll_gradients_match_finite_differences() {
+        let y = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[3]).unwrap();
+        let mu0 = vec![0.1, 0.0, 0.9];
+        let lv0 = vec![-0.5, 0.3, 0.2];
+        // Gradient w.r.t. mu.
+        let lv = Tensor::from_vec(lv0.clone(), &[3]).unwrap();
+        let mut f_mu = |ms: &[f32]| {
+            let m = Tensor::from_vec(ms.to_vec(), &[3]).unwrap();
+            gaussian_nll_loss(&m, &lv, &y).unwrap().0
+        };
+        let numeric_mu = finite_difference_grad(&mut f_mu, &mu0, 1e-3);
+        let mu = Tensor::from_vec(mu0.clone(), &[3]).unwrap();
+        let (_, gm, glv) = gaussian_nll_loss(&mu, &lv, &y).unwrap();
+        assert!(relative_error(gm.as_slice(), &numeric_mu) < 1e-2);
+        // Gradient w.r.t. log-variance.
+        let mut f_lv = |ls: &[f32]| {
+            let l = Tensor::from_vec(ls.to_vec(), &[3]).unwrap();
+            gaussian_nll_loss(&mu, &l, &y).unwrap().0
+        };
+        let numeric_lv = finite_difference_grad(&mut f_lv, &lv0, 1e-3);
+        assert!(relative_error(glv.as_slice(), &numeric_lv) < 1e-2);
+    }
+
+    #[test]
+    fn kl_divergence_is_zero_for_standard_normal() {
+        let mu = Tensor::zeros(&[4]);
+        let lv = Tensor::zeros(&[4]);
+        let (l, gm, glv) = kl_divergence_loss(&mu, &lv).unwrap();
+        assert!(l.abs() < 1e-7);
+        assert!(gm.iter().all(|v| v.abs() < 1e-7));
+        assert!(glv.iter().all(|v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn kl_divergence_is_non_negative() {
+        for (m, lv) in [(0.5, 0.0), (0.0, 1.0), (-1.0, -1.0), (2.0, 2.0)] {
+            let mu = Tensor::from_vec(vec![m], &[1]).unwrap();
+            let l = Tensor::from_vec(vec![lv], &[1]).unwrap();
+            let (loss, _, _) = kl_divergence_loss(&mu, &l).unwrap();
+            assert!(loss >= -1e-6, "KL must be non-negative, got {loss} for ({m}, {lv})");
+        }
+    }
+
+    #[test]
+    fn kl_gradients_match_finite_differences() {
+        let mu0 = vec![0.4, -0.8];
+        let lv0 = vec![0.3, -0.6];
+        let lv = Tensor::from_vec(lv0.clone(), &[2]).unwrap();
+        let mut f_mu = |ms: &[f32]| {
+            let m = Tensor::from_vec(ms.to_vec(), &[2]).unwrap();
+            kl_divergence_loss(&m, &lv).unwrap().0
+        };
+        let numeric_mu = finite_difference_grad(&mut f_mu, &mu0, 1e-3);
+        let mu = Tensor::from_vec(mu0.clone(), &[2]).unwrap();
+        let (_, gm, glv) = kl_divergence_loss(&mu, &lv).unwrap();
+        assert!(relative_error(gm.as_slice(), &numeric_mu) < 1e-2);
+        let mut f_lv = |ls: &[f32]| {
+            let l = Tensor::from_vec(ls.to_vec(), &[2]).unwrap();
+            kl_divergence_loss(&mu, &l).unwrap().0
+        };
+        let numeric_lv = finite_difference_grad(&mut f_lv, &lv0, 1e-3);
+        assert!(relative_error(glv.as_slice(), &numeric_lv) < 1e-2);
+    }
+
+    #[test]
+    fn elbo_reduces_to_nll_when_lambda_is_zero() {
+        let mu = Tensor::from_vec(vec![0.2, 0.4], &[2]).unwrap();
+        let lv = Tensor::from_vec(vec![0.1, -0.2], &[2]).unwrap();
+        let y = Tensor::from_vec(vec![0.0, 0.5], &[2]).unwrap();
+        let (nll, gm, glv) = gaussian_nll_loss(&mu, &lv, &y).unwrap();
+        let (elbo, egm, eglv) = elbo_loss(&mu, &lv, &y, 0.0).unwrap();
+        assert!((nll - elbo).abs() < 1e-7);
+        assert_eq!(gm, egm);
+        assert_eq!(glv, eglv);
+    }
+
+    #[test]
+    fn elbo_adds_weighted_kl() {
+        let mu = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let lv = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let y = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let (nll, _, _) = gaussian_nll_loss(&mu, &lv, &y).unwrap();
+        let (kl, _, _) = kl_divergence_loss(&mu, &lv).unwrap();
+        let (elbo, _, _) = elbo_loss(&mu, &lv, &y, 0.25).unwrap();
+        assert!((elbo - (nll + 0.25 * kl)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn losses_survive_extreme_log_variance() {
+        let mu = Tensor::zeros(&[2]);
+        let lv = Tensor::from_vec(vec![1e6, -1e6], &[2]).unwrap();
+        let y = Tensor::ones(&[2]);
+        let (l, gm, glv) = gaussian_nll_loss(&mu, &lv, &y).unwrap();
+        assert!(l.is_finite());
+        assert!(!gm.has_non_finite());
+        assert!(!glv.has_non_finite());
+        let (kl, _, _) = kl_divergence_loss(&mu, &lv).unwrap();
+        assert!(kl.is_finite());
+    }
+}

@@ -1,0 +1,144 @@
+//! Small numerical helpers shared across layers and losses.
+
+/// Numerically stable logistic sigmoid.
+///
+/// # Examples
+///
+/// ```
+/// use varade_tensor::numerics::sigmoid;
+/// assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+/// assert!(sigmoid(40.0) > 0.999_999);
+/// assert!(sigmoid(-40.0) < 1e-6);
+/// ```
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Derivative of the sigmoid expressed in terms of its output `s = sigmoid(x)`.
+pub fn sigmoid_deriv_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent (thin wrapper for symmetry with [`sigmoid`]).
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed in terms of its output `t = tanh(x)`.
+pub fn tanh_deriv_from_output(t: f32) -> f32 {
+    1.0 - t * t
+}
+
+/// Numerically stable softplus `ln(1 + e^x)`.
+///
+/// Used to keep predicted variances positive where a raw exponential would
+/// overflow.
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Clamps a log-variance to a range that keeps `exp` finite and the loss well
+/// conditioned.
+pub fn clamp_log_var(log_var: f32) -> f32 {
+    log_var.clamp(-10.0, 10.0)
+}
+
+/// Central-difference numerical gradient of a scalar function, used by tests
+/// to validate analytic backward passes.
+pub fn finite_difference_grad(f: &mut dyn FnMut(&[f32]) -> f32, x: &[f32], eps: f32) -> Vec<f32> {
+    let mut grad = vec![0.0; x.len()];
+    let mut probe = x.to_vec();
+    for i in 0..x.len() {
+        let orig = probe[i];
+        probe[i] = orig + eps;
+        let plus = f(&probe);
+        probe[i] = orig - eps;
+        let minus = f(&probe);
+        probe[i] = orig;
+        grad[i] = (plus - minus) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Relative error between two gradient vectors, used as the acceptance
+/// criterion in gradient-check tests.
+pub fn relative_error(a: &[f32], b: &[f32]) -> f32 {
+    let mut num = 0.0f32;
+    let mut den = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        num += (x - y).abs();
+        den += x.abs() + y.abs();
+    }
+    if den < 1e-12 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        let xs = [-50.0, -5.0, -1.0, 0.0, 1.0, 5.0, 50.0];
+        let mut prev = -1.0;
+        for &x in &xs {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sigmoid_matches_naive_in_safe_range() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.25;
+            let naive = 1.0 / (1.0 + (-x).exp());
+            assert!((sigmoid(x) - naive).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softplus_is_positive_and_asymptotic() {
+        assert!(softplus(-100.0) >= 0.0);
+        assert!((softplus(100.0) - 100.0).abs() < 1e-3);
+        assert!((softplus(0.0) - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamp_log_var_limits_range() {
+        assert_eq!(clamp_log_var(1e9), 10.0);
+        assert_eq!(clamp_log_var(-1e9), -10.0);
+        assert_eq!(clamp_log_var(0.5), 0.5);
+    }
+
+    #[test]
+    fn finite_difference_matches_quadratic() {
+        // f(x) = sum x_i^2, grad = 2x
+        let mut f = |x: &[f32]| x.iter().map(|v| v * v).sum::<f32>();
+        let x = [1.0, -2.0, 3.0];
+        let g = finite_difference_grad(&mut f, &x, 1e-3);
+        let expect = [2.0, -4.0, 6.0];
+        assert!(relative_error(&g, &expect) < 1e-3);
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        assert_eq!(relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Compute-cost profiles reported by layers and models.
+//!
+//! The edge-platform simulator (`varade-edge`) consumes these profiles to
+//! estimate inference frequency, power draw and memory footprint on a given
+//! device, following the paper's observation (§3.1) that inference speed of
+//! small CNNs is usually bound by memory bandwidth rather than arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Which execution unit a workload prefers on a heterogeneous edge board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecutionUnit {
+    /// Dense, data-parallel kernels (convolutions, large matmuls) that map well to a GPU.
+    #[default]
+    Gpu,
+    /// Branchy or latency-bound workloads (tree traversal, neighbour search) that stay on the CPU.
+    Cpu,
+}
+
+/// Static compute-cost description of one inference call.
+///
+/// All quantities are per single inference (one window / one sample), so the
+/// edge simulator can turn them into a frequency and a utilization figure.
+///
+/// # Examples
+///
+/// ```
+/// use varade_tensor::profile::ComputeProfile;
+///
+/// let a = ComputeProfile { flops: 1_000.0, ..ComputeProfile::default() };
+/// let b = ComputeProfile { flops: 500.0, param_bytes: 64.0, ..ComputeProfile::default() };
+/// let total = a.combine(&b);
+/// assert_eq!(total.flops, 1_500.0);
+/// assert_eq!(total.param_bytes, 64.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeProfile {
+    /// Floating-point operations per inference.
+    pub flops: f64,
+    /// Bytes of parameters that must be streamed from memory per inference.
+    pub param_bytes: f64,
+    /// Bytes of activations written + read per inference.
+    pub activation_bytes: f64,
+    /// Fraction of the work that can be executed in parallel (0..=1); the
+    /// serial remainder bounds speed-up on wide devices (Amdahl).
+    pub parallel_fraction: f64,
+    /// Preferred execution unit on a CPU+GPU edge board.
+    pub unit: ExecutionUnit,
+}
+
+impl Default for ComputeProfile {
+    fn default() -> Self {
+        Self {
+            flops: 0.0,
+            param_bytes: 0.0,
+            activation_bytes: 0.0,
+            parallel_fraction: 1.0,
+            unit: ExecutionUnit::Gpu,
+        }
+    }
+}
+
+impl ComputeProfile {
+    /// Combines two profiles executed back-to-back in the same inference call.
+    ///
+    /// FLOPs and byte counts add; the parallel fraction is the FLOP-weighted
+    /// average; the preferred unit is taken from the more expensive half.
+    pub fn combine(&self, other: &Self) -> Self {
+        let flops = self.flops + other.flops;
+        let parallel_fraction = if flops > 0.0 {
+            (self.parallel_fraction * self.flops + other.parallel_fraction * other.flops) / flops
+        } else {
+            self.parallel_fraction.max(other.parallel_fraction)
+        };
+        Self {
+            flops,
+            param_bytes: self.param_bytes + other.param_bytes,
+            activation_bytes: self.activation_bytes + other.activation_bytes,
+            parallel_fraction,
+            unit: if self.flops >= other.flops { self.unit } else { other.unit },
+        }
+    }
+
+    /// Total bytes moved per inference (parameters + activations).
+    pub fn total_bytes(&self) -> f64 {
+        self.param_bytes + self.activation_bytes
+    }
+
+    /// Arithmetic intensity in FLOPs per byte; zero when no bytes move.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes > 0.0 {
+            self.flops / bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of parameters, assuming 4-byte floats.
+    pub fn param_count(&self) -> f64 {
+        self.param_bytes / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_adds_costs() {
+        let a = ComputeProfile {
+            flops: 100.0,
+            param_bytes: 40.0,
+            activation_bytes: 10.0,
+            parallel_fraction: 1.0,
+            unit: ExecutionUnit::Gpu,
+        };
+        let b = ComputeProfile {
+            flops: 300.0,
+            param_bytes: 60.0,
+            activation_bytes: 30.0,
+            parallel_fraction: 0.5,
+            unit: ExecutionUnit::Cpu,
+        };
+        let c = a.combine(&b);
+        assert_eq!(c.flops, 400.0);
+        assert_eq!(c.param_bytes, 100.0);
+        assert_eq!(c.activation_bytes, 40.0);
+        assert!((c.parallel_fraction - 0.625).abs() < 1e-9);
+        assert_eq!(c.unit, ExecutionUnit::Cpu);
+    }
+
+    #[test]
+    fn arithmetic_intensity_handles_zero_bytes() {
+        let p = ComputeProfile { flops: 10.0, ..ComputeProfile::default() };
+        assert_eq!(p.arithmetic_intensity(), 0.0);
+        let q = ComputeProfile { flops: 10.0, param_bytes: 2.0, activation_bytes: 3.0, ..ComputeProfile::default() };
+        assert!((q.arithmetic_intensity() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn param_count_is_bytes_over_four() {
+        let p = ComputeProfile { param_bytes: 400.0, ..ComputeProfile::default() };
+        assert_eq!(p.param_count(), 100.0);
+    }
+}

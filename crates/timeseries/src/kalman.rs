@@ -1,0 +1,153 @@
+//! Scalar Kalman filter used by the simulated IMU sensors.
+//!
+//! The physical DFRobot SEN0386 sensors in the paper "send data at 200 Hz on
+//! a serial wire after applying a Kalman filter to reduce noise" (§4.1). The
+//! robot simulator applies this filter to its noisy raw measurements so the
+//! generated stream has the same smoothed character.
+
+/// A one-dimensional constant-state Kalman filter.
+///
+/// # Examples
+///
+/// ```
+/// use varade_timeseries::ScalarKalmanFilter;
+///
+/// let mut filter = ScalarKalmanFilter::new(1e-3, 1e-1);
+/// let mut last = 0.0;
+/// for _ in 0..50 {
+///     last = filter.update(1.0);
+/// }
+/// assert!((last - 1.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarKalmanFilter {
+    process_variance: f32,
+    measurement_variance: f32,
+    estimate: f32,
+    error_covariance: f32,
+    initialized: bool,
+}
+
+impl ScalarKalmanFilter {
+    /// Creates a filter with the given process and measurement noise variances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variance is not strictly positive.
+    pub fn new(process_variance: f32, measurement_variance: f32) -> Self {
+        assert!(process_variance > 0.0, "process variance must be positive");
+        assert!(measurement_variance > 0.0, "measurement variance must be positive");
+        Self {
+            process_variance,
+            measurement_variance,
+            estimate: 0.0,
+            error_covariance: 1.0,
+            initialized: false,
+        }
+    }
+
+    /// Current state estimate.
+    pub fn estimate(&self) -> f32 {
+        self.estimate
+    }
+
+    /// Current error covariance.
+    pub fn error_covariance(&self) -> f32 {
+        self.error_covariance
+    }
+
+    /// Feeds one measurement and returns the updated estimate.
+    pub fn update(&mut self, measurement: f32) -> f32 {
+        if !self.initialized {
+            self.estimate = measurement;
+            self.error_covariance = self.measurement_variance;
+            self.initialized = true;
+            return self.estimate;
+        }
+        // Predict.
+        let predicted_covariance = self.error_covariance + self.process_variance;
+        // Update.
+        let gain = predicted_covariance / (predicted_covariance + self.measurement_variance);
+        self.estimate += gain * (measurement - self.estimate);
+        self.error_covariance = (1.0 - gain) * predicted_covariance;
+        self.estimate
+    }
+
+    /// Resets the filter to its uninitialized state.
+    pub fn reset(&mut self) {
+        self.estimate = 0.0;
+        self.error_covariance = 1.0;
+        self.initialized = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_measurement_initializes_estimate() {
+        let mut f = ScalarKalmanFilter::new(1e-3, 1e-2);
+        assert_eq!(f.update(5.0), 5.0);
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut f = ScalarKalmanFilter::new(1e-4, 1e-1);
+        let mut est = 0.0;
+        for _ in 0..200 {
+            est = f.update(2.5);
+        }
+        assert!((est - 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn smooths_noise_variance() {
+        // Deterministic pseudo-noise around zero.
+        let noise: Vec<f32> = (0..400).map(|i| ((i * 37 % 19) as f32 - 9.0) / 9.0).collect();
+        let mut f = ScalarKalmanFilter::new(1e-4, 1.0);
+        let filtered: Vec<f32> = noise.iter().map(|&n| f.update(n)).collect();
+        let var = |xs: &[f32]| {
+            let m = xs.iter().sum::<f32>() / xs.len() as f32;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+        };
+        // Skip the initialization transient.
+        assert!(var(&filtered[50..]) < var(&noise[50..]) * 0.5);
+    }
+
+    #[test]
+    fn tracks_slow_ramp() {
+        let mut f = ScalarKalmanFilter::new(1e-2, 1e-1);
+        let mut last = 0.0;
+        for t in 0..500 {
+            last = f.update(t as f32 * 0.01);
+        }
+        assert!((last - 4.99).abs() < 0.5);
+    }
+
+    #[test]
+    fn error_covariance_shrinks_with_observations() {
+        let mut f = ScalarKalmanFilter::new(1e-5, 1e-1);
+        f.update(1.0);
+        let after_one = f.error_covariance();
+        for _ in 0..20 {
+            f.update(1.0);
+        }
+        assert!(f.error_covariance() < after_one);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be positive")]
+    fn rejects_non_positive_variance() {
+        let _ = ScalarKalmanFilter::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut f = ScalarKalmanFilter::new(1e-3, 1e-2);
+        f.update(10.0);
+        f.reset();
+        assert_eq!(f.estimate(), 0.0);
+        assert_eq!(f.update(3.0), 3.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # varade-timeseries
+//!
+//! Multivariate time-series (MTS) containers and preprocessing used by the
+//! VARADE reproduction: channel-labelled series, min-max normalization to
+//! `[-1, 1]` (paper §4.3), sliding forecasting windows, a streaming window
+//! buffer for real-time inference, quaternion conversion for joint
+//! orientations (paper §4.2) and a scalar Kalman filter mirroring the
+//! filtering done on the IMU sensors.
+//!
+//! # Examples
+//!
+//! ```
+//! use varade_timeseries::{MultivariateSeries, MinMaxNormalizer, WindowIter};
+//!
+//! # fn main() -> Result<(), varade_timeseries::SeriesError> {
+//! let mut series = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0)?;
+//! for t in 0..8 {
+//!     series.push_row(&[t as f32, -(t as f32)])?;
+//! }
+//! let normalizer = MinMaxNormalizer::fit(&series)?;
+//! let normalized = normalizer.transform(&series)?;
+//! let windows: Vec<_> = WindowIter::forecasting(&normalized, 4, 1)?.collect();
+//! assert_eq!(windows.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod kalman;
+mod normalize;
+mod quaternion;
+mod series;
+mod stream;
+mod window;
+
+pub use kalman::ScalarKalmanFilter;
+pub use normalize::MinMaxNormalizer;
+pub use quaternion::Quaternion;
+pub use series::{MultivariateSeries, SeriesError};
+pub use stream::StreamingWindow;
+pub use window::{ForecastWindow, WindowIter};

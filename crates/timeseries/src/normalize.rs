@@ -1,0 +1,218 @@
+//! Per-channel min-max normalization to `[-1, 1]`.
+//!
+//! The paper normalizes every channel to `[-1, 1]` using the minimum and
+//! maximum of the training data "ensuring that all the features have equal
+//! importance" (§4.3). The same fitted normalizer is then applied to the test
+//! stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MultivariateSeries, SeriesError};
+
+/// A fitted per-channel min-max scaler mapping training ranges to `[-1, 1]`.
+///
+/// Channels that were constant during fitting are mapped to `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use varade_timeseries::{MultivariateSeries, MinMaxNormalizer};
+///
+/// # fn main() -> Result<(), varade_timeseries::SeriesError> {
+/// let mut s = MultivariateSeries::new(vec!["x".into()], 1.0)?;
+/// for v in [0.0f32, 5.0, 10.0] {
+///     s.push_row(&[v])?;
+/// }
+/// let norm = MinMaxNormalizer::fit(&s)?;
+/// let out = norm.transform(&s)?;
+/// assert_eq!(out.value(0, 0), -1.0);
+/// assert_eq!(out.value(1, 0), 0.0);
+/// assert_eq!(out.value(2, 0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxNormalizer {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl MinMaxNormalizer {
+    /// Fits the scaler to a training series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::Empty`] for an empty series and
+    /// [`SeriesError::NonFiniteValue`] if the series contains NaN or infinity.
+    pub fn fit(series: &MultivariateSeries) -> Result<Self, SeriesError> {
+        series.check_finite()?;
+        let ranges = series.channel_ranges()?;
+        Ok(Self {
+            mins: ranges.iter().map(|r| r.0).collect(),
+            maxs: ranges.iter().map(|r| r.1).collect(),
+        })
+    }
+
+    /// Builds a normalizer from explicit per-channel `(min, max)` pairs.
+    pub fn from_ranges(ranges: &[(f32, f32)]) -> Self {
+        Self {
+            mins: ranges.iter().map(|r| r.0).collect(),
+            maxs: ranges.iter().map(|r| r.1).collect(),
+        }
+    }
+
+    /// Number of channels this normalizer was fitted on.
+    pub fn n_channels(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Normalizes a single value from channel `c`.
+    pub fn transform_value(&self, c: usize, v: f32) -> f32 {
+        let (lo, hi) = (self.mins[c], self.maxs[c]);
+        let span = hi - lo;
+        if span <= f32::EPSILON {
+            0.0
+        } else {
+            // Clamp so that test-time excursions beyond the training range stay bounded.
+            (2.0 * (v - lo) / span - 1.0).clamp(-3.0, 3.0)
+        }
+    }
+
+    /// Inverse-transforms a normalized value back to the original scale.
+    pub fn inverse_value(&self, c: usize, v: f32) -> f32 {
+        let (lo, hi) = (self.mins[c], self.maxs[c]);
+        let span = hi - lo;
+        if span <= f32::EPSILON {
+            lo
+        } else {
+            (v + 1.0) / 2.0 * span + lo
+        }
+    }
+
+    /// Normalizes an entire series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::ChannelCountMismatch`] if the series has a
+    /// different channel count than the fitted normalizer.
+    pub fn transform(&self, series: &MultivariateSeries) -> Result<MultivariateSeries, SeriesError> {
+        if series.n_channels() != self.n_channels() {
+            return Err(SeriesError::ChannelCountMismatch {
+                expected: self.n_channels(),
+                got: series.n_channels(),
+            });
+        }
+        let mut data = Vec::with_capacity(series.len() * series.n_channels());
+        for t in 0..series.len() {
+            for c in 0..series.n_channels() {
+                data.push(self.transform_value(c, series.value(t, c)));
+            }
+        }
+        MultivariateSeries::from_rows(
+            series.channel_names().to_vec(),
+            series.sample_rate_hz(),
+            data,
+        )
+    }
+
+    /// Normalizes one raw sample row in place (used by the streaming path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::ChannelCountMismatch`] if the row width differs
+    /// from the fitted channel count.
+    pub fn transform_row(&self, row: &mut [f32]) -> Result<(), SeriesError> {
+        if row.len() != self.n_channels() {
+            return Err(SeriesError::ChannelCountMismatch {
+                expected: self.n_channels(),
+                got: row.len(),
+            });
+        }
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = self.transform_value(c, *v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_series() -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["up".into(), "flat".into()], 1.0).unwrap();
+        for t in 0..11 {
+            s.push_row(&[t as f32, 3.0]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn transform_maps_training_range_to_unit_interval() {
+        let s = ramp_series();
+        let n = MinMaxNormalizer::fit(&s).unwrap();
+        let out = n.transform(&s).unwrap();
+        assert_eq!(out.value(0, 0), -1.0);
+        assert_eq!(out.value(10, 0), 1.0);
+        assert!((out.value(5, 0) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_channel_maps_to_zero() {
+        let s = ramp_series();
+        let n = MinMaxNormalizer::fit(&s).unwrap();
+        let out = n.transform(&s).unwrap();
+        for t in 0..s.len() {
+            assert_eq!(out.value(t, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips_within_training_range() {
+        let s = ramp_series();
+        let n = MinMaxNormalizer::fit(&s).unwrap();
+        for v in [0.0f32, 2.5, 7.0, 10.0] {
+            let norm = n.transform_value(0, v);
+            let back = n.inverse_value(0, norm);
+            assert!((back - v).abs() < 1e-5, "{v} -> {norm} -> {back}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let s = ramp_series();
+        let n = MinMaxNormalizer::fit(&s).unwrap();
+        assert!(n.transform_value(0, 1e9) <= 3.0);
+        assert!(n.transform_value(0, -1e9) >= -3.0);
+    }
+
+    #[test]
+    fn fit_rejects_empty_or_nan_series() {
+        let empty = MultivariateSeries::new(vec!["a".into()], 1.0).unwrap();
+        assert!(MinMaxNormalizer::fit(&empty).is_err());
+        let mut bad = MultivariateSeries::new(vec!["a".into()], 1.0).unwrap();
+        bad.push_row(&[f32::INFINITY]).unwrap();
+        assert!(MinMaxNormalizer::fit(&bad).is_err());
+    }
+
+    #[test]
+    fn transform_checks_channel_count() {
+        let s = ramp_series();
+        let n = MinMaxNormalizer::fit(&s).unwrap();
+        let other = MultivariateSeries::new(vec!["only".into()], 1.0).unwrap();
+        assert!(n.transform(&other).is_err());
+        let mut row = vec![1.0];
+        assert!(n.transform_row(&mut row).is_err());
+    }
+
+    #[test]
+    fn transform_row_matches_series_transform() {
+        let s = ramp_series();
+        let n = MinMaxNormalizer::fit(&s).unwrap();
+        let mut row = vec![7.0, 3.0];
+        n.transform_row(&mut row).unwrap();
+        let expected = n.transform(&s).unwrap();
+        assert!((row[0] - expected.value(7, 0)).abs() < 1e-6);
+        assert_eq!(row[1], 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Quaternions for joint-orientation channels.
+//!
+//! The paper converts the IMU Euler angles (which wrap around at ±180°, a
+//! "source of confusion for pattern recognition techniques") to quaternions
+//! (§4.2). The robot simulator does the same conversion with this type.
+
+use serde::{Deserialize, Serialize};
+
+/// A unit quaternion `(w, x, y, z)` representing a 3-D orientation.
+///
+/// # Examples
+///
+/// ```
+/// use varade_timeseries::Quaternion;
+///
+/// let q = Quaternion::from_euler_deg(90.0, 0.0, 0.0);
+/// assert!((q.norm() - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quaternion {
+    /// Scalar component.
+    pub w: f32,
+    /// First vector component.
+    pub x: f32,
+    /// Second vector component.
+    pub y: f32,
+    /// Third vector component.
+    pub z: f32,
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+    }
+
+    /// Builds a quaternion from intrinsic roll/pitch/yaw angles in radians.
+    pub fn from_euler_rad(roll: f32, pitch: f32, yaw: f32) -> Self {
+        let (sr, cr) = (roll * 0.5).sin_cos();
+        let (sp, cp) = (pitch * 0.5).sin_cos();
+        let (sy, cy) = (yaw * 0.5).sin_cos();
+        Self {
+            w: cr * cp * cy + sr * sp * sy,
+            x: sr * cp * cy - cr * sp * sy,
+            y: cr * sp * cy + sr * cp * sy,
+            z: cr * cp * sy - sr * sp * cy,
+        }
+    }
+
+    /// Builds a quaternion from roll/pitch/yaw angles in degrees, the unit
+    /// reported by the IMU sensors.
+    pub fn from_euler_deg(roll: f32, pitch: f32, yaw: f32) -> Self {
+        Self::from_euler_rad(roll.to_radians(), pitch.to_radians(), yaw.to_radians())
+    }
+
+    /// Euclidean norm of the four components.
+    pub fn norm(&self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalized (unit) quaternion; identity if the norm is ~0.
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        if n < 1e-12 {
+            Self::identity()
+        } else {
+            Self { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    /// Components as the 4-element array `[q1, q2, q3, q4] = [w, x, y, z]`
+    /// matching the `sensor_id_X_q1..q4` channels of Table 1.
+    pub fn to_array(self) -> [f32; 4] {
+        [self.w, self.x, self.y, self.z]
+    }
+
+    /// Rotation angle (radians) between this quaternion and another.
+    pub fn angle_to(&self, other: &Self) -> f32 {
+        let dot = (self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z)
+            .clamp(-1.0, 1.0);
+        2.0 * dot.abs().acos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euler_conversion_produces_unit_quaternions() {
+        for &(r, p, y) in &[(0.0, 0.0, 0.0), (90.0, 0.0, 0.0), (179.9, -45.0, 30.0), (-180.0, 180.0, -90.0)] {
+            let q = Quaternion::from_euler_deg(r, p, y);
+            assert!((q.norm() - 1.0).abs() < 1e-5, "non-unit for ({r},{p},{y})");
+        }
+    }
+
+    #[test]
+    fn identity_for_zero_angles() {
+        let q = Quaternion::from_euler_deg(0.0, 0.0, 0.0);
+        assert!((q.w - 1.0).abs() < 1e-7);
+        assert!(q.x.abs() < 1e-7 && q.y.abs() < 1e-7 && q.z.abs() < 1e-7);
+    }
+
+    #[test]
+    fn wraparound_angles_are_close_in_quaternion_space() {
+        // +179.9° and -179.9° are numerically far apart as Euler angles but
+        // represent nearly the same orientation — exactly why the paper
+        // converts to quaternions.
+        let a = Quaternion::from_euler_deg(179.9, 0.0, 0.0);
+        let b = Quaternion::from_euler_deg(-179.9, 0.0, 0.0);
+        assert!(a.angle_to(&b) < 0.01);
+    }
+
+    #[test]
+    fn ninety_degree_roll_matches_reference() {
+        let q = Quaternion::from_euler_deg(90.0, 0.0, 0.0);
+        let s = (0.5f32).sqrt();
+        assert!((q.w - s).abs() < 1e-6);
+        assert!((q.x - s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_recovers_unit_norm_and_handles_zero() {
+        let q = Quaternion { w: 2.0, x: 0.0, y: 0.0, z: 0.0 };
+        assert!((q.normalized().norm() - 1.0).abs() < 1e-7);
+        let zero = Quaternion { w: 0.0, x: 0.0, y: 0.0, z: 0.0 };
+        assert_eq!(zero.normalized(), Quaternion::identity());
+    }
+
+    #[test]
+    fn to_array_orders_w_first() {
+        let q = Quaternion { w: 0.1, x: 0.2, y: 0.3, z: 0.4 };
+        assert_eq!(q.to_array(), [0.1, 0.2, 0.3, 0.4]);
+    }
+}

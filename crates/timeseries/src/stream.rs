@@ -1,0 +1,164 @@
+//! Fixed-size streaming window buffer for real-time inference.
+
+use crate::SeriesError;
+
+/// A ring buffer holding the most recent `window` samples of a multivariate
+/// stream, mirroring the script in the paper's test setup that "continuously
+/// reads data from the sensors, prepares the data ... and calls the inference
+/// function" (§4.3).
+///
+/// # Examples
+///
+/// ```
+/// use varade_timeseries::StreamingWindow;
+///
+/// # fn main() -> Result<(), varade_timeseries::SeriesError> {
+/// let mut buf = StreamingWindow::new(2, 3)?;
+/// assert!(buf.push(&[1.0, 10.0])?.is_none());
+/// assert!(buf.push(&[2.0, 20.0])?.is_none());
+/// let window = buf.push(&[3.0, 30.0])?.expect("buffer full");
+/// assert_eq!(window, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingWindow {
+    n_channels: usize,
+    window: usize,
+    /// Row-major history of at most `window` samples.
+    rows: std::collections::VecDeque<Vec<f32>>,
+    samples_seen: u64,
+}
+
+impl StreamingWindow {
+    /// Creates a buffer for `n_channels` channels and `window` time steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::InvalidWindow`] if either argument is zero.
+    pub fn new(n_channels: usize, window: usize) -> Result<Self, SeriesError> {
+        if n_channels == 0 || window == 0 {
+            return Err(SeriesError::InvalidWindow(
+                "channel count and window must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            n_channels,
+            window,
+            rows: std::collections::VecDeque::with_capacity(window),
+            samples_seen: 0,
+        })
+    }
+
+    /// Number of channels per sample.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Window length in samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total samples pushed since creation.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Whether the buffer currently holds a full window.
+    pub fn is_full(&self) -> bool {
+        self.rows.len() == self.window
+    }
+
+    /// Pushes one sample. Once the buffer is full, returns the current window
+    /// in channel-major order (`[channels, window]` flattened), ready to be
+    /// reshaped into a `[1, channels, window]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::ChannelCountMismatch`] if the sample width is
+    /// wrong.
+    pub fn push(&mut self, sample: &[f32]) -> Result<Option<Vec<f32>>, SeriesError> {
+        if sample.len() != self.n_channels {
+            return Err(SeriesError::ChannelCountMismatch {
+                expected: self.n_channels,
+                got: sample.len(),
+            });
+        }
+        if self.rows.len() == self.window {
+            self.rows.pop_front();
+        }
+        self.rows.push_back(sample.to_vec());
+        self.samples_seen += 1;
+        if self.rows.len() < self.window {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(self.n_channels * self.window);
+        for c in 0..self.n_channels {
+            for row in &self.rows {
+                out.push(row[c]);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Clears the buffered history (the sample counter is preserved).
+    pub fn reset(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_nothing_until_full() {
+        let mut buf = StreamingWindow::new(1, 4).unwrap();
+        for t in 0..3 {
+            assert!(buf.push(&[t as f32]).unwrap().is_none());
+        }
+        assert!(!buf.is_full());
+        let w = buf.push(&[3.0]).unwrap().unwrap();
+        assert!(buf.is_full());
+        assert_eq!(w, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn slides_by_one_after_full() {
+        let mut buf = StreamingWindow::new(1, 3).unwrap();
+        for t in 0..3 {
+            buf.push(&[t as f32]).unwrap();
+        }
+        let w = buf.push(&[3.0]).unwrap().unwrap();
+        assert_eq!(w, vec![1.0, 2.0, 3.0]);
+        assert_eq!(buf.samples_seen(), 4);
+    }
+
+    #[test]
+    fn channel_major_layout() {
+        let mut buf = StreamingWindow::new(2, 2).unwrap();
+        buf.push(&[1.0, 10.0]).unwrap();
+        let w = buf.push(&[2.0, 20.0]).unwrap().unwrap();
+        assert_eq!(w, vec![1.0, 2.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn validates_construction_and_samples() {
+        assert!(StreamingWindow::new(0, 3).is_err());
+        assert!(StreamingWindow::new(2, 0).is_err());
+        let mut buf = StreamingWindow::new(2, 2).unwrap();
+        assert!(buf.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn reset_clears_history_but_keeps_counter() {
+        let mut buf = StreamingWindow::new(1, 2).unwrap();
+        buf.push(&[1.0]).unwrap();
+        buf.push(&[2.0]).unwrap();
+        buf.reset();
+        assert!(!buf.is_full());
+        assert_eq!(buf.samples_seen(), 2);
+        assert!(buf.push(&[3.0]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Sliding forecasting windows over a multivariate series.
+
+use crate::{MultivariateSeries, SeriesError};
+
+/// One autoregressive training sample: a context window of `window` time
+/// steps and the next time step as the forecasting target.
+///
+/// `context` is stored channel-major (`[channels, window]` flattened row by
+/// row) so it can be fed straight into a `[batch, channels, time]` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastWindow {
+    /// Channel-major context data of length `n_channels * window`.
+    pub context: Vec<f32>,
+    /// The sample immediately following the context window, one value per channel.
+    pub target: Vec<f32>,
+    /// Time index of the target sample in the source series.
+    pub target_index: usize,
+}
+
+/// Iterator producing [`ForecastWindow`]s with a fixed stride.
+///
+/// # Examples
+///
+/// ```
+/// use varade_timeseries::{MultivariateSeries, WindowIter};
+///
+/// # fn main() -> Result<(), varade_timeseries::SeriesError> {
+/// let mut s = MultivariateSeries::new(vec!["x".into()], 1.0)?;
+/// for t in 0..6 {
+///     s.push_row(&[t as f32])?;
+/// }
+/// let windows: Vec<_> = WindowIter::forecasting(&s, 3, 1)?.collect();
+/// assert_eq!(windows.len(), 3);
+/// assert_eq!(windows[0].context, vec![0.0, 1.0, 2.0]);
+/// assert_eq!(windows[0].target, vec![3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowIter<'a> {
+    series: &'a MultivariateSeries,
+    window: usize,
+    stride: usize,
+    next_start: usize,
+}
+
+impl<'a> WindowIter<'a> {
+    /// Creates an iterator over forecasting windows of length `window` moving
+    /// by `stride` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::InvalidWindow`] if the window or stride is zero,
+    /// or the series is shorter than `window + 1` (context plus target).
+    pub fn forecasting(
+        series: &'a MultivariateSeries,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self, SeriesError> {
+        if window == 0 || stride == 0 {
+            return Err(SeriesError::InvalidWindow("window and stride must be positive".into()));
+        }
+        if series.len() < window + 1 {
+            return Err(SeriesError::InvalidWindow(format!(
+                "series length {} too short for window {} plus forecasting target",
+                series.len(),
+                window
+            )));
+        }
+        Ok(Self { series, window, stride, next_start: 0 })
+    }
+
+    /// Number of windows the iterator will produce in total.
+    pub fn count_windows(&self) -> usize {
+        let usable = self.series.len() - self.window;
+        usable.div_ceil(self.stride)
+    }
+
+    /// Extracts the channel-major context starting at `start`.
+    fn context_at(&self, start: usize) -> Vec<f32> {
+        let c = self.series.n_channels();
+        let mut out = Vec::with_capacity(c * self.window);
+        for ci in 0..c {
+            for t in start..start + self.window {
+                out.push(self.series.value(t, ci));
+            }
+        }
+        out
+    }
+}
+
+impl Iterator for WindowIter<'_> {
+    type Item = ForecastWindow;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let start = self.next_start;
+        let target_index = start + self.window;
+        if target_index >= self.series.len() {
+            return None;
+        }
+        self.next_start += self.stride;
+        Some(ForecastWindow {
+            context: self.context_at(start),
+            target: self.series.row(target_index).to_vec(),
+            target_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 1.0).unwrap();
+        for t in 0..n {
+            s.push_row(&[t as f32, 100.0 + t as f32]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn produces_expected_number_of_windows() {
+        let s = series(10);
+        let iter = WindowIter::forecasting(&s, 4, 1).unwrap();
+        assert_eq!(iter.count_windows(), 6);
+        assert_eq!(iter.collect::<Vec<_>>().len(), 6);
+        let iter = WindowIter::forecasting(&s, 4, 2).unwrap();
+        assert_eq!(iter.count_windows(), 3);
+        assert_eq!(iter.collect::<Vec<_>>().len(), 3);
+    }
+
+    #[test]
+    fn context_is_channel_major_and_target_is_next_row() {
+        let s = series(6);
+        let w: Vec<_> = WindowIter::forecasting(&s, 3, 1).unwrap().collect();
+        assert_eq!(w[0].context, vec![0.0, 1.0, 2.0, 100.0, 101.0, 102.0]);
+        assert_eq!(w[0].target, vec![3.0, 103.0]);
+        assert_eq!(w[0].target_index, 3);
+        assert_eq!(w[2].target, vec![5.0, 105.0]);
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let s = series(5);
+        assert!(WindowIter::forecasting(&s, 0, 1).is_err());
+        assert!(WindowIter::forecasting(&s, 3, 0).is_err());
+        assert!(WindowIter::forecasting(&s, 5, 1).is_err());
+        assert!(WindowIter::forecasting(&s, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn stride_skips_windows() {
+        let s = series(12);
+        let targets: Vec<usize> = WindowIter::forecasting(&s, 4, 3)
+            .unwrap()
+            .map(|w| w.target_index)
+            .collect();
+        assert_eq!(targets, vec![4, 7, 10]);
+    }
+}

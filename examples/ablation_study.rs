@@ -1,0 +1,43 @@
+//! Ablation study example: quantifies the effect of VARADE's design choices on
+//! a small simulated robot dataset — the variance scoring rule, the KL weight
+//! and the context-window size.
+//!
+//! Run with `cargo run --release -p varade-bench --example ablation_study`.
+
+use varade::ablation::{compare_scoring_rules, sweep_kl_weight, sweep_window};
+use varade::VaradeConfig;
+use varade_robot::dataset::{DatasetBuilder, DatasetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DatasetBuilder::new(DatasetConfig {
+        sample_rate_hz: 20.0,
+        n_actions: 8,
+        train_duration_s: 80.0,
+        test_duration_s: 60.0,
+        n_collisions: 8,
+        ..DatasetConfig::scaled()
+    })
+    .build()?;
+    let base = VaradeConfig { window: 32, base_feature_maps: 8, epochs: 2, ..VaradeConfig::default() };
+
+    println!("scoring rule (paper's variance score vs. conventional prediction error):");
+    for r in compare_scoring_rules(base, &dataset.train, &dataset.test, &dataset.labels)? {
+        println!("  {:<26} AUC {:.3}", r.variant, r.auc_roc);
+    }
+
+    println!("\nKL weight λ:");
+    for r in sweep_kl_weight(base, &[0.0, 0.1, 1.0], &dataset.train, &dataset.test, &dataset.labels)? {
+        println!("  {:<26} AUC {:.3}", r.variant, r.auc_roc);
+    }
+
+    println!("\ncontext window T (accuracy vs. inference cost):");
+    for r in sweep_window(base, &[16, 32, 64], &dataset.train, &dataset.test, &dataset.labels)? {
+        println!(
+            "  {:<26} AUC {:.3}   {:.2} MFLOPs/inference",
+            r.variant,
+            r.auc_roc,
+            r.profile.flops / 1e6
+        );
+    }
+    Ok(())
+}

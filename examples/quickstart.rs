@@ -1,0 +1,62 @@
+//! Quickstart: train VARADE on a small synthetic multivariate stream and use
+//! the predicted variance to flag an injected anomaly.
+//!
+//! Run with `cargo run --release -p varade-bench --example quickstart`.
+
+use varade::{VaradeConfig, VaradeDetector};
+use varade_detectors::AnomalyDetector;
+use varade_metrics::auc_roc;
+use varade_timeseries::{MinMaxNormalizer, MultivariateSeries};
+
+/// Builds a two-channel quasi-periodic stream resembling a machine cycle.
+fn machine_cycle(n: usize, anomaly_at: Option<usize>) -> MultivariateSeries {
+    let mut series = MultivariateSeries::new(vec!["vibration".into(), "power".into()], 50.0)
+        .expect("valid schema");
+    for t in 0..n {
+        let phase = t as f32 * 0.12;
+        let mut vibration = phase.sin() * 0.8 + (phase * 3.0).sin() * 0.1;
+        let mut power = 0.5 + 0.3 * (phase * 0.5).cos();
+        if let Some(start) = anomaly_at {
+            if t >= start && t < start + 10 {
+                vibration += 2.5;
+                power += 1.5;
+            }
+        }
+        series.push_row(&[vibration, power]).expect("row width matches");
+    }
+    series
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Record normal behaviour and normalize it to [-1, 1] (paper §4.3).
+    let train_raw = machine_cycle(2_000, None);
+    let normalizer = MinMaxNormalizer::fit(&train_raw)?;
+    let train = normalizer.transform(&train_raw)?;
+
+    // 2. Train VARADE (scaled-down configuration; see VaradeConfig::paper_full_size
+    //    for the exact paper model).
+    let config = VaradeConfig { window: 32, base_feature_maps: 16, epochs: 3, ..VaradeConfig::default() };
+    let mut detector = VaradeDetector::new(config);
+    let report = detector.fit_with_report(&train)?;
+    println!("training loss per epoch: {:?}", report.epoch_losses);
+
+    // 3. Stream a test recording containing one collision-like transient.
+    let anomaly_start = 600;
+    let test_raw = machine_cycle(1_000, Some(anomaly_start));
+    let test = normalizer.transform(&test_raw)?;
+    let labels: Vec<bool> = (0..test.len()).map(|t| t >= anomaly_start && t < anomaly_start + 10).collect();
+
+    // 4. Score with the predicted variance and evaluate.
+    let scores = detector.score_series(&test)?;
+    let auc = auc_roc(&scores, &labels)?;
+    let peak = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("non-empty scores");
+
+    println!("AUC-ROC on the synthetic collision: {auc:.3}");
+    println!("highest-variance sample at t = {peak} (anomaly injected at t = {anomaly_start})");
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration test: every detector trains on the simulated
+//! robot's normal recording and scores the collision recording end-to-end
+//! (robot simulator → timeseries preprocessing → detector → metrics).
+
+use varade::{VaradeConfig, VaradeDetector};
+use varade_detectors::{
+    AnomalyDetector, ArLstmConfig, ArLstmDetector, AutoencoderConfig, AutoencoderDetector,
+    GbrfConfig, GbrfDetector, IsolationForestConfig, IsolationForestDetector, KnnConfig,
+    KnnDetector,
+};
+use varade_metrics::auc_roc;
+use varade_robot::dataset::{DatasetBuilder, DatasetConfig, RobotDataset};
+
+fn smoke_dataset() -> RobotDataset {
+    DatasetBuilder::new(DatasetConfig::smoke_test()).build().expect("dataset builds")
+}
+
+fn check_detector(detector: &mut dyn AnomalyDetector, dataset: &RobotDataset) -> f64 {
+    assert!(!detector.is_fitted(), "{} claims to be fitted before fit", detector.name());
+    detector.fit(&dataset.train).expect("fit succeeds");
+    assert!(detector.is_fitted(), "{} not fitted after fit", detector.name());
+    let scores = detector.score_series(&dataset.test).expect("scoring succeeds");
+    assert_eq!(scores.len(), dataset.test.len(), "{}: one score per sample", detector.name());
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "{}: scores must be finite",
+        detector.name()
+    );
+    let profile = detector.profile().expect("profile available after fit");
+    assert!(profile.flops >= 0.0 && profile.param_bytes >= 0.0);
+    auc_roc(&scores, &dataset.labels).expect("auc computable")
+}
+
+#[test]
+fn varade_variance_scoring_runs_end_to_end() {
+    // The paper's variance score needs the full-scale model and a stream that
+    // is genuinely hard to forecast to be competitive (see EXPERIMENTS.md);
+    // at smoke scale we assert the pipeline works and produces a valid AUC.
+    let dataset = smoke_dataset();
+    let mut detector = VaradeDetector::new(VaradeConfig {
+        window: 16,
+        base_feature_maps: 8,
+        epochs: 2,
+        max_train_windows: 96,
+        ..VaradeConfig::default()
+    });
+    let auc = check_detector(&mut detector, &dataset);
+    assert!((0.0..=1.0).contains(&auc), "VARADE AUC out of range: {auc:.3}");
+}
+
+#[test]
+fn varade_backbone_detects_collisions_with_prediction_error_scoring() {
+    // Ablation variant (DESIGN.md §4.1): same backbone, conventional
+    // prediction-error score — on the synthetic substrate this is the strong
+    // configuration and must clearly separate collisions from normal data.
+    let dataset = smoke_dataset();
+    let mut detector = varade::VaradeDetector::with_scoring(
+        VaradeConfig {
+            window: 16,
+            base_feature_maps: 8,
+            epochs: 3,
+            learning_rate: 3e-3,
+            max_train_windows: 192,
+            ..VaradeConfig::default()
+        },
+        varade::ScoringRule::PredictionError,
+    );
+    detector.fit(&dataset.train).expect("fit succeeds");
+    let scores = detector.score_series(&dataset.test).expect("scoring succeeds");
+    let auc = auc_roc(&scores, &dataset.labels).expect("auc computable");
+    assert!(auc > 0.75, "VARADE prediction-error AUC too low: {auc:.3}");
+}
+
+#[test]
+fn distance_based_detectors_detect_collisions() {
+    let dataset = smoke_dataset();
+    let mut knn = KnnDetector::new(KnnConfig { k: 5, max_reference_points: 400 });
+    let knn_auc = check_detector(&mut knn, &dataset);
+    assert!(knn_auc > 0.6, "kNN AUC too low: {knn_auc:.3}");
+
+    let mut iforest = IsolationForestDetector::new(IsolationForestConfig {
+        n_trees: 30,
+        subsample: 128,
+        ..IsolationForestConfig::default()
+    });
+    let iforest_auc = check_detector(&mut iforest, &dataset);
+    assert!(iforest_auc > 0.5, "Isolation Forest AUC too low: {iforest_auc:.3}");
+}
+
+#[test]
+fn forecasting_baselines_produce_valid_scores() {
+    let dataset = smoke_dataset();
+    let mut gbrf = GbrfDetector::new(GbrfConfig {
+        n_trees: 8,
+        max_depth: 2,
+        max_train_rows: 300,
+        rows_per_tree: 150,
+        ..GbrfConfig::default()
+    });
+    let gbrf_auc = check_detector(&mut gbrf, &dataset);
+    assert!(gbrf_auc > 0.45, "GBRF AUC unexpectedly low: {gbrf_auc:.3}");
+
+    let mut lstm = ArLstmDetector::new(ArLstmConfig {
+        window: 16,
+        hidden_size: 12,
+        n_layers: 1,
+        fc_size: 16,
+        epochs: 1,
+        max_train_windows: 64,
+        ..ArLstmConfig::default()
+    });
+    let lstm_auc = check_detector(&mut lstm, &dataset);
+    assert!(lstm_auc > 0.45, "AR-LSTM AUC unexpectedly low: {lstm_auc:.3}");
+}
+
+#[test]
+fn reconstruction_baseline_produces_valid_scores() {
+    let dataset = smoke_dataset();
+    let mut ae = AutoencoderDetector::new(AutoencoderConfig {
+        window: 16,
+        base_channels: 8,
+        n_stages: 2,
+        epochs: 1,
+        max_train_windows: 64,
+        ..AutoencoderConfig::default()
+    });
+    let ae_auc = check_detector(&mut ae, &dataset);
+    assert!(ae_auc > 0.45, "AE AUC unexpectedly low: {ae_auc:.3}");
+}
+
+#[test]
+fn detectors_reject_streams_with_the_wrong_channel_count() {
+    let dataset = smoke_dataset();
+    let mut detector = KnnDetector::new(KnnConfig { k: 3, max_reference_points: 200 });
+    detector.fit(&dataset.train).expect("fit succeeds");
+    let tiny = varade_timeseries::MultivariateSeries::new(vec!["only".into()], 1.0).expect("schema");
+    assert!(detector.score_series(&tiny).is_err());
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration test asserting the *shape* of the paper's
+//! evaluation (Table 2 / Figure 3): who wins on accuracy, who is fastest,
+//! which detectors are the least suitable for the edge. Absolute numbers are
+//! not compared — the substrate is a simulator, not the authors' testbed.
+
+use std::sync::OnceLock;
+
+use varade_edge::figure::figure3_points;
+use varade_edge::table::{ExperimentConfig, ExperimentOutcome, ExperimentRunner, Table2};
+
+/// The smoke experiment is expensive (it trains six detectors), so it is run
+/// once and shared by every test in this file.
+fn run_smoke_experiment() -> &'static ExperimentOutcome {
+    static OUTCOME: OnceLock<ExperimentOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| {
+        ExperimentRunner::new(ExperimentConfig::smoke_test())
+            .run()
+            .expect("smoke experiment runs end-to-end")
+    })
+}
+
+fn frequency(table: &Table2, board: &str, detector: &str) -> f64 {
+    table
+        .row(board, detector)
+        .and_then(|r| r.inference_frequency_hz)
+        .unwrap_or_else(|| panic!("missing row {board}/{detector}"))
+}
+
+#[test]
+fn table2_has_the_paper_structure_and_qualitative_ranking() {
+    let outcome = run_smoke_experiment();
+    let table = &outcome.table;
+
+    // Structure: 2 boards × (1 idle row + 6 detector rows).
+    assert_eq!(table.rows.len(), 14);
+    for board in ["Jetson Xavier NX", "Jetson AGX Orin"] {
+        assert_eq!(table.board_rows(board).len(), 7, "{board}");
+        assert!(table.row(board, "Idle").is_some());
+    }
+
+    // Accuracy: every detector produced a valid AUC and the distance/forecast
+    // baselines clearly separate the injected collisions. The paper's claim
+    // that the *variance* score gives VARADE the best AUC does not transfer to
+    // the scaled-down synthetic substrate (the stream is too easy to
+    // forecast); this divergence is analysed in EXPERIMENTS.md and covered by
+    // the prediction-error ablation test in `detector_pipeline.rs`.
+    let aucs: Vec<(String, f64)> = outcome
+        .accuracies
+        .iter()
+        .map(|a| (a.name.clone(), a.auc_roc))
+        .collect();
+    assert_eq!(aucs.len(), 6);
+    for (name, auc) in &aucs {
+        assert!((0.0..=1.0).contains(auc), "{name} AUC out of range: {auc}");
+    }
+    let auc_of = |name: &str| aucs.iter().find(|(n, _)| n == name).expect("detector evaluated").1;
+    assert!(auc_of("kNN") > 0.7, "kNN AUC too low: {:.3}", auc_of("kNN"));
+    assert!(auc_of("GBRF") > 0.7, "GBRF AUC too low: {:.3}", auc_of("GBRF"));
+    assert!(auc_of("AR-LSTM") > 0.7, "AR-LSTM AUC too low: {:.3}", auc_of("AR-LSTM"));
+
+    // Inference frequency ordering on the Xavier NX (paper Table 2):
+    // GBRF is the fastest, VARADE second; AE and kNN are the slowest.
+    let xavier = "Jetson Xavier NX";
+    let gbrf = frequency(table, xavier, "GBRF");
+    let varade = frequency(table, xavier, "VARADE");
+    let lstm = frequency(table, xavier, "AR-LSTM");
+    let ae = frequency(table, xavier, "AE");
+    let knn = frequency(table, xavier, "kNN");
+    assert!(gbrf > varade, "GBRF ({gbrf:.2} Hz) should be the fastest, VARADE at {varade:.2} Hz");
+    assert!(varade > lstm, "VARADE ({varade:.2} Hz) should beat AR-LSTM ({lstm:.2} Hz)");
+    assert!(varade > ae, "VARADE ({varade:.2} Hz) should beat AE ({ae:.2} Hz)");
+    assert!(varade > knn, "VARADE ({varade:.2} Hz) should beat kNN ({knn:.2} Hz)");
+
+    // Moving to the AGX Orin roughly doubles the inference frequency of every
+    // model while preserving the ranking of the top two (paper §4.4).
+    let orin = "Jetson AGX Orin";
+    for detector in ["AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest", "VARADE"] {
+        let x = frequency(table, xavier, detector);
+        let o = frequency(table, orin, detector);
+        assert!(o > x, "{detector}: Orin ({o:.2} Hz) should be faster than Xavier ({x:.2} Hz)");
+    }
+    assert!(frequency(table, orin, "GBRF") > frequency(table, orin, "VARADE"));
+
+    // Power: AR-LSTM (GPU-bound) and kNN (CPU-bound) draw the most power among
+    // the detectors, as observed in the paper.
+    let power = |detector: &str| table.row(xavier, detector).expect("row exists").power_w;
+    assert!(power("AR-LSTM") > power("VARADE"));
+    assert!(power("AR-LSTM") > power("GBRF"));
+    assert!(power("kNN") > power("Isolation Forest"));
+
+    // Every detector row stays above the idle baseline for power and RAM.
+    for board in ["Jetson Xavier NX", "Jetson AGX Orin"] {
+        let idle = table.row(board, "Idle").expect("idle row");
+        for row in table.board_rows(board) {
+            if row.detector == "Idle" {
+                continue;
+            }
+            assert!(row.power_w >= idle.power_w, "{board}/{}", row.detector);
+            assert!(row.ram_mb >= idle.ram_mb, "{board}/{}", row.detector);
+        }
+    }
+}
+
+#[test]
+fn figure3_contains_twelve_points_with_consistent_data() {
+    let outcome = run_smoke_experiment();
+    let points = figure3_points(&outcome.table);
+    // 6 detectors × 2 boards.
+    assert_eq!(points.len(), 12);
+    for p in &points {
+        assert!(p.inference_frequency_hz > 0.0);
+        assert!((0.0..=1.0).contains(&p.auc_roc));
+        assert!(p.power_w > 0.0);
+    }
+    // The AUC of a detector is the same on both boards (it is a property of
+    // the model, not of the platform), exactly as in the paper.
+    for detector in ["VARADE", "GBRF", "AE"] {
+        let values: Vec<f64> = points
+            .iter()
+            .filter(|p| p.detector == detector)
+            .map(|p| p.auc_roc)
+            .collect();
+        assert_eq!(values.len(), 2);
+        assert!((values[0] - values[1]).abs() < 1e-12);
+    }
+}
+
+/// Full scaled experiment (several minutes in release mode). Run explicitly
+/// with `cargo test --release --test experiment_shape -- --ignored`.
+#[test]
+#[ignore = "long-running scaled experiment; run explicitly with --ignored"]
+fn scaled_experiment_preserves_the_paper_shape() {
+    let outcome = ExperimentRunner::new(ExperimentConfig::scaled())
+        .run()
+        .expect("scaled experiment runs");
+    let varade_auc = outcome
+        .accuracies
+        .iter()
+        .find(|a| a.name == "VARADE")
+        .expect("VARADE evaluated")
+        .auc_roc;
+    assert!((0.0..=1.0).contains(&varade_auc));
+    let xavier = "Jetson Xavier NX";
+    assert!(
+        frequency(&outcome.table, xavier, "GBRF") > frequency(&outcome.table, xavier, "VARADE")
+    );
+    assert!(
+        frequency(&outcome.table, xavier, "VARADE") > frequency(&outcome.table, xavier, "AR-LSTM")
+    );
+}

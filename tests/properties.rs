@@ -1,0 +1,183 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use proptest::prelude::*;
+
+use varade::VaradeConfig;
+use varade_metrics::{auc_roc, average_precision, confusion_at_threshold};
+use varade_tensor::layers::Conv1d;
+use varade_tensor::loss::{gaussian_nll_loss, kl_divergence_loss};
+use varade_tensor::{Layer, Tensor};
+use varade_timeseries::{MinMaxNormalizer, MultivariateSeries, Quaternion, StreamingWindow, WindowIter};
+
+/// Strategy producing a score vector and a label vector with both classes present.
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    (4usize..60).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f32..100.0, n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+            .prop_filter("need both classes", |(_, labels)| {
+                labels.iter().any(|&l| l) && labels.iter().any(|&l| !l)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn auc_is_bounded_and_invariant_to_affine_score_transforms((scores, labels) in scores_and_labels()) {
+        let base = auc_roc(&scores, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&base));
+        let transformed: Vec<f32> = scores.iter().map(|s| 3.0 * s + 7.0).collect();
+        let same = auc_roc(&transformed, &labels).unwrap();
+        prop_assert!((base - same).abs() < 1e-9);
+        // Negating the scores mirrors the AUC around 0.5 (up to tie handling).
+        let negated: Vec<f32> = scores.iter().map(|s| -s).collect();
+        let flipped = auc_roc(&negated, &labels).unwrap();
+        prop_assert!((base + flipped - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_precision_is_bounded((scores, labels) in scores_and_labels()) {
+        let ap = average_precision(&scores, &labels).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ap));
+    }
+
+    #[test]
+    fn confusion_counts_always_sum_to_n((scores, labels) in scores_and_labels(), threshold in -100.0f32..100.0) {
+        let cm = confusion_at_threshold(&scores, &labels, threshold).unwrap();
+        let total = cm.true_positives + cm.false_positives + cm.true_negatives + cm.false_negatives;
+        prop_assert_eq!(total, scores.len());
+        prop_assert!((0.0..=1.0).contains(&cm.precision()));
+        prop_assert!((0.0..=1.0).contains(&cm.recall()));
+    }
+
+    #[test]
+    fn normalization_round_trips_within_the_fitted_range(
+        values in prop::collection::vec(-1000.0f32..1000.0, 8..80),
+    ) {
+        let mut series = MultivariateSeries::new(vec!["x".into()], 1.0).unwrap();
+        for &v in &values {
+            series.push_row(&[v]).unwrap();
+        }
+        let norm = MinMaxNormalizer::fit(&series).unwrap();
+        let transformed = norm.transform(&series).unwrap();
+        for t in 0..series.len() {
+            let v = transformed.value(t, 0);
+            prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&v));
+            let back = norm.inverse_value(0, v);
+            // Constant channels collapse to their minimum; otherwise we round-trip.
+            let span = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+                - values.iter().cloned().fold(f32::INFINITY, f32::min);
+            if span > 1e-3 {
+                prop_assert!((back - values[t]).abs() < span * 1e-3 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_output_length_matches_the_arithmetic(
+        len in 2usize..128,
+        kernel in 1usize..5,
+        stride in 1usize..4,
+        padding in 0usize..3,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let conv = Conv1d::new(2, 3, kernel, stride, padding, &mut rng);
+        let padded = len + 2 * padding;
+        match conv.output_len(len) {
+            Some(out) => {
+                prop_assert!(padded >= kernel);
+                prop_assert_eq!(out, (padded - kernel) / stride + 1);
+                let mut conv = conv.clone();
+                let y = conv.forward(&Tensor::zeros(&[1, 2, len])).unwrap();
+                prop_assert_eq!(y.shape(), &[1, 3, out]);
+            }
+            None => prop_assert!(padded < kernel),
+        }
+    }
+
+    #[test]
+    fn quaternions_from_any_euler_angles_are_unit_norm(
+        roll in -360.0f32..360.0,
+        pitch in -360.0f32..360.0,
+        yaw in -360.0f32..360.0,
+    ) {
+        let q = Quaternion::from_euler_deg(roll, pitch, yaw);
+        prop_assert!((q.norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn kl_divergence_is_non_negative_for_any_prediction(
+        pairs in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 1..16),
+    ) {
+        let mu: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let log_var: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let m = Tensor::from_slice(&mu);
+        let lv = Tensor::from_slice(&log_var);
+        let (kl, _, _) = kl_divergence_loss(&m, &lv).unwrap();
+        prop_assert!(kl >= -1e-5, "KL must be non-negative, got {}", kl);
+    }
+
+    #[test]
+    fn gaussian_nll_gradients_are_finite_for_extreme_inputs(
+        triples in prop::collection::vec((-100.0f32..100.0, -50.0f32..50.0, -100.0f32..100.0), 1..8),
+    ) {
+        let mu: Vec<f32> = triples.iter().map(|p| p.0).collect();
+        let log_var: Vec<f32> = triples.iter().map(|p| p.1).collect();
+        let target: Vec<f32> = triples.iter().map(|p| p.2).collect();
+        let (loss, gm, glv) = gaussian_nll_loss(
+            &Tensor::from_slice(&mu),
+            &Tensor::from_slice(&log_var),
+            &Tensor::from_slice(&target),
+        )
+        .unwrap();
+        prop_assert!(loss.is_finite());
+        prop_assert!(!gm.has_non_finite());
+        prop_assert!(!glv.has_non_finite());
+    }
+
+    #[test]
+    fn window_iterator_count_matches_actual_iteration(
+        len in 6usize..200,
+        window in 1usize..32,
+        stride in 1usize..8,
+    ) {
+        prop_assume!(len > window);
+        let mut series = MultivariateSeries::new(vec!["a".into()], 1.0).unwrap();
+        for t in 0..len {
+            series.push_row(&[t as f32]).unwrap();
+        }
+        let iter = WindowIter::forecasting(&series, window, stride).unwrap();
+        let predicted = iter.count_windows();
+        let actual = iter.collect::<Vec<_>>().len();
+        prop_assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn streaming_window_emits_exactly_after_warmup(
+        channels in 1usize..6,
+        window in 1usize..16,
+        samples in 1usize..64,
+    ) {
+        let mut buffer = StreamingWindow::new(channels, window).unwrap();
+        let mut emitted = 0usize;
+        for t in 0..samples {
+            let row = vec![t as f32; channels];
+            if buffer.push(&row).unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+        prop_assert_eq!(emitted, samples.saturating_sub(window - 1));
+    }
+
+    #[test]
+    fn varade_config_layer_count_is_consistent(window_pow in 2u32..10) {
+        let window = 1usize << window_pow;
+        let config = VaradeConfig { window, ..VaradeConfig::default() };
+        prop_assert!(config.validate().is_ok());
+        // Halving the window n_layers times leaves a time axis of length 2.
+        prop_assert_eq!(window >> config.n_layers(), 2);
+    }
+}
