@@ -69,7 +69,10 @@ fn bench_detector_inference(c: &mut Criterion) {
         b.iter(|| black_box(gbrf.score_series(black_box(&test)).expect("score")))
     });
 
-    let mut knn = KnnDetector::new(KnnConfig { k: 5, max_reference_points: 500 });
+    let mut knn = KnnDetector::new(KnnConfig {
+        k: 5,
+        max_reference_points: 500,
+    });
     knn.fit(&train).expect("knn fit");
     group.bench_function("knn", |b| {
         b.iter(|| black_box(knn.score_series(black_box(&test)).expect("score")))

@@ -12,7 +12,9 @@ use varade_metrics::{auc_roc, RocCurve};
 fn bench_metrics(c: &mut Criterion) {
     // Deterministic pseudo-random scores over a long stream.
     let n = 100_000;
-    let scores: Vec<f32> = (0..n).map(|i| ((i * 2_654_435_761_u64) % 10_000) as f32 / 10_000.0).collect();
+    let scores: Vec<f32> = (0..n)
+        .map(|i| ((i * 2_654_435_761_u64) % 10_000) as f32 / 10_000.0)
+        .collect();
     let labels: Vec<bool> = (0..n).map(|i| i % 97 == 0).collect();
 
     let mut group = c.benchmark_group("metrics");
@@ -20,7 +22,9 @@ fn bench_metrics(c: &mut Criterion) {
         b.iter(|| black_box(auc_roc(black_box(&scores), black_box(&labels)).expect("auc")))
     });
     group.bench_function("roc_curve_100k_points", |b| {
-        b.iter(|| black_box(RocCurve::compute(black_box(&scores), black_box(&labels)).expect("roc")))
+        b.iter(|| {
+            black_box(RocCurve::compute(black_box(&scores), black_box(&labels)).expect("roc"))
+        })
     });
     group.finish();
 }

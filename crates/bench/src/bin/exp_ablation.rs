@@ -13,13 +13,31 @@ use varade_robot::dataset::{DatasetBuilder, DatasetConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let dataset_config = if smoke { DatasetConfig::smoke_test() } else { DatasetConfig::scaled() };
-    let base = if smoke {
-        VaradeConfig { window: 16, base_feature_maps: 8, epochs: 2, max_train_windows: 96, ..VaradeConfig::default() }
+    let dataset_config = if smoke {
+        DatasetConfig::smoke_test()
     } else {
-        VaradeConfig { window: 64, base_feature_maps: 16, epochs: 3, ..VaradeConfig::default() }
+        DatasetConfig::scaled()
     };
-    eprintln!("building dataset ({} configuration) ...", if smoke { "smoke" } else { "scaled" });
+    let base = if smoke {
+        VaradeConfig {
+            window: 16,
+            base_feature_maps: 8,
+            epochs: 2,
+            max_train_windows: 96,
+            ..VaradeConfig::default()
+        }
+    } else {
+        VaradeConfig {
+            window: 64,
+            base_feature_maps: 16,
+            epochs: 3,
+            ..VaradeConfig::default()
+        }
+    };
+    eprintln!(
+        "building dataset ({} configuration) ...",
+        if smoke { "smoke" } else { "scaled" }
+    );
     let dataset = DatasetBuilder::new(dataset_config).build()?;
     let (train, test, labels) = (&dataset.train, &dataset.test, &dataset.labels);
 
@@ -30,14 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("Ablation A2 — KL weight λ (Eq. 7)");
-    let lambdas = if smoke { vec![0.0, 0.1] } else { vec![0.0, 0.01, 0.1, 1.0] };
+    let lambdas = if smoke {
+        vec![0.0, 0.1]
+    } else {
+        vec![0.0, 0.01, 0.1, 1.0]
+    };
     for result in sweep_kl_weight(base, &lambdas, train, test, labels)? {
         println!("  {:<28} AUC-ROC {:.3}", result.variant, result.auc_roc);
     }
     println!();
 
     println!("Ablation A3 — context window T (drives network depth and inference cost)");
-    let windows = if smoke { vec![8, 16] } else { vec![16, 32, 64, 128] };
+    let windows = if smoke {
+        vec![8, 16]
+    } else {
+        vec![16, 32, 64, 128]
+    };
     for result in sweep_window(base, &windows, train, test, labels)? {
         println!(
             "  {:<28} AUC-ROC {:.3}   {:.2} MFLOPs/inference",

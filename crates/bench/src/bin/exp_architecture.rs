@@ -13,19 +13,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = VaradeModel::from_config(config, n_channels)?;
 
     println!("VARADE architecture (paper Figure 1)");
-    println!("window T = {}, input channels = {}", config.window, n_channels);
+    println!(
+        "window T = {}, input channels = {}",
+        config.window, n_channels
+    );
     println!("convolutional layers = {}", config.n_layers());
     println!();
     println!("{:<4} {:<12} {:>20}", "#", "layer", "output shape");
     for (i, row) in model.summary().iter().enumerate() {
-        println!("{:<4} {:<12} {:>20}", i, row.name, format!("{:?}", row.output_shape));
+        println!(
+            "{:<4} {:<12} {:>20}",
+            i,
+            row.name,
+            format!("{:?}", row.output_shape)
+        );
     }
     println!();
     println!("trainable parameters: {}", model.parameter_count());
     let profile = model.inference_profile();
-    println!("per-inference cost:   {:.2} MFLOPs, {:.2} MB parameters, {:.2} MB activations",
+    println!(
+        "per-inference cost:   {:.2} MFLOPs, {:.2} MB parameters, {:.2} MB activations",
         profile.flops / 1e6,
         profile.param_bytes / 1e6,
-        profile.activation_bytes / 1e6);
+        profile.activation_bytes / 1e6
+    );
     Ok(())
 }

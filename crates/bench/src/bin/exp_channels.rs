@@ -22,10 +22,21 @@ fn main() {
             println!("| **{header}** | | |");
             current_group = Some(channel.group);
         }
-        println!("| {} | {} | {} |", channel.name, channel.unit, channel.description);
+        println!(
+            "| {} | {} | {} |",
+            channel.name, channel.unit, channel.description
+        );
     }
-    let joints = schema.iter().filter(|c| c.group == ChannelGroup::Joint).count();
-    let power = schema.iter().filter(|c| c.group == ChannelGroup::Power).count();
+    let joints = schema
+        .iter()
+        .filter(|c| c.group == ChannelGroup::Joint)
+        .count();
+    let power = schema
+        .iter()
+        .filter(|c| c.group == ChannelGroup::Power)
+        .count();
     println!();
-    println!("action ID: 1, joint channels: {joints} (7 IMU sensors x 11), power channels: {power}");
+    println!(
+        "action ID: 1, joint channels: {joints} (7 IMU sensors x 11), power channels: {power}"
+    );
 }

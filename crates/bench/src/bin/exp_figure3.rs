@@ -9,8 +9,15 @@ use varade_edge::table::{ExperimentConfig, ExperimentRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let config = if smoke { ExperimentConfig::smoke_test() } else { ExperimentConfig::scaled() };
-    eprintln!("running Figure 3 experiment ({} configuration) ...", if smoke { "smoke" } else { "scaled" });
+    let config = if smoke {
+        ExperimentConfig::smoke_test()
+    } else {
+        ExperimentConfig::scaled()
+    };
+    eprintln!(
+        "running Figure 3 experiment ({} configuration) ...",
+        if smoke { "smoke" } else { "scaled" }
+    );
     let outcome = ExperimentRunner::new(config).run()?;
     let points = figure3_points(&outcome.table);
 

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let config = if smoke { ExperimentConfig::smoke_test() } else { ExperimentConfig::scaled() };
+    let config = if smoke {
+        ExperimentConfig::smoke_test()
+    } else {
+        ExperimentConfig::scaled()
+    };
     eprintln!(
         "running Table 2 experiment ({} configuration): training 6 detectors on {} channels ...",
         if smoke { "smoke" } else { "scaled" },
@@ -41,10 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if row.detector == "Idle" {
             continue;
         }
-        if let (Some(paper), Some(auc), Some(freq)) =
-            (paper_row("Jetson Xavier NX", &row.detector), row.auc_roc, row.inference_frequency_hz)
-        {
-            println!("{}", compare_line(&format!("{} AUC-ROC", row.detector), paper.auc_roc.unwrap_or(0.0), auc));
+        if let (Some(paper), Some(auc), Some(freq)) = (
+            paper_row("Jetson Xavier NX", &row.detector),
+            row.auc_roc,
+            row.inference_frequency_hz,
+        ) {
+            println!(
+                "{}",
+                compare_line(
+                    &format!("{} AUC-ROC", row.detector),
+                    paper.auc_roc.unwrap_or(0.0),
+                    auc
+                )
+            );
             println!(
                 "{}",
                 compare_line(

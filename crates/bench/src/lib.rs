@@ -46,20 +46,160 @@ pub fn paper_table2() -> Vec<PaperTable2Row> {
     const XAVIER: &str = "Jetson Xavier NX";
     const ORIN: &str = "Jetson AGX Orin";
     vec![
-        PaperTable2Row { board: XAVIER, detector: "Idle", cpu_percent: 36.465, gpu_percent: 52.100, ram_mb: 5130.219, gpu_ram_mb: 537.235, power_w: 5.851, auc_roc: None, inference_frequency_hz: None },
-        PaperTable2Row { board: XAVIER, detector: "AR-LSTM", cpu_percent: 62.311, gpu_percent: 97.700, ram_mb: 5669.830, gpu_ram_mb: 872.374, power_w: 11.288, auc_roc: Some(0.719), inference_frequency_hz: Some(5.200) },
-        PaperTable2Row { board: XAVIER, detector: "GBRF", cpu_percent: 61.499, gpu_percent: 53.000, ram_mb: 5518.050, gpu_ram_mb: 528.416, power_w: 6.108, auc_roc: Some(0.655), inference_frequency_hz: Some(20.575) },
-        PaperTable2Row { board: XAVIER, detector: "AE", cpu_percent: 53.023, gpu_percent: 79.400, ram_mb: 5276.139, gpu_ram_mb: 807.528, power_w: 6.010, auc_roc: Some(0.810), inference_frequency_hz: Some(2.247) },
-        PaperTable2Row { board: XAVIER, detector: "kNN", cpu_percent: 92.547, gpu_percent: 55.700, ram_mb: 5076.605, gpu_ram_mb: 526.844, power_w: 7.208, auc_roc: Some(0.718), inference_frequency_hz: Some(1.116) },
-        PaperTable2Row { board: XAVIER, detector: "Isolation Forest", cpu_percent: 51.122, gpu_percent: 64.700, ram_mb: 4859.356, gpu_ram_mb: 526.673, power_w: 5.777, auc_roc: Some(0.629), inference_frequency_hz: Some(4.568) },
-        PaperTable2Row { board: XAVIER, detector: "VARADE", cpu_percent: 52.420, gpu_percent: 70.600, ram_mb: 5488.874, gpu_ram_mb: 1005.369, power_w: 6.333, auc_roc: Some(0.844), inference_frequency_hz: Some(14.937) },
-        PaperTable2Row { board: ORIN, detector: "Idle", cpu_percent: 4.875, gpu_percent: 0.000, ram_mb: 3916.715, gpu_ram_mb: 243.289, power_w: 7.522, auc_roc: None, inference_frequency_hz: None },
-        PaperTable2Row { board: ORIN, detector: "AR-LSTM", cpu_percent: 10.744, gpu_percent: 87.200, ram_mb: 4741.666, gpu_ram_mb: 761.107, power_w: 11.139, auc_roc: Some(0.719), inference_frequency_hz: Some(8.687) },
-        PaperTable2Row { board: ORIN, detector: "GBRF", cpu_percent: 10.475, gpu_percent: 15.900, ram_mb: 4279.286, gpu_ram_mb: 245.287, power_w: 9.741, auc_roc: Some(0.655), inference_frequency_hz: Some(44.128) },
-        PaperTable2Row { board: ORIN, detector: "AE", cpu_percent: 10.548, gpu_percent: 51.800, ram_mb: 4882.850, gpu_ram_mb: 699.010, power_w: 10.168, auc_roc: Some(0.810), inference_frequency_hz: Some(4.284) },
-        PaperTable2Row { board: ORIN, detector: "kNN", cpu_percent: 91.506, gpu_percent: 0.000, ram_mb: 4201.195, gpu_ram_mb: 243.289, power_w: 16.887, auc_roc: Some(0.718), inference_frequency_hz: Some(4.754) },
-        PaperTable2Row { board: ORIN, detector: "Isolation Forest", cpu_percent: 10.648, gpu_percent: 0.000, ram_mb: 3990.171, gpu_ram_mb: 243.289, power_w: 9.169, auc_roc: Some(0.629), inference_frequency_hz: Some(10.732) },
-        PaperTable2Row { board: ORIN, detector: "VARADE", cpu_percent: 10.399, gpu_percent: 70.100, ram_mb: 5167.490, gpu_ram_mb: 954.701, power_w: 10.220, auc_roc: Some(0.844), inference_frequency_hz: Some(26.461) },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "Idle",
+            cpu_percent: 36.465,
+            gpu_percent: 52.100,
+            ram_mb: 5130.219,
+            gpu_ram_mb: 537.235,
+            power_w: 5.851,
+            auc_roc: None,
+            inference_frequency_hz: None,
+        },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "AR-LSTM",
+            cpu_percent: 62.311,
+            gpu_percent: 97.700,
+            ram_mb: 5669.830,
+            gpu_ram_mb: 872.374,
+            power_w: 11.288,
+            auc_roc: Some(0.719),
+            inference_frequency_hz: Some(5.200),
+        },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "GBRF",
+            cpu_percent: 61.499,
+            gpu_percent: 53.000,
+            ram_mb: 5518.050,
+            gpu_ram_mb: 528.416,
+            power_w: 6.108,
+            auc_roc: Some(0.655),
+            inference_frequency_hz: Some(20.575),
+        },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "AE",
+            cpu_percent: 53.023,
+            gpu_percent: 79.400,
+            ram_mb: 5276.139,
+            gpu_ram_mb: 807.528,
+            power_w: 6.010,
+            auc_roc: Some(0.810),
+            inference_frequency_hz: Some(2.247),
+        },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "kNN",
+            cpu_percent: 92.547,
+            gpu_percent: 55.700,
+            ram_mb: 5076.605,
+            gpu_ram_mb: 526.844,
+            power_w: 7.208,
+            auc_roc: Some(0.718),
+            inference_frequency_hz: Some(1.116),
+        },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "Isolation Forest",
+            cpu_percent: 51.122,
+            gpu_percent: 64.700,
+            ram_mb: 4859.356,
+            gpu_ram_mb: 526.673,
+            power_w: 5.777,
+            auc_roc: Some(0.629),
+            inference_frequency_hz: Some(4.568),
+        },
+        PaperTable2Row {
+            board: XAVIER,
+            detector: "VARADE",
+            cpu_percent: 52.420,
+            gpu_percent: 70.600,
+            ram_mb: 5488.874,
+            gpu_ram_mb: 1005.369,
+            power_w: 6.333,
+            auc_roc: Some(0.844),
+            inference_frequency_hz: Some(14.937),
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "Idle",
+            cpu_percent: 4.875,
+            gpu_percent: 0.000,
+            ram_mb: 3916.715,
+            gpu_ram_mb: 243.289,
+            power_w: 7.522,
+            auc_roc: None,
+            inference_frequency_hz: None,
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "AR-LSTM",
+            cpu_percent: 10.744,
+            gpu_percent: 87.200,
+            ram_mb: 4741.666,
+            gpu_ram_mb: 761.107,
+            power_w: 11.139,
+            auc_roc: Some(0.719),
+            inference_frequency_hz: Some(8.687),
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "GBRF",
+            cpu_percent: 10.475,
+            gpu_percent: 15.900,
+            ram_mb: 4279.286,
+            gpu_ram_mb: 245.287,
+            power_w: 9.741,
+            auc_roc: Some(0.655),
+            inference_frequency_hz: Some(44.128),
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "AE",
+            cpu_percent: 10.548,
+            gpu_percent: 51.800,
+            ram_mb: 4882.850,
+            gpu_ram_mb: 699.010,
+            power_w: 10.168,
+            auc_roc: Some(0.810),
+            inference_frequency_hz: Some(4.284),
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "kNN",
+            cpu_percent: 91.506,
+            gpu_percent: 0.000,
+            ram_mb: 4201.195,
+            gpu_ram_mb: 243.289,
+            power_w: 16.887,
+            auc_roc: Some(0.718),
+            inference_frequency_hz: Some(4.754),
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "Isolation Forest",
+            cpu_percent: 10.648,
+            gpu_percent: 0.000,
+            ram_mb: 3990.171,
+            gpu_ram_mb: 243.289,
+            power_w: 9.169,
+            auc_roc: Some(0.629),
+            inference_frequency_hz: Some(10.732),
+        },
+        PaperTable2Row {
+            board: ORIN,
+            detector: "VARADE",
+            cpu_percent: 10.399,
+            gpu_percent: 70.100,
+            ram_mb: 5167.490,
+            gpu_ram_mb: 954.701,
+            power_w: 10.220,
+            auc_roc: Some(0.844),
+            inference_frequency_hz: Some(26.461),
+        },
     ]
 }
 
@@ -72,7 +212,11 @@ pub fn paper_row(board: &str, detector: &str) -> Option<PaperTable2Row> {
 
 /// Formats a paper-vs-measured comparison line for one quantity.
 pub fn compare_line(label: &str, paper: f64, measured: f64) -> String {
-    let ratio = if paper.abs() > 1e-12 { measured / paper } else { f64::NAN };
+    let ratio = if paper.abs() > 1e-12 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{label:<28} paper {paper:>10.3}   measured {measured:>10.3}   ratio {ratio:>6.2}")
 }
 

@@ -42,7 +42,11 @@ fn evaluate_variant(
     let scores = detector.score_series(test)?;
     let auc = auc_roc(&scores, labels)
         .map_err(|e| DetectorError::InvalidData(format!("auc computation failed: {e}")))?;
-    Ok(AblationResult { variant, auc_roc: auc, profile: detector.profile()? })
+    Ok(AblationResult {
+        variant,
+        auc_roc: auc,
+        profile: detector.profile()?,
+    })
 }
 
 /// Ablation 1: variance scoring vs. prediction-error scoring on the same
@@ -59,7 +63,14 @@ pub fn compare_scoring_rules(
     labels: &[bool],
 ) -> Result<Vec<AblationResult>, DetectorError> {
     Ok(vec![
-        evaluate_variant("score=variance".into(), config, ScoringRule::Variance, train, test, labels)?,
+        evaluate_variant(
+            "score=variance".into(),
+            config,
+            ScoringRule::Variance,
+            train,
+            test,
+            labels,
+        )?,
         evaluate_variant(
             "score=prediction-error".into(),
             config,

@@ -111,16 +111,24 @@ impl VaradeConfig {
             )));
         }
         if self.base_feature_maps == 0 {
-            return Err(VaradeError::InvalidConfig("base feature maps must be positive".into()));
+            return Err(VaradeError::InvalidConfig(
+                "base feature maps must be positive".into(),
+            ));
         }
         if self.kl_weight < 0.0 {
-            return Err(VaradeError::InvalidConfig("kl weight must be non-negative".into()));
+            return Err(VaradeError::InvalidConfig(
+                "kl weight must be non-negative".into(),
+            ));
         }
         if self.batch_size == 0 || self.epochs == 0 {
-            return Err(VaradeError::InvalidConfig("epochs and batch size must be positive".into()));
+            return Err(VaradeError::InvalidConfig(
+                "epochs and batch size must be positive".into(),
+            ));
         }
         if self.learning_rate <= 0.0 {
-            return Err(VaradeError::InvalidConfig("learning rate must be positive".into()));
+            return Err(VaradeError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -147,7 +155,10 @@ mod tests {
 
     #[test]
     fn layer_count_follows_window_size() {
-        let mk = |w| VaradeConfig { window: w, ..VaradeConfig::default() };
+        let mk = |w| VaradeConfig {
+            window: w,
+            ..VaradeConfig::default()
+        };
         assert_eq!(mk(4).n_layers(), 1);
         assert_eq!(mk(8).n_layers(), 2);
         assert_eq!(mk(64).n_layers(), 5);
@@ -160,10 +171,30 @@ mod tests {
         assert!(ok.validate().is_ok());
         assert!(VaradeConfig { window: 48, ..ok }.validate().is_err());
         assert!(VaradeConfig { window: 2, ..ok }.validate().is_err());
-        assert!(VaradeConfig { base_feature_maps: 0, ..ok }.validate().is_err());
-        assert!(VaradeConfig { kl_weight: -0.1, ..ok }.validate().is_err());
-        assert!(VaradeConfig { batch_size: 0, ..ok }.validate().is_err());
+        assert!(VaradeConfig {
+            base_feature_maps: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(VaradeConfig {
+            kl_weight: -0.1,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(VaradeConfig {
+            batch_size: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
         assert!(VaradeConfig { epochs: 0, ..ok }.validate().is_err());
-        assert!(VaradeConfig { learning_rate: 0.0, ..ok }.validate().is_err());
+        assert!(VaradeConfig {
+            learning_rate: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -45,13 +45,23 @@ impl std::fmt::Debug for VaradeDetector {
 impl VaradeDetector {
     /// Creates an unfitted detector using the paper's variance scoring rule.
     pub fn new(config: VaradeConfig) -> Self {
-        Self { config, scoring: ScoringRule::Variance, model: None, n_channels: 0 }
+        Self {
+            config,
+            scoring: ScoringRule::Variance,
+            model: None,
+            n_channels: 0,
+        }
     }
 
     /// Creates an unfitted detector with an explicit scoring rule (used by the
     /// ablation study).
     pub fn with_scoring(config: VaradeConfig, scoring: ScoringRule) -> Self {
-        Self { config, scoring, model: None, n_channels: 0 }
+        Self {
+            config,
+            scoring,
+            model: None,
+            n_channels: 0,
+        }
     }
 
     /// The configuration in use.
@@ -117,9 +127,15 @@ impl VaradeDetector {
     ///
     /// Returns [`VaradeError::NotFitted`] before `fit` and
     /// [`VaradeError::InvalidData`] for a window of the wrong size.
-    pub fn score_window(&mut self, context: &[f32], next_sample: &[f32]) -> Result<f32, VaradeError> {
+    pub fn score_window(
+        &mut self,
+        context: &[f32],
+        next_sample: &[f32],
+    ) -> Result<f32, VaradeError> {
         let model = self.model.as_mut().ok_or(VaradeError::NotFitted)?;
-        if context.len() != self.n_channels * self.config.window || next_sample.len() != self.n_channels {
+        if context.len() != self.n_channels * self.config.window
+            || next_sample.len() != self.n_channels
+        {
             return Err(VaradeError::InvalidData(format!(
                 "expected context of {} values and sample of {} values, got {} and {}",
                 self.n_channels * self.config.window,
@@ -178,7 +194,9 @@ impl AnomalyDetector for VaradeDetector {
     }
 
     fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
-        self.fit_with_report(train).map(|_| ()).map_err(DetectorError::from)
+        self.fit_with_report(train)
+            .map(|_| ())
+            .map_err(DetectorError::from)
     }
 
     fn is_fitted(&self) -> bool {
@@ -280,7 +298,12 @@ mod tests {
         s
     }
 
-    fn spiked_copy(normal: &MultivariateSeries, from: usize, to: usize, magnitude: f32) -> MultivariateSeries {
+    fn spiked_copy(
+        normal: &MultivariateSeries,
+        from: usize,
+        to: usize,
+        magnitude: f32,
+    ) -> MultivariateSeries {
         let c = normal.n_channels();
         let mut data = normal.as_slice().to_vec();
         for t in from..to {
@@ -288,8 +311,12 @@ mod tests {
                 data[t * c + ci] += magnitude;
             }
         }
-        MultivariateSeries::from_rows(normal.channel_names().to_vec(), normal.sample_rate_hz(), data)
-            .unwrap()
+        MultivariateSeries::from_rows(
+            normal.channel_names().to_vec(),
+            normal.sample_rate_hz(),
+            data,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -315,7 +342,10 @@ mod tests {
         let normal_mean = normal_scores.iter().sum::<f32>() / normal_scores.len() as f32;
         // Variance right after the transient enters the window should exceed
         // the typical normal-score level.
-        let spike_peak = spiked_scores[60..70].iter().copied().fold(f32::MIN, f32::max);
+        let spike_peak = spiked_scores[60..70]
+            .iter()
+            .copied()
+            .fold(f32::MIN, f32::max);
         assert!(
             spike_peak > normal_mean * 1.2,
             "spike variance {spike_peak} vs normal mean {normal_mean}"

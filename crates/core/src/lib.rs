@@ -113,9 +113,15 @@ impl From<varade_timeseries::SeriesError> for VaradeError {
 impl From<VaradeError> for varade_detectors::DetectorError {
     fn from(err: VaradeError) -> Self {
         match err {
-            VaradeError::InvalidConfig(reason) => varade_detectors::DetectorError::InvalidConfig(reason),
-            VaradeError::InvalidData(reason) => varade_detectors::DetectorError::InvalidData(reason),
-            VaradeError::NotFitted => varade_detectors::DetectorError::NotFitted { detector: "VARADE" },
+            VaradeError::InvalidConfig(reason) => {
+                varade_detectors::DetectorError::InvalidConfig(reason)
+            }
+            VaradeError::InvalidData(reason) => {
+                varade_detectors::DetectorError::InvalidData(reason)
+            }
+            VaradeError::NotFitted => {
+                varade_detectors::DetectorError::NotFitted { detector: "VARADE" }
+            }
             VaradeError::Tensor(e) => varade_detectors::DetectorError::Tensor(e),
             VaradeError::Series(e) => varade_detectors::DetectorError::Series(e),
         }
@@ -132,9 +138,13 @@ mod tests {
         let e = VaradeError::InvalidConfig("window".into());
         assert!(e.to_string().contains("window"));
         assert!(e.source().is_none());
-        let e: VaradeError = varade_tensor::TensorError::BackwardBeforeForward { layer: "x" }.into();
+        let e: VaradeError =
+            varade_tensor::TensorError::BackwardBeforeForward { layer: "x" }.into();
         assert!(e.source().is_some());
         let det: varade_detectors::DetectorError = VaradeError::NotFitted.into();
-        assert!(matches!(det, varade_detectors::DetectorError::NotFitted { .. }));
+        assert!(matches!(
+            det,
+            varade_detectors::DetectorError::NotFitted { .. }
+        ));
     }
 }

@@ -51,10 +51,16 @@ impl VaradeModel {
     ///
     /// Returns [`VaradeError::InvalidConfig`] if the configuration is invalid
     /// or `n_channels` is zero.
-    pub fn new(config: VaradeConfig, n_channels: usize, rng: &mut StdRng) -> Result<Self, VaradeError> {
+    pub fn new(
+        config: VaradeConfig,
+        n_channels: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self, VaradeError> {
         config.validate()?;
         if n_channels == 0 {
-            return Err(VaradeError::InvalidConfig("need at least one input channel".into()));
+            return Err(VaradeError::InvalidConfig(
+                "need at least one input channel".into(),
+            ));
         }
         let mut network = Sequential::empty();
         let mut in_ch = n_channels;
@@ -68,7 +74,11 @@ impl VaradeModel {
         // After n_layers halvings the time axis has length 2.
         let features = in_ch * (config.window >> config.n_layers());
         network.push(Box::new(Linear::new(features, 2 * n_channels, rng)));
-        Ok(Self { config, n_channels, network })
+        Ok(Self {
+            config,
+            n_channels,
+            network,
+        })
     }
 
     /// Convenience constructor seeding its own RNG from the configuration.
@@ -144,7 +154,11 @@ impl VaradeModel {
     }
 
     /// Merges per-head gradients back into the `[batch, 2 * channels]` layout.
-    fn merge_grads(&self, grad_mean: &Tensor, grad_log_var: &Tensor) -> Result<Tensor, TensorError> {
+    fn merge_grads(
+        &self,
+        grad_mean: &Tensor,
+        grad_log_var: &Tensor,
+    ) -> Result<Tensor, TensorError> {
         if grad_mean.shape() != grad_log_var.shape() {
             return Err(TensorError::ShapeMismatch {
                 expected: grad_mean.shape().to_vec(),
@@ -174,7 +188,8 @@ impl VaradeModel {
 
     /// Per-inference compute profile of the full network.
     pub fn inference_profile(&self) -> ComputeProfile {
-        self.network.profile(&[1, self.n_channels, self.config.window])
+        self.network
+            .profile(&[1, self.n_channels, self.config.window])
     }
 
     /// Total number of trainable parameters.
@@ -214,12 +229,20 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> VaradeConfig {
-        VaradeConfig { window: 16, base_feature_maps: 8, ..VaradeConfig::default() }
+        VaradeConfig {
+            window: 16,
+            base_feature_maps: 8,
+            ..VaradeConfig::default()
+        }
     }
 
     #[test]
     fn architecture_matches_paper_shape() {
-        let cfg = VaradeConfig { window: 512, base_feature_maps: 128, ..VaradeConfig::default() };
+        let cfg = VaradeConfig {
+            window: 512,
+            base_feature_maps: 128,
+            ..VaradeConfig::default()
+        };
         let mut model = VaradeModel::from_config(cfg, 86).unwrap();
         let summary = model.summary();
         // 8 conv layers + 8 relus + flatten + linear = 18 rows.
@@ -245,8 +268,12 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_shapes() {
         let mut model = VaradeModel::from_config(tiny_config(), 5).unwrap();
-        assert!(model.forward_variational(&Tensor::zeros(&[1, 4, 16])).is_err());
-        assert!(model.forward_variational(&Tensor::zeros(&[1, 5, 8])).is_err());
+        assert!(model
+            .forward_variational(&Tensor::zeros(&[1, 4, 16]))
+            .is_err());
+        assert!(model
+            .forward_variational(&Tensor::zeros(&[1, 5, 8]))
+            .is_err());
         assert!(model.forward_variational(&Tensor::zeros(&[5, 16])).is_err());
     }
 
@@ -281,15 +308,28 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        assert!(VaradeModel::from_config(VaradeConfig { window: 10, ..tiny_config() }, 3).is_err());
+        assert!(VaradeModel::from_config(
+            VaradeConfig {
+                window: 10,
+                ..tiny_config()
+            },
+            3
+        )
+        .is_err());
         assert!(VaradeModel::from_config(tiny_config(), 0).is_err());
     }
 
     #[test]
     fn profile_scales_with_window() {
-        let small = VaradeModel::from_config(tiny_config(), 8).unwrap().inference_profile();
+        let small = VaradeModel::from_config(tiny_config(), 8)
+            .unwrap()
+            .inference_profile();
         let large = VaradeModel::from_config(
-            VaradeConfig { window: 64, base_feature_maps: 8, ..VaradeConfig::default() },
+            VaradeConfig {
+                window: 64,
+                base_feature_maps: 8,
+                ..VaradeConfig::default()
+            },
             8,
         )
         .unwrap()

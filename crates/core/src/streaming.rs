@@ -50,7 +50,13 @@ impl StreamingVarade {
         }
         let window = detector.config().window;
         let buffer = StreamingWindow::new(n_channels, window)?;
-        Ok(Self { detector, normalizer, buffer, pending_context: None, scores_emitted: 0 })
+        Ok(Self {
+            detector,
+            normalizer,
+            buffer,
+            pending_context: None,
+            scores_emitted: 0,
+        })
     }
 
     /// Number of scores produced so far.
@@ -128,7 +134,10 @@ mod tests {
     #[test]
     fn requires_a_fitted_detector() {
         let det = VaradeDetector::new(tiny_config());
-        assert!(matches!(StreamingVarade::new(det, 2, None), Err(VaradeError::NotFitted)));
+        assert!(matches!(
+            StreamingVarade::new(det, 2, None),
+            Err(VaradeError::NotFitted)
+        ));
     }
 
     #[test]
@@ -154,9 +163,9 @@ mod tests {
         let batch_scores = det.score_series(&test).unwrap();
         let mut stream = StreamingVarade::new(det, 2, None).unwrap();
         let mut streamed = vec![f32::NAN; test.len()];
-        for t in 0..test.len() {
+        for (t, slot) in streamed.iter_mut().enumerate() {
             if let Some(s) = stream.push(test.row(t)).unwrap() {
-                streamed[t] = s;
+                *slot = s;
             }
         }
         for t in 9..test.len() {

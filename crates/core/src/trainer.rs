@@ -87,7 +87,9 @@ impl VaradeTrainer {
         windows: &[ForecastWindow],
     ) -> Result<TrainingReport, VaradeError> {
         if windows.is_empty() {
-            return Err(VaradeError::InvalidData("no training windows provided".into()));
+            return Err(VaradeError::InvalidData(
+                "no training windows provided".into(),
+            ));
         }
         let n_channels = model.n_channels();
         let mut optimizer = Adam::new(self.config.learning_rate).with_clip_norm(5.0);
@@ -161,7 +163,11 @@ mod tests {
         let windows = wave_windows(120, 2, cfg.window);
         let report = VaradeTrainer::new(cfg).train(&mut model, &windows).unwrap();
         assert_eq!(report.epoch_losses.len(), cfg.epochs);
-        assert!(report.improved(), "loss did not improve: {:?}", report.epoch_losses);
+        assert!(
+            report.improved(),
+            "loss did not improve: {:?}",
+            report.epoch_losses
+        );
         assert!(report.final_loss().unwrap().is_finite());
     }
 
@@ -172,7 +178,10 @@ mod tests {
         let windows = wave_windows(60, 2, cfg.window);
         let report = VaradeTrainer::new(cfg).train(&mut model, &windows).unwrap();
         assert_eq!(report.kl_losses.len(), cfg.epochs);
-        assert!(report.kl_losses.iter().all(|l| l.is_finite() && *l >= -1e-4));
+        assert!(report
+            .kl_losses
+            .iter()
+            .all(|l| l.is_finite() && *l >= -1e-4));
     }
 
     #[test]

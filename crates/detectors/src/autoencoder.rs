@@ -94,7 +94,11 @@ impl std::fmt::Debug for AutoencoderDetector {
 impl AutoencoderDetector {
     /// Creates an unfitted detector.
     pub fn new(config: AutoencoderConfig) -> Self {
-        Self { config, model: None, n_channels: 0 }
+        Self {
+            config,
+            model: None,
+            n_channels: 0,
+        }
     }
 
     /// The configuration in use.
@@ -103,7 +107,11 @@ impl AutoencoderDetector {
     }
 
     /// Builds the encoder–decoder network for `n_channels` input channels.
-    pub fn build_model(config: &AutoencoderConfig, n_channels: usize, rng: &mut StdRng) -> Sequential {
+    pub fn build_model(
+        config: &AutoencoderConfig,
+        n_channels: usize,
+        rng: &mut StdRng,
+    ) -> Sequential {
         let mut model = Sequential::empty();
         // Encoder: each stage halves the time axis and hosts a residual block.
         let mut in_ch = n_channels;
@@ -118,10 +126,18 @@ impl AutoencoderDetector {
         let mut ch = in_ch;
         for stage in 0..config.n_stages {
             model.push(Box::new(Upsample1d::new(2)));
-            let out_ch = if stage + 1 == config.n_stages { n_channels } else { ch / 2 };
+            let out_ch = if stage + 1 == config.n_stages {
+                n_channels
+            } else {
+                ch / 2
+            };
             model.push(Box::new(Conv1d::new(ch, out_ch.max(1), 3, 1, 1, rng)));
             if stage + 1 != config.n_stages {
-                model.push(Box::new(ResidualConvBlock::new(out_ch.max(1), out_ch.max(1), rng)));
+                model.push(Box::new(ResidualConvBlock::new(
+                    out_ch.max(1),
+                    out_ch.max(1),
+                    rng,
+                )));
             }
             ch = out_ch.max(1);
         }
@@ -143,7 +159,7 @@ impl AutoencoderDetector {
                 "window, base channels, stages and batch size must be positive".into(),
             ));
         }
-        if cfg.window % (1 << cfg.n_stages) != 0 {
+        if !cfg.window.is_multiple_of(1 << cfg.n_stages) {
             return Err(DetectorError::InvalidConfig(format!(
                 "window {} must be divisible by 2^{}",
                 cfg.window, cfg.n_stages
@@ -239,7 +255,9 @@ impl AnomalyDetector for AutoencoderDetector {
             )));
         }
         if test.len() < cfg.window {
-            return Err(DetectorError::InvalidData("test series shorter than the window".into()));
+            return Err(DetectorError::InvalidData(
+                "test series shorter than the window".into(),
+            ));
         }
         let model = self.model.as_mut().expect("checked above");
         let ends: Vec<usize> = (cfg.window - 1..test.len()).collect();
@@ -334,19 +352,32 @@ mod tests {
             data[t * 2] += 5.0;
             data[t * 2 + 1] += 5.0;
         }
-        let spiked = MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
+        let spiked =
+            MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
         let normal_scores = det.score_series(&normal).unwrap();
         let spiked_scores = det.score_series(&spiked).unwrap();
         let normal_max = normal_scores.iter().copied().fold(f32::MIN, f32::max);
-        let spike_peak = spiked_scores[50..56].iter().copied().fold(f32::MIN, f32::max);
-        assert!(spike_peak > normal_max, "spike {spike_peak} vs normal {normal_max}");
+        let spike_peak = spiked_scores[50..56]
+            .iter()
+            .copied()
+            .fold(f32::MIN, f32::max);
+        assert!(
+            spike_peak > normal_max,
+            "spike {spike_peak} vs normal {normal_max}"
+        );
     }
 
     #[test]
     fn config_validation_rejects_bad_windows() {
-        let mut det = AutoencoderDetector::new(AutoencoderConfig { window: 10, ..tiny_config() });
+        let mut det = AutoencoderDetector::new(AutoencoderConfig {
+            window: 10,
+            ..tiny_config()
+        });
         assert!(det.fit(&wave_series(100, 2)).is_err());
-        let mut det = AutoencoderDetector::new(AutoencoderConfig { n_stages: 0, ..tiny_config() });
+        let mut det = AutoencoderDetector::new(AutoencoderConfig {
+            n_stages: 0,
+            ..tiny_config()
+        });
         assert!(det.fit(&wave_series(100, 2)).is_err());
     }
 

@@ -60,7 +60,11 @@ pub struct GbrfDetector {
 impl GbrfDetector {
     /// Creates an unfitted detector.
     pub fn new(config: GbrfConfig) -> Self {
-        Self { config, ensembles: Vec::new(), n_channels: 0 }
+        Self {
+            config,
+            ensembles: Vec::new(),
+            n_channels: 0,
+        }
     }
 
     /// The configuration in use.
@@ -70,7 +74,12 @@ impl GbrfDetector {
 
     /// Analytical compute profile for an arbitrary forest size, used to model
     /// the paper-scale deployment.
-    pub fn profile_for(n_channels: usize, n_trees: usize, max_depth: usize, lag: usize) -> ComputeProfile {
+    pub fn profile_for(
+        n_channels: usize,
+        n_trees: usize,
+        max_depth: usize,
+        lag: usize,
+    ) -> ComputeProfile {
         let c = n_channels as f64;
         let t = n_trees as f64;
         let d = max_depth as f64;
@@ -100,7 +109,9 @@ impl AnomalyDetector for GbrfDetector {
     fn fit(&mut self, train: &MultivariateSeries) -> Result<(), DetectorError> {
         let cfg = self.config;
         if cfg.lag == 0 {
-            return Err(DetectorError::InvalidConfig("lag must be at least 1".into()));
+            return Err(DetectorError::InvalidConfig(
+                "lag must be at least 1".into(),
+            ));
         }
         if train.len() <= cfg.lag + 2 {
             return Err(DetectorError::InvalidData(format!(
@@ -117,8 +128,10 @@ impl AnomalyDetector for GbrfDetector {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut ensembles = Vec::with_capacity(self.n_channels);
         for c in 0..self.n_channels {
-            let x: Vec<Vec<f32>> =
-                targets.iter().map(|&t| Self::features(train, c, t, cfg.lag)).collect();
+            let x: Vec<Vec<f32>> = targets
+                .iter()
+                .map(|&t| Self::features(train, c, t, cfg.lag))
+                .collect();
             let y: Vec<f32> = targets.iter().map(|&t| train.value(t, c)).collect();
             let refs: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
             let ensemble = GradientBoostedTrees::fit(
@@ -153,10 +166,12 @@ impl AnomalyDetector for GbrfDetector {
         }
         let lag = self.config.lag;
         if test.len() <= lag {
-            return Err(DetectorError::InvalidData("test series shorter than the lag window".into()));
+            return Err(DetectorError::InvalidData(
+                "test series shorter than the lag window".into(),
+            ));
         }
         let mut scores = vec![0.0f32; test.len()];
-        for t in lag..test.len() {
+        for (t, score) in scores.iter_mut().enumerate().skip(lag) {
             let mut err_sq = 0.0f32;
             for (c, ensemble) in self.ensembles.iter().enumerate() {
                 let features = Self::features(test, c, t, lag);
@@ -164,7 +179,7 @@ impl AnomalyDetector for GbrfDetector {
                 let diff = pred - test.value(t, c);
                 err_sq += diff * diff;
             }
-            scores[t] = err_sq.sqrt();
+            *score = err_sq.sqrt();
         }
         fill_warmup(&mut scores, lag);
         Ok(scores)
@@ -188,14 +203,22 @@ mod tests {
     use super::*;
 
     fn config_small() -> GbrfConfig {
-        GbrfConfig { n_trees: 10, max_depth: 2, lag: 3, max_train_rows: 300, rows_per_tree: 150, ..GbrfConfig::default() }
+        GbrfConfig {
+            n_trees: 10,
+            max_depth: 2,
+            lag: 3,
+            max_train_rows: 300,
+            rows_per_tree: 150,
+            ..GbrfConfig::default()
+        }
     }
 
     fn periodic_series(n: usize) -> MultivariateSeries {
         let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
         for t in 0..n {
             let v = (t as f32 * 0.2).sin();
-            s.push_row(&[v, (t as f32 * 0.2 + 1.0).cos() * 0.5]).unwrap();
+            s.push_row(&[v, (t as f32 * 0.2 + 1.0).cos() * 0.5])
+                .unwrap();
         }
         s
     }
@@ -218,7 +241,12 @@ mod tests {
         let normal_scores = det.score_series(&normal).unwrap();
         let spiked_scores = det.score_series(&spiked).unwrap();
         let normal_max = normal_scores.iter().copied().fold(f32::MIN, f32::max);
-        assert!(spiked_scores[80] > normal_max, "{} <= {}", spiked_scores[80], normal_max);
+        assert!(
+            spiked_scores[80] > normal_max,
+            "{} <= {}",
+            spiked_scores[80],
+            normal_max
+        );
     }
 
     #[test]
@@ -233,7 +261,10 @@ mod tests {
 
     #[test]
     fn validates_fit_inputs() {
-        let mut det = GbrfDetector::new(GbrfConfig { lag: 0, ..config_small() });
+        let mut det = GbrfDetector::new(GbrfConfig {
+            lag: 0,
+            ..config_small()
+        });
         assert!(det.fit(&periodic_series(100)).is_err());
         let mut det = GbrfDetector::new(config_small());
         assert!(det.fit(&periodic_series(4)).is_err());

@@ -29,14 +29,26 @@ pub struct IsolationForestConfig {
 
 impl Default for IsolationForestConfig {
     fn default() -> Self {
-        Self { n_trees: 100, subsample: 256, contamination: 0.1, seed: 7 }
+        Self {
+            n_trees: 100,
+            subsample: 256,
+            contamination: 0.1,
+            seed: 7,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum IsoNode {
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
-    Leaf { size: usize },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        size: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -61,9 +73,17 @@ impl IsoTree {
         tree
     }
 
-    fn grow(&mut self, points: &[&[f32]], indices: &[usize], depth_left: usize, rng: &mut StdRng) -> usize {
+    fn grow(
+        &mut self,
+        points: &[&[f32]],
+        indices: &[usize],
+        depth_left: usize,
+        rng: &mut StdRng,
+    ) -> usize {
         if depth_left == 0 || indices.len() <= 1 {
-            self.nodes.push(IsoNode::Leaf { size: indices.len() });
+            self.nodes.push(IsoNode::Leaf {
+                size: indices.len(),
+            });
             return self.nodes.len() - 1;
         }
         let n_features = points[0].len();
@@ -83,7 +103,9 @@ impl IsoTree {
             }
         }
         let Some((feature, lo, hi)) = chosen else {
-            self.nodes.push(IsoNode::Leaf { size: indices.len() });
+            self.nodes.push(IsoNode::Leaf {
+                size: indices.len(),
+            });
             return self.nodes.len() - 1;
         };
         let threshold = rng.gen_range(lo..hi);
@@ -96,14 +118,23 @@ impl IsoTree {
             }
         }
         if left_idx.is_empty() || right_idx.is_empty() {
-            self.nodes.push(IsoNode::Leaf { size: indices.len() });
+            self.nodes.push(IsoNode::Leaf {
+                size: indices.len(),
+            });
             return self.nodes.len() - 1;
         }
         let node_id = self.nodes.len();
-        self.nodes.push(IsoNode::Leaf { size: indices.len() });
+        self.nodes.push(IsoNode::Leaf {
+            size: indices.len(),
+        });
         let left = self.grow(points, &left_idx, depth_left - 1, rng);
         let right = self.grow(points, &right_idx, depth_left - 1, rng);
-        self.nodes[node_id] = IsoNode::Split { feature, threshold, left, right };
+        self.nodes[node_id] = IsoNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -114,14 +145,22 @@ impl IsoTree {
         loop {
             match &self.nodes[node] {
                 IsoNode::Leaf { size } => return depth + average_path_length(*size),
-                IsoNode::Split { feature, threshold, left, right } => {
+                IsoNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     depth += 1.0;
-                    node = if point[*feature] < *threshold { *left } else { *right };
+                    node = if point[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
     }
-
 }
 
 /// Isolation Forest anomaly detector.
@@ -137,7 +176,13 @@ pub struct IsolationForestDetector {
 impl IsolationForestDetector {
     /// Creates an unfitted detector.
     pub fn new(config: IsolationForestConfig) -> Self {
-        Self { config, trees: Vec::new(), subsample_size: 0, n_channels: 0, threshold: 0.5 }
+        Self {
+            config,
+            trees: Vec::new(),
+            subsample_size: 0,
+            n_channels: 0,
+            threshold: 0.5,
+        }
     }
 
     /// The configuration in use.
@@ -151,8 +196,8 @@ impl IsolationForestDetector {
     }
 
     fn score_point(&self, point: &[f32]) -> f32 {
-        let avg_path: f64 = self.trees.iter().map(|t| t.path_length(point)).sum::<f64>()
-            / self.trees.len() as f64;
+        let avg_path: f64 =
+            self.trees.iter().map(|t| t.path_length(point)).sum::<f64>() / self.trees.len() as f64;
         let c = average_path_length(self.subsample_size);
         if c <= 0.0 {
             return 0.5;
@@ -188,10 +233,14 @@ impl AnomalyDetector for IsolationForestDetector {
             ));
         }
         if !(0.0..=0.5).contains(&self.config.contamination) {
-            return Err(DetectorError::InvalidConfig("contamination must be in [0, 0.5]".into()));
+            return Err(DetectorError::InvalidConfig(
+                "contamination must be in [0, 0.5]".into(),
+            ));
         }
         if train.len() < 8 {
-            return Err(DetectorError::InvalidData("training series too short".into()));
+            return Err(DetectorError::InvalidData(
+                "training series too short".into(),
+            ));
         }
         train.check_finite()?;
         self.n_channels = train.n_channels();
@@ -211,7 +260,8 @@ impl AnomalyDetector for IsolationForestDetector {
         // Threshold at the (1 - contamination) quantile of training scores.
         let mut train_scores: Vec<f32> = rows.iter().map(|r| self.score_point(r)).collect();
         train_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let idx = ((1.0 - self.config.contamination) * (train_scores.len() - 1) as f64).round() as usize;
+        let idx =
+            ((1.0 - self.config.contamination) * (train_scores.len() - 1) as f64).round() as usize;
         self.threshold = train_scores[idx.min(train_scores.len() - 1)];
         Ok(())
     }
@@ -222,7 +272,9 @@ impl AnomalyDetector for IsolationForestDetector {
 
     fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
         if !self.is_fitted() {
-            return Err(DetectorError::NotFitted { detector: "Isolation Forest" });
+            return Err(DetectorError::NotFitted {
+                detector: "Isolation Forest",
+            });
         }
         if test.n_channels() != self.n_channels {
             return Err(DetectorError::InvalidData(format!(
@@ -231,14 +283,22 @@ impl AnomalyDetector for IsolationForestDetector {
                 test.n_channels()
             )));
         }
-        Ok((0..test.len()).map(|t| self.score_point(test.row(t))).collect())
+        Ok((0..test.len())
+            .map(|t| self.score_point(test.row(t)))
+            .collect())
     }
 
     fn profile(&self) -> Result<ComputeProfile, DetectorError> {
         if !self.is_fitted() {
-            return Err(DetectorError::NotFitted { detector: "Isolation Forest" });
+            return Err(DetectorError::NotFitted {
+                detector: "Isolation Forest",
+            });
         }
-        Ok(Self::profile_for(self.trees.len(), self.subsample_size, self.n_channels))
+        Ok(Self::profile_for(
+            self.trees.len(),
+            self.subsample_size,
+            self.n_channels,
+        ))
     }
 }
 
@@ -281,8 +341,14 @@ mod tests {
         // The far-away point must isolate noticeably faster than the cluster average
         // and rank above every inlier.
         let inlier_max = scores[..50].iter().copied().fold(f32::MIN, f32::max);
-        assert!(outlier > inlier_mean + 0.05, "outlier {outlier} vs inlier mean {inlier_mean}");
-        assert!(outlier >= inlier_max, "outlier {outlier} vs inlier max {inlier_max}");
+        assert!(
+            outlier > inlier_mean + 0.05,
+            "outlier {outlier} vs inlier mean {inlier_mean}"
+        );
+        assert!(
+            outlier >= inlier_max,
+            "outlier {outlier} vs inlier max {inlier_max}"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        Self { k: 5, max_reference_points: 2_000 }
+        Self {
+            k: 5,
+            max_reference_points: 2_000,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ pub struct KnnDetector {
 impl KnnDetector {
     /// Creates an unfitted detector.
     pub fn new(config: KnnConfig) -> Self {
-        Self { config, reference: Vec::new(), n_channels: 0 }
+        Self {
+            config,
+            reference: Vec::new(),
+            n_channels: 0,
+        }
     }
 
     /// The configuration in use.
@@ -141,7 +148,9 @@ impl AnomalyDetector for KnnDetector {
                 test.n_channels()
             )));
         }
-        let mut scores: Vec<f32> = (0..test.len()).map(|t| self.score_point(test.row(t))).collect();
+        let mut scores: Vec<f32> = (0..test.len())
+            .map(|t| self.score_point(test.row(t)))
+            .collect();
         fill_warmup(&mut scores, 0);
         Ok(scores)
     }
@@ -150,7 +159,11 @@ impl AnomalyDetector for KnnDetector {
         if !self.is_fitted() {
             return Err(DetectorError::NotFitted { detector: "kNN" });
         }
-        Ok(Self::profile_for(self.n_channels, self.reference.len(), self.config.k))
+        Ok(Self::profile_for(
+            self.n_channels,
+            self.reference.len(),
+            self.config.k,
+        ))
     }
 }
 
@@ -177,7 +190,10 @@ mod tests {
         let scores = det.score_series(&test).unwrap();
         let outlier = *scores.last().unwrap();
         let max_inlier = scores[..50].iter().copied().fold(f32::MIN, f32::max);
-        assert!(outlier > max_inlier * 3.0, "outlier {outlier} vs inlier max {max_inlier}");
+        assert!(
+            outlier > max_inlier * 3.0,
+            "outlier {outlier} vs inlier max {max_inlier}"
+        );
     }
 
     #[test]
@@ -193,7 +209,10 @@ mod tests {
     #[test]
     fn subsampling_caps_reference_points() {
         let train = sine_series(500);
-        let mut det = KnnDetector::new(KnnConfig { k: 5, max_reference_points: 100 });
+        let mut det = KnnDetector::new(KnnConfig {
+            k: 5,
+            max_reference_points: 100,
+        });
         det.fit(&train).unwrap();
         assert!(det.reference_len() <= 101);
         assert!(det.reference_len() >= 90);
@@ -203,7 +222,10 @@ mod tests {
     fn requires_fit_before_scoring_and_validates_channels() {
         let mut det = KnnDetector::new(KnnConfig::default());
         let test = sine_series(20);
-        assert!(matches!(det.score_series(&test), Err(DetectorError::NotFitted { .. })));
+        assert!(matches!(
+            det.score_series(&test),
+            Err(DetectorError::NotFitted { .. })
+        ));
         assert!(det.profile().is_err());
         det.fit(&sine_series(100)).unwrap();
         let other = MultivariateSeries::new(vec!["only".into()], 1.0).unwrap();
@@ -214,7 +236,10 @@ mod tests {
     fn rejects_too_short_training_series() {
         let mut det = KnnDetector::new(KnnConfig::default());
         assert!(det.fit(&sine_series(4)).is_err());
-        let mut det = KnnDetector::new(KnnConfig { k: 0, max_reference_points: 10 });
+        let mut det = KnnDetector::new(KnnConfig {
+            k: 0,
+            max_reference_points: 10,
+        });
         assert!(det.fit(&sine_series(100)).is_err());
     }
 

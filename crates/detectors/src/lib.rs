@@ -203,7 +203,8 @@ mod tests {
         let e = DetectorError::NotFitted { detector: "kNN" };
         assert!(e.to_string().contains("kNN"));
         assert!(e.source().is_none());
-        let e: DetectorError = varade_tensor::TensorError::BackwardBeforeForward { layer: "x" }.into();
+        let e: DetectorError =
+            varade_tensor::TensorError::BackwardBeforeForward { layer: "x" }.into();
         assert!(e.source().is_some());
         let e: DetectorError = varade_timeseries::SeriesError::Empty.into();
         assert!(e.source().is_some());

@@ -92,7 +92,11 @@ impl std::fmt::Debug for ArLstmDetector {
 impl ArLstmDetector {
     /// Creates an unfitted detector.
     pub fn new(config: ArLstmConfig) -> Self {
-        Self { config, model: None, n_channels: 0 }
+        Self {
+            config,
+            model: None,
+            n_channels: 0,
+        }
     }
 
     /// The configuration in use.
@@ -109,7 +113,11 @@ impl ArLstmDetector {
             in_size = config.hidden_size;
         }
         model.push(Box::new(LastTimeStep::new()));
-        model.push(Box::new(Linear::new(config.hidden_size, config.fc_size, rng)));
+        model.push(Box::new(Linear::new(
+            config.hidden_size,
+            config.fc_size,
+            rng,
+        )));
         model.push(Box::new(Relu::new()));
         model.push(Box::new(Linear::new(config.fc_size, n_channels, rng)));
         model
@@ -124,12 +132,19 @@ impl ArLstmDetector {
     }
 
     /// Converts a batch of channel-major windows into a `[batch, C, T]` tensor.
-    fn batch_tensor(contexts: &[&[f32]], n_channels: usize, window: usize) -> Result<Tensor, DetectorError> {
+    fn batch_tensor(
+        contexts: &[&[f32]],
+        n_channels: usize,
+        window: usize,
+    ) -> Result<Tensor, DetectorError> {
         let mut data = Vec::with_capacity(contexts.len() * n_channels * window);
         for ctx in contexts {
             data.extend_from_slice(ctx);
         }
-        Ok(Tensor::from_vec(data, &[contexts.len(), n_channels, window])?)
+        Ok(Tensor::from_vec(
+            data,
+            &[contexts.len(), n_channels, window],
+        )?)
     }
 
     fn validate_series(&self, series: &MultivariateSeries) -> Result<(), DetectorError> {
@@ -192,7 +207,9 @@ impl AnomalyDetector for ArLstmDetector {
     fn score_series(&mut self, test: &MultivariateSeries) -> Result<Vec<f32>, DetectorError> {
         let cfg = self.config;
         if self.model.is_none() {
-            return Err(DetectorError::NotFitted { detector: "AR-LSTM" });
+            return Err(DetectorError::NotFitted {
+                detector: "AR-LSTM",
+            });
         }
         if test.n_channels() != self.n_channels {
             return Err(DetectorError::InvalidData(format!(
@@ -223,10 +240,9 @@ impl AnomalyDetector for ArLstmDetector {
     }
 
     fn profile(&self) -> Result<ComputeProfile, DetectorError> {
-        let model = self
-            .model
-            .as_ref()
-            .ok_or(DetectorError::NotFitted { detector: "AR-LSTM" })?;
+        let model = self.model.as_ref().ok_or(DetectorError::NotFitted {
+            detector: "AR-LSTM",
+        })?;
         Ok(model.profile(&[1, self.n_channels, self.config.window]))
     }
 }
@@ -284,12 +300,19 @@ mod tests {
             data[t * 2] += 4.0;
             data[t * 2 + 1] -= 4.0;
         }
-        let spiked = MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
+        let spiked =
+            MultivariateSeries::from_rows(normal.channel_names().to_vec(), 10.0, data).unwrap();
         let normal_scores = det.score_series(&normal).unwrap();
         let spiked_scores = det.score_series(&spiked).unwrap();
         let normal_max = normal_scores.iter().copied().fold(f32::MIN, f32::max);
-        let spike_peak = spiked_scores[60..66].iter().copied().fold(f32::MIN, f32::max);
-        assert!(spike_peak > normal_max, "spike {spike_peak} vs normal max {normal_max}");
+        let spike_peak = spiked_scores[60..66]
+            .iter()
+            .copied()
+            .fold(f32::MIN, f32::max);
+        assert!(
+            spike_peak > normal_max,
+            "spike {spike_peak} vs normal max {normal_max}"
+        );
     }
 
     #[test]
@@ -298,7 +321,10 @@ mod tests {
         assert!(det.score_series(&wave_series(50, 3)).is_err());
         assert!(det.profile().is_err());
         assert!(det.fit(&wave_series(5, 3)).is_err());
-        let mut det = ArLstmDetector::new(ArLstmConfig { window: 0, ..tiny_config() });
+        let mut det = ArLstmDetector::new(ArLstmConfig {
+            window: 0,
+            ..tiny_config()
+        });
         assert!(det.fit(&wave_series(50, 3)).is_err());
     }
 

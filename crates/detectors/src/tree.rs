@@ -10,7 +10,12 @@ use crate::DetectorError;
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
     /// Internal split: `feature < threshold` goes left, otherwise right.
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
     /// Leaf prediction.
     Leaf { value: f32 },
 }
@@ -69,7 +74,10 @@ impl RegressionTree {
             ));
         }
         let n_features = x[0].len();
-        let mut tree = Self { nodes: Vec::new(), n_features };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features,
+        };
         let indices: Vec<usize> = (0..x.len()).collect();
         tree.grow(x, y, &indices, max_depth, min_samples_split);
         Ok(tree)
@@ -108,7 +116,11 @@ impl RegressionTree {
             return self.nodes.len() - 1;
         }
         let parent_sse = Self::sse(y, indices, mean);
-        let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, sse)
+        // Best split found so far: (feature, threshold, sse). `feature`
+        // indexes a column across the row-major `x`; iterating rows instead
+        // would invert the scan order, so the range loop stays.
+        let mut best: Option<(usize, f32, f32)> = None;
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..self.n_features {
             let mut values: Vec<f32> = indices.iter().map(|&i| x[i][feature]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -136,7 +148,7 @@ impl RegressionTree {
                 let l_mean = Self::mean(y, &left);
                 let r_mean = Self::mean(y, &right);
                 let sse = Self::sse(y, &left, l_mean) + Self::sse(y, &right, r_mean);
-                if best.map_or(true, |(_, _, b)| sse < b) {
+                if best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((feature, threshold, sse));
                 }
             }
@@ -162,7 +174,12 @@ impl RegressionTree {
         self.nodes.push(Node::Leaf { value: mean });
         let left = self.grow(x, y, &left_idx, depth_left - 1, min_samples_split);
         let right = self.grow(x, y, &right_idx, depth_left - 1, min_samples_split);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -176,8 +193,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -240,7 +266,11 @@ impl GradientBoostedTrees {
             }
             trees.push(tree);
         }
-        Ok(Self { base_prediction, learning_rate, trees })
+        Ok(Self {
+            base_prediction,
+            learning_rate,
+            trees,
+        })
     }
 
     /// Number of trees in the ensemble.
@@ -266,8 +296,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn step_data(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
-        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / (n - 1) as f32, 0.5]).collect();
-        let y: Vec<f32> = x.iter().map(|r| if r[0] > 0.6 { 2.0 } else { -1.0 }).collect();
+        let x: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![i as f32 / (n - 1) as f32, 0.5])
+            .collect();
+        let y: Vec<f32> = x
+            .iter()
+            .map(|r| if r[0] > 0.6 { 2.0 } else { -1.0 })
+            .collect();
         (x, y)
     }
 
@@ -329,7 +364,10 @@ mod tests {
         };
         let single_mse = mse(&|f| single.predict(f));
         let boosted_mse = mse(&|f| boosted.predict(f));
-        assert!(boosted_mse < single_mse * 0.5, "boosting {boosted_mse} vs single {single_mse}");
+        assert!(
+            boosted_mse < single_mse * 0.5,
+            "boosting {boosted_mse} vs single {single_mse}"
+        );
         assert_eq!(boosted.n_trees(), 30);
         assert!(boosted.total_nodes() > 30);
     }

@@ -55,7 +55,11 @@ pub fn estimate(workload: &DetectorWorkload, device: &EdgeDevice) -> ExecutionEs
     let dispatch_s = workload.dispatch_overhead_s / device.host_speed_factor;
 
     let latency_s = compute_s.max(memory_s) + dispatch_s;
-    let inference_frequency_hz = if latency_s > 0.0 { 1.0 / latency_s } else { 0.0 };
+    let inference_frequency_hz = if latency_s > 0.0 {
+        1.0 / latency_s
+    } else {
+        0.0
+    };
 
     // --- Utilization --------------------------------------------------------
     // The benchmark script calls the detector back-to-back, so busy fractions
@@ -68,14 +72,20 @@ pub fn estimate(workload: &DetectorWorkload, device: &EdgeDevice) -> ExecutionEs
             // time on a single core preparing the next call.
             let gpu_time = compute_s + (dispatch_s * 0.5).min(latency_s - compute_s);
             let cpu_time = dispatch_s;
-            ((cpu_time / latency_s).min(1.0) / device.cpu_cores as f64, (gpu_time / latency_s).min(1.0))
+            (
+                (cpu_time / latency_s).min(1.0) / device.cpu_cores as f64,
+                (gpu_time / latency_s).min(1.0),
+            )
         }
         ExecutionUnit::Cpu => {
             // Compute occupies `cores_used` cores; the framework dispatch is
             // single-threaded host work (Python / BLAS setup).
             let cores_used = 1.0 + parallel * (device.cpu_cores as f64 - 1.0);
             let core_seconds = compute_s * cores_used + dispatch_s;
-            ((core_seconds / (latency_s * device.cpu_cores as f64)).min(1.0), 0.0)
+            (
+                (core_seconds / (latency_s * device.cpu_cores as f64)).min(1.0),
+                0.0,
+            )
         }
     };
     let cpu_percent = (idle.cpu_percent + cpu_busy * (100.0 - idle.cpu_percent)).min(100.0);
@@ -87,14 +97,12 @@ pub fn estimate(workload: &DetectorWorkload, device: &EdgeDevice) -> ExecutionEs
     let ram_mb = (idle.ram_mb + workload.framework.base_ram_mb() + param_mb + activation_mb)
         .min(device.ram_mb);
     let gpu_ram_mb = match workload.framework {
-        Framework::TensorFlowGpu => {
-            (idle.gpu_ram_mb
-                + workload.framework.base_gpu_ram_mb()
-                + param_mb
-                + 2.0 * activation_mb
-                + 8.0 * workload.kernel_launches as f64)
-                .min(device.gpu_ram_mb)
-        }
+        Framework::TensorFlowGpu => (idle.gpu_ram_mb
+            + workload.framework.base_gpu_ram_mb()
+            + param_mb
+            + 2.0 * activation_mb
+            + 8.0 * workload.kernel_launches as f64)
+            .min(device.gpu_ram_mb),
         Framework::Sklearn => idle.gpu_ram_mb,
     };
 
@@ -131,12 +139,18 @@ mod tests {
     fn heavier_workloads_run_slower() {
         let light = DetectorWorkload::tensorflow_gpu(
             "light",
-            ComputeProfile { flops: 1e7, ..ComputeProfile::default() },
+            ComputeProfile {
+                flops: 1e7,
+                ..ComputeProfile::default()
+            },
             4,
         );
         let heavy = DetectorWorkload::tensorflow_gpu(
             "heavy",
-            ComputeProfile { flops: 5e9, ..ComputeProfile::default() },
+            ComputeProfile {
+                flops: 5e9,
+                ..ComputeProfile::default()
+            },
             4,
         );
         let l = estimate(&light, &xavier());
@@ -226,8 +240,14 @@ mod tests {
         let knn = freq(&DetectorWorkload::knn_paper(86));
         assert!(gbrf > varade, "GBRF {gbrf} should beat VARADE {varade}");
         assert!(varade > lstm, "VARADE {varade} should beat AR-LSTM {lstm}");
-        assert!(lstm > iforest, "AR-LSTM {lstm} should beat Isolation Forest {iforest}");
-        assert!(iforest > ae, "Isolation Forest {iforest} should beat AE {ae}");
+        assert!(
+            lstm > iforest,
+            "AR-LSTM {lstm} should beat Isolation Forest {iforest}"
+        );
+        assert!(
+            iforest > ae,
+            "Isolation Forest {iforest} should beat AE {ae}"
+        );
         assert!(ae > knn, "AE {ae} should beat kNN {knn}");
     }
 

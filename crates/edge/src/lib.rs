@@ -67,7 +67,9 @@ impl fmt::Display for EdgeError {
             EdgeError::Detector(err) => write!(f, "detector error: {err}"),
             EdgeError::Metric(reason) => write!(f, "metric error: {reason}"),
             EdgeError::Robot(reason) => write!(f, "robot simulator error: {reason}"),
-            EdgeError::InvalidConfig(reason) => write!(f, "invalid experiment configuration: {reason}"),
+            EdgeError::InvalidConfig(reason) => {
+                write!(f, "invalid experiment configuration: {reason}")
+            }
         }
     }
 }
@@ -110,8 +112,7 @@ mod tests {
         assert!(e.to_string().contains("metric"));
         let e: EdgeError = varade_robot::RobotError::InvalidConfig("x".into()).into();
         assert!(e.to_string().contains("robot"));
-        let e: EdgeError =
-            varade_detectors::DetectorError::NotFitted { detector: "kNN" }.into();
+        let e: EdgeError = varade_detectors::DetectorError::NotFitted { detector: "kNN" }.into();
         assert!(e.source().is_some());
         let e = EdgeError::InvalidConfig("bad".into());
         assert!(e.source().is_none());

@@ -67,7 +67,9 @@ impl Table2 {
 
     /// Finds a specific detector row on a specific board.
     pub fn row(&self, board: &str, detector: &str) -> Option<&Table2Row> {
-        self.rows.iter().find(|r| r.board == board && r.detector == detector)
+        self.rows
+            .iter()
+            .find(|r| r.board == board && r.detector == detector)
     }
 
     /// Renders the table as GitHub-flavoured markdown, mirroring the paper's
@@ -78,13 +80,23 @@ impl Table2 {
              |---|---|---|---|---|---|---|---|---|\n",
         );
         for r in &self.rows {
-            let auc = r.auc_roc.map_or_else(|| ".".to_string(), |v| format!("{v:.3}"));
+            let auc = r
+                .auc_roc
+                .map_or_else(|| ".".to_string(), |v| format!("{v:.3}"));
             let freq = r
                 .inference_frequency_hz
                 .map_or_else(|| ".".to_string(), |v| format!("{v:.3}"));
             out.push_str(&format!(
                 "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |\n",
-                r.board, r.detector, r.cpu_percent, r.gpu_percent, r.ram_mb, r.gpu_ram_mb, r.power_w, auc, freq
+                r.board,
+                r.detector,
+                r.cpu_percent,
+                r.gpu_percent,
+                r.ram_mb,
+                r.gpu_ram_mb,
+                r.power_w,
+                auc,
+                freq
             ));
         }
         out
@@ -112,9 +124,26 @@ impl DetectorSuiteConfig {
     /// Laptop-scale configurations preserving each architecture's shape.
     pub fn scaled() -> Self {
         Self {
-            varade: VaradeConfig { window: 64, base_feature_maps: 16, epochs: 3, ..VaradeConfig::default() },
-            ar_lstm: ArLstmConfig { window: 32, hidden_size: 32, n_layers: 2, epochs: 2, ..ArLstmConfig::default() },
-            autoencoder: AutoencoderConfig { window: 32, base_channels: 16, n_stages: 2, epochs: 2, ..AutoencoderConfig::default() },
+            varade: VaradeConfig {
+                window: 64,
+                base_feature_maps: 16,
+                epochs: 3,
+                ..VaradeConfig::default()
+            },
+            ar_lstm: ArLstmConfig {
+                window: 32,
+                hidden_size: 32,
+                n_layers: 2,
+                epochs: 2,
+                ..ArLstmConfig::default()
+            },
+            autoencoder: AutoencoderConfig {
+                window: 32,
+                base_channels: 16,
+                n_stages: 2,
+                epochs: 2,
+                ..AutoencoderConfig::default()
+            },
             gbrf: GbrfConfig::default(),
             knn: KnnConfig::default(),
             isolation_forest: IsolationForestConfig::default(),
@@ -157,8 +186,15 @@ impl DetectorSuiteConfig {
                 rows_per_tree: 150,
                 ..GbrfConfig::default()
             },
-            knn: KnnConfig { k: 5, max_reference_points: 400 },
-            isolation_forest: IsolationForestConfig { n_trees: 30, subsample: 128, ..IsolationForestConfig::default() },
+            knn: KnnConfig {
+                k: 5,
+                max_reference_points: 400,
+            },
+            isolation_forest: IsolationForestConfig {
+                n_trees: 30,
+                subsample: 128,
+                ..IsolationForestConfig::default()
+            },
         }
     }
 }
@@ -274,12 +310,19 @@ impl ExperimentRunner {
                 });
             }
         }
-        Ok(ExperimentOutcome { table, accuracies, dataset })
+        Ok(ExperimentOutcome {
+            table,
+            accuracies,
+            dataset,
+        })
     }
 
     /// Trains each detector on the normal split and computes AUC-ROC on the
     /// collision split.
-    fn evaluate_accuracy(&self, dataset: &RobotDataset) -> Result<Vec<DetectorAccuracy>, EdgeError> {
+    fn evaluate_accuracy(
+        &self,
+        dataset: &RobotDataset,
+    ) -> Result<Vec<DetectorAccuracy>, EdgeError> {
         let cfg = &self.config.detectors;
         let mut detectors: Vec<Box<dyn AnomalyDetector>> = vec![
             Box::new(ArLstmDetector::new(cfg.ar_lstm)),
@@ -294,7 +337,10 @@ impl ExperimentRunner {
             detector.fit(&dataset.train)?;
             let scores = detector.score_series(&dataset.test)?;
             let auc = auc_roc(&scores, &dataset.labels)?;
-            accuracies.push(DetectorAccuracy { name: detector.name().to_string(), auc_roc: auc });
+            accuracies.push(DetectorAccuracy {
+                name: detector.name().to_string(),
+                auc_roc: auc,
+            });
         }
         Ok(accuracies)
     }

@@ -112,7 +112,8 @@ impl DetectorWorkload {
     /// The convolutional-autoencoder workload at paper scale (6 ResNet
     /// blocks, window 512).
     pub fn autoencoder_paper(n_channels: usize) -> Self {
-        let profile = AutoencoderDetector::profile_for(&AutoencoderConfig::paper_full_size(), n_channels);
+        let profile =
+            AutoencoderDetector::profile_for(&AutoencoderConfig::paper_full_size(), n_channels);
         // Reconstruction of the whole window requires several dependent
         // encoder/decoder stages; the original implementation pays a far
         // larger per-call cost than the forecasting models (Table 2: 2.2 Hz).
@@ -167,7 +168,10 @@ mod tests {
     fn paper_workloads_cover_all_six_detectors() {
         let workloads = DetectorWorkload::paper_workloads(86);
         let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
-        assert_eq!(names, vec!["AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest", "VARADE"]);
+        assert_eq!(
+            names,
+            vec!["AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest", "VARADE"]
+        );
     }
 
     #[test]
@@ -177,7 +181,10 @@ mod tests {
         let gbrf = DetectorWorkload::gbrf_paper(86);
         let iforest = DetectorWorkload::isolation_forest_paper(86);
         assert!(varade.profile.flops > gbrf.profile.flops * 100.0);
-        assert!(lstm.profile.flops > varade.profile.flops, "AR-LSTM should out-FLOP VARADE");
+        assert!(
+            lstm.profile.flops > varade.profile.flops,
+            "AR-LSTM should out-FLOP VARADE"
+        );
         assert!(iforest.profile.flops < 1e6);
     }
 
@@ -198,7 +205,8 @@ mod tests {
 
     #[test]
     fn dispatch_overhead_override_applies() {
-        let w = DetectorWorkload::sklearn("x", ComputeProfile::default()).with_dispatch_overhead(0.5);
+        let w =
+            DetectorWorkload::sklearn("x", ComputeProfile::default()).with_dispatch_overhead(0.5);
         assert_eq!(w.dispatch_overhead_s, 0.5);
     }
 }

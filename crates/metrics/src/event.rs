@@ -37,12 +37,19 @@ impl EventSummary {
 /// # Errors
 ///
 /// Returns [`MetricError`] if the inputs are empty, mismatched or contain NaN.
-pub fn event_recall(scores: &[f32], labels: &[bool], threshold: f32) -> Result<EventSummary, MetricError> {
+pub fn event_recall(
+    scores: &[f32],
+    labels: &[bool],
+    threshold: f32,
+) -> Result<EventSummary, MetricError> {
     if scores.is_empty() {
         return Err(MetricError::Empty);
     }
     if scores.len() != labels.len() {
-        return Err(MetricError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+        return Err(MetricError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
     }
     if let Some(index) = scores.iter().position(|s| s.is_nan()) {
         return Err(MetricError::NanScore { index });
@@ -77,7 +84,11 @@ pub fn event_recall(scores: &[f32], labels: &[bool], threshold: f32) -> Result<E
     if in_event && event_hit {
         detected_events += 1;
     }
-    Ok(EventSummary { total_events, detected_events, false_alarm_points })
+    Ok(EventSummary {
+        total_events,
+        detected_events,
+        false_alarm_points,
+    })
 }
 
 #[cfg(test)]

@@ -56,7 +56,10 @@ impl fmt::Display for MetricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MetricError::LengthMismatch { scores, labels } => {
-                write!(f, "scores ({scores}) and labels ({labels}) have different lengths")
+                write!(
+                    f,
+                    "scores ({scores}) and labels ({labels}) have different lengths"
+                )
             }
             MetricError::SingleClass => {
                 write!(f, "metric requires both positive and negative examples")
@@ -75,7 +78,10 @@ pub(crate) fn validate(scores: &[f32], labels: &[bool]) -> Result<(), MetricErro
         return Err(MetricError::Empty);
     }
     if scores.len() != labels.len() {
-        return Err(MetricError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+        return Err(MetricError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
     }
     if let Some(index) = scores.iter().position(|s| s.is_nan()) {
         return Err(MetricError::NanScore { index });
@@ -102,14 +108,23 @@ mod tests {
             validate(&[1.0, f32::NAN], &[true, false]),
             Err(MetricError::NanScore { index: 1 })
         ));
-        assert_eq!(validate(&[1.0, 2.0], &[true, true]), Err(MetricError::SingleClass));
-        assert_eq!(validate(&[1.0, 2.0], &[false, false]), Err(MetricError::SingleClass));
+        assert_eq!(
+            validate(&[1.0, 2.0], &[true, true]),
+            Err(MetricError::SingleClass)
+        );
+        assert_eq!(
+            validate(&[1.0, 2.0], &[false, false]),
+            Err(MetricError::SingleClass)
+        );
         assert!(validate(&[1.0, 2.0], &[true, false]).is_ok());
     }
 
     #[test]
     fn error_messages_are_lowercase_and_informative() {
-        let e = MetricError::LengthMismatch { scores: 3, labels: 2 };
+        let e = MetricError::LengthMismatch {
+            scores: 3,
+            labels: 2,
+        };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().chars().next().unwrap().is_lowercase());
     }

@@ -35,7 +35,11 @@ impl PrCurve {
     pub fn compute(scores: &[f32], labels: &[bool]) -> Result<Self, MetricError> {
         validate(scores, labels)?;
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN ruled out by validate"));
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("NaN ruled out by validate")
+        });
         let total_pos = labels.iter().filter(|&&l| l).count() as f64;
         let mut tp = 0.0;
         let mut fp = 0.0;
@@ -57,11 +61,18 @@ impl PrCurve {
             let recall = tp / total_pos;
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 1.0 };
             ap += (recall - prev_recall) * precision;
-            points.push(PrPoint { recall, precision, threshold });
+            points.push(PrPoint {
+                recall,
+                precision,
+                threshold,
+            });
             prev_recall = recall;
             i = j;
         }
-        Ok(Self { points, average_precision: ap })
+        Ok(Self {
+            points,
+            average_precision: ap,
+        })
     }
 }
 

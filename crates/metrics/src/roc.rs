@@ -35,7 +35,11 @@ impl RocCurve {
     pub fn compute(scores: &[f32], labels: &[bool]) -> Result<Self, MetricError> {
         validate(scores, labels)?;
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN ruled out by validate"));
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("NaN ruled out by validate")
+        });
         let total_pos = labels.iter().filter(|&&l| l).count() as f64;
         let total_neg = labels.len() as f64 - total_pos;
         let mut points = vec![RocPoint {
@@ -65,7 +69,11 @@ impl RocCurve {
             let fpr = fp / total_neg;
             let tpr = tp / total_pos;
             auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
-            points.push(RocPoint { false_positive_rate: fpr, true_positive_rate: tpr, threshold });
+            points.push(RocPoint {
+                false_positive_rate: fpr,
+                true_positive_rate: tpr,
+                threshold,
+            });
             prev_fpr = fpr;
             prev_tpr = tpr;
             i = j;
@@ -135,8 +143,14 @@ mod tests {
         let curve = RocCurve::compute(&scores, &labels).unwrap();
         let first = curve.points.first().unwrap();
         let last = curve.points.last().unwrap();
-        assert_eq!((first.false_positive_rate, first.true_positive_rate), (0.0, 0.0));
-        assert_eq!((last.false_positive_rate, last.true_positive_rate), (1.0, 1.0));
+        assert_eq!(
+            (first.false_positive_rate, first.true_positive_rate),
+            (0.0, 0.0)
+        );
+        assert_eq!(
+            (last.false_positive_rate, last.true_positive_rate),
+            (1.0, 1.0)
+        );
         assert!(curve.auc >= 0.0 && curve.auc <= 1.0);
     }
 

@@ -51,7 +51,8 @@ impl ConfusionMatrix {
 
     /// Accuracy over all points.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
         if total == 0 {
             0.0
         } else {
@@ -76,7 +77,10 @@ pub fn confusion_at_threshold(
         return Err(MetricError::Empty);
     }
     if scores.len() != labels.len() {
-        return Err(MetricError::LengthMismatch { scores: scores.len(), labels: labels.len() });
+        return Err(MetricError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
     }
     if let Some(index) = scores.iter().position(|s| s.is_nan()) {
         return Err(MetricError::NanScore { index });

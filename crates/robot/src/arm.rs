@@ -47,7 +47,9 @@ impl ActionLibrary {
     /// Returns [`RobotError::InvalidConfig`] if `n_actions` is zero.
     pub fn generate(n_actions: usize, seed: u64) -> Result<Self, RobotError> {
         if n_actions == 0 {
-            return Err(RobotError::InvalidConfig("action library needs at least one action".into()));
+            return Err(RobotError::InvalidConfig(
+                "action library needs at least one action".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let actions = (0..n_actions)
@@ -287,7 +289,9 @@ mod tests {
         let dt = 0.01;
         let steps_per_cycle = (total / dt) as usize;
         let cycle = |arm: &mut ArmSimulator| -> Vec<f32> {
-            (0..steps_per_cycle).map(|_| arm.step(dt).joints[0].angle_deg).collect()
+            (0..steps_per_cycle)
+                .map(|_| arm.step(dt).joints[0].angle_deg)
+                .collect()
         };
         let first = cycle(&mut arm);
         let second = cycle(&mut arm);
@@ -296,7 +300,10 @@ mod tests {
             .zip(second.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_diff > 0.5, "cycles should not repeat exactly, max diff {max_diff}");
+        assert!(
+            max_diff > 0.5,
+            "cycles should not repeat exactly, max diff {max_diff}"
+        );
     }
 
     #[test]

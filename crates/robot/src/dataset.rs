@@ -93,10 +93,14 @@ impl DatasetConfig {
     /// or a zero action count.
     pub fn validate(&self) -> Result<(), RobotError> {
         if self.sample_rate_hz <= 0.0 {
-            return Err(RobotError::InvalidConfig("sample rate must be positive".into()));
+            return Err(RobotError::InvalidConfig(
+                "sample rate must be positive".into(),
+            ));
         }
         if self.train_duration_s <= 0.0 || self.test_duration_s <= 0.0 {
-            return Err(RobotError::InvalidConfig("durations must be positive".into()));
+            return Err(RobotError::InvalidConfig(
+                "durations must be positive".into(),
+            ));
         }
         if self.n_actions == 0 {
             return Err(RobotError::InvalidConfig("need at least one action".into()));
@@ -154,13 +158,24 @@ impl DatasetBuilder {
 
         // Test: same robot program (fresh run), with collisions injected.
         let mut collision_rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0111D);
-        let collisions =
-            CollisionInjector::plan(test_samples, cfg.n_collisions, cfg.sample_rate_hz, &mut collision_rng)?;
+        let collisions = CollisionInjector::plan(
+            test_samples,
+            cfg.n_collisions,
+            cfg.sample_rate_hz,
+            &mut collision_rng,
+        )?;
         let test_raw = self.simulate(test_samples, Some(&collisions), cfg.seed.wrapping_add(1))?;
         let test = normalizer.transform(&test_raw)?;
         let labels = collisions.labels();
 
-        Ok(RobotDataset { train, test, labels, normalizer, collisions, config: cfg.clone() })
+        Ok(RobotDataset {
+            train,
+            test,
+            labels,
+            normalizer,
+            collisions,
+            config: cfg.clone(),
+        })
     }
 
     /// Runs the arm + sensors simulation for `n_samples` steps.
@@ -174,8 +189,9 @@ impl DatasetBuilder {
         let dt = (1.0 / cfg.sample_rate_hz) as f32;
         let library = ActionLibrary::generate(cfg.n_actions, cfg.seed)?;
         let mut arm = ArmSimulator::with_seed(library, seed ^ 0xA21);
-        let mut imus: Vec<ImuSensor> =
-            (0..schema::NUM_JOINTS).map(|j| ImuSensor::new(j, cfg.imu)).collect();
+        let mut imus: Vec<ImuSensor> = (0..schema::NUM_JOINTS)
+            .map(|j| ImuSensor::new(j, cfg.imu))
+            .collect();
         let mut meter = EnergyMeter::new(cfg.power);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut series = MultivariateSeries::new(schema::channel_names(), cfg.sample_rate_hz)?;
@@ -207,7 +223,9 @@ mod tests {
     use super::*;
 
     fn smoke_dataset() -> RobotDataset {
-        DatasetBuilder::new(DatasetConfig::smoke_test()).build().unwrap()
+        DatasetBuilder::new(DatasetConfig::smoke_test())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -255,7 +273,10 @@ mod tests {
         let mut anom_mag = 0.0f64;
         let mut anom_n = 0usize;
         for t in 0..ds.test.len() {
-            let mag: f64 = motion_cols.iter().map(|&c| ds.test.value(t, c).abs() as f64).sum();
+            let mag: f64 = motion_cols
+                .iter()
+                .map(|&c| ds.test.value(t, c).abs() as f64)
+                .sum();
             if ds.labels[t] {
                 anom_mag += mag;
                 anom_n += 1;
@@ -306,12 +327,13 @@ mod tests {
     #[test]
     fn action_id_channel_covers_the_whole_program() {
         let ds = smoke_dataset();
-        let ids: std::collections::BTreeSet<i32> =
-            (0..ds.train.len()).map(|t| {
+        let ids: std::collections::BTreeSet<i32> = (0..ds.train.len())
+            .map(|t| {
                 // action ID is normalized; recover the raw value via the normalizer.
                 let raw = ds.normalizer.inverse_value(0, ds.train.value(t, 0));
                 raw.round() as i32
-            }).collect();
+            })
+            .collect();
         // The smoke test runs 40 s over actions of 1.5–4 s, enough to visit most of 6 actions.
         assert!(ids.len() >= 4, "only saw action ids {ids:?}");
     }

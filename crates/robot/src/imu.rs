@@ -30,7 +30,11 @@ pub struct ImuConfig {
 
 impl Default for ImuConfig {
     fn default() -> Self {
-        Self { accel_noise_std: 0.05, gyro_noise_std: 0.2, ambient_temp_c: 24.0 }
+        Self {
+            accel_noise_std: 0.05,
+            gyro_noise_std: 0.2,
+            ambient_temp_c: 24.0,
+        }
     }
 }
 
@@ -136,7 +140,11 @@ mod tests {
     }
 
     fn still_joint() -> JointState {
-        JointState { angle_deg: 0.0, velocity_deg_s: 0.0, acceleration_deg_s2: 0.0 }
+        JointState {
+            angle_deg: 0.0,
+            velocity_deg_s: 0.0,
+            acceleration_deg_s2: 0.0,
+        }
     }
 
     #[test]
@@ -156,7 +164,11 @@ mod tests {
     fn quaternion_channels_are_unit_norm() {
         let mut imu = ImuSensor::new(3, ImuConfig::default());
         let mut r = rng();
-        let joint = JointState { angle_deg: 123.0, velocity_deg_s: 10.0, acceleration_deg_s2: 5.0 };
+        let joint = JointState {
+            angle_deg: 123.0,
+            velocity_deg_s: 10.0,
+            acceleration_deg_s2: 5.0,
+        };
         let s = imu.sample(&joint, 0.0, &mut r);
         let norm = (s[6] * s[6] + s[7] * s[7] + s[8] * s[8] + s[9] * s[9]).sqrt();
         assert!((norm - 1.0).abs() < 1e-4);
@@ -166,7 +178,11 @@ mod tests {
     fn moving_joint_shows_up_on_gyro() {
         let mut imu = ImuSensor::new(1, ImuConfig::default());
         let mut r = rng();
-        let joint = JointState { angle_deg: 10.0, velocity_deg_s: 80.0, acceleration_deg_s2: 0.0 };
+        let joint = JointState {
+            angle_deg: 10.0,
+            velocity_deg_s: 80.0,
+            acceleration_deg_s2: 0.0,
+        };
         let mut last = [0.0; CHANNELS_PER_JOINT];
         for _ in 0..100 {
             last = imu.sample(&joint, 0.0, &mut r);
@@ -190,29 +206,45 @@ mod tests {
         }
         let normal_mag: f32 = normal[..6].iter().map(|v| v.abs()).sum();
         let hit_mag: f32 = hit[..6].iter().map(|v| v.abs()).sum();
-        assert!(hit_mag > normal_mag * 3.0, "collision not visible: {normal_mag} vs {hit_mag}");
+        assert!(
+            hit_mag > normal_mag * 3.0,
+            "collision not visible: {normal_mag} vs {hit_mag}"
+        );
     }
 
     #[test]
     fn temperature_rises_under_sustained_motion() {
         let mut imu = ImuSensor::new(0, ImuConfig::default());
         let mut r = rng();
-        let moving = JointState { angle_deg: 0.0, velocity_deg_s: 120.0, acceleration_deg_s2: 0.0 };
+        let moving = JointState {
+            angle_deg: 0.0,
+            velocity_deg_s: 120.0,
+            acceleration_deg_s2: 0.0,
+        };
         let start = imu.sample(&still_joint(), 0.0, &mut r)[10];
         let mut last = start;
         for _ in 0..2000 {
             last = imu.sample(&moving, 0.0, &mut r)[10];
         }
-        assert!(last > start + 0.5, "temperature did not rise: {start} -> {last}");
+        assert!(
+            last > start + 0.5,
+            "temperature did not rise: {start} -> {last}"
+        );
     }
 
     #[test]
     fn sampling_is_deterministic_given_seed() {
-        let joint = JointState { angle_deg: 30.0, velocity_deg_s: 20.0, acceleration_deg_s2: 2.0 };
+        let joint = JointState {
+            angle_deg: 30.0,
+            velocity_deg_s: 20.0,
+            acceleration_deg_s2: 2.0,
+        };
         let run = || {
             let mut imu = ImuSensor::new(4, ImuConfig::default());
             let mut r = StdRng::seed_from_u64(99);
-            (0..10).map(|_| imu.sample(&joint, 0.0, &mut r)).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| imu.sample(&joint, 0.0, &mut r))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

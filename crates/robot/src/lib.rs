@@ -55,7 +55,9 @@ pub enum RobotError {
 impl fmt::Display for RobotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RobotError::InvalidConfig(reason) => write!(f, "invalid simulator configuration: {reason}"),
+            RobotError::InvalidConfig(reason) => {
+                write!(f, "invalid simulator configuration: {reason}")
+            }
             RobotError::Series(err) => write!(f, "time-series error: {err}"),
         }
     }

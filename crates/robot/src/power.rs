@@ -46,7 +46,10 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Creates a meter with the given electrical model.
     pub fn new(config: PowerConfig) -> Self {
-        Self { config, cumulative_energy_kwh: 0.0 }
+        Self {
+            config,
+            cumulative_energy_kwh: 0.0,
+        }
     }
 
     /// Cumulative imported energy so far, in kWh.
@@ -83,9 +86,10 @@ impl EnergyMeter {
         let power_w = power_w.max(0.0);
         let voltage = cfg.nominal_voltage_v + rng.gen_range(-1.0..1.0) * 0.8;
         // Power factor dips slightly under heavy or anomalous load.
-        let power_factor = (0.86 - 0.02 * (effort / 200.0).min(1.0) - 0.05 * collision_intensity.min(1.0)
-            + rng.gen_range(-1.0..1.0) * 0.002)
-            .clamp(0.5, 0.99);
+        let power_factor =
+            (0.86 - 0.02 * (effort / 200.0).min(1.0) - 0.05 * collision_intensity.min(1.0)
+                + rng.gen_range(-1.0..1.0) * 0.002)
+                .clamp(0.5, 0.99);
         let apparent_power = power_w / power_factor;
         let current = apparent_power / voltage;
         let phase_angle_deg = power_factor.acos().to_degrees();
@@ -120,7 +124,11 @@ mod tests {
 
     fn busy_joints() -> Vec<JointState> {
         (0..7)
-            .map(|_| JointState { angle_deg: 30.0, velocity_deg_s: 90.0, acceleration_deg_s2: 40.0 })
+            .map(|_| JointState {
+                angle_deg: 30.0,
+                velocity_deg_s: 90.0,
+                acceleration_deg_s2: 40.0,
+            })
             .collect()
     }
 
@@ -181,7 +189,10 @@ mod tests {
 
     #[test]
     fn power_never_goes_negative() {
-        let cfg = PowerConfig { idle_power_w: 0.5, ..PowerConfig::default() };
+        let cfg = PowerConfig {
+            idle_power_w: 0.5,
+            ..PowerConfig::default()
+        };
         let mut meter = EnergyMeter::new(cfg);
         let mut r = rng();
         for _ in 0..500 {

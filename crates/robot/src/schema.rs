@@ -140,9 +140,18 @@ mod tests {
     #[test]
     fn groups_have_expected_sizes() {
         let schema = channel_schema();
-        let action = schema.iter().filter(|c| c.group == ChannelGroup::ActionId).count();
-        let joint = schema.iter().filter(|c| c.group == ChannelGroup::Joint).count();
-        let power = schema.iter().filter(|c| c.group == ChannelGroup::Power).count();
+        let action = schema
+            .iter()
+            .filter(|c| c.group == ChannelGroup::ActionId)
+            .count();
+        let joint = schema
+            .iter()
+            .filter(|c| c.group == ChannelGroup::Joint)
+            .count();
+        let power = schema
+            .iter()
+            .filter(|c| c.group == ChannelGroup::Power)
+            .count();
         assert_eq!(action, 1);
         assert_eq!(joint, 77);
         assert_eq!(power, 8);

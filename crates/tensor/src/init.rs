@@ -38,7 +38,13 @@ impl Init {
     ///
     /// `fan_in` and `fan_out` describe the layer's connectivity and drive the
     /// scale of the Xavier/He schemes.
-    pub fn tensor(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    pub fn tensor(
+        self,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut StdRng,
+    ) -> Tensor {
         let n: usize = shape.iter().product();
         let data: Vec<f32> = match self {
             Init::Zeros => vec![0.0; n],

@@ -55,8 +55,14 @@ impl Conv1d {
         padding: usize,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
-        assert!(kernel_size > 0 && stride > 0, "kernel size and stride must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
+        assert!(
+            kernel_size > 0 && stride > 0,
+            "kernel size and stride must be positive"
+        );
         let fan_in = in_channels * kernel_size;
         let fan_out = out_channels * kernel_size;
         let weight = Init::HeUniform.tensor(
@@ -143,13 +149,15 @@ impl Conv1d {
             });
         }
         let t = input.shape()[2];
-        let out_len = self.output_len(t).ok_or_else(|| TensorError::InvalidInput {
-            layer: "conv1d",
-            reason: format!(
-                "time axis {} (+2*{} padding) shorter than kernel {}",
-                t, self.padding, self.kernel_size
-            ),
-        })?;
+        let out_len = self
+            .output_len(t)
+            .ok_or_else(|| TensorError::InvalidInput {
+                layer: "conv1d",
+                reason: format!(
+                    "time axis {} (+2*{} padding) shorter than kernel {}",
+                    t, self.padding, self.kernel_size
+                ),
+            })?;
         Ok((input.shape()[0], out_len))
     }
 }
@@ -168,8 +176,8 @@ impl Layer for Conv1d {
         for bi in 0..batch {
             for oc in 0..self.out_channels {
                 let w_oc = &w[oc * ci_n * k..(oc + 1) * ci_n * k];
-                let o_row =
-                    &mut o[(bi * self.out_channels + oc) * out_len..(bi * self.out_channels + oc + 1) * out_len];
+                let o_row = &mut o[(bi * self.out_channels + oc) * out_len
+                    ..(bi * self.out_channels + oc + 1) * out_len];
                 for (ot, o_val) in o_row.iter_mut().enumerate() {
                     let start = ot * self.stride;
                     let mut acc = b[oc];
@@ -213,8 +221,8 @@ impl Layer for Conv1d {
         let (ci_n, k) = (self.in_channels, self.kernel_size);
         for bi in 0..batch {
             for oc in 0..self.out_channels {
-                let go_row =
-                    &go[(bi * self.out_channels + oc) * out_len..(bi * self.out_channels + oc + 1) * out_len];
+                let go_row = &go[(bi * self.out_channels + oc) * out_len
+                    ..(bi * self.out_channels + oc + 1) * out_len];
                 for (ot, &g) in go_row.iter().enumerate() {
                     if g == 0.0 {
                         continue;
@@ -350,7 +358,8 @@ mod tests {
     #[test]
     fn weight_gradient_matches_finite_differences_with_padding() {
         let base = Conv1d::new(1, 2, 3, 1, 1, &mut rng());
-        let x = Tensor::from_vec((0..6).map(|i| (i as f32 * 0.7).cos()).collect(), &[1, 1, 6]).unwrap();
+        let x =
+            Tensor::from_vec((0..6).map(|i| (i as f32 * 0.7).cos()).collect(), &[1, 1, 6]).unwrap();
         let w0 = base.weight.as_slice().to_vec();
         let mut loss_fn = |ws: &[f32]| {
             let mut c = base.clone();

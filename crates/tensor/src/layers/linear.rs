@@ -37,8 +37,12 @@ pub struct Linear {
 impl Linear {
     /// Creates a new layer with Xavier-uniform weights and zero biases.
     pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
-        let weight =
-            Init::XavierUniform.tensor(&[out_features, in_features], in_features, out_features, rng);
+        let weight = Init::XavierUniform.tensor(
+            &[out_features, in_features],
+            in_features,
+            out_features,
+            rng,
+        );
         Self {
             in_features,
             out_features,
@@ -185,7 +189,7 @@ mod tests {
 
     #[test]
     fn forward_matches_manual_computation() {
-        let mut layer = Linear::new(2, 2, &mut rng());
+        let layer = Linear::new(2, 2, &mut rng());
         // Overwrite weights with known values.
         let mut fixed = layer.clone();
         fixed.weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();

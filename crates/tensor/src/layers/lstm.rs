@@ -154,7 +154,9 @@ impl Layer for Lstm {
             let mut c = vec![0.0f32; hs];
             let mut batch_cache = Vec::with_capacity(time);
             for t in 0..time {
-                let x: Vec<f32> = (0..self.input_size).map(|ci| input.at(&[bi, ci, t])).collect();
+                let x: Vec<f32> = (0..self.input_size)
+                    .map(|ci| input.at(&[bi, ci, t]))
+                    .collect();
                 let pre = self.gate_preactivations(&x, &h);
                 let mut i_gate = vec![0.0f32; hs];
                 let mut f_gate = vec![0.0f32; hs];
@@ -212,8 +214,7 @@ impl Layer for Lstm {
         let gwx = self.weight_x_grad.as_mut_slice();
         let gwh = self.weight_h_grad.as_mut_slice();
         let gb = self.bias_grad.as_mut_slice();
-        for bi in 0..batch {
-            let cache = &caches[bi];
+        for (bi, cache) in caches.iter().enumerate() {
             let mut dh_next = vec![0.0f32; hs];
             let mut dc_next = vec![0.0f32; hs];
             for t in (0..time).rev() {
@@ -227,7 +228,8 @@ impl Layer for Lstm {
                 let mut dpre = vec![0.0f32; 4 * hs];
                 let mut dc_prev = vec![0.0f32; hs];
                 for j in 0..hs {
-                    let dc = dh[j] * step.o[j] * tanh_deriv_from_output(step.tanh_c[j]) + dc_next[j];
+                    let dc =
+                        dh[j] * step.o[j] * tanh_deriv_from_output(step.tanh_c[j]) + dc_next[j];
                     let di = dc * step.g[j];
                     let df = dc * step.c_prev[j];
                     let dg = dc * step.i[j];

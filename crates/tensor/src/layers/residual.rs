@@ -67,7 +67,9 @@ impl Layer for ResidualConvBlock {
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
         if self.cached_input.is_none() {
-            return Err(TensorError::BackwardBeforeForward { layer: "residual_conv_block" });
+            return Err(TensorError::BackwardBeforeForward {
+                layer: "residual_conv_block",
+            });
         }
         let grad_sum = self.relu_out.backward(grad_output)?;
         // Branch through conv2 -> relu1 -> conv1.
@@ -142,7 +144,11 @@ mod tests {
     #[test]
     fn output_is_non_negative_due_to_final_relu() {
         let mut block = ResidualConvBlock::new(2, 2, &mut rng());
-        let x = Tensor::from_vec((0..20).map(|i| (i as f32 * 0.3).sin()).collect(), &[1, 2, 10]).unwrap();
+        let x = Tensor::from_vec(
+            (0..20).map(|i| (i as f32 * 0.3).sin()).collect(),
+            &[1, 2, 10],
+        )
+        .unwrap();
         let y = block.forward(&x).unwrap();
         assert!(y.iter().all(|&v| v >= 0.0));
     }

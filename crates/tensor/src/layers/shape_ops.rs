@@ -76,7 +76,10 @@ impl Layer for LastTimeStep {
         if input.ndim() != 3 || input.shape()[2] == 0 {
             return Err(TensorError::InvalidInput {
                 layer: "last_time_step",
-                reason: format!("expected [batch, channels, time>0], got {:?}", input.shape()),
+                reason: format!(
+                    "expected [batch, channels, time>0], got {:?}",
+                    input.shape()
+                ),
             });
         }
         let (b, c, t) = (input.shape()[0], input.shape()[1], input.shape()[2]);
@@ -94,7 +97,9 @@ impl Layer for LastTimeStep {
         let shape = self
             .input_shape
             .clone()
-            .ok_or(TensorError::BackwardBeforeForward { layer: "last_time_step" })?;
+            .ok_or(TensorError::BackwardBeforeForward {
+                layer: "last_time_step",
+            })?;
         let (b, c, t) = (shape[0], shape[1], shape[2]);
         if grad_output.shape() != [b, c] {
             return Err(TensorError::ShapeMismatch {
@@ -143,7 +148,10 @@ impl Upsample1d {
     /// Panics if `factor` is zero.
     pub fn new(factor: usize) -> Self {
         assert!(factor > 0, "upsample factor must be positive");
-        Self { factor, input_shape: None }
+        Self {
+            factor,
+            input_shape: None,
+        }
     }
 
     /// The upsampling factor.
@@ -180,7 +188,9 @@ impl Layer for Upsample1d {
         let shape = self
             .input_shape
             .clone()
-            .ok_or(TensorError::BackwardBeforeForward { layer: "upsample1d" })?;
+            .ok_or(TensorError::BackwardBeforeForward {
+                layer: "upsample1d",
+            })?;
         let (b, c, t) = (shape[0], shape[1], shape[2]);
         if grad_output.shape() != [b, c, t * self.factor] {
             return Err(TensorError::ShapeMismatch {
@@ -270,7 +280,9 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]).unwrap();
         let y = u.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[1.0, 1.0, 2.0, 2.0]);
-        let g = u.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]).unwrap()).unwrap();
+        let g = u
+            .backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[3.0, 7.0]);
     }
 

@@ -153,9 +153,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TensorError::ShapeMismatch { expected: vec![2, 3], got: vec![4] };
+        let e = TensorError::ShapeMismatch {
+            expected: vec![2, 3],
+            got: vec![4],
+        };
         assert!(e.to_string().contains("shape mismatch"));
-        let e = TensorError::InvalidInput { layer: "conv1d", reason: "rank".into() };
+        let e = TensorError::InvalidInput {
+            layer: "conv1d",
+            reason: "rank".into(),
+        };
         assert!(e.to_string().contains("conv1d"));
         let e = TensorError::BackwardBeforeForward { layer: "linear" };
         assert!(e.to_string().contains("linear"));

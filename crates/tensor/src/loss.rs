@@ -71,11 +71,8 @@ pub fn gaussian_nll_loss(
     {
         let gm = grad_mu.as_mut_slice();
         let gl = grad_log_var.as_mut_slice();
-        for (idx, ((&m, &lv_raw), &y)) in mu
-            .iter()
-            .zip(log_var.iter())
-            .zip(target.iter())
-            .enumerate()
+        for (idx, ((&m, &lv_raw), &y)) in
+            mu.iter().zip(log_var.iter()).zip(target.iter()).enumerate()
         {
             let lv = clamp_log_var(lv_raw);
             let var = lv.exp();
@@ -98,7 +95,10 @@ pub fn gaussian_nll_loss(
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
-pub fn kl_divergence_loss(mu: &Tensor, log_var: &Tensor) -> Result<(f32, Tensor, Tensor), TensorError> {
+pub fn kl_divergence_loss(
+    mu: &Tensor,
+    log_var: &Tensor,
+) -> Result<(f32, Tensor, Tensor), TensorError> {
     if mu.shape() != log_var.shape() {
         return Err(TensorError::ShapeMismatch {
             expected: mu.shape().to_vec(),
@@ -195,8 +195,12 @@ mod tests {
     fn gaussian_nll_increases_with_prediction_error() {
         let lv = Tensor::zeros(&[1]);
         let y = Tensor::zeros(&[1]);
-        let near = gaussian_nll_loss(&Tensor::from_vec(vec![0.1], &[1]).unwrap(), &lv, &y).unwrap().0;
-        let far = gaussian_nll_loss(&Tensor::from_vec(vec![2.0], &[1]).unwrap(), &lv, &y).unwrap().0;
+        let near = gaussian_nll_loss(&Tensor::from_vec(vec![0.1], &[1]).unwrap(), &lv, &y)
+            .unwrap()
+            .0;
+        let far = gaussian_nll_loss(&Tensor::from_vec(vec![2.0], &[1]).unwrap(), &lv, &y)
+            .unwrap()
+            .0;
         assert!(far > near);
     }
 
@@ -240,7 +244,10 @@ mod tests {
             let mu = Tensor::from_vec(vec![m], &[1]).unwrap();
             let l = Tensor::from_vec(vec![lv], &[1]).unwrap();
             let (loss, _, _) = kl_divergence_loss(&mu, &l).unwrap();
-            assert!(loss >= -1e-6, "KL must be non-negative, got {loss} for ({m}, {lv})");
+            assert!(
+                loss >= -1e-6,
+                "KL must be non-negative, got {loss} for ({m}, {lv})"
+            );
         }
     }
 

@@ -12,7 +12,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer with the given learning rate.
     pub fn new(learning_rate: f32) -> Self {
-        Self { learning_rate, clip_norm: None }
+        Self {
+            learning_rate,
+            clip_norm: None,
+        }
     }
 
     /// Enables global gradient-norm clipping.
@@ -118,7 +121,9 @@ impl Adam {
 
 /// Computes the scale factor implementing global gradient-norm clipping.
 fn clip_scale(model: &mut dyn Layer, clip_norm: Option<f32>) -> f32 {
-    let Some(max_norm) = clip_norm else { return 1.0 };
+    let Some(max_norm) = clip_norm else {
+        return 1.0;
+    };
     let mut total = 0.0f32;
     model.visit_params(&mut |_, grad| total += grad.norm_sq());
     let norm = total.sqrt();
@@ -151,7 +156,13 @@ mod tests {
         (model, x, y)
     }
 
-    fn train(model: &mut Sequential, x: &Tensor, y: &Tensor, opt: &mut dyn FnMut(&mut Sequential), epochs: usize) -> f32 {
+    fn train(
+        model: &mut Sequential,
+        x: &Tensor,
+        y: &Tensor,
+        opt: &mut dyn FnMut(&mut Sequential),
+        epochs: usize,
+    ) -> f32 {
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
             model.zero_grad();
@@ -173,7 +184,10 @@ mod tests {
         };
         let mut adam = Adam::new(1e-2);
         let final_loss = train(&mut model, &x, &y, &mut |m| adam.step(m), 300);
-        assert!(final_loss < initial * 0.1, "adam failed to learn: {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.1,
+            "adam failed to learn: {initial} -> {final_loss}"
+        );
         assert_eq!(adam.step_count(), 300);
     }
 
@@ -186,7 +200,10 @@ mod tests {
         };
         let mut sgd = Sgd::new(5e-2);
         let final_loss = train(&mut model, &x, &y, &mut |m| sgd.step(m), 300);
-        assert!(final_loss < initial, "sgd failed to reduce loss: {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial,
+            "sgd failed to reduce loss: {initial} -> {final_loss}"
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ impl ComputeProfile {
             param_bytes: self.param_bytes + other.param_bytes,
             activation_bytes: self.activation_bytes + other.activation_bytes,
             parallel_fraction,
-            unit: if self.flops >= other.flops { self.unit } else { other.unit },
+            unit: if self.flops >= other.flops {
+                self.unit
+            } else {
+                other.unit
+            },
         }
     }
 
@@ -132,15 +136,26 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity_handles_zero_bytes() {
-        let p = ComputeProfile { flops: 10.0, ..ComputeProfile::default() };
+        let p = ComputeProfile {
+            flops: 10.0,
+            ..ComputeProfile::default()
+        };
         assert_eq!(p.arithmetic_intensity(), 0.0);
-        let q = ComputeProfile { flops: 10.0, param_bytes: 2.0, activation_bytes: 3.0, ..ComputeProfile::default() };
+        let q = ComputeProfile {
+            flops: 10.0,
+            param_bytes: 2.0,
+            activation_bytes: 3.0,
+            ..ComputeProfile::default()
+        };
         assert!((q.arithmetic_intensity() - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn param_count_is_bytes_over_four() {
-        let p = ComputeProfile { param_bytes: 400.0, ..ComputeProfile::default() };
+        let p = ComputeProfile {
+            param_bytes: 400.0,
+            ..ComputeProfile::default()
+        };
         assert_eq!(p.param_count(), 100.0);
     }
 }

@@ -32,7 +32,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "data={:?})", self.data)
         } else {
-            write!(f, "data=[{:.4}, {:.4}, ..; {}])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "data=[{:.4}, {:.4}, ..; {}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -50,13 +56,19 @@ impl Tensor {
     /// ```
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Self { data: vec![0.0; n], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; n],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with the given constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
-        Self { data: vec![value; n], shape: shape.to_vec() }
+        Self {
+            data: vec![value; n],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -78,12 +90,18 @@ impl Tensor {
                 got: vec![data.len()],
             });
         }
-        Ok(Self { data, shape: shape.to_vec() })
+        Ok(Self {
+            data,
+            shape: shape.to_vec(),
+        })
     }
 
     /// Builds a 1-D tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Self { data: data.to_vec(), shape: vec![data.len()] }
+        Self {
+            data: data.to_vec(),
+            shape: vec![data.len()],
+        }
     }
 
     /// The shape of the tensor.
@@ -135,7 +153,10 @@ impl Tensor {
         debug_assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0;
         for (i, (&idx, &dim)) in index.iter().zip(self.shape.iter()).enumerate() {
-            debug_assert!(idx < dim, "index {idx} out of bounds for dim {i} (size {dim})");
+            debug_assert!(
+                idx < dim,
+                "index {idx} out of bounds for dim {i} (size {dim})"
+            );
             off = off * dim + idx;
         }
         off
@@ -175,12 +196,18 @@ impl Tensor {
                 got: self.shape.clone(),
             });
         }
-        Ok(Self { data: self.data.clone(), shape: shape.to_vec() })
+        Ok(Self {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
     }
 
     /// Element-wise map, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Self {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// In-place element-wise map.
@@ -208,7 +235,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Self { data, shape: self.shape.clone() })
+        Ok(Self {
+            data,
+            shape: self.shape.clone(),
+        })
     }
 
     /// Element-wise addition.
@@ -336,7 +366,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { data: out, shape: vec![m, n] })
+        Ok(Self {
+            data: out,
+            shape: vec![m, n],
+        })
     }
 
     /// Transpose of a rank-2 tensor.
@@ -358,7 +391,10 @@ impl Tensor {
                 data[j * m + i] = self.data[i * n + j];
             }
         }
-        Ok(Self { data, shape: vec![n, m] })
+        Ok(Self {
+            data,
+            shape: vec![n, m],
+        })
     }
 }
 

@@ -36,7 +36,10 @@ impl ScalarKalmanFilter {
     /// Panics if either variance is not strictly positive.
     pub fn new(process_variance: f32, measurement_variance: f32) -> Self {
         assert!(process_variance > 0.0, "process variance must be positive");
-        assert!(measurement_variance > 0.0, "measurement variance must be positive");
+        assert!(
+            measurement_variance > 0.0,
+            "measurement variance must be positive"
+        );
         Self {
             process_variance,
             measurement_variance,
@@ -104,7 +107,9 @@ mod tests {
     #[test]
     fn smooths_noise_variance() {
         // Deterministic pseudo-noise around zero.
-        let noise: Vec<f32> = (0..400).map(|i| ((i * 37 % 19) as f32 - 9.0) / 9.0).collect();
+        let noise: Vec<f32> = (0..400)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) / 9.0)
+            .collect();
         let mut f = ScalarKalmanFilter::new(1e-4, 1.0);
         let filtered: Vec<f32> = noise.iter().map(|&n| f.update(n)).collect();
         let var = |xs: &[f32]| {

@@ -95,7 +95,10 @@ impl MinMaxNormalizer {
     ///
     /// Returns [`SeriesError::ChannelCountMismatch`] if the series has a
     /// different channel count than the fitted normalizer.
-    pub fn transform(&self, series: &MultivariateSeries) -> Result<MultivariateSeries, SeriesError> {
+    pub fn transform(
+        &self,
+        series: &MultivariateSeries,
+    ) -> Result<MultivariateSeries, SeriesError> {
         if series.n_channels() != self.n_channels() {
             return Err(SeriesError::ChannelCountMismatch {
                 expected: self.n_channels(),

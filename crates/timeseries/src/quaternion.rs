@@ -37,7 +37,12 @@ impl Default for Quaternion {
 impl Quaternion {
     /// The identity rotation.
     pub fn identity() -> Self {
-        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+        Self {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Builds a quaternion from intrinsic roll/pitch/yaw angles in radians.
@@ -70,7 +75,12 @@ impl Quaternion {
         if n < 1e-12 {
             Self::identity()
         } else {
-            Self { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Self {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
@@ -94,7 +104,12 @@ mod tests {
 
     #[test]
     fn euler_conversion_produces_unit_quaternions() {
-        for &(r, p, y) in &[(0.0, 0.0, 0.0), (90.0, 0.0, 0.0), (179.9, -45.0, 30.0), (-180.0, 180.0, -90.0)] {
+        for &(r, p, y) in &[
+            (0.0, 0.0, 0.0),
+            (90.0, 0.0, 0.0),
+            (179.9, -45.0, 30.0),
+            (-180.0, 180.0, -90.0),
+        ] {
             let q = Quaternion::from_euler_deg(r, p, y);
             assert!((q.norm() - 1.0).abs() < 1e-5, "non-unit for ({r},{p},{y})");
         }
@@ -127,15 +142,30 @@ mod tests {
 
     #[test]
     fn normalized_recovers_unit_norm_and_handles_zero() {
-        let q = Quaternion { w: 2.0, x: 0.0, y: 0.0, z: 0.0 };
+        let q = Quaternion {
+            w: 2.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        };
         assert!((q.normalized().norm() - 1.0).abs() < 1e-7);
-        let zero = Quaternion { w: 0.0, x: 0.0, y: 0.0, z: 0.0 };
+        let zero = Quaternion {
+            w: 0.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        };
         assert_eq!(zero.normalized(), Quaternion::identity());
     }
 
     #[test]
     fn to_array_orders_w_first() {
-        let q = Quaternion { w: 0.1, x: 0.2, y: 0.3, z: 0.4 };
+        let q = Quaternion {
+            w: 0.1,
+            x: 0.2,
+            y: 0.3,
+            z: 0.4,
+        };
         assert_eq!(q.to_array(), [0.1, 0.2, 0.3, 0.4]);
     }
 }

@@ -90,7 +90,11 @@ impl MultivariateSeries {
         if sorted.len() != channel_names.len() {
             return Err(SeriesError::InvalidSchema("duplicate channel names".into()));
         }
-        Ok(Self { channel_names, sample_rate_hz, data: Vec::new() })
+        Ok(Self {
+            channel_names,
+            sample_rate_hz,
+            data: Vec::new(),
+        })
     }
 
     /// Builds a series from row-major data.
@@ -106,7 +110,7 @@ impl MultivariateSeries {
         data: Vec<f32>,
     ) -> Result<Self, SeriesError> {
         let mut series = Self::new(channel_names, sample_rate_hz)?;
-        if data.len() % series.n_channels() != 0 {
+        if !data.len().is_multiple_of(series.n_channels()) {
             return Err(SeriesError::ChannelCountMismatch {
                 expected: series.n_channels(),
                 got: data.len() % series.n_channels(),
@@ -251,7 +255,10 @@ impl MultivariateSeries {
         let c = self.n_channels();
         for (idx, v) in self.data.iter().enumerate() {
             if !v.is_finite() {
-                return Err(SeriesError::NonFiniteValue { step: idx / c, channel: idx % c });
+                return Err(SeriesError::NonFiniteValue {
+                    step: idx / c,
+                    channel: idx % c,
+                });
             }
         }
         Ok(())
@@ -316,7 +323,10 @@ mod tests {
         let mut s = series_ab();
         assert!(matches!(
             s.push_row(&[1.0]),
-            Err(SeriesError::ChannelCountMismatch { expected: 2, got: 1 })
+            Err(SeriesError::ChannelCountMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -341,9 +351,14 @@ mod tests {
 
     #[test]
     fn from_rows_validates_length() {
-        let ok = MultivariateSeries::from_rows(vec!["a".into(), "b".into()], 1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        let ok = MultivariateSeries::from_rows(
+            vec!["a".into(), "b".into()],
+            1.0,
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
         assert_eq!(ok.unwrap().len(), 2);
-        let bad = MultivariateSeries::from_rows(vec!["a".into(), "b".into()], 1.0, vec![1.0, 2.0, 3.0]);
+        let bad =
+            MultivariateSeries::from_rows(vec!["a".into(), "b".into()], 1.0, vec![1.0, 2.0, 3.0]);
         assert!(bad.is_err());
     }
 

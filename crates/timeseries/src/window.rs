@@ -58,7 +58,9 @@ impl<'a> WindowIter<'a> {
         stride: usize,
     ) -> Result<Self, SeriesError> {
         if window == 0 || stride == 0 {
-            return Err(SeriesError::InvalidWindow("window and stride must be positive".into()));
+            return Err(SeriesError::InvalidWindow(
+                "window and stride must be positive".into(),
+            ));
         }
         if series.len() < window + 1 {
             return Err(SeriesError::InvalidWindow(format!(
@@ -67,7 +69,12 @@ impl<'a> WindowIter<'a> {
                 window
             )));
         }
-        Ok(Self { series, window, stride, next_start: 0 })
+        Ok(Self {
+            series,
+            window,
+            stride,
+            next_start: 0,
+        })
     }
 
     /// Number of windows the iterator will produce in total.

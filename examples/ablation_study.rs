@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..DatasetConfig::scaled()
     })
     .build()?;
-    let base = VaradeConfig { window: 32, base_feature_maps: 8, epochs: 2, ..VaradeConfig::default() };
+    let base = VaradeConfig {
+        window: 32,
+        base_feature_maps: 8,
+        epochs: 2,
+        ..VaradeConfig::default()
+    };
 
     println!("scoring rule (paper's variance score vs. conventional prediction error):");
     for r in compare_scoring_rules(base, &dataset.train, &dataset.test, &dataset.labels)? {
@@ -26,12 +31,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nKL weight λ:");
-    for r in sweep_kl_weight(base, &[0.0, 0.1, 1.0], &dataset.train, &dataset.test, &dataset.labels)? {
+    for r in sweep_kl_weight(
+        base,
+        &[0.0, 0.1, 1.0],
+        &dataset.train,
+        &dataset.test,
+        &dataset.labels,
+    )? {
         println!("  {:<26} AUC {:.3}", r.variant, r.auc_roc);
     }
 
     println!("\ncontext window T (accuracy vs. inference cost):");
-    for r in sweep_window(base, &[16, 32, 64], &dataset.train, &dataset.test, &dataset.labels)? {
+    for r in sweep_window(
+        base,
+        &[16, 32, 64],
+        &dataset.train,
+        &dataset.test,
+        &dataset.labels,
+    )? {
         println!(
             "  {:<26} AUC {:.3}   {:.2} MFLOPs/inference",
             r.variant,

@@ -22,12 +22,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "simulating robot: {} channels, {:.0} s train, {:.0} s test, {} collisions",
-        86, dataset_config.train_duration_s, dataset_config.test_duration_s, dataset_config.n_collisions
+        86,
+        dataset_config.train_duration_s,
+        dataset_config.test_duration_s,
+        dataset_config.n_collisions
     );
     let dataset = DatasetBuilder::new(dataset_config).build()?;
 
     // 2. Train VARADE on the normal recording.
-    let config = VaradeConfig { window: 32, base_feature_maps: 16, epochs: 3, ..VaradeConfig::default() };
+    let config = VaradeConfig {
+        window: 32,
+        base_feature_maps: 16,
+        epochs: 3,
+        ..VaradeConfig::default()
+    };
     let mut detector = VaradeDetector::new(config);
     varade_detectors::AnomalyDetector::fit(&mut detector, &dataset.train)?;
 
@@ -54,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("streaming replay produced {} scores, {alarms} above the threshold", stream.scores_emitted());
+    println!(
+        "streaming replay produced {} scores, {alarms} above the threshold",
+        stream.scores_emitted()
+    );
     Ok(())
 }

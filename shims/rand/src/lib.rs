@@ -1,0 +1,273 @@
+//! # rand (offline shim)
+//!
+//! A dependency-free stand-in for the parts of the `rand` 0.8 API that this
+//! workspace uses. The build environment has no access to crates.io, so the
+//! workspace vendors this minimal implementation instead of the real crate.
+//!
+//! Provided surface:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` over half-open and inclusive
+//!   integer and float ranges, plus `gen_bool`;
+//! * [`SeedableRng`] with `seed_from_u64` and `from_seed`;
+//! * [`rngs::StdRng`] — a SplitMix64 generator (not cryptographically secure,
+//!   but deterministic, fast, and statistically fine for simulations/tests);
+//! * [`seq::SliceRandom`] with Fisher–Yates `shuffle` and `choose`.
+//!
+//! The streams produced differ from the real `rand` crate; anything that
+//! depends on exact reproduction of upstream `StdRng` output must not rely on
+//! this shim.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Seed type accepted by [`SeedableRng::from_seed`].
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a single `u64`, mixing it into a full seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]`.
+///
+/// Mirrors `rand::distributions::uniform::SampleUniform` closely enough for
+/// type inference: [`SampleRange`] is implemented generically for
+/// `Range<T>` / `RangeInclusive<T>`, so the element type of a range literal
+/// unifies with the surrounding expression exactly as with the real crate.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws uniformly from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let v = lo + unit_f32(rng) * (hi - lo);
+        // lo + u*(hi-lo) can round up to (or past) hi; keep `..` half-open
+        // and clamp `..=` to its endpoint.
+        if !inclusive && v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v.min(hi)
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let v = lo + unit_f64(rng) * (hi - lo);
+        if !inclusive && v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v.min(hi)
+        }
+    }
+}
+
+/// Types that can describe a sampling range for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+/// Uniform draw in `[0, 1)` with 24 bits of precision.
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): one 64-bit state word,
+            // full-period, passes BigCrush when used as a plain stream.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&seed[..8]);
+            Self::seed_from_u64(u64::from_le_bytes(word))
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix so that small consecutive seeds produce unrelated streams.
+            StdRng {
+                state: state ^ 0x5DEE_CE66_D123_4567,
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait adding random operations on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0..1_000_000usize),
+                b.gen_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let w = rng.gen_range(-0.05f64..=0.05);
+            assert!((-0.05..=0.05).contains(&w));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut data: Vec<usize> = (0..50).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

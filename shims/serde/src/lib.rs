@@ -1,0 +1,243 @@
+//! # serde (offline shim)
+//!
+//! A dependency-free stand-in for the parts of `serde` this workspace uses.
+//! The build environment has no crates.io access, so instead of the real
+//! data-model-driven serde, this shim defines:
+//!
+//! * [`Serialize`] — conversion into an in-memory JSON [`json::Value`]
+//!   (enough to back the `serde_json` shim's `to_string`/`to_string_pretty`);
+//! * [`Deserialize`] — a marker trait (nothing in the workspace deserializes
+//!   yet; derives emit an empty impl so bounds line up);
+//! * re-exported `#[derive(Serialize, Deserialize)]` macros from the
+//!   `serde_derive` shim.
+//!
+//! The derive supports non-generic structs (named, tuple, unit) and enums
+//! with unit variants — exactly the shapes that appear in this repository.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! A minimal JSON document model with ordered object fields.
+
+    use std::fmt::Write as _;
+
+    /// An in-memory JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// An integer, kept exact (rendered without a decimal point, like
+        /// real serde_json; i128 covers every Rust integer type losslessly).
+        Int(i128),
+        /// Any finite float (non-finite floats print as `null`).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    fn escape_into(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    impl Value {
+        /// Renders the value as compact JSON.
+        pub fn render(&self, out: &mut String, indent: Option<usize>) {
+            self.render_at(out, indent, 0);
+        }
+
+        fn render_at(&self, out: &mut String, indent: Option<usize>, level: usize) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Number(n) => {
+                    if n.is_finite() {
+                        if *n == n.trunc() && n.abs() < 1e15 {
+                            let _ = write!(out, "{}.0", *n as i64);
+                        } else {
+                            let _ = write!(out, "{n}");
+                        }
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::String(s) => escape_into(out, s),
+                Value::Array(items) => {
+                    render_seq(out, indent, level, '[', ']', items.len(), |out, i, lvl| {
+                        items[i].render_at(out, indent, lvl)
+                    });
+                }
+                Value::Object(fields) => {
+                    render_seq(out, indent, level, '{', '}', fields.len(), |out, i, lvl| {
+                        escape_into(out, &fields[i].0);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        fields[i].1.render_at(out, indent, lvl);
+                    });
+                }
+            }
+        }
+    }
+
+    fn render_seq(
+        out: &mut String,
+        indent: Option<usize>,
+        level: usize,
+        open: char,
+        close: char,
+        len: usize,
+        mut item: impl FnMut(&mut String, usize, usize),
+    ) {
+        out.push(open);
+        if len == 0 {
+            out.push(close);
+            return;
+        }
+        for i in 0..len {
+            if let Some(width) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+            }
+            item(out, i, level + 1);
+            if i + 1 < len {
+                out.push(',');
+            }
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * level));
+        }
+        out.push(close);
+    }
+}
+
+/// Conversion into a JSON [`json::Value`]; the shim's analogue of
+/// `serde::Serialize`.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker analogue of `serde::Deserialize`. No workspace code deserializes
+/// yet; derives emit an empty impl so that bounds and derives compile.
+pub trait Deserialize {}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value { json::Value::Int(*self as i128) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value { json::Value::Number(*self as f64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

@@ -1,0 +1,294 @@
+//! # serde_derive (offline shim)
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the offline `serde` shim in this workspace. The build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable; the input item is
+//! parsed directly from the raw [`proc_macro::TokenStream`].
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields — serialized as a JSON object in declaration
+//!   order;
+//! * tuple structs — serialized as a JSON array;
+//! * unit structs — serialized as JSON `null`;
+//! * enums whose variants all carry no payload — serialized as the variant
+//!   name string.
+//!
+//! Generic items and enums with payloads produce a `compile_error!` rather
+//! than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed summary of the item a derive was attached to.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute pairs and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` is always followed by a bracketed attribute group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the field names of a `{ ... }` struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in struct body")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Parens/brackets/braces arrive as single Group tokens, so only
+        // `<`/`>` need explicit depth tracking — taking care not to count the
+        // `>` of a `->` (fn-pointer return types), which would drive the
+        // depth negative and silently swallow the remaining fields.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(tok) = body.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a `( ... )` tuple-struct body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    let mut prev_dash = false;
+    for tok in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                ',' if depth == 0 => arity += 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if saw_any {
+        // A trailing comma would over-count by one only when the body ends
+        // with `,`; `a, b,` and `a, b` both mean arity 2.
+        match body.last() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => arity,
+            _ => arity + 1,
+        }
+    } else {
+        0
+    }
+}
+
+/// Parses the variant names of an enum body, rejecting payload variants.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim: enum variant `{name}` carries data; only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip tokens until the next comma.
+                while let Some(tok) = body.get(i) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: `{name}` is generic; the offline derive only supports non-generic items"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            } else {
+                Ok(Item::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(&body)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(&body),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Ok(Item::UnitStruct { name })
+        }
+        other => Err(format!("unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+/// Derives the shim `serde::Serialize` (JSON-value conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields = ::std::vec::Vec::new();\n{pushes}::serde::json::Value::Object(__fields)"
+            )
+        }
+        Item::TupleStruct { arity, .. } => {
+            let pushes: String = (0..*arity)
+                .map(|idx| {
+                    format!("__items.push(::serde::Serialize::to_json_value(&self.{idx}));\n")
+                })
+                .collect();
+            format!(
+                "let mut __items = ::std::vec::Vec::new();\n{pushes}::serde::json::Value::Array(__items)"
+            )
+        }
+        Item::UnitStruct { .. } => "::serde::json::Value::Null".to_string(),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::json::Value::String({v:?}.to_string()),\n")
+                })
+                .collect();
+            format!("match *self {{\n{arms}}}")
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::UnitEnum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_json_value(&self) -> ::serde::json::Value {{\n        {body}\n    }}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the shim `serde::Deserialize` (marker impl only — nothing in this
+/// workspace deserializes yet; the impl exists so trait bounds line up).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::UnitEnum { name, .. } => name,
+    };
+    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}

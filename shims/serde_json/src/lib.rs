@@ -1,0 +1,94 @@
+//! # serde_json (offline shim)
+//!
+//! `to_string` / `to_string_pretty` over the `serde` shim's in-memory JSON
+//! [`Value`] model. Serialization only — nothing in this workspace parses
+//! JSON yet.
+
+pub use serde::json::Value;
+
+use std::fmt;
+
+/// Error type for API compatibility. The shim's serializers are infallible,
+/// so this is never actually constructed today.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().render(&mut out, None);
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().render(&mut out, Some(2));
+    Ok(out)
+}
+
+/// Converts a value into the in-memory JSON document model.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Demo {
+        name: String,
+        count: usize,
+        ratio: Option<f64>,
+        tags: Vec<&'static str>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Kind {
+        Fast,
+        Slow,
+    }
+
+    #[test]
+    fn compact_object_round_trip_shape() {
+        let d = Demo {
+            name: "x\"y".into(),
+            count: 3,
+            ratio: None,
+            tags: vec!["a", "b"],
+        };
+        let s = super::to_string(&d).unwrap();
+        assert_eq!(
+            s,
+            "{\"name\":\"x\\\"y\",\"count\":3,\"ratio\":null,\"tags\":[\"a\",\"b\"]}"
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let d = Demo {
+            name: "n".into(),
+            count: 1,
+            ratio: Some(0.5),
+            tags: vec![],
+        };
+        let s = super::to_string_pretty(&d).unwrap();
+        assert!(s.contains("\n  \"name\": \"n\""), "got: {s}");
+        assert!(s.contains("\"tags\": []"), "got: {s}");
+    }
+
+    #[test]
+    fn unit_enums_serialize_as_strings() {
+        assert_eq!(super::to_string(&Kind::Fast).unwrap(), "\"Fast\"");
+        assert_eq!(super::to_string(&vec![Kind::Slow]).unwrap(), "[\"Slow\"]");
+    }
+}

@@ -53,10 +53,23 @@ fn table2_has_the_paper_structure_and_qualitative_ranking() {
     for (name, auc) in &aucs {
         assert!((0.0..=1.0).contains(auc), "{name} AUC out of range: {auc}");
     }
-    let auc_of = |name: &str| aucs.iter().find(|(n, _)| n == name).expect("detector evaluated").1;
+    let auc_of = |name: &str| {
+        aucs.iter()
+            .find(|(n, _)| n == name)
+            .expect("detector evaluated")
+            .1
+    };
     assert!(auc_of("kNN") > 0.7, "kNN AUC too low: {:.3}", auc_of("kNN"));
-    assert!(auc_of("GBRF") > 0.7, "GBRF AUC too low: {:.3}", auc_of("GBRF"));
-    assert!(auc_of("AR-LSTM") > 0.7, "AR-LSTM AUC too low: {:.3}", auc_of("AR-LSTM"));
+    assert!(
+        auc_of("GBRF") > 0.7,
+        "GBRF AUC too low: {:.3}",
+        auc_of("GBRF")
+    );
+    assert!(
+        auc_of("AR-LSTM") > 0.7,
+        "AR-LSTM AUC too low: {:.3}",
+        auc_of("AR-LSTM")
+    );
 
     // Inference frequency ordering on the Xavier NX (paper Table 2):
     // GBRF is the fastest, VARADE second; AE and kNN are the slowest.
@@ -66,10 +79,22 @@ fn table2_has_the_paper_structure_and_qualitative_ranking() {
     let lstm = frequency(table, xavier, "AR-LSTM");
     let ae = frequency(table, xavier, "AE");
     let knn = frequency(table, xavier, "kNN");
-    assert!(gbrf > varade, "GBRF ({gbrf:.2} Hz) should be the fastest, VARADE at {varade:.2} Hz");
-    assert!(varade > lstm, "VARADE ({varade:.2} Hz) should beat AR-LSTM ({lstm:.2} Hz)");
-    assert!(varade > ae, "VARADE ({varade:.2} Hz) should beat AE ({ae:.2} Hz)");
-    assert!(varade > knn, "VARADE ({varade:.2} Hz) should beat kNN ({knn:.2} Hz)");
+    assert!(
+        gbrf > varade,
+        "GBRF ({gbrf:.2} Hz) should be the fastest, VARADE at {varade:.2} Hz"
+    );
+    assert!(
+        varade > lstm,
+        "VARADE ({varade:.2} Hz) should beat AR-LSTM ({lstm:.2} Hz)"
+    );
+    assert!(
+        varade > ae,
+        "VARADE ({varade:.2} Hz) should beat AE ({ae:.2} Hz)"
+    );
+    assert!(
+        varade > knn,
+        "VARADE ({varade:.2} Hz) should beat kNN ({knn:.2} Hz)"
+    );
 
     // Moving to the AGX Orin roughly doubles the inference frequency of every
     // model while preserving the ranking of the top two (paper §4.4).
@@ -77,7 +102,10 @@ fn table2_has_the_paper_structure_and_qualitative_ranking() {
     for detector in ["AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest", "VARADE"] {
         let x = frequency(table, xavier, detector);
         let o = frequency(table, orin, detector);
-        assert!(o > x, "{detector}: Orin ({o:.2} Hz) should be faster than Xavier ({x:.2} Hz)");
+        assert!(
+            o > x,
+            "{detector}: Orin ({o:.2} Hz) should be faster than Xavier ({x:.2} Hz)"
+        );
     }
     assert!(frequency(table, orin, "GBRF") > frequency(table, orin, "VARADE"));
 

@@ -7,7 +7,9 @@ use varade_metrics::{auc_roc, average_precision, confusion_at_threshold};
 use varade_tensor::layers::Conv1d;
 use varade_tensor::loss::{gaussian_nll_loss, kl_divergence_loss};
 use varade_tensor::{Layer, Tensor};
-use varade_timeseries::{MinMaxNormalizer, MultivariateSeries, Quaternion, StreamingWindow, WindowIter};
+use varade_timeseries::{
+    MinMaxNormalizer, MultivariateSeries, Quaternion, StreamingWindow, WindowIter,
+};
 
 /// Strategy producing a score vector and a label vector with both classes present.
 fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {

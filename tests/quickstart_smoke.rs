@@ -1,0 +1,99 @@
+//! Smoke test running `examples/quickstart.rs` end-to-end on synthetic data.
+//!
+//! The example source is included as a module (not copied), so the test
+//! exercises literally the code a new user runs first — example binaries are
+//! only compiled, never executed, by the default test profile, and a pasted
+//! copy of the fixture would silently drift from the example.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+use quickstart::{machine_cycle, quickstart_config, ANOMALY_START};
+use varade::{ScoringRule, VaradeDetector};
+use varade_detectors::AnomalyDetector;
+use varade_metrics::auc_roc;
+use varade_timeseries::MinMaxNormalizer;
+
+/// The example's own entry point must run cleanly start to finish.
+#[test]
+fn quickstart_example_runs() {
+    quickstart::main().expect("quickstart example completes");
+}
+
+/// Re-runs the quickstart flow with assertions at every stage.
+#[test]
+fn quickstart_flow_detects_the_transient() {
+    // 1. Normalize the normal recording (paper §4.3).
+    let train_raw = machine_cycle(2_000, None);
+    let normalizer = MinMaxNormalizer::fit(&train_raw).expect("normalizer fits");
+    let train = normalizer
+        .transform(&train_raw)
+        .expect("transform succeeds");
+
+    // 2. Train the prediction-error variant (the strong configuration at toy
+    //    scale; the paper's variance rule is exercised for pipeline validity
+    //    below).
+    let mut detector =
+        VaradeDetector::with_scoring(quickstart_config(), ScoringRule::PredictionError);
+    let report = detector.fit_with_report(&train).expect("training succeeds");
+    assert_eq!(
+        report.epoch_losses.len(),
+        quickstart_config().epochs,
+        "one loss per epoch"
+    );
+    assert!(
+        report.epoch_losses.iter().all(|l| l.is_finite()),
+        "training losses must stay finite: {:?}",
+        report.epoch_losses
+    );
+    assert!(
+        report.epoch_losses.last() < report.epoch_losses.first(),
+        "loss should decrease over training: {:?}",
+        report.epoch_losses
+    );
+
+    // 3. Score the test stream with the example's injected transient.
+    let test_raw = machine_cycle(1_000, Some(ANOMALY_START));
+    let test = normalizer.transform(&test_raw).expect("transform succeeds");
+    let labels: Vec<bool> = (0..test.len())
+        .map(|t| (ANOMALY_START..ANOMALY_START + 10).contains(&t))
+        .collect();
+    let scores = detector.score_series(&test).expect("scoring succeeds");
+    assert_eq!(scores.len(), test.len(), "one score per sample");
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "scores must be finite"
+    );
+
+    // 4. The forecast-error score must clearly separate the transient and
+    //    peak inside it (measured AUC is 1.000 at this configuration).
+    let auc = auc_roc(&scores, &labels).expect("auc computable");
+    assert!(
+        auc > 0.9,
+        "quickstart AUC should be high on this easy transient: {auc:.3}"
+    );
+    let peak = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("non-empty scores");
+    assert!(
+        (ANOMALY_START..ANOMALY_START + 10).contains(&peak),
+        "highest-error sample at t={peak}, expected within the transient \
+         [{ANOMALY_START}, {})",
+        ANOMALY_START + 10
+    );
+
+    // 5. The paper's variance rule runs through the same pipeline and yields
+    //    a valid AUC (its detection quality needs paper scale; see
+    //    tests/detector_pipeline.rs).
+    let mut variance = VaradeDetector::with_scoring(quickstart_config(), ScoringRule::Variance);
+    variance.fit(&train).expect("training succeeds");
+    let vscores = variance.score_series(&test).expect("scoring succeeds");
+    let vauc = auc_roc(&vscores, &labels).expect("auc computable");
+    assert!(
+        (0.0..=1.0).contains(&vauc),
+        "variance AUC out of range: {vauc:.3}"
+    );
+}
