@@ -1,75 +1,42 @@
-//! Ablation study over VARADE's design choices (DESIGN.md §4):
+//! Ablation study over VARADE's design choices (paper §4.5):
 //!
 //! 1. variance score vs. conventional prediction-error score;
 //! 2. KL weight λ sweep;
 //! 3. context-window (and therefore depth) sweep.
 //!
+//! Thin CLI wrapper over [`varade_bench::experiments::ablation`].
+//!
 //! Run with `cargo run --release -p varade-bench --bin exp_ablation`
-//! (add `--smoke` for a quick low-fidelity run).
+//! (add `--quick` for the reduced deterministic configuration CI uses).
 
-use varade::ablation::{compare_scoring_rules, sweep_kl_weight, sweep_window};
-use varade::VaradeConfig;
-use varade_robot::dataset::{DatasetBuilder, DatasetConfig};
+use varade_bench::experiments::{ablation, ExperimentScale};
+use varade_robot::dataset::DatasetBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let dataset_config = if smoke {
-        DatasetConfig::smoke_test()
-    } else {
-        DatasetConfig::scaled()
-    };
-    let base = if smoke {
-        VaradeConfig {
-            window: 16,
-            base_feature_maps: 8,
-            epochs: 2,
-            max_train_windows: 96,
-            ..VaradeConfig::default()
-        }
-    } else {
-        VaradeConfig {
-            window: 64,
-            base_feature_maps: 16,
-            epochs: 3,
-            ..VaradeConfig::default()
-        }
-    };
-    eprintln!(
-        "building dataset ({} configuration) ...",
-        if smoke { "smoke" } else { "scaled" }
-    );
-    let dataset = DatasetBuilder::new(dataset_config).build()?;
-    let (train, test, labels) = (&dataset.train, &dataset.test, &dataset.labels);
+    // `--smoke` is the historical spelling of `--quick`.
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
+    let scale = ExperimentScale::from_quick_flag(quick);
+    eprintln!("building dataset ({} scale) ...", scale.label());
+    let dataset = DatasetBuilder::new(scale.dataset_config()).build()?;
+    let results = ablation::run(scale, &dataset)?;
 
     println!("Ablation A1 — scoring rule (same architecture and training budget)");
-    for result in compare_scoring_rules(base, train, test, labels)? {
-        println!("  {:<28} AUC-ROC {:.3}", result.variant, result.auc_roc);
+    for entry in &results.scoring_rules {
+        println!("  {:<28} AUC-ROC {:.3}", entry.variant, entry.auc_roc);
     }
     println!();
 
     println!("Ablation A2 — KL weight λ (Eq. 7)");
-    let lambdas = if smoke {
-        vec![0.0, 0.1]
-    } else {
-        vec![0.0, 0.01, 0.1, 1.0]
-    };
-    for result in sweep_kl_weight(base, &lambdas, train, test, labels)? {
-        println!("  {:<28} AUC-ROC {:.3}", result.variant, result.auc_roc);
+    for entry in &results.kl_sweep {
+        println!("  {:<28} AUC-ROC {:.3}", entry.variant, entry.auc_roc);
     }
     println!();
 
     println!("Ablation A3 — context window T (drives network depth and inference cost)");
-    let windows = if smoke {
-        vec![8, 16]
-    } else {
-        vec![16, 32, 64, 128]
-    };
-    for result in sweep_window(base, &windows, train, test, labels)? {
+    for entry in &results.window_sweep {
         println!(
             "  {:<28} AUC-ROC {:.3}   {:.2} MFLOPs/inference",
-            result.variant,
-            result.auc_roc,
-            result.profile.flops / 1e6
+            entry.variant, entry.auc_roc, entry.mflops
         );
     }
     Ok(())

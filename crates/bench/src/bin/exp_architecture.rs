@@ -2,25 +2,26 @@
 //! full-size configuration (window T = 512, 86 channels, feature maps
 //! 128 → 1024, linear variational head).
 //!
+//! Thin CLI wrapper over [`varade_bench::experiments::architecture`]. The
+//! summary is always paper-scale, so `--quick` is accepted for CLI uniformity
+//! and ignored.
+//!
 //! Run with `cargo run --release -p varade-bench --bin exp_architecture`.
 
-use varade::{VaradeConfig, VaradeModel};
-use varade_robot::schema;
+use varade_bench::experiments::architecture;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = VaradeConfig::paper_full_size();
-    let n_channels = schema::TOTAL_CHANNELS;
-    let mut model = VaradeModel::from_config(config, n_channels)?;
+    let summary = architecture::run()?;
 
     println!("VARADE architecture (paper Figure 1)");
     println!(
         "window T = {}, input channels = {}",
-        config.window, n_channels
+        summary.window, summary.n_channels
     );
-    println!("convolutional layers = {}", config.n_layers());
+    println!("convolutional layers = {}", summary.conv_layers);
     println!();
     println!("{:<4} {:<12} {:>20}", "#", "layer", "output shape");
-    for (i, row) in model.summary().iter().enumerate() {
+    for (i, row) in summary.layers.iter().enumerate() {
         println!(
             "{:<4} {:<12} {:>20}",
             i,
@@ -29,13 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("trainable parameters: {}", model.parameter_count());
-    let profile = model.inference_profile();
+    println!("trainable parameters: {}", summary.trainable_parameters);
     println!(
         "per-inference cost:   {:.2} MFLOPs, {:.2} MB parameters, {:.2} MB activations",
-        profile.flops / 1e6,
-        profile.param_bytes / 1e6,
-        profile.activation_bytes / 1e6
+        summary.mflops_per_inference, summary.param_mb, summary.activation_mb
     );
     Ok(())
 }

@@ -1,42 +1,21 @@
 //! Regenerates **Table 1**: the 86-channel description of the data stream
 //! collected from the (simulated) robotic manipulator.
 //!
+//! Thin CLI wrapper over [`varade_bench::experiments::channels`]. The schema
+//! has no scale knob, so `--quick` is accepted for CLI uniformity and ignored.
+//!
 //! Run with `cargo run --release -p varade-bench --bin exp_channels`.
 
-use varade_robot::schema::{channel_schema, ChannelGroup};
+use varade_bench::experiments::channels;
 
 fn main() {
-    let schema = channel_schema();
-    println!("Table 1 — channel description ({} channels)", schema.len());
+    let counts = channels::run();
+    println!("Table 1 — channel description ({} channels)", counts.total);
     println!();
-    println!("| Channel name | Unit | Description |");
-    println!("|---|---|---|");
-    let mut current_group: Option<ChannelGroup> = None;
-    for channel in &schema {
-        if current_group != Some(channel.group) {
-            let header = match channel.group {
-                ChannelGroup::ActionId => "Action",
-                ChannelGroup::Joint => "Joint Channels",
-                ChannelGroup::Power => "Power Channels",
-            };
-            println!("| **{header}** | | |");
-            current_group = Some(channel.group);
-        }
-        println!(
-            "| {} | {} | {} |",
-            channel.name, channel.unit, channel.description
-        );
-    }
-    let joints = schema
-        .iter()
-        .filter(|c| c.group == ChannelGroup::Joint)
-        .count();
-    let power = schema
-        .iter()
-        .filter(|c| c.group == ChannelGroup::Power)
-        .count();
+    print!("{}", channels::table1_markdown());
     println!();
     println!(
-        "action ID: 1, joint channels: {joints} (7 IMU sensors x 11), power channels: {power}"
+        "action ID: {}, joint channels: {} (7 IMU sensors x 11), power channels: {}",
+        counts.action, counts.joint, counts.power
     );
 }

@@ -1,36 +1,31 @@
 //! Regenerates **Figure 3**: inference frequency vs. AUC-ROC for every
 //! detector on both boards, with power consumption as the marker size.
 //!
+//! Thin CLI wrapper over [`varade_bench::experiments::figure3`].
+//!
 //! Run with `cargo run --release -p varade-bench --bin exp_figure3`
-//! (add `--smoke` for a quick low-fidelity run).
+//! (add `--quick` for the reduced deterministic configuration CI uses).
 
-use varade_edge::figure::{figure3_csv, figure3_points};
-use varade_edge::table::{ExperimentConfig, ExperimentRunner};
+use varade_bench::experiments::{figure3, table2, ExperimentScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let config = if smoke {
-        ExperimentConfig::smoke_test()
-    } else {
-        ExperimentConfig::scaled()
-    };
-    eprintln!(
-        "running Figure 3 experiment ({} configuration) ...",
-        if smoke { "smoke" } else { "scaled" }
-    );
-    let outcome = ExperimentRunner::new(config).run()?;
-    let points = figure3_points(&outcome.table);
+    // `--smoke` is the historical spelling of `--quick`.
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
+    let scale = ExperimentScale::from_quick_flag(quick);
+    eprintln!("running Figure 3 experiment ({} scale) ...", scale.label());
+    let outcome = table2::run(scale)?;
+    let figure = figure3::from_table(&outcome.table);
 
     println!("Figure 3 — inference frequency vs. accuracy (marker size = power consumption)");
     println!();
-    println!("{}", figure3_csv(&points));
+    println!("{}", figure.to_csv());
 
     // A compact textual rendering of the scatter plot: frequency buckets on
     // the x axis, AUC on the y axis.
     println!("summary (per board, sorted by inference frequency):");
     for board in ["Jetson Xavier NX", "Jetson AGX Orin"] {
         println!("  {board}");
-        let mut board_points: Vec<_> = points.iter().filter(|p| p.board == board).collect();
+        let mut board_points: Vec<_> = figure.points.iter().filter(|p| p.board == board).collect();
         board_points.sort_by(|a, b| {
             a.inference_frequency_hz
                 .partial_cmp(&b.inference_frequency_hz)

@@ -1,0 +1,115 @@
+//! Runs every paper experiment, measures streaming throughput, and emits the
+//! benchmark artifacts:
+//!
+//! * `BENCH_<date>.json` — schema-versioned, serde-round-trippable report
+//!   (full-scale runs write it to the repository root so it can be committed
+//!   as a baseline; `--quick` runs default to `target/bench-reports/`);
+//! * `EXPERIMENTS.md` — regenerated from the committed full-scale baselines
+//!   only, so its content is deterministic and CI can fail on drift.
+//!
+//! ```console
+//! $ cargo run --release -p varade-bench --bin exp_report              # paper-scale baseline
+//! $ cargo run --release -p varade-bench --bin exp_report -- --quick   # CI / smoke
+//! $ cargo run -p varade-bench --bin exp_report -- --render-only       # drift check
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use varade_bench::experiments::ExperimentScale;
+use varade_bench::report;
+
+const USAGE: &str = "usage: exp_report [--quick] [--render-only] [--out-dir DIR] \
+                     [--baseline-dir DIR] [--md-path PATH] [--date YYYY-MM-DD]";
+
+struct Args {
+    quick: bool,
+    render_only: bool,
+    out_dir: Option<PathBuf>,
+    baseline_dir: PathBuf,
+    md_path: PathBuf,
+    date: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        render_only: false,
+        out_dir: None,
+        baseline_dir: PathBuf::from("."),
+        md_path: PathBuf::from("EXPERIMENTS.md"),
+        date: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value_of = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after `{}`", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--render-only" => args.render_only = true,
+            "--out-dir" => args.out_dir = Some(PathBuf::from(value_of(&mut i)?)),
+            "--baseline-dir" => args.baseline_dir = PathBuf::from(value_of(&mut i)?),
+            "--md-path" => args.md_path = PathBuf::from(value_of(&mut i)?),
+            "--date" => args.date = Some(value_of(&mut i)?),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()?;
+
+    if !args.render_only {
+        let scale = ExperimentScale::from_quick_flag(args.quick);
+        let date = args.date.clone().unwrap_or_else(report::today_utc);
+        let report = report::collect(scale, &date)?;
+        // Quick reports are smoke artifacts: keep them out of the baseline
+        // directory by default so they never influence EXPERIMENTS.md.
+        let out_dir = args.out_dir.clone().unwrap_or_else(|| {
+            if args.quick {
+                PathBuf::from("target/bench-reports")
+            } else {
+                PathBuf::from(".")
+            }
+        });
+        let path = report::write_report(&report, &out_dir)?;
+        println!("wrote {}", path.display());
+        println!(
+            "streaming: {:.1} samples/sec (p50 {:.1} us, p99 {:.1} us, model {:.1} us)",
+            report.streaming.samples_per_sec,
+            report.streaming.push_latency.p50_us,
+            report.streaming.push_latency.p99_us,
+            report.streaming.model_scoring_mean_us,
+        );
+        if let Some(auc) = report.table2.auc_of("VARADE") {
+            println!("VARADE AUC-ROC: {auc:.3}");
+        }
+    }
+
+    let baselines = report::load_baselines(&args.baseline_dir)?;
+    let md = report::render_experiments_md(&baselines);
+    std::fs::write(&args.md_path, md)?;
+    println!(
+        "wrote {} ({} full-scale baseline(s))",
+        args.md_path.display(),
+        baselines.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("exp_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,40 +1,34 @@
 //! Regenerates **Table 2**: the six anomaly detectors executed "in real time"
 //! on the two simulated edge boards (Jetson Xavier NX, Jetson AGX Orin).
 //!
-//! Accuracy (AUC-ROC) is obtained by actually training scaled-down versions of
-//! every detector on the simulated robot dataset; the platform columns
-//! (CPU/GPU utilization, memory, power, inference frequency) come from the
-//! analytical edge model applied to the paper-scale architectures.
+//! Thin CLI wrapper over [`varade_bench::experiments::table2`]; see that
+//! module for what is measured vs. analytically estimated.
 //!
 //! Run with `cargo run --release -p varade-bench --bin exp_table2`
-//! (add `--smoke` for a quick low-fidelity run, `--json <path>` to also dump
-//! the table as JSON).
+//! (add `--quick` for the reduced deterministic configuration CI uses,
+//! `--json <path>` to also dump the table as JSON).
 
 use std::io::Write as _;
 
+use varade_bench::experiments::{table2, ExperimentScale};
 use varade_bench::{compare_line, paper_row};
-use varade_edge::table::{ExperimentConfig, ExperimentRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    // `--smoke` is the historical spelling of `--quick`.
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
+    let scale = ExperimentScale::from_quick_flag(quick);
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let config = if smoke {
-        ExperimentConfig::smoke_test()
-    } else {
-        ExperimentConfig::scaled()
-    };
     eprintln!(
-        "running Table 2 experiment ({} configuration): training 6 detectors on {} channels ...",
-        if smoke { "smoke" } else { "scaled" },
-        86
+        "running Table 2 experiment ({} scale): training 6 detectors on 86 channels ...",
+        scale.label()
     );
-    let outcome = ExperimentRunner::new(config).run()?;
+    let outcome = table2::run(scale)?;
 
     println!("Table 2 — anomaly detection models on the two edge processing units (reproduced)");
     println!();

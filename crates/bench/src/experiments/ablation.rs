@@ -1,0 +1,125 @@
+//! Ablation study (paper §4.5) over VARADE's design choices:
+//!
+//! * **A1** — variance score vs. conventional prediction-error score;
+//! * **A2** — KL weight λ sweep (Eq. 7);
+//! * **A3** — context-window T sweep (drives depth and inference cost).
+//!
+//! The variants themselves live in [`varade::ablation`]; this module runs
+//! them at a chosen [`ExperimentScale`] on a pre-built robot dataset and
+//! flattens the outcomes into serializable entries.
+
+use serde::{Deserialize, Serialize};
+
+use varade::ablation::{compare_scoring_rules, sweep_kl_weight, sweep_window, AblationResult};
+use varade_robot::dataset::RobotDataset;
+
+use crate::experiments::ExperimentScale;
+use crate::BenchError;
+
+/// One ablation variant, flattened for `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationEntry {
+    /// Variant label, e.g. `"lambda=0.1"` or `"window=64"`.
+    pub variant: String,
+    /// AUC-ROC obtained on the collision split.
+    pub auc_roc: f64,
+    /// Inference cost of the fitted variant in MFLOPs.
+    pub mflops: f64,
+}
+
+impl From<AblationResult> for AblationEntry {
+    fn from(r: AblationResult) -> Self {
+        AblationEntry {
+            variant: r.variant,
+            auc_roc: r.auc_roc,
+            mflops: r.profile.flops / 1e6,
+        }
+    }
+}
+
+/// Serializable outcome of the three ablations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResultSet {
+    /// A1: variance vs. prediction-error scoring, same architecture and
+    /// training budget.
+    pub scoring_rules: Vec<AblationEntry>,
+    /// A2: KL weight λ sweep.
+    pub kl_sweep: Vec<AblationEntry>,
+    /// A3: context window T sweep.
+    pub window_sweep: Vec<AblationEntry>,
+}
+
+fn entries(results: Vec<AblationResult>) -> Vec<AblationEntry> {
+    results.into_iter().map(AblationEntry::from).collect()
+}
+
+/// Runs the three ablations on an already-built dataset (reuse the one from
+/// the Table 2 run to avoid regenerating it).
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any variant fails to train or score.
+pub fn run(
+    scale: ExperimentScale,
+    dataset: &RobotDataset,
+) -> Result<AblationResultSet, BenchError> {
+    let base = scale.varade_config();
+    let (train, test, labels) = (&dataset.train, &dataset.test, &dataset.labels);
+    Ok(AblationResultSet {
+        scoring_rules: entries(compare_scoring_rules(base, train, test, labels)?),
+        kl_sweep: entries(sweep_kl_weight(
+            base,
+            &scale.kl_lambdas(),
+            train,
+            test,
+            labels,
+        )?),
+        window_sweep: entries(sweep_window(
+            base,
+            &scale.window_sweep(),
+            train,
+            test,
+            labels,
+        )?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varade_tensor::ComputeProfile;
+
+    #[test]
+    fn entry_conversion_scales_flops_to_mflops() {
+        let entry = AblationEntry::from(AblationResult {
+            variant: "window=16".into(),
+            auc_roc: 0.75,
+            profile: ComputeProfile {
+                flops: 2_500_000.0,
+                ..ComputeProfile::default()
+            },
+        });
+        assert_eq!(entry.variant, "window=16");
+        assert_eq!(entry.mflops, 2.5);
+    }
+
+    #[test]
+    fn result_set_round_trips_through_json() {
+        let set = AblationResultSet {
+            scoring_rules: vec![AblationEntry {
+                variant: "score=variance".into(),
+                auc_roc: 0.29,
+                mflops: 1.5,
+            }],
+            kl_sweep: vec![],
+            window_sweep: vec![AblationEntry {
+                variant: "window=8".into(),
+                auc_roc: 0.8,
+                mflops: 0.4,
+            }],
+        };
+        let text = serde_json::to_string_pretty(&set).unwrap();
+        let back: AblationResultSet = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, set);
+    }
+}

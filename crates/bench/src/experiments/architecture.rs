@@ -1,0 +1,100 @@
+//! Figure 1 (paper §3.1): the VARADE architecture summary.
+//!
+//! Always built at the paper's full size (window T = 512, 86 channels,
+//! feature maps 128 → 1024) — constructing the network costs milliseconds,
+//! so there is no quick variant.
+
+use serde::{Deserialize, Serialize};
+
+use varade::{VaradeConfig, VaradeModel};
+use varade_robot::schema;
+
+use crate::BenchError;
+
+/// One layer row of the Figure 1 summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerRow {
+    /// Layer name (`conv1d`, `relu`, `flatten`, `linear`).
+    pub name: String,
+    /// Output shape for a batch of one window.
+    pub output_shape: Vec<usize>,
+}
+
+/// Serializable architecture summary of the paper-scale VARADE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureResult {
+    /// Context window T (paper: 512).
+    pub window: usize,
+    /// Input channels (paper: 86).
+    pub n_channels: usize,
+    /// Convolutional layers implied by the window (paper: 8).
+    pub conv_layers: usize,
+    /// Trainable parameter count.
+    pub trainable_parameters: usize,
+    /// Per-inference cost in MFLOPs.
+    pub mflops_per_inference: f64,
+    /// Parameter footprint in MB.
+    pub param_mb: f64,
+    /// Activation footprint in MB.
+    pub activation_mb: f64,
+    /// Layer-by-layer summary (Figure 1's boxes).
+    pub layers: Vec<LayerRow>,
+}
+
+/// Builds the paper-scale model and summarizes it.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the model cannot be constructed (it always can
+/// with the paper configuration; the error path exists for config edits).
+pub fn run() -> Result<ArchitectureResult, BenchError> {
+    let config = VaradeConfig::paper_full_size();
+    let n_channels = schema::TOTAL_CHANNELS;
+    let mut model = VaradeModel::from_config(config, n_channels)?;
+    let profile = model.inference_profile();
+    Ok(ArchitectureResult {
+        window: config.window,
+        n_channels,
+        conv_layers: config.n_layers(),
+        trainable_parameters: model.parameter_count(),
+        mflops_per_inference: profile.flops / 1e6,
+        param_mb: profile.param_bytes / 1e6,
+        activation_mb: profile.activation_bytes / 1e6,
+        layers: model
+            .summary()
+            .into_iter()
+            .map(|row| LayerRow {
+                name: row.name,
+                output_shape: row.output_shape,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_figure_1() {
+        let r = run().unwrap();
+        assert_eq!(r.window, 512);
+        assert_eq!(r.n_channels, 86);
+        assert_eq!(r.conv_layers, 8);
+        assert!(r.trainable_parameters > 0);
+        assert!(r.mflops_per_inference > 0.0);
+        assert!(!r.layers.is_empty());
+        // The final linear layer emits mean + log-variance per channel.
+        let last = r.layers.last().unwrap();
+        assert_eq!(last.name, "linear");
+        assert_eq!(last.output_shape, vec![1, 2 * 86]);
+    }
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let r = run().unwrap();
+        let back: ArchitectureResult =
+            serde_json::from_str(&serde_json::to_string_pretty(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,88 @@
+//! Table 1 (paper §4.2): the 86-channel description of the robot data
+//! stream — one action-ID channel, 7 joint-mounted IMUs × 11 channels each,
+//! and 8 energy-meter channels.
+
+use serde::{Deserialize, Serialize};
+
+use varade_robot::schema::{channel_schema, ChannelGroup};
+
+/// Serializable channel-count summary of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelsResult {
+    /// Total number of channels (paper: 86).
+    pub total: usize,
+    /// Action-identifier channels (paper: 1).
+    pub action: usize,
+    /// Joint (IMU) channels (paper: 77 = 7 sensors × 11).
+    pub joint: usize,
+    /// Power (energy-meter) channels (paper: 8).
+    pub power: usize,
+}
+
+/// Counts the schema's channels per group.
+pub fn run() -> ChannelsResult {
+    let schema = channel_schema();
+    let count = |group: ChannelGroup| schema.iter().filter(|c| c.group == group).count();
+    ChannelsResult {
+        total: schema.len(),
+        action: count(ChannelGroup::ActionId),
+        joint: count(ChannelGroup::Joint),
+        power: count(ChannelGroup::Power),
+    }
+}
+
+/// Renders the full Table 1 as a markdown table with one section header per
+/// channel group (the `exp_channels` binary's output).
+pub fn table1_markdown() -> String {
+    let mut out = String::from("| Channel name | Unit | Description |\n|---|---|---|\n");
+    let mut current_group: Option<ChannelGroup> = None;
+    for channel in &channel_schema() {
+        if current_group != Some(channel.group) {
+            let header = match channel.group {
+                ChannelGroup::ActionId => "Action",
+                ChannelGroup::Joint => "Joint Channels",
+                ChannelGroup::Power => "Power Channels",
+            };
+            out.push_str(&format!("| **{header}** | | |\n"));
+            current_group = Some(channel.group);
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} |\n",
+            channel.name, channel.unit, channel.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let r = run();
+        assert_eq!(r.total, 86);
+        assert_eq!(r.action, 1);
+        assert_eq!(r.joint, 77);
+        assert_eq!(r.power, 8);
+        assert_eq!(r.action + r.joint + r.power, r.total);
+    }
+
+    #[test]
+    fn markdown_has_group_headers_and_all_rows() {
+        let md = table1_markdown();
+        assert!(md.contains("| **Action** | | |"));
+        assert!(md.contains("| **Joint Channels** | | |"));
+        assert!(md.contains("| **Power Channels** | | |"));
+        // header + separator + 3 group headers + 86 channel rows
+        assert_eq!(md.lines().count(), 2 + 3 + 86);
+    }
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let r = run();
+        let back: ChannelsResult =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

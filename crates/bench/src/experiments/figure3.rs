@@ -1,0 +1,68 @@
+//! Figure 3 (paper §4.4): inference frequency vs. accuracy, marker size ∝
+//! power consumption.
+//!
+//! The figure is a pure projection of Table 2, so this module never runs
+//! anything: it extracts the scatter series from a [`Table2`] produced by
+//! [`crate::experiments::table2`].
+
+use serde::{Deserialize, Serialize};
+
+use varade_edge::figure::{figure3_csv, figure3_markdown, figure3_points, FigurePoint};
+use varade_edge::table::Table2;
+
+/// Serializable Figure 3 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Result {
+    /// One point per detector × board (idle rows carry no accuracy and are
+    /// skipped).
+    pub points: Vec<FigurePoint>,
+}
+
+impl Figure3Result {
+    /// Renders the series as CSV (for external re-plotting).
+    pub fn to_csv(&self) -> String {
+        figure3_csv(&self.points)
+    }
+
+    /// Renders the series as a markdown table (for `EXPERIMENTS.md`).
+    pub fn to_markdown(&self) -> String {
+        figure3_markdown(&self.points)
+    }
+}
+
+/// Projects a regenerated Table 2 onto the Figure 3 series.
+pub fn from_table(table: &Table2) -> Figure3Result {
+    Figure3Result {
+        points: figure3_points(table),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varade_edge::table::Table2Row;
+
+    #[test]
+    fn projection_round_trips_and_renders() {
+        let table = Table2 {
+            rows: vec![Table2Row {
+                board: "B".into(),
+                detector: "VARADE".into(),
+                cpu_percent: 0.0,
+                gpu_percent: 0.0,
+                ram_mb: 0.0,
+                gpu_ram_mb: 0.0,
+                power_w: 6.3,
+                auc_roc: Some(0.84),
+                inference_frequency_hz: Some(14.9),
+            }],
+        };
+        let fig = from_table(&table);
+        assert_eq!(fig.points.len(), 1);
+        assert!(fig.to_csv().contains("VARADE,B"));
+        assert!(fig.to_markdown().contains("| VARADE | B |"));
+        let text = serde_json::to_string(&fig).unwrap();
+        let back: Figure3Result = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, fig);
+    }
+}

@@ -1,25 +1,126 @@
 //! # varade-bench
 //!
-//! The experiment harness of the VARADE reproduction. Each binary regenerates
-//! one table or figure of the paper (see DESIGN.md §3 for the index):
+//! The experiment harness of the VARADE reproduction.
+//!
+//! The [`experiments`] module holds the library implementations of the
+//! paper's experiments; each `exp_*` binary is a thin CLI wrapper over one of
+//! them, and `exp_report` runs them all, measures streaming throughput with
+//! the [`timing`] harness, and emits the `BENCH_<date>.json` /
+//! `EXPERIMENTS.md` artifacts via the [`report`] module:
 //!
 //! * `exp_architecture` — Figure 1 (model summary of the paper-scale VARADE);
 //! * `exp_channels` — Table 1 (the 86-channel data schema);
 //! * `exp_table2` — Table 2 (six detectors × two boards);
 //! * `exp_figure3` — Figure 3 (inference frequency vs. accuracy);
-//! * `exp_ablation` — the ablation study over VARADE's design choices.
+//! * `exp_ablation` — the ablation study over VARADE's design choices;
+//! * `exp_report` — all of the above plus streaming latency percentiles,
+//!   serialized to a schema-versioned `BENCH_*.json` baseline.
+//!
+//! All experiment binaries accept `--quick` for a reduced-scale run with
+//! deterministic seeds — the exact code path CI exercises — so paper-scale
+//! runs and smoke runs cannot drift apart.
 //!
 //! The Criterion benches under `benches/` measure the micro-level costs
 //! (per-window inference, individual layers, dataset generation, metric
 //! computation) that back the analytical edge model.
 //!
-//! This library exposes the reference numbers reported in the paper so that
-//! harness output and EXPERIMENTS.md can show paper-vs-measured side by side.
+//! This library also exposes the reference numbers reported in the paper so
+//! that harness output and EXPERIMENTS.md can show paper-vs-measured side by
+//! side.
 
-use serde::{Deserialize, Serialize};
+pub mod experiments;
+pub mod report;
+pub mod timing;
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// Errors produced by the experiment harness.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The Table 2 experiment runner failed.
+    Edge(varade_edge::EdgeError),
+    /// A detector failed to train or score.
+    Detector(varade_detectors::DetectorError),
+    /// The robot simulator failed to build a dataset.
+    Robot(varade_robot::RobotError),
+    /// The VARADE model or streaming front-end failed.
+    Varade(varade::VaradeError),
+    /// Reading or writing a report artifact failed.
+    Io(std::io::Error),
+    /// A `BENCH_*.json` document could not be parsed, or its schema version
+    /// is not the one this binary writes.
+    Report(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Edge(e) => write!(f, "experiment failed: {e}"),
+            BenchError::Detector(e) => write!(f, "detector failed: {e}"),
+            BenchError::Robot(e) => write!(f, "dataset generation failed: {e}"),
+            BenchError::Varade(e) => write!(f, "VARADE failed: {e}"),
+            BenchError::Io(e) => write!(f, "I/O error: {e}"),
+            BenchError::Report(reason) => write!(f, "invalid benchmark report: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Edge(e) => Some(e),
+            BenchError::Detector(e) => Some(e),
+            BenchError::Robot(e) => Some(e),
+            BenchError::Varade(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            BenchError::Report(_) => None,
+        }
+    }
+}
+
+impl From<varade_edge::EdgeError> for BenchError {
+    fn from(e: varade_edge::EdgeError) -> Self {
+        BenchError::Edge(e)
+    }
+}
+
+impl From<varade_detectors::DetectorError> for BenchError {
+    fn from(e: varade_detectors::DetectorError) -> Self {
+        BenchError::Detector(e)
+    }
+}
+
+impl From<varade_robot::RobotError> for BenchError {
+    fn from(e: varade_robot::RobotError) -> Self {
+        BenchError::Robot(e)
+    }
+}
+
+impl From<varade::VaradeError> for BenchError {
+    fn from(e: varade::VaradeError) -> Self {
+        BenchError::Varade(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for BenchError {
+    fn from(e: serde_json::Error) -> Self {
+        BenchError::Report(e.to_string())
+    }
+}
 
 /// One reference row of the paper's Table 2 (values transcribed verbatim).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` fields cannot be deserialized, and the
+/// reference numbers ship compiled into the binary anyway.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PaperTable2Row {
     /// Board name.
     pub board: &'static str,

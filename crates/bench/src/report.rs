@@ -1,0 +1,540 @@
+//! Benchmark reporting: `BENCH_<date>.json` baselines and the generated
+//! `EXPERIMENTS.md`.
+//!
+//! One [`BenchReport`] bundles every experiment result at one scale behind a
+//! schema version. Full-scale reports are checked into the repository root as
+//! `BENCH_<date>.json` — the performance trajectory later PRs must beat —
+//! and `EXPERIMENTS.md` is rendered *from those committed files only*, so
+//! regenerating it is deterministic: CI re-renders and fails on drift.
+//! Quick-scale reports are written under `target/` by default and are never
+//! picked up as baselines.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::ablation::{AblationEntry, AblationResultSet};
+use crate::experiments::architecture::ArchitectureResult;
+use crate::experiments::channels::ChannelsResult;
+use crate::experiments::figure3::Figure3Result;
+use crate::experiments::streaming::StreamingResult;
+use crate::experiments::table2::Table2Result;
+use crate::experiments::ExperimentScale;
+use crate::experiments::{ablation, architecture, channels, figure3, streaming, table2};
+use crate::{compare_line, paper_row, BenchError};
+
+/// Version of the `BENCH_*.json` schema this crate reads and writes. Bump on
+/// any breaking change to [`BenchReport`] or the structs it embeds.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Everything one `exp_report` run measured, as serialized to
+/// `BENCH_<date>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Scale label: `"quick"` or `"full"`.
+    pub scale: String,
+    /// Streaming push throughput and latency percentiles.
+    pub streaming: StreamingResult,
+    /// Table 2: detectors × boards.
+    pub table2: Table2Result,
+    /// Figure 3: frequency vs. accuracy series.
+    pub figure3: Figure3Result,
+    /// Ablations A1–A3.
+    pub ablation: AblationResultSet,
+    /// Table 1 channel counts.
+    pub channels: ChannelsResult,
+    /// Figure 1 architecture summary (always paper full size).
+    pub architecture: ArchitectureResult,
+}
+
+/// Runs every experiment at the given scale and assembles the report.
+///
+/// The Table 2 run generates the robot dataset and fits the VARADE detector;
+/// the ablation experiment reuses the dataset and the streaming experiment
+/// reuses the fitted detector, so the report builds the dataset — and trains
+/// VARADE — exactly once.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any experiment fails.
+pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchError> {
+    eprintln!("exp_report: running Table 2 ({} scale) ...", scale.label());
+    let outcome = table2::run(scale)?;
+    eprintln!("exp_report: running ablations ...");
+    let ablation = ablation::run(scale, &outcome.dataset)?;
+    eprintln!("exp_report: measuring streaming throughput ...");
+    let table2 = Table2Result::from(&outcome);
+    let streaming = streaming::run_fitted(
+        outcome.varade,
+        &outcome.dataset,
+        scale.streaming_sample_cap(),
+    )?;
+    Ok(BenchReport {
+        schema_version: SCHEMA_VERSION,
+        date: date.to_string(),
+        scale: scale.label().to_string(),
+        streaming,
+        figure3: figure3::from_table(&table2.table),
+        table2,
+        ablation,
+        channels: channels::run(),
+        architecture: architecture::run()?,
+    })
+}
+
+/// File name of a report generated on `date`: `BENCH_<date>.json`.
+pub fn file_name(date: &str) -> String {
+    format!("BENCH_{date}.json")
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no external crates).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock after 1970")
+        .as_secs();
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Howard Hinnant's `civil_from_days`: days since 1970-01-01 → (y, m, d).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// One committed baseline: file name plus parsed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// File name (`BENCH_<date>.json`), the sort key of the trajectory.
+    pub file_name: String,
+    /// The parsed report.
+    pub report: BenchReport,
+}
+
+/// Loads the full-scale `BENCH_*.json` baselines in `dir`, sorted by file
+/// name (i.e. by date). Quick-scale reports are skipped — they are CI
+/// throwaways, not baselines.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the directory cannot be read, a matching file
+/// fails to parse, or a report declares a schema version this binary does not
+/// understand.
+pub fn load_baselines(dir: &Path) -> Result<Vec<Baseline>, BenchError> {
+    let mut baselines = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name().to_string_lossy().into_owned();
+        if !file_name.starts_with("BENCH_") || !file_name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())?;
+        let report: BenchReport = serde_json::from_str(&text)
+            .map_err(|e| BenchError::Report(format!("{file_name}: {e}")))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(BenchError::Report(format!(
+                "{file_name}: schema version {} (this binary reads {SCHEMA_VERSION})",
+                report.schema_version
+            )));
+        }
+        if report.scale == ExperimentScale::Full.label() {
+            baselines.push(Baseline { file_name, report });
+        }
+    }
+    baselines.sort_by(|a, b| a.file_name.cmp(&b.file_name));
+    Ok(baselines)
+}
+
+/// Serializes a report as pretty JSON with a trailing newline and writes it
+/// to `dir/BENCH_<date>.json`, returning the path.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] on I/O failure.
+pub fn write_report(report: &BenchReport, dir: &Path) -> Result<PathBuf, BenchError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(&report.date));
+    let mut text = serde_json::to_string_pretty(report)?;
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// One row of the baseline-to-baseline comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRow {
+    /// Metric label, e.g. `"streaming samples/sec"`.
+    pub metric: String,
+    /// Value in the previous baseline.
+    pub previous: f64,
+    /// Value in the current baseline.
+    pub current: f64,
+    /// Relative change in percent (NaN when the previous value is zero).
+    pub change_percent: f64,
+}
+
+fn delta_row(metric: &str, previous: f64, current: f64) -> DeltaRow {
+    let change_percent = if previous.abs() > 1e-12 {
+        (current - previous) / previous * 100.0
+    } else {
+        f64::NAN
+    };
+    DeltaRow {
+        metric: metric.to_string(),
+        previous,
+        current,
+        change_percent,
+    }
+}
+
+/// Compares the headline metrics of two baselines (the trajectory later perf
+/// PRs are judged against).
+pub fn compute_deltas(previous: &BenchReport, current: &BenchReport) -> Vec<DeltaRow> {
+    let mut rows = vec![
+        delta_row(
+            "streaming samples/sec",
+            previous.streaming.samples_per_sec,
+            current.streaming.samples_per_sec,
+        ),
+        delta_row(
+            "streaming p50 latency (us)",
+            previous.streaming.push_latency.p50_us,
+            current.streaming.push_latency.p50_us,
+        ),
+        delta_row(
+            "streaming p99 latency (us)",
+            previous.streaming.push_latency.p99_us,
+            current.streaming.push_latency.p99_us,
+        ),
+        delta_row(
+            "model scoring mean (us)",
+            previous.streaming.model_scoring_mean_us,
+            current.streaming.model_scoring_mean_us,
+        ),
+    ];
+    if let (Some(p), Some(c)) = (
+        previous.table2.auc_of("VARADE"),
+        current.table2.auc_of("VARADE"),
+    ) {
+        rows.push(delta_row("VARADE AUC-ROC", p, c));
+    }
+    for board in ["Jetson Xavier NX", "Jetson AGX Orin"] {
+        if let (Some(p), Some(c)) = (
+            previous.table2.frequency_of(board, "VARADE"),
+            current.table2.frequency_of(board, "VARADE"),
+        ) {
+            rows.push(delta_row(&format!("VARADE {board} (Hz)"), p, c));
+        }
+    }
+    rows
+}
+
+fn fmt_change(change_percent: f64) -> String {
+    if change_percent.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{change_percent:+.1}%")
+    }
+}
+
+/// Renders `EXPERIMENTS.md` from the committed baselines (latest last).
+///
+/// The output is a pure function of the baselines' contents, which is what
+/// makes the CI drift check possible: rerunning the renderer against the same
+/// committed `BENCH_*.json` files must reproduce the committed
+/// `EXPERIMENTS.md` byte for byte.
+pub fn render_experiments_md(baselines: &[Baseline]) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS\n\n");
+    out.push_str(
+        "<!-- Generated by `cargo run --release -p varade-bench --bin exp_report`.\n     \
+         Do not edit by hand: CI regenerates this file from the checked-in\n     \
+         BENCH_*.json baselines and fails on drift. -->\n\n",
+    );
+    let Some(latest) = baselines.last() else {
+        out.push_str(
+            "No full-scale benchmark baseline is checked in yet. Run\n\
+             `cargo run --release -p varade-bench --bin exp_report` and commit the\n\
+             resulting `BENCH_<date>.json`.\n",
+        );
+        return out;
+    };
+    let r = &latest.report;
+    out.push_str(&format!(
+        "Latest baseline: `{}` (schema v{}, {} scale, {}).\n\
+         Baselines in trajectory: {}.\n\n",
+        latest.file_name,
+        r.schema_version,
+        r.scale,
+        r.date,
+        baselines.len()
+    ));
+
+    render_streaming(&mut out, r);
+    render_table2(&mut out, r);
+    render_figure3(&mut out, r);
+    render_ablation(&mut out, r);
+    render_architecture(&mut out, r);
+    render_channels(&mut out, r);
+    render_deltas(&mut out, baselines);
+    render_caveats(&mut out);
+    out
+}
+
+fn render_streaming(out: &mut String, r: &BenchReport) {
+    let s = &r.streaming;
+    out.push_str("## 1. Streaming throughput (`StreamingVarade::push`)\n\n");
+    out.push_str(
+        "The single-sample push path that a Jetson deployment would run (paper §3.1),\n\
+         measured on the host that generated the baseline. This is the reference the\n\
+         ROADMAP \"streaming throughput\" item must beat.\n\n",
+    );
+    out.push_str(&format!(
+        "| Samples/sec | Mean (us) | p50 (us) | p90 (us) | p99 (us) | Max (us) |\n\
+         |---|---|---|---|---|---|\n\
+         | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n\n",
+        s.samples_per_sec,
+        s.push_latency.mean_us,
+        s.push_latency.p50_us,
+        s.push_latency.p90_us,
+        s.push_latency.p99_us,
+        s.push_latency.max_us,
+    ));
+    out.push_str(&format!(
+        "Streamed {} test samples ({} channels, window {}) after training on {} samples;\n\
+         {} scores emitted; model forward pass alone averages {:.1} us.\n",
+        s.streamed_samples,
+        s.n_channels,
+        s.window,
+        s.train_samples,
+        s.scores_emitted,
+        s.model_scoring_mean_us,
+    ));
+    if let Some(summary) = &s.score_summary {
+        out.push_str(&format!(
+            "Streamed-score quality vs. collision labels: AUC-ROC {:.3}, AP {:.3}, best F1 {:.3}.\n",
+            summary.auc_roc, summary.average_precision, summary.best_f1
+        ));
+    }
+    out.push_str(&format!(
+        "\nPaper cross-reference (Table 2): VARADE runs at {:.3} Hz on the Jetson Xavier NX\n\
+         and {:.3} Hz on the AGX Orin; the numbers above are a laptop-class CPU, so compare\n\
+         trajectories, not absolutes.\n\n",
+        paper_row("Jetson Xavier NX", "VARADE")
+            .and_then(|p| p.inference_frequency_hz)
+            .unwrap_or(f64::NAN),
+        paper_row("Jetson AGX Orin", "VARADE")
+            .and_then(|p| p.inference_frequency_hz)
+            .unwrap_or(f64::NAN),
+    ));
+}
+
+fn render_table2(out: &mut String, r: &BenchReport) {
+    out.push_str("## 2. Table 2 — detectors × edge boards (paper §4.3–4.4)\n\n");
+    out.push_str(
+        "Accuracy comes from really training scaled-down detectors on the simulated\n\
+         robot dataset; platform columns come from the analytical Jetson model.\n\n",
+    );
+    out.push_str(&r.table2.table.to_markdown());
+    out.push('\n');
+    out.push_str("Paper vs. measured (Jetson Xavier NX):\n\n```\n");
+    for row in r.table2.table.board_rows("Jetson Xavier NX") {
+        if row.detector == "Idle" {
+            continue;
+        }
+        if let (Some(paper), Some(auc), Some(freq)) = (
+            paper_row("Jetson Xavier NX", &row.detector),
+            row.auc_roc,
+            row.inference_frequency_hz,
+        ) {
+            out.push_str(&format!(
+                "{}\n",
+                compare_line(
+                    &format!("{} AUC-ROC", row.detector),
+                    paper.auc_roc.unwrap_or(0.0),
+                    auc
+                )
+            ));
+            out.push_str(&format!(
+                "{}\n",
+                compare_line(
+                    &format!("{} frequency (Hz)", row.detector),
+                    paper.inference_frequency_hz.unwrap_or(0.0),
+                    freq
+                )
+            ));
+        }
+    }
+    out.push_str("```\n\n");
+}
+
+fn render_figure3(out: &mut String, r: &BenchReport) {
+    out.push_str("## 3. Figure 3 — inference frequency vs. accuracy (paper §4.4)\n\n");
+    out.push_str("Marker size in the paper encodes power draw; here it is the last column.\n\n");
+    out.push_str(&r.figure3.to_markdown());
+    out.push('\n');
+}
+
+fn render_ablation(out: &mut String, r: &BenchReport) {
+    out.push_str("## 4. Ablations (paper §4.5)\n\n");
+    let section = |out: &mut String, title: &str, entries: &[AblationEntry]| {
+        out.push_str(&format!("### {title}\n\n"));
+        out.push_str("| Variant | AUC-ROC | MFLOPs/inference |\n|---|---|---|\n");
+        for e in entries {
+            out.push_str(&format!(
+                "| {} | {:.3} | {:.2} |\n",
+                e.variant, e.auc_roc, e.mflops
+            ));
+        }
+        out.push('\n');
+    };
+    section(
+        out,
+        "A1 — scoring rule (variance vs. prediction error)",
+        &r.ablation.scoring_rules,
+    );
+    section(out, "A2 — KL weight λ (Eq. 7)", &r.ablation.kl_sweep);
+    section(
+        out,
+        "A3 — context window T (depth / cost trade-off)",
+        &r.ablation.window_sweep,
+    );
+}
+
+fn render_architecture(out: &mut String, r: &BenchReport) {
+    let a = &r.architecture;
+    out.push_str("## 5. Architecture (paper §3.1, Figure 1)\n\n");
+    out.push_str(&format!(
+        "Paper-scale VARADE: window T = {}, {} input channels, {} convolutional layers,\n\
+         {} trainable parameters, {:.2} MFLOPs per inference ({:.2} MB parameters,\n\
+         {:.2} MB activations).\n\n",
+        a.window,
+        a.n_channels,
+        a.conv_layers,
+        a.trainable_parameters,
+        a.mflops_per_inference,
+        a.param_mb,
+        a.activation_mb,
+    ));
+    out.push_str("| # | Layer | Output shape |\n|---|---|---|\n");
+    for (i, layer) in a.layers.iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | {:?} |\n",
+            i, layer.name, layer.output_shape
+        ));
+    }
+    out.push('\n');
+}
+
+fn render_channels(out: &mut String, r: &BenchReport) {
+    let c = &r.channels;
+    out.push_str("## 6. Channel schema (paper §4.2, Table 1)\n\n");
+    out.push_str(&format!(
+        "{} channels: {} action identifier, {} joint (IMU) channels (7 sensors × 11),\n\
+         {} power channels. The full table is printed by\n\
+         `cargo run -p varade-bench --bin exp_channels`.\n\n",
+        c.total, c.action, c.joint, c.power,
+    ));
+}
+
+fn render_deltas(out: &mut String, baselines: &[Baseline]) {
+    out.push_str("## 7. Trajectory — delta vs. previous baseline\n\n");
+    if baselines.len() < 2 {
+        out.push_str(
+            "First baseline: nothing to compare against yet. The next full-scale\n\
+             `exp_report` run will populate this section.\n\n",
+        );
+        return;
+    }
+    let previous = &baselines[baselines.len() - 2];
+    let current = &baselines[baselines.len() - 1];
+    out.push_str(&format!(
+        "`{}` → `{}`:\n\n",
+        previous.file_name, current.file_name
+    ));
+    out.push_str("| Metric | Previous | Current | Change |\n|---|---|---|---|\n");
+    for row in compute_deltas(&previous.report, &current.report) {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {} |\n",
+            row.metric,
+            row.previous,
+            row.current,
+            fmt_change(row.change_percent)
+        ));
+    }
+    out.push('\n');
+}
+
+fn render_caveats(out: &mut String) {
+    out.push_str("## 8. Caveats\n\n");
+    out.push_str(
+        "* **Variance score at reduced scale.** The paper's variance-only scoring rule\n\
+         needs paper-scale training to produce a calibrated predictive distribution;\n\
+         at this repository's reduced scales it is near chance or worse (ablation A1\n\
+         above; quickstart: AUC ≈ 0.29 vs 1.000 for prediction error). See the\n\
+         `ScoringRule` rustdoc in `crates/core/src/detector.rs` and the\n\
+         \"variance-score fidelity\" ROADMAP item.\n\
+         * **Platform columns are analytical.** CPU/GPU/RAM/power/frequency come from\n\
+         the roofline model of `varade-edge`, not from physical Jetson boards.\n\
+         * **Timing sections are host-dependent.** Accuracy numbers are seeded and\n\
+         reproducible; samples/sec and latency percentiles depend on the machine that\n\
+         generated the baseline.\n",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_664), (2026, 7, 30));
+        // Leap day.
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+    }
+
+    #[test]
+    fn today_is_iso_formatted() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn file_name_embeds_the_date() {
+        assert_eq!(file_name("2026-07-30"), "BENCH_2026-07-30.json");
+    }
+
+    #[test]
+    fn delta_rows_guard_division_by_zero() {
+        let row = delta_row("m", 0.0, 5.0);
+        assert!(row.change_percent.is_nan());
+        assert_eq!(fmt_change(row.change_percent), "n/a");
+        let row = delta_row("m", 10.0, 12.5);
+        assert!((row.change_percent - 25.0).abs() < 1e-9);
+        assert_eq!(fmt_change(row.change_percent), "+25.0%");
+    }
+
+    #[test]
+    fn empty_baseline_list_renders_a_stub() {
+        let md = render_experiments_md(&[]);
+        assert!(md.starts_with("# EXPERIMENTS"));
+        assert!(md.contains("No full-scale benchmark baseline"));
+    }
+}

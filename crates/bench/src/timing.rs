@@ -1,0 +1,111 @@
+//! Lightweight wall-clock timing harness for the experiment report.
+//!
+//! Criterion (under `benches/`) is the right tool for micro-benchmarks, but
+//! the experiment report needs something simpler: time a closure once per
+//! sample, keep every latency, and summarize them as throughput plus
+//! percentiles. That is all this module does — no warm-up logic, no outlier
+//! rejection, so the numbers in `BENCH_*.json` are raw and comparable across
+//! PRs.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Latency summary of a series of timed calls, in microseconds.
+///
+/// Percentiles use the nearest-rank method on the sorted sample set, so every
+/// reported value is an actually observed latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of timed calls.
+    pub samples: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Maximum observed latency in microseconds.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a set of measured durations; `None` when empty.
+    pub fn from_durations(latencies: &[Duration]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut micros: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        micros.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mean = micros.iter().sum::<f64>() / micros.len() as f64;
+        Some(LatencyStats {
+            samples: micros.len(),
+            mean_us: mean,
+            p50_us: percentile(&micros, 50.0),
+            p90_us: percentile(&micros, 90.0),
+            p99_us: percentile(&micros, 99.0),
+            max_us: micros[micros.len() - 1],
+        })
+    }
+
+    /// Mean throughput implied by the mean latency, in calls per second.
+    pub fn calls_per_sec(&self) -> f64 {
+        if self.mean_us > 0.0 {
+            1e6 / self.mean_us
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in percent).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|&v| Duration::from_micros(v)).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(LatencyStats::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_are_observed_values() {
+        let latencies = micros(&[5, 1, 3, 2, 4, 6, 7, 8, 9, 10]);
+        let stats = LatencyStats::from_durations(&latencies).unwrap();
+        assert_eq!(stats.samples, 10);
+        assert!((stats.mean_us - 5.5).abs() < 1e-9);
+        assert_eq!(stats.p50_us, 5.0);
+        assert_eq!(stats.p90_us, 9.0);
+        assert_eq!(stats.p99_us, 10.0);
+        assert_eq!(stats.max_us, 10.0);
+        assert!((stats.calls_per_sec() - 1e6 / 5.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let stats = LatencyStats::from_durations(&micros(&[42])).unwrap();
+        assert_eq!(stats.p50_us, 42.0);
+        assert_eq!(stats.p99_us, 42.0);
+        assert_eq!(stats.max_us, 42.0);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let stats = LatencyStats::from_durations(&micros(&[1, 2, 3])).unwrap();
+        let text = serde_json::to_string(&stats).unwrap();
+        let back: LatencyStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -8,10 +8,27 @@ use crate::{VaradeConfig, VaradeError, VaradeModel, VaradeTrainer};
 
 /// How the fitted model turns its predictive distribution into an anomaly
 /// score.
+///
+/// # Toy-scale caveat: variance scoring needs paper-scale training
+///
+/// The paper's variance-only score relies on the model having learned a
+/// *calibrated* predictive distribution — plenty of normal data, long
+/// training (50 epochs at `lr = 1e-5` on 390 minutes of 200 Hz recordings,
+/// §3.4). At the toy scale of the quickstart example and the smoke tests the
+/// ELBO has not converged far enough for the predicted variance to track
+/// anomalies, and the score is near chance **or worse**: on the quickstart's
+/// synthetic stream, [`ScoringRule::Variance`] reaches AUC-ROC ≈ 0.29 while
+/// [`ScoringRule::PredictionError`] reaches 1.000 on the same fitted model.
+/// Do not read toy-scale variance AUCs as a bug or as a refutation of the
+/// paper — reproducing the crossover where the variance score becomes
+/// competitive is tracked as the "variance-score fidelity" ROADMAP item, and
+/// the measured numbers live in `EXPERIMENTS.md` (ablation A1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScoringRule {
     /// The paper's rule (§3.2): discard the predicted mean and use the
     /// predicted variance directly — the model is uncertain on anomalies.
+    /// See the type-level caveat: this rule needs paper-scale training to be
+    /// competitive and is near chance on toy-scale streams.
     #[default]
     Variance,
     /// The conventional forecasting rule used by the baselines: the Euclidean

@@ -6,20 +6,61 @@
 //! a fitted [`VaradeDetector`] behind a push-based API that mirrors the
 //! inference script running on the Jetson boards (§4.3).
 
+use std::time::{Duration, Instant};
+
 use varade_timeseries::{MinMaxNormalizer, StreamingWindow};
 
 use crate::{VaradeDetector, VaradeError};
 
+/// Cumulative timing of the work done by [`StreamingVarade::push`], the
+/// instrumentation hook behind the `varade-bench` throughput experiments
+/// (ROADMAP "streaming throughput": this is the number batching PRs must
+/// beat).
+///
+/// The model-scoring time is recorded separately from the total push time so
+/// that the bookkeeping overhead (normalization, window buffering) stays
+/// visible: a future batched scorer should shrink `scoring` without growing
+/// the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PushStats {
+    /// Samples pushed so far (including warm-up samples).
+    pub pushes: u64,
+    /// Scores produced so far (pushes after warm-up).
+    pub scores: u64,
+    /// Wall-clock time spent inside the whole `push` path.
+    pub total_time: Duration,
+    /// Wall-clock time spent in the model's scoring forward pass alone.
+    pub scoring_time: Duration,
+}
+
+impl PushStats {
+    /// Mean latency of one scoring forward pass, `None` before the first
+    /// score.
+    pub fn mean_scoring_latency(&self) -> Option<Duration> {
+        (self.scores > 0).then(|| self.scoring_time / self.scores as u32)
+    }
+
+    /// Overall push throughput in samples per second, `None` until any time
+    /// has been accumulated.
+    pub fn samples_per_sec(&self) -> Option<f64> {
+        let secs = self.total_time.as_secs_f64();
+        (secs > 0.0).then(|| self.pushes as f64 / secs)
+    }
+}
+
 /// A push-based streaming scorer built on a fitted [`VaradeDetector`].
 ///
 /// Samples are normalized with the training normalizer, buffered into the
-/// detector's context window and scored one at a time.
+/// detector's context window and scored one at a time. Every push is timed
+/// into a [`PushStats`] accumulator (see [`StreamingVarade::stats`]); the
+/// `Instant` reads cost nanoseconds against a model forward pass of tens of
+/// microseconds and up, so the hook stays on unconditionally.
 pub struct StreamingVarade {
     detector: VaradeDetector,
     normalizer: Option<MinMaxNormalizer>,
     buffer: StreamingWindow,
     pending_context: Option<Vec<f32>>,
-    scores_emitted: u64,
+    stats: PushStats,
 }
 
 impl std::fmt::Debug for StreamingVarade {
@@ -27,7 +68,7 @@ impl std::fmt::Debug for StreamingVarade {
         f.debug_struct("StreamingVarade")
             .field("detector", &self.detector)
             .field("normalized", &self.normalizer.is_some())
-            .field("scores_emitted", &self.scores_emitted)
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -55,13 +96,25 @@ impl StreamingVarade {
             normalizer,
             buffer,
             pending_context: None,
-            scores_emitted: 0,
+            stats: PushStats::default(),
         })
     }
 
     /// Number of scores produced so far.
     pub fn scores_emitted(&self) -> u64 {
-        self.scores_emitted
+        self.stats.scores
+    }
+
+    /// Cumulative push/scoring timing since construction (or the last
+    /// [`StreamingVarade::reset_stats`]).
+    pub fn stats(&self) -> PushStats {
+        self.stats
+    }
+
+    /// Clears the timing accumulator, e.g. after a warm-up phase whose
+    /// latencies should not pollute a measurement.
+    pub fn reset_stats(&mut self) {
+        self.stats = PushStats::default();
     }
 
     /// Consumes the wrapper and returns the underlying detector.
@@ -77,6 +130,7 @@ impl StreamingVarade {
     /// Returns [`VaradeError::InvalidData`] if the sample width does not match
     /// the channel count.
     pub fn push(&mut self, sample: &[f32]) -> Result<Option<f32>, VaradeError> {
+        let push_started = Instant::now();
         let mut row = sample.to_vec();
         if let Some(norm) = &self.normalizer {
             norm.transform_row(&mut row)?;
@@ -84,15 +138,22 @@ impl StreamingVarade {
         // Score the previous context against the newly observed sample, then
         // slide the window.
         let score = match self.pending_context.take() {
-            Some(context) => Some(self.detector.score_window(&context, &row)?),
+            Some(context) => {
+                let scoring_started = Instant::now();
+                let score = self.detector.score_window(&context, &row)?;
+                self.stats.scoring_time += scoring_started.elapsed();
+                Some(score)
+            }
             None => None,
         };
         if let Some(window) = self.buffer.push(&row)? {
             self.pending_context = Some(window);
         }
         if score.is_some() {
-            self.scores_emitted += 1;
+            self.stats.scores += 1;
         }
+        self.stats.pushes += 1;
+        self.stats.total_time += push_started.elapsed();
         Ok(score)
     }
 }
@@ -176,6 +237,32 @@ mod tests {
                 batch_scores[t]
             );
         }
+    }
+
+    #[test]
+    fn push_stats_accumulate_and_reset() {
+        let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        assert_eq!(stream.stats(), PushStats::default());
+        assert!(stream.stats().mean_scoring_latency().is_none());
+        assert!(stream.stats().samples_per_sec().is_none());
+        let test = wave_series(20);
+        for t in 0..test.len() {
+            stream.push(test.row(t)).unwrap();
+        }
+        let stats = stream.stats();
+        assert_eq!(stats.pushes, 20);
+        assert_eq!(stats.scores, 20 - 8);
+        assert!(stats.total_time >= stats.scoring_time);
+        assert!(stats.scoring_time > Duration::ZERO);
+        let mean = stats.mean_scoring_latency().unwrap();
+        assert!(mean > Duration::ZERO);
+        assert!(stats.samples_per_sec().unwrap() > 0.0);
+        stream.reset_stats();
+        assert_eq!(stream.stats(), PushStats::default());
+        assert_eq!(stream.scores_emitted(), 0);
+        // The context buffer survives a reset: the next push scores
+        // immediately instead of warming up again.
+        assert!(stream.push(test.row(0)).unwrap().is_some());
     }
 
     #[test]

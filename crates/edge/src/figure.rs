@@ -52,6 +52,22 @@ pub fn figure3_csv(points: &[FigurePoint]) -> String {
     out
 }
 
+/// Renders the Figure 3 series as a GitHub-flavoured markdown table, used by
+/// the generated `EXPERIMENTS.md`.
+pub fn figure3_markdown(points: &[FigurePoint]) -> String {
+    let mut out = String::from(
+        "| Detector | Board | Inference (Hz) | AUC-ROC | Power (W) |\n\
+         |---|---|---|---|---|\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.3} |\n",
+            p.detector, p.board, p.inference_frequency_hz, p.auc_roc, p.power_w
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +127,15 @@ mod tests {
         assert_eq!(varade.inference_frequency_hz, 14.9);
         assert_eq!(varade.auc_roc, 0.84);
         assert_eq!(varade.power_w, 6.3);
+    }
+
+    #[test]
+    fn markdown_has_header_and_one_row_per_point() {
+        let points = figure3_points(&sample_table());
+        let md = figure3_markdown(&points);
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.contains("| VARADE | B | 14.900 | 0.840 | 6.300 |"));
+        assert!(md.contains("| GBRF | B | 20.600 | 0.655 | 6.100 |"));
     }
 
     #[test]

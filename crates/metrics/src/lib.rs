@@ -22,6 +22,7 @@
 mod event;
 mod pr;
 mod roc;
+mod summary;
 mod threshold;
 
 use std::fmt;
@@ -29,6 +30,7 @@ use std::fmt;
 pub use event::{event_recall, EventSummary};
 pub use pr::{average_precision, PrCurve, PrPoint};
 pub use roc::{auc_roc, RocCurve, RocPoint};
+pub use summary::ScoreSummary;
 pub use threshold::{best_f1, confusion_at_threshold, ConfusionMatrix};
 
 /// Errors produced by metric computations.

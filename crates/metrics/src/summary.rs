@@ -1,0 +1,85 @@
+//! One-call evaluation summary combining the ranking metrics.
+//!
+//! Experiment reporting (`varade-bench`'s `exp_report`) wants the same three
+//! numbers for every detector/stream it evaluates: AUC-ROC (the paper's
+//! headline metric, §4.3), average precision, and the best achievable F1 with
+//! its threshold (the Figure-3-style operating point). Bundling them keeps
+//! the `BENCH_*.json` schema flat and the call sites free of repeated
+//! plumbing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{auc_roc, average_precision, best_f1, MetricError};
+
+/// Ranking-metric summary of one scored stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreSummary {
+    /// Area under the ROC curve.
+    pub auc_roc: f64,
+    /// Average precision (area under the PR curve, step-wise).
+    pub average_precision: f64,
+    /// Best F1 over all score thresholds.
+    pub best_f1: f64,
+    /// Threshold achieving [`ScoreSummary::best_f1`].
+    pub best_f1_threshold: f32,
+}
+
+impl ScoreSummary {
+    /// Computes all summary metrics for one scored stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError`] under the usual ranking-metric conditions:
+    /// empty or mismatched inputs, NaN scores, or single-class labels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use varade_metrics::ScoreSummary;
+    ///
+    /// # fn main() -> Result<(), varade_metrics::MetricError> {
+    /// let summary = ScoreSummary::compute(&[0.1, 0.9, 0.2, 0.8], &[false, true, false, true])?;
+    /// assert_eq!(summary.auc_roc, 1.0);
+    /// assert_eq!(summary.best_f1, 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(scores: &[f32], labels: &[bool]) -> Result<Self, MetricError> {
+        let (best_f1, best_f1_threshold) = best_f1(scores, labels)?;
+        Ok(Self {
+            auc_roc: auc_roc(scores, labels)?,
+            average_precision: average_precision(scores, labels)?,
+            best_f1,
+            best_f1_threshold,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_summary() {
+        let s = ScoreSummary::compute(&[0.1, 0.2, 0.8, 0.9], &[false, false, true, true]).unwrap();
+        assert_eq!(s.auc_roc, 1.0);
+        assert_eq!(s.average_precision, 1.0);
+        assert_eq!(s.best_f1, 1.0);
+        assert!(s.best_f1_threshold >= 0.8);
+    }
+
+    #[test]
+    fn imperfect_ranking_is_strictly_below_one() {
+        let s = ScoreSummary::compute(&[0.9, 0.1, 0.8, 0.2], &[false, false, true, true]).unwrap();
+        assert!(s.auc_roc < 1.0);
+        assert!(s.best_f1 < 1.0);
+        assert!((0.0..=1.0).contains(&s.average_precision));
+    }
+
+    #[test]
+    fn propagates_metric_errors() {
+        assert!(ScoreSummary::compute(&[], &[]).is_err());
+        assert!(ScoreSummary::compute(&[0.5, 0.4], &[true, true]).is_err());
+        assert!(ScoreSummary::compute(&[0.5], &[true, false]).is_err());
+    }
+}

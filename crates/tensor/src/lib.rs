@@ -104,7 +104,12 @@ impl std::error::Error for TensorError {}
 /// the input and the layer's parameters. Parameter/gradient pairs are exposed
 /// through [`Layer::visit_params`] so optimizers can update them without
 /// knowing the layer's internals.
-pub trait Layer {
+///
+/// `Send + Sync` is a supertrait: every layer is plain owned data (tensors
+/// and scalars), and requiring it keeps fitted models shareable across
+/// threads — which data-parallel training backends and the test suite's
+/// shared fixtures both rely on.
+pub trait Layer: Send + Sync {
     /// Runs the forward pass, caching activations needed for `backward`.
     ///
     /// # Errors

@@ -6,8 +6,9 @@
 //!
 //! * [`Serialize`] — conversion into an in-memory JSON [`json::Value`]
 //!   (enough to back the `serde_json` shim's `to_string`/`to_string_pretty`);
-//! * [`Deserialize`] — a marker trait (nothing in the workspace deserializes
-//!   yet; derives emit an empty impl so bounds line up);
+//! * [`Deserialize`] — conversion back from a JSON [`json::Value`] (backing
+//!   the `serde_json` shim's `from_str`/`from_value`, used to round-trip the
+//!   `BENCH_*.json` benchmark baselines);
 //! * re-exported `#[derive(Serialize, Deserialize)]` macros from the
 //!   `serde_derive` shim.
 //!
@@ -60,6 +61,27 @@ pub mod json {
     }
 
     impl Value {
+        /// The JSON type name, used in deserialization error messages.
+        pub fn type_name(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "boolean",
+                Value::Int(_) | Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+
+        /// Looks up an object field by name (`None` for missing keys or
+        /// non-object values).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
         /// Renders the value as compact JSON.
         pub fn render(&self, out: &mut String, indent: Option<usize>) {
             self.render_at(out, indent, 0);
@@ -142,16 +164,140 @@ pub trait Serialize {
     fn to_json_value(&self) -> json::Value;
 }
 
-/// Marker analogue of `serde::Deserialize`. No workspace code deserializes
-/// yet; derives emit an empty impl so that bounds and derives compile.
-pub trait Deserialize {}
+/// Deserialization error: a human-readable message carrying the path of
+/// field/index accessors that led to the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Prefixes the error with the field (or index) it occurred in.
+    pub fn in_context(self, context: &str) -> Self {
+        DeError(format!("{context}: {}", self.0))
+    }
+
+    fn mismatch(expected: &str, found: &json::Value) -> Self {
+        DeError(format!("expected {expected}, found {}", found.type_name()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion back from a JSON [`json::Value`]; the shim's analogue of
+/// `serde::Deserialize`.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if the value's type or shape does not match.
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes one named field of a JSON object. Missing keys
+/// are a hard error for every field type — including `Option` and floats —
+/// because the shim's serializer always writes every field (`None` and
+/// non-finite floats as `null`), so an absent key can only mean a truncated
+/// or hand-edited document. Used by the `#[derive(Deserialize)]` expansion.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if `value` is not an object, the field is missing, or
+/// it fails to deserialize.
+pub fn de_field<T: Deserialize>(value: &json::Value, name: &str) -> Result<T, DeError> {
+    let json::Value::Object(_) = value else {
+        return Err(DeError::mismatch("object", value));
+    };
+    let field = value
+        .get(name)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))?;
+    T::from_json_value(field).map_err(|e| e.in_context(&format!("field `{name}`")))
+}
+
+/// Checks that a JSON value is an array of exactly `arity` elements and
+/// returns its items. Used by the `#[derive(Deserialize)]` expansion for
+/// tuple structs.
+///
+/// # Errors
+///
+/// Returns [`DeError`] on non-arrays and arity mismatches.
+pub fn de_tuple(value: &json::Value, arity: usize) -> Result<&[json::Value], DeError> {
+    match value {
+        json::Value::Array(items) if items.len() == arity => Ok(items),
+        json::Value::Array(items) => Err(DeError::new(format!(
+            "expected array of {arity} elements, found {}",
+            items.len()
+        ))),
+        other => Err(DeError::mismatch("array", other)),
+    }
+}
+
+/// Deserializes one element of a tuple array, labelling errors with the
+/// index. Used by the `#[derive(Deserialize)]` expansion.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the element fails to deserialize.
+pub fn de_element<T: Deserialize>(items: &[json::Value], index: usize) -> Result<T, DeError> {
+    T::from_json_value(&items[index]).map_err(|e| e.in_context(&format!("index {index}")))
+}
+
+/// Extracts the string of a JSON value (for unit-enum variants). Used by the
+/// `#[derive(Deserialize)]` expansion.
+///
+/// # Errors
+///
+/// Returns [`DeError`] for non-strings.
+pub fn de_str(value: &json::Value) -> Result<&str, DeError> {
+    match value {
+        json::Value::String(s) => Ok(s),
+        other => Err(DeError::mismatch("string", other)),
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
 
 macro_rules! serialize_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_json_value(&self) -> json::Value { json::Value::Int(*self as i128) }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+                let n: i128 = match value {
+                    json::Value::Int(n) => *n,
+                    // Accept integral floats: a tool editing the JSON may have
+                    // rewritten `3` as `3.0`.
+                    json::Value::Number(f) if f.fract() == 0.0 && f.abs() < 2e18 => *f as i128,
+                    other => return Err(DeError::mismatch("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
@@ -162,7 +308,17 @@ macro_rules! serialize_float {
         impl Serialize for $t {
             fn to_json_value(&self) -> json::Value { json::Value::Number(*self as f64) }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+                match value {
+                    json::Value::Number(f) => Ok(*f as $t),
+                    json::Value::Int(n) => Ok(*n as $t),
+                    // The serializer prints non-finite floats as `null`.
+                    json::Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::mismatch("number", other)),
+                }
+            }
+        }
     )*};
 }
 
@@ -173,14 +329,25 @@ impl Serialize for bool {
         json::Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+        match value {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("boolean", other)),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_json_value(&self) -> json::Value {
         json::Value::String(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+        de_str(value).map(str::to_string)
+    }
+}
 
 impl Serialize for str {
     fn to_json_value(&self) -> json::Value {
@@ -202,14 +369,34 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+        match value {
+            json::Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json_value(&self) -> json::Value {
         json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+        match value {
+            json::Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    T::from_json_value(v).map_err(|e| e.in_context(&format!("index {i}")))
+                })
+                .collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_json_value(&self) -> json::Value {
@@ -222,22 +409,39 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+        let items = de_tuple(value, N)?;
+        let parsed: Vec<T> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| T::from_json_value(v).map_err(|e| e.in_context(&format!("index {i}"))))
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length changed during deserialization"))
+    }
+}
 
 macro_rules! serialize_tuple {
-    ($(($($name:ident . $idx:tt),+))*) => {$(
+    ($(($($name:ident . $idx:tt),+); $arity:literal)*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_json_value(&self) -> json::Value {
                 json::Value::Array(vec![$(self.$idx.to_json_value()),+])
             }
         }
-        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &json::Value) -> Result<Self, DeError> {
+                let items = de_tuple(value, $arity)?;
+                Ok(($(de_element::<$name>(items, $idx)?,)+))
+            }
+        }
     )*};
 }
 
 serialize_tuple! {
-    (A.0)
-    (A.0, B.1)
-    (A.0, B.1, C.2)
-    (A.0, B.1, C.2, D.3)
+    (A.0); 1
+    (A.0, B.1); 2
+    (A.0, B.1, C.2); 3
+    (A.0, B.1, C.2, D.3); 4
 }

@@ -274,13 +274,52 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .unwrap()
 }
 
-/// Derives the shim `serde::Deserialize` (marker impl only — nothing in this
-/// workspace deserializes yet; the impl exists so trait bounds line up).
+/// Derives the shim `serde::Deserialize` (reconstruction from a JSON value,
+/// mirroring the layout produced by the `Serialize` derive).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
         Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__value, {f:?})?,\n"))
+                .collect();
+            // `let _ =` keeps fieldless structs from warning about the unused
+            // parameter.
+            format!("let _ = __value;\n::std::result::Result::Ok(Self {{\n{inits}}})")
+        }
+        Item::TupleStruct { arity, .. } => {
+            let elems: String = (0..*arity)
+                .map(|idx| format!("::serde::de_element(__items, {idx})?,\n"))
+                .collect();
+            format!(
+                "let __items = ::serde::de_tuple(__value, {arity})?;\n\
+                 ::std::result::Result::Ok(Self({elems}))"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "match __value {{\n\
+             ::serde::json::Value::Null => ::std::result::Result::Ok(Self),\n\
+             other => ::std::result::Result::Err(::serde::DeError::new(\n\
+             format!(\"expected null for unit struct `{name}`, found {{}}\", other.type_name()))),\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match ::serde::de_str(__value)? {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                 format!(\"unknown variant `{{other}}` for enum `{name}`\"))),\n\
+                 }}"
+            )
+        }
     };
     let name = match &item {
         Item::NamedStruct { name, .. }
@@ -288,7 +327,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         | Item::UnitStruct { name }
         | Item::UnitEnum { name, .. } => name,
     };
-    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
-        .parse()
-        .unwrap()
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_json_value(__value: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}"
+    )
+    .parse()
+    .unwrap()
 }

@@ -1,15 +1,17 @@
 //! # serde_json (offline shim)
 //!
-//! `to_string` / `to_string_pretty` over the `serde` shim's in-memory JSON
-//! [`Value`] model. Serialization only — nothing in this workspace parses
-//! JSON yet.
+//! `to_string` / `to_string_pretty` / `from_str` over the `serde` shim's
+//! in-memory JSON [`Value`] model. The parser is a straightforward recursive
+//! descent over bytes, complete enough to round-trip everything the
+//! serializer emits (it is used to reload the `BENCH_*.json` benchmark
+//! baselines) plus standard JSON it never produces itself (`\u` escapes,
+//! exponent-form numbers).
 
 pub use serde::json::Value;
 
 use std::fmt;
 
-/// Error type for API compatibility. The shim's serializers are infallible,
-/// so this is never actually constructed today.
+/// Parse / deserialization error (the shim's serializers are infallible).
 #[derive(Debug, Clone)]
 pub struct Error(String);
 
@@ -40,16 +42,289 @@ pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
     Ok(value.to_json_value())
 }
 
+/// Parses JSON text and deserializes it into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON (with a byte offset) or when the
+/// document's shape does not match `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_json_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Deserializes `T` from an in-memory JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the document's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_json_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text into the document model.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON, reporting the byte offset of the
+/// problem.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = parser::Parser::new(text.as_bytes());
+    p.skip_whitespace();
+    let value = p.parse_value(0)?;
+    p.skip_whitespace();
+    if !p.at_end() {
+        return Err(p.error("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+mod parser {
+    use super::{Error, Value};
+
+    /// Nesting depth bound: parsing is recursive, so unbounded depth would
+    /// overflow the stack on adversarial input.
+    const MAX_DEPTH: usize = 128;
+
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        pub fn new(bytes: &'a [u8]) -> Self {
+            Parser { bytes, pos: 0 }
+        }
+
+        pub fn at_end(&self) -> bool {
+            self.pos >= self.bytes.len()
+        }
+
+        pub fn error(&self, msg: &str) -> Error {
+            Error(format!("{msg} at byte {}", self.pos))
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        pub fn skip_whitespace(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), Error> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.error(&format!("expected `{}`", byte as char)))
+            }
+        }
+
+        fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+                self.pos += literal.len();
+                Ok(value)
+            } else {
+                Err(self.error(&format!("expected `{literal}`")))
+            }
+        }
+
+        pub fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+            if depth > MAX_DEPTH {
+                return Err(self.error("maximum nesting depth exceeded"));
+            }
+            match self.peek() {
+                Some(b'n') => self.eat_literal("null", Value::Null),
+                Some(b't') => self.eat_literal("true", Value::Bool(true)),
+                Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::String),
+                Some(b'[') => self.parse_array(depth),
+                Some(b'{') => self.parse_object(depth),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+                Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+                None => Err(self.error("unexpected end of input")),
+            }
+        }
+
+        fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_whitespace();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_whitespace();
+                items.push(self.parse_value(depth + 1)?);
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.error("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_whitespace();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_whitespace();
+                let key = self.parse_string()?;
+                self.skip_whitespace();
+                self.expect(b':')?;
+                self.skip_whitespace();
+                let value = self.parse_value(depth + 1)?;
+                fields.push((key, value));
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.error("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Copy unescaped runs wholesale; the input is valid UTF-8
+                // because it came from a &str.
+                while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        self.parse_escape(&mut out)?;
+                    }
+                    None => return Err(self.error("unterminated string")),
+                    Some(_) => unreachable!("loop stops only on quote or backslash"),
+                }
+            }
+        }
+
+        fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+            let c = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+            self.pos += 1;
+            match c {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{0008}'),
+                b'f' => out.push('\u{000c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hi = self.parse_hex4()?;
+                    let code = if (0xD800..0xDC00).contains(&hi) {
+                        // Surrogate pair: a second `\uXXXX` must follow.
+                        if self.peek() != Some(b'\\') {
+                            return Err(self.error("unpaired surrogate"));
+                        }
+                        self.pos += 1;
+                        if self.peek() != Some(b'u') {
+                            return Err(self.error("unpaired surrogate"));
+                        }
+                        self.pos += 1;
+                        let lo = self.parse_hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        hi
+                    };
+                    out.push(
+                        char::from_u32(code).ok_or_else(|| self.error("invalid unicode escape"))?,
+                    );
+                }
+                _ => return Err(self.error(&format!("invalid escape `\\{}`", c as char))),
+            }
+            Ok(())
+        }
+
+        fn parse_hex4(&mut self) -> Result<u32, Error> {
+            let end = self.pos + 4;
+            if end > self.bytes.len() {
+                return Err(self.error("truncated \\u escape"));
+            }
+            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+                .map_err(|_| self.error("invalid \\u escape"))?;
+            let code =
+                u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+            self.pos = end;
+            Ok(code)
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .expect("number characters are ASCII");
+            if !is_float {
+                // Integers out of i128 range fall back to f64, like serde_json
+                // with `arbitrary_precision` disabled.
+                if let Ok(n) = text.parse::<i128>() {
+                    return Ok(Value::Int(n));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use serde::{Deserialize, Serialize};
 
-    #[derive(Serialize, Deserialize)]
+    #[derive(Serialize, Deserialize, Debug)]
     struct Demo {
         name: String,
         count: usize,
         ratio: Option<f64>,
-        tags: Vec<&'static str>,
+        tags: Vec<String>,
     }
 
     #[derive(Serialize, Deserialize, Debug, PartialEq)]
@@ -64,7 +339,7 @@ mod tests {
             name: "x\"y".into(),
             count: 3,
             ratio: None,
-            tags: vec!["a", "b"],
+            tags: vec!["a".into(), "b".into()],
         };
         let s = super::to_string(&d).unwrap();
         assert_eq!(
@@ -90,5 +365,112 @@ mod tests {
     fn unit_enums_serialize_as_strings() {
         assert_eq!(super::to_string(&Kind::Fast).unwrap(), "\"Fast\"");
         assert_eq!(super::to_string(&vec![Kind::Slow]).unwrap(), "[\"Slow\"]");
+    }
+
+    #[test]
+    fn struct_round_trips_through_text() {
+        let d = Demo {
+            name: "quote \" backslash \\ newline \n".into(),
+            count: 42,
+            ratio: Some(0.125),
+            tags: vec![],
+        };
+        let text = super::to_string_pretty(&d).unwrap();
+        let back: Demo = super::from_str(&text).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.count, 42);
+        assert_eq!(back.ratio, Some(0.125));
+        assert!(back.tags.is_empty());
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Demo2 {
+        tags: Vec<String>,
+    }
+
+    #[test]
+    fn enums_and_numbers_round_trip() {
+        let k: Kind = super::from_str("\"Slow\"").unwrap();
+        assert_eq!(k, Kind::Slow);
+        assert!(super::from_str::<Kind>("\"Medium\"").is_err());
+        let v: Vec<f64> = super::from_str("[1, 2.5, -3e2, 0.0]").unwrap();
+        assert_eq!(v, vec![1.0, 2.5, -300.0, 0.0]);
+        let n: i64 = super::from_str("-12").unwrap();
+        assert_eq!(n, -12);
+        assert!(super::from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn float_text_round_trip_is_exact() {
+        // Rust's f64 Display prints the shortest string that parses back to
+        // the same bits; the BENCH_*.json delta computation relies on this.
+        for x in [0.1f64, 1.0 / 3.0, 123456.789, 5.851, 1e-12] {
+            let text = super::to_string(&x).unwrap();
+            let back: f64 = super::from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_standard_json_it_never_emits() {
+        let v: super::Value = super::parse_value(
+            " { \"a\" : [ true , null ] , \"b\\u00e9\": \"\\u0041\\uD83D\\uDE00\" } ",
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&super::Value::Array(vec![
+                super::Value::Bool(true),
+                super::Value::Null,
+            ]))
+        );
+        assert_eq!(v.get("bé"), Some(&super::Value::String("A😀".into())));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "[1]]",
+            "\"\\q\"",
+            "{\"a\" 1}",
+            "nul",
+            "--1",
+        ] {
+            assert!(super::parse_value(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn missing_fields_and_wrong_shapes_error_with_context() {
+        let err = super::from_str::<Demo2>("{\"tags\": [1]}")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("tags"), "{err}");
+        let err = super::from_str::<Demo2>("{}").unwrap_err().to_string();
+        assert!(err.contains("tags"), "{err}");
+        assert!(super::from_str::<Demo2>("[]").is_err());
+    }
+
+    #[test]
+    fn option_fields_tolerate_null_but_not_missing_keys() {
+        let d: Demo =
+            super::from_str("{\"name\":\"n\",\"count\":1,\"ratio\":null,\"tags\":[\"t\"]}")
+                .unwrap();
+        assert_eq!(d.ratio, None);
+        assert_eq!(d.tags, vec!["t".to_string()]);
+        // The serializer writes every field (None as null), so an absent key
+        // means a truncated document — a hard error even for Option / float
+        // fields.
+        let err = super::from_str::<Demo>("{\"name\":\"n\",\"count\":1,\"tags\":[]}")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing field `ratio`"), "{err}");
     }
 }
