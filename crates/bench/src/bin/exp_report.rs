@@ -88,6 +88,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             report.streaming.push_latency.p99_us,
             report.streaming.model_scoring_mean_us,
         );
+        if let Some(fleet) = &report.fleet {
+            println!(
+                "fleet: peak {:.1} samples/sec over {} cells (1-stream bit-identity: {})",
+                fleet.peak_samples_per_sec,
+                fleet.cells.len(),
+                if fleet.one_stream_bit_identical {
+                    "confirmed"
+                } else {
+                    "FAILED"
+                },
+            );
+        }
         if let Some(auc) = report.table2.auc_of("VARADE") {
             println!("VARADE AUC-ROC: {auc:.3}");
         }

@@ -12,6 +12,7 @@
 //! | [`figure3`] | §4.4, Figure 3 — inference frequency vs. accuracy | [`figure3::Figure3Result`] |
 //! | [`ablation`] | §4.5 — scoring rule, KL weight λ, window T | [`ablation::AblationResultSet`] |
 //! | [`streaming`] | §3.1/§4.3 — real-time push throughput and latency | [`streaming::StreamingResult`] |
+//! | [`fleet`] | beyond the paper — multi-stream serving throughput (streams × shards sweep) | [`fleet::FleetResult`] |
 //!
 //! Every experiment runs at one of two [`ExperimentScale`]s sharing a single
 //! code path: `Full` is the laptop-scale stand-in for the paper run (the
@@ -22,6 +23,7 @@ pub mod ablation;
 pub mod architecture;
 pub mod channels;
 pub mod figure3;
+pub mod fleet;
 pub mod streaming;
 pub mod table2;
 

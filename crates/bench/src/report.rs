@@ -17,15 +17,23 @@ use crate::experiments::ablation::{AblationEntry, AblationResultSet};
 use crate::experiments::architecture::ArchitectureResult;
 use crate::experiments::channels::ChannelsResult;
 use crate::experiments::figure3::Figure3Result;
+use crate::experiments::fleet::FleetResult;
 use crate::experiments::streaming::StreamingResult;
 use crate::experiments::table2::Table2Result;
 use crate::experiments::ExperimentScale;
-use crate::experiments::{ablation, architecture, channels, figure3, streaming, table2};
+use crate::experiments::{ablation, architecture, channels, figure3, fleet, streaming, table2};
 use crate::{compare_line, paper_row, BenchError};
 
-/// Version of the `BENCH_*.json` schema this crate reads and writes. Bump on
-/// any breaking change to [`BenchReport`] or the structs it embeds.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version of the `BENCH_*.json` schema this crate writes. Bump on any
+/// change to [`BenchReport`] or the structs it embeds; additive changes only
+/// need [`MIN_SCHEMA_VERSION`] to stay put.
+///
+/// v2 added the optional `fleet` section (multi-stream serving sweep).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema this crate still reads. v1 reports simply lack the `fleet`
+/// section, which deserializes as `None`.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Everything one `exp_report` run measured, as serialized to
 /// `BENCH_<date>.json`.
@@ -39,6 +47,8 @@ pub struct BenchReport {
     pub scale: String,
     /// Streaming push throughput and latency percentiles.
     pub streaming: StreamingResult,
+    /// Multi-stream fleet serving sweep (`None` in pre-v2 baselines).
+    pub fleet: Option<FleetResult>,
     /// Table 2: detectors × boards.
     pub table2: Table2Result,
     /// Figure 3: frequency vs. accuracy series.
@@ -54,9 +64,10 @@ pub struct BenchReport {
 /// Runs every experiment at the given scale and assembles the report.
 ///
 /// The Table 2 run generates the robot dataset and fits the VARADE detector;
-/// the ablation experiment reuses the dataset and the streaming experiment
-/// reuses the fitted detector, so the report builds the dataset — and trains
-/// VARADE — exactly once.
+/// the ablation, fleet and streaming experiments all reuse that dataset and
+/// fitted detector, so the report builds the dataset — and trains VARADE —
+/// exactly once (the detector travels through the fleet sweep behind an
+/// `Arc` and is unwrapped again for the single-stream measurement).
 ///
 /// # Errors
 ///
@@ -66,18 +77,20 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
     let outcome = table2::run(scale)?;
     eprintln!("exp_report: running ablations ...");
     let ablation = ablation::run(scale, &outcome.dataset)?;
-    eprintln!("exp_report: measuring streaming throughput ...");
     let table2 = Table2Result::from(&outcome);
-    let streaming = streaming::run_fitted(
-        outcome.varade,
-        &outcome.dataset,
-        scale.streaming_sample_cap(),
-    )?;
+    eprintln!("exp_report: running the fleet serving sweep ...");
+    let shared = std::sync::Arc::new(outcome.varade);
+    let fleet = fleet::run_fitted(&shared, &outcome.dataset, scale)?;
+    let varade = std::sync::Arc::try_unwrap(shared)
+        .map_err(|_| BenchError::Report("fleet kept a detector reference".into()))?;
+    eprintln!("exp_report: measuring streaming throughput ...");
+    let streaming = streaming::run_fitted(varade, &outcome.dataset, scale.streaming_sample_cap())?;
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
         date: date.to_string(),
         scale: scale.label().to_string(),
         streaming,
+        fleet: Some(fleet),
         figure3: figure3::from_table(&table2.table),
         table2,
         ablation,
@@ -144,9 +157,10 @@ pub fn load_baselines(dir: &Path) -> Result<Vec<Baseline>, BenchError> {
         let text = std::fs::read_to_string(entry.path())?;
         let report: BenchReport = serde_json::from_str(&text)
             .map_err(|e| BenchError::Report(format!("{file_name}: {e}")))?;
-        if report.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&report.schema_version) {
             return Err(BenchError::Report(format!(
-                "{file_name}: schema version {} (this binary reads {SCHEMA_VERSION})",
+                "{file_name}: schema version {} (this binary reads \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
                 report.schema_version
             )));
         }
@@ -225,6 +239,13 @@ pub fn compute_deltas(previous: &BenchReport, current: &BenchReport) -> Vec<Delt
             current.streaming.model_scoring_mean_us,
         ),
     ];
+    if let (Some(p), Some(c)) = (&previous.fleet, &current.fleet) {
+        rows.push(delta_row(
+            "fleet peak samples/sec",
+            p.peak_samples_per_sec,
+            c.peak_samples_per_sec,
+        ));
+    }
     if let (Some(p), Some(c)) = (
         previous.table2.auc_of("VARADE"),
         current.table2.auc_of("VARADE"),
@@ -284,6 +305,7 @@ pub fn render_experiments_md(baselines: &[Baseline]) -> String {
     ));
 
     render_streaming(&mut out, r);
+    render_fleet(&mut out, r);
     render_table2(&mut out, r);
     render_figure3(&mut out, r);
     render_ablation(&mut out, r);
@@ -342,8 +364,57 @@ fn render_streaming(out: &mut String, r: &BenchReport) {
     ));
 }
 
+fn render_fleet(out: &mut String, r: &BenchReport) {
+    out.push_str("## 2. Fleet serving throughput (`varade-fleet`)\n\n");
+    let Some(fleet) = &r.fleet else {
+        out.push_str(
+            "This baseline predates the fleet engine (schema v1); the next\n\
+             full-scale `exp_report` run will populate this section.\n\n",
+        );
+        return;
+    };
+    out.push_str(&format!(
+        "Many logical streams share one fitted detector through the sharded\n\
+         `varade-fleet` engine (bounded queues, `{}` overload policy, batched\n\
+         scoring). One-stream/one-shard fleet vs. `StreamingVarade` bit-identity\n\
+         over {} samples: **{}**.\n\n",
+        fleet.overload_policy,
+        fleet.equivalence_samples,
+        if fleet.one_stream_bit_identical {
+            "confirmed"
+        } else {
+            "FAILED"
+        },
+    ));
+    out.push_str(
+        "| Streams | Shards | Samples/sec | Scores/sec | p50 (us) | p99 (us) | Mean batch | Dropped |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for cell in &fleet.cells {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {} |\n",
+            cell.streams,
+            cell.shards,
+            cell.samples_per_sec,
+            cell.scores_per_sec,
+            cell.sample_latency.p50_us,
+            cell.sample_latency.p99_us,
+            cell.mean_batch_size,
+            cell.dropped,
+        ));
+    }
+    out.push_str(&format!(
+        "\nPeak aggregate throughput: {:.1} samples/sec ({} channels, window {},\n\
+         queue capacity {}). Samples/sec counts every admitted sample (warm-up\n\
+         included); scores/sec counts model forwards only — the conservative\n\
+         figure. Latencies are per scored sample: normalization and window\n\
+         buffering plus the sample's share of its batched forward pass.\n\n",
+        fleet.peak_samples_per_sec, fleet.n_channels, fleet.window, fleet.queue_capacity,
+    ));
+}
+
 fn render_table2(out: &mut String, r: &BenchReport) {
-    out.push_str("## 2. Table 2 — detectors × edge boards (paper §4.3–4.4)\n\n");
+    out.push_str("## 3. Table 2 — detectors × edge boards (paper §4.3–4.4)\n\n");
     out.push_str(
         "Accuracy comes from really training scaled-down detectors on the simulated\n\
          robot dataset; platform columns come from the analytical Jetson model.\n\n",
@@ -382,14 +453,14 @@ fn render_table2(out: &mut String, r: &BenchReport) {
 }
 
 fn render_figure3(out: &mut String, r: &BenchReport) {
-    out.push_str("## 3. Figure 3 — inference frequency vs. accuracy (paper §4.4)\n\n");
+    out.push_str("## 4. Figure 3 — inference frequency vs. accuracy (paper §4.4)\n\n");
     out.push_str("Marker size in the paper encodes power draw; here it is the last column.\n\n");
     out.push_str(&r.figure3.to_markdown());
     out.push('\n');
 }
 
 fn render_ablation(out: &mut String, r: &BenchReport) {
-    out.push_str("## 4. Ablations (paper §4.5)\n\n");
+    out.push_str("## 5. Ablations (paper §4.5)\n\n");
     let section = |out: &mut String, title: &str, entries: &[AblationEntry]| {
         out.push_str(&format!("### {title}\n\n"));
         out.push_str("| Variant | AUC-ROC | MFLOPs/inference |\n|---|---|---|\n");
@@ -416,7 +487,7 @@ fn render_ablation(out: &mut String, r: &BenchReport) {
 
 fn render_architecture(out: &mut String, r: &BenchReport) {
     let a = &r.architecture;
-    out.push_str("## 5. Architecture (paper §3.1, Figure 1)\n\n");
+    out.push_str("## 6. Architecture (paper §3.1, Figure 1)\n\n");
     out.push_str(&format!(
         "Paper-scale VARADE: window T = {}, {} input channels, {} convolutional layers,\n\
          {} trainable parameters, {:.2} MFLOPs per inference ({:.2} MB parameters,\n\
@@ -441,7 +512,7 @@ fn render_architecture(out: &mut String, r: &BenchReport) {
 
 fn render_channels(out: &mut String, r: &BenchReport) {
     let c = &r.channels;
-    out.push_str("## 6. Channel schema (paper §4.2, Table 1)\n\n");
+    out.push_str("## 7. Channel schema (paper §4.2, Table 1)\n\n");
     out.push_str(&format!(
         "{} channels: {} action identifier, {} joint (IMU) channels (7 sensors × 11),\n\
          {} power channels. The full table is printed by\n\
@@ -451,7 +522,7 @@ fn render_channels(out: &mut String, r: &BenchReport) {
 }
 
 fn render_deltas(out: &mut String, baselines: &[Baseline]) {
-    out.push_str("## 7. Trajectory — delta vs. previous baseline\n\n");
+    out.push_str("## 8. Trajectory — delta vs. previous baseline\n\n");
     if baselines.len() < 2 {
         out.push_str(
             "First baseline: nothing to compare against yet. The next full-scale\n\
@@ -479,7 +550,7 @@ fn render_deltas(out: &mut String, baselines: &[Baseline]) {
 }
 
 fn render_caveats(out: &mut String) {
-    out.push_str("## 8. Caveats\n\n");
+    out.push_str("## 9. Caveats\n\n");
     out.push_str(
         "* **Variance score at reduced scale.** The paper's variance-only scoring rule\n\
          needs paper-scale training to produce a calibrated predictive distribution;\n\

@@ -6,6 +6,7 @@ use varade_bench::experiments::ablation::{AblationEntry, AblationResultSet};
 use varade_bench::experiments::architecture;
 use varade_bench::experiments::channels;
 use varade_bench::experiments::figure3::Figure3Result;
+use varade_bench::experiments::fleet::{FleetResult, FleetSweepCell};
 use varade_bench::experiments::streaming::StreamingResult;
 use varade_bench::experiments::table2::Table2Result;
 use varade_bench::experiments::ExperimentScale;
@@ -15,6 +16,39 @@ use varade_bench::report::{
 };
 use varade_bench::timing::LatencyStats;
 use varade_edge::table::{DetectorAccuracy, Table2, Table2Row};
+
+/// Hand-built fleet sweep whose peak scales with the streaming throughput.
+fn fixture_fleet(samples_per_sec: f64) -> FleetResult {
+    let cell = |streams: usize, shards: usize, factor: f64| FleetSweepCell {
+        streams,
+        shards,
+        samples_per_stream: 512,
+        total_pushes: (streams * 512) as u64,
+        total_scores: (streams * (512 - 64)) as u64,
+        dropped: 0,
+        samples_per_sec: samples_per_sec * factor,
+        scores_per_sec: samples_per_sec * factor * 0.9,
+        sample_latency: LatencyStats {
+            samples: streams * (512 - 64),
+            mean_us: 50.0,
+            p50_us: 45.0,
+            p90_us: 60.0,
+            p99_us: 80.0,
+            max_us: 200.0,
+        },
+        mean_batch_size: streams.min(8) as f64,
+    };
+    FleetResult {
+        n_channels: 86,
+        window: 64,
+        queue_capacity: 512,
+        overload_policy: "Block".to_string(),
+        one_stream_bit_identical: true,
+        equivalence_samples: 128,
+        cells: vec![cell(1, 1, 1.0), cell(8, 4, 4.0)],
+        peak_samples_per_sec: samples_per_sec * 4.0,
+    }
+}
 
 /// Hand-built fixture report (no training), tweakable per test.
 fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchReport {
@@ -66,6 +100,7 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
             model_scoring_mean_us: 850.0,
             score_summary: None,
         },
+        fleet: Some(fixture_fleet(samples_per_sec)),
         figure3: Figure3Result {
             points: varade_edge::figure::figure3_points(&table),
         },
@@ -172,6 +207,13 @@ fn deltas_against_a_fixture_baseline_report_relative_change() {
     let auc = row("VARADE AUC-ROC");
     assert!((auc.change_percent - 5.0).abs() < 1e-9);
 
+    // The fleet peak tracks the sweep (4x the streaming figure in the
+    // fixture), so its relative change matches the streaming one.
+    let fleet = row("fleet peak samples/sec");
+    assert_eq!(fleet.previous, 4000.0);
+    assert_eq!(fleet.current, 5000.0);
+    assert!((fleet.change_percent - 25.0).abs() < 1e-9);
+
     // Same-valued metrics report a 0% change.
     assert!(row("streaming p50 latency (us)").change_percent.abs() < 1e-9);
     // Both boards are covered.
@@ -199,16 +241,20 @@ fn rendered_markdown_is_deterministic_and_contains_every_section() {
     );
     for section in [
         "## 1. Streaming throughput",
-        "## 2. Table 2",
-        "## 3. Figure 3",
-        "## 4. Ablations",
-        "## 5. Architecture",
-        "## 6. Channel schema",
-        "## 7. Trajectory",
-        "## 8. Caveats",
+        "## 2. Fleet serving throughput",
+        "## 3. Table 2",
+        "## 4. Figure 3",
+        "## 5. Ablations",
+        "## 6. Architecture",
+        "## 7. Channel schema",
+        "## 8. Trajectory",
+        "## 9. Caveats",
     ] {
         assert!(md.contains(section), "missing section {section}");
     }
+    // The fleet section reports the equivalence verdict and the sweep peak.
+    assert!(md.contains("bit-identity"));
+    assert!(md.contains("**confirmed**"));
     // The delta table compares the two baselines.
     assert!(md.contains("`BENCH_2026-07-01.json` → `BENCH_2026-07-30.json`"));
     assert!(md.contains("+25.0%"));
@@ -234,6 +280,13 @@ fn quick_report_end_to_end() {
     assert_eq!(report.channels.total, 86);
     assert!(report.streaming.samples_per_sec > 0.0);
     assert_eq!(report.ablation.scoring_rules.len(), 2);
+    let fleet = report
+        .fleet
+        .as_ref()
+        .expect("v2 reports carry a fleet section");
+    assert!(fleet.one_stream_bit_identical);
+    assert_eq!(fleet.cells.len(), 4);
+    assert!(fleet.peak_samples_per_sec > 0.0);
 
     // Disk round trip through the real writer/loader pair. The quick report
     // is filtered out of the baseline trajectory by design, so parse the file
@@ -245,6 +298,31 @@ fn quick_report_end_to_end() {
     assert!(load_baselines(&dir).unwrap().is_empty());
 
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A v1 baseline has no `fleet` key at all (not even `null`): the loader
+/// must read it with `fleet: None` — the committed pre-fleet baseline stays
+/// part of the trajectory forever.
+#[test]
+fn v1_baselines_without_a_fleet_key_still_load() {
+    let mut v1 = fixture_report("2026-07-30", 1000.0, 0.8);
+    v1.schema_version = 1;
+    v1.fleet = None;
+    let compact = serde_json::to_string(&v1).unwrap();
+    // Simulate the genuine v1 file: the key is absent, not null.
+    let without_key = compact.replace("\"fleet\":null,", "");
+    assert_ne!(compact, without_key, "fixture lost its fleet:null marker");
+    let back: BenchReport = serde_json::from_str(&without_key).unwrap();
+    assert_eq!(back.schema_version, 1);
+    assert!(back.fleet.is_none());
+    assert_eq!(back.streaming, v1.streaming);
+
+    // And the renderer degrades gracefully for fleet-less baselines.
+    let md = render_experiments_md(&[Baseline {
+        file_name: file_name("2026-07-30"),
+        report: back,
+    }]);
+    assert!(md.contains("predates the fleet engine"));
 }
 
 #[test]

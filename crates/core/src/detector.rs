@@ -96,10 +96,19 @@ impl VaradeDetector {
         self.model.as_ref()
     }
 
-    /// Scores a batch of channel-major windows together with their targets.
-    /// Returns one score per window.
+    /// Number of input channels the detector was fitted on, `None` before
+    /// `fit`. The fleet engine uses this to size per-stream window buffers
+    /// without carrying the channel count separately.
+    pub fn n_channels(&self) -> Option<usize> {
+        self.model.as_ref().map(|_| self.n_channels)
+    }
+
+    /// Scores a batch of channel-major windows together with their targets
+    /// through the immutable inference path (no activations cached, so `&self`
+    /// suffices and the model can be shared across threads). Returns one score
+    /// per window.
     fn score_batch(
-        model: &mut VaradeModel,
+        model: &VaradeModel,
         scoring: ScoringRule,
         contexts: &[&[f32]],
         targets: &[&[f32]],
@@ -111,7 +120,7 @@ impl VaradeDetector {
             data.extend_from_slice(ctx);
         }
         let input = Tensor::from_vec(data, &[contexts.len(), n_channels, window])?;
-        let (mu, log_var) = model.forward_variational(&input)?;
+        let (mu, log_var) = model.forward_variational_infer(&input)?;
         let mut scores = Vec::with_capacity(contexts.len());
         for (row, target) in targets.iter().enumerate() {
             let score = match scoring {
@@ -140,36 +149,68 @@ impl VaradeDetector {
     /// Scores a single channel-major window (`[channels * window]`) given the
     /// observation that followed it. Used by the streaming front-end.
     ///
+    /// Takes `&self`: scoring runs through the immutable inference path, so a
+    /// fitted detector behind an `Arc` can serve many streams concurrently.
+    ///
     /// # Errors
     ///
     /// Returns [`VaradeError::NotFitted`] before `fit` and
     /// [`VaradeError::InvalidData`] for a window of the wrong size.
-    pub fn score_window(
-        &mut self,
-        context: &[f32],
-        next_sample: &[f32],
-    ) -> Result<f32, VaradeError> {
-        let model = self.model.as_mut().ok_or(VaradeError::NotFitted)?;
-        if context.len() != self.n_channels * self.config.window
-            || next_sample.len() != self.n_channels
-        {
+    pub fn score_window(&self, context: &[f32], next_sample: &[f32]) -> Result<f32, VaradeError> {
+        let scores = self.score_windows(&[context], &[next_sample])?;
+        Ok(scores[0])
+    }
+
+    /// Scores many channel-major windows in one batched forward pass — the
+    /// fleet engine's amortization hook: gathering the pending windows of all
+    /// streams in a shard into one call shares the per-call tensor setup and
+    /// keeps the backbone weights hot across windows. Each window is scored
+    /// exactly as [`VaradeDetector::score_window`] would score it alone (the
+    /// inference kernels are batch-invariant), so batching never changes the
+    /// numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::NotFitted`] before `fit` and
+    /// [`VaradeError::InvalidData`] if the slice lengths disagree or any
+    /// window/target has the wrong size.
+    pub fn score_windows(
+        &self,
+        contexts: &[&[f32]],
+        targets: &[&[f32]],
+    ) -> Result<Vec<f32>, VaradeError> {
+        let model = self.model.as_ref().ok_or(VaradeError::NotFitted)?;
+        if contexts.len() != targets.len() {
             return Err(VaradeError::InvalidData(format!(
-                "expected context of {} values and sample of {} values, got {} and {}",
-                self.n_channels * self.config.window,
-                self.n_channels,
-                context.len(),
-                next_sample.len()
+                "{} contexts vs {} targets",
+                contexts.len(),
+                targets.len()
             )));
         }
-        let scores = Self::score_batch(
+        if contexts.is_empty() {
+            return Ok(Vec::new());
+        }
+        for (context, target) in contexts.iter().zip(targets) {
+            if context.len() != self.n_channels * self.config.window
+                || target.len() != self.n_channels
+            {
+                return Err(VaradeError::InvalidData(format!(
+                    "expected context of {} values and sample of {} values, got {} and {}",
+                    self.n_channels * self.config.window,
+                    self.n_channels,
+                    context.len(),
+                    target.len()
+                )));
+            }
+        }
+        Self::score_batch(
             model,
             self.scoring,
-            &[context],
-            &[next_sample],
+            contexts,
+            targets,
             self.n_channels,
             self.config.window,
-        )?;
-        Ok(scores[0])
+        )
     }
 
     /// Fits the detector, returning the training report (loss curves).
@@ -245,7 +286,7 @@ impl AnomalyDetector for VaradeDetector {
             .collect();
         let n_channels = self.n_channels;
         let scoring = self.scoring;
-        let model = self.model.as_mut().expect("checked above");
+        let model = self.model.as_ref().expect("checked above");
         let mut scores = vec![0.0f32; test.len()];
         for chunk in windows.chunks(cfg.batch_size.max(1)) {
             let contexts: Vec<&[f32]> = chunk.iter().map(|w| w.context.as_slice()).collect();
@@ -402,6 +443,39 @@ mod tests {
         assert!(det.score_series(&wave_series(100, 3)).is_err());
         assert!(det.score_series(&wave_series(5, 2)).is_err());
         assert!(det.score_window(&[0.0; 7], &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn batched_window_scoring_is_bit_identical_to_single() {
+        let train = wave_series(200, 2);
+        let mut det = VaradeDetector::new(tiny_config());
+        assert!(det.n_channels().is_none());
+        det.fit(&train).unwrap();
+        assert_eq!(det.n_channels(), Some(2));
+        let test = wave_series(40, 2);
+        let window = tiny_config().window;
+        let mut contexts: Vec<Vec<f32>> = Vec::new();
+        let mut targets: Vec<Vec<f32>> = Vec::new();
+        for end in [20, 25, 30] {
+            let mut ctx = Vec::new();
+            for c in 0..2 {
+                for t in end - window..end {
+                    ctx.push(test.value(t, c));
+                }
+            }
+            contexts.push(ctx);
+            targets.push(test.row(end).to_vec());
+        }
+        let ctx_refs: Vec<&[f32]> = contexts.iter().map(Vec::as_slice).collect();
+        let tgt_refs: Vec<&[f32]> = targets.iter().map(Vec::as_slice).collect();
+        let batched = det.score_windows(&ctx_refs, &tgt_refs).unwrap();
+        for (i, (ctx, tgt)) in ctx_refs.iter().zip(&tgt_refs).enumerate() {
+            // Exact equality: the inference kernels are batch-invariant, the
+            // contract the fleet's StreamingVarade equivalence rests on.
+            assert_eq!(batched[i], det.score_window(ctx, tgt).unwrap());
+        }
+        assert!(det.score_windows(&ctx_refs, &tgt_refs[..2]).is_err());
+        assert!(det.score_windows(&[], &[]).unwrap().is_empty());
     }
 
     #[test]

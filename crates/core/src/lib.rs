@@ -55,7 +55,7 @@ mod trainer;
 pub use config::VaradeConfig;
 pub use detector::{ScoringRule, VaradeDetector};
 pub use model::{LayerSummary, VaradeModel};
-pub use streaming::{PushStats, StreamingVarade};
+pub use streaming::{PushStats, ScoreRequest, StreamState, StreamingVarade};
 pub use trainer::{TrainingReport, VaradeTrainer};
 
 use std::fmt;

@@ -123,6 +123,33 @@ impl VaradeModel {
         Ok(self.split_output(&out)?)
     }
 
+    /// Inference-only variant of [`VaradeModel::forward_variational`]: runs
+    /// the network through the immutable [`varade_tensor::Layer::forward_infer`]
+    /// path, so no activations are cached and a fitted model can be scored
+    /// from many threads at once (e.g. behind an `Arc` in the fleet engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not `[batch, n_channels, window]`.
+    pub fn forward_variational_infer(
+        &self,
+        input: &Tensor,
+    ) -> Result<(Tensor, Tensor), VaradeError> {
+        if input.ndim() != 3
+            || input.shape()[1] != self.n_channels
+            || input.shape()[2] != self.config.window
+        {
+            return Err(VaradeError::InvalidData(format!(
+                "expected [batch, {}, {}], got {:?}",
+                self.n_channels,
+                self.config.window,
+                input.shape()
+            )));
+        }
+        let out = self.network.forward_infer(input)?;
+        Ok(self.split_output(&out)?)
+    }
+
     /// Back-propagates gradients with respect to the mean and log-variance.
     ///
     /// # Errors
@@ -263,6 +290,29 @@ mod tests {
         let (mu, log_var) = model.forward_variational(&x).unwrap();
         assert_eq!(mu.shape(), &[3, 5]);
         assert_eq!(log_var.shape(), &[3, 5]);
+    }
+
+    #[test]
+    fn forward_infer_matches_training_forward_closely() {
+        let mut model = VaradeModel::from_config(tiny_config(), 4).unwrap();
+        let x = Tensor::from_vec(
+            (0..2 * 4 * 16).map(|i| (i as f32 * 0.13).sin()).collect(),
+            &[2, 4, 16],
+        )
+        .unwrap();
+        let (mu_t, lv_t) = model.forward_variational(&x).unwrap();
+        let (mu_i, lv_i) = model.forward_variational_infer(&x).unwrap();
+        // The k2s2 inference kernel only differs from the training forward in
+        // final-bit rounding of the per-tap additions.
+        for (a, b) in mu_t.iter().zip(mu_i.iter()) {
+            assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0));
+        }
+        for (a, b) in lv_t.iter().zip(lv_i.iter()) {
+            assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0));
+        }
+        assert!(model
+            .forward_variational_infer(&Tensor::zeros(&[1, 4, 8]))
+            .is_err());
     }
 
     #[test]

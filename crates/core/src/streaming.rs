@@ -46,6 +46,153 @@ impl PushStats {
         let secs = self.total_time.as_secs_f64();
         (secs > 0.0).then(|| self.pushes as f64 / secs)
     }
+
+    /// Folds another accumulator into this one — the aggregation primitive
+    /// behind multi-stream stats: per-stream `PushStats` merge into per-shard
+    /// totals, per-shard totals into a fleet-wide figure. Counters and times
+    /// add; merging is commutative and [`PushStats::default`] is its identity.
+    ///
+    /// Note that merged *times* are summed CPU time across streams, so
+    /// [`PushStats::samples_per_sec`] on a merged value is per-core
+    /// throughput; aggregate wall-clock throughput must divide by elapsed
+    /// wall time instead (the fleet stats do).
+    pub fn merge(&mut self, other: &PushStats) {
+        self.pushes += other.pushes;
+        self.scores += other.scores;
+        self.total_time += other.total_time;
+        self.scoring_time += other.scoring_time;
+    }
+}
+
+/// One pending scoring job produced by [`StreamState::admit`]: the context
+/// window that was live when the sample arrived, and the (normalized) sample
+/// itself. The score of the pair is the anomaly score of the sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreRequest {
+    /// Channel-major context window (`[channels * window]` values).
+    pub context: Vec<f32>,
+    /// The normalized sample that followed the context, one value per channel.
+    pub row: Vec<f32>,
+}
+
+/// The cheap per-stream half of a streaming scorer: normalizer, window
+/// buffer, pending context and [`PushStats`] — everything *except* the model.
+///
+/// [`StreamingVarade`] pairs one `StreamState` with an owned detector for the
+/// single-stream case; the fleet engine keeps one `StreamState` per logical
+/// stream (a few KB each) against a single shared `Arc<VaradeDetector>`, so
+/// admitting a thousand streams costs buffer memory, not model copies.
+#[derive(Debug, Clone)]
+pub struct StreamState {
+    normalizer: Option<MinMaxNormalizer>,
+    buffer: StreamingWindow,
+    pending_context: Option<Vec<f32>>,
+    stats: PushStats,
+}
+
+impl StreamState {
+    /// Creates the state for one stream of `n_channels`-wide samples scored
+    /// against `window`-length contexts. Pass the training
+    /// [`MinMaxNormalizer`] to normalize raw samples on the fly, or `None`
+    /// if the stream is already normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::Series`] if `n_channels` or `window` is zero.
+    pub fn new(
+        n_channels: usize,
+        window: usize,
+        normalizer: Option<MinMaxNormalizer>,
+    ) -> Result<Self, VaradeError> {
+        Ok(Self {
+            normalizer,
+            buffer: StreamingWindow::new(n_channels, window)?,
+            pending_context: None,
+            stats: PushStats::default(),
+        })
+    }
+
+    /// Number of channels per sample.
+    pub fn n_channels(&self) -> usize {
+        self.buffer.n_channels()
+    }
+
+    /// Cumulative push/scoring timing since construction (or the last
+    /// [`StreamState::reset_stats`]).
+    pub fn stats(&self) -> PushStats {
+        self.stats
+    }
+
+    /// Clears the timing accumulator; the window buffer keeps its history.
+    pub fn reset_stats(&mut self) {
+        self.stats = PushStats::default();
+    }
+
+    /// Normalizes one raw sample, hands back the [`ScoreRequest`] pairing it
+    /// with the context that was live when it arrived (once the warm-up is
+    /// over), and slides the window. The caller scores the request — against
+    /// its own detector, alone or batched with other streams — and folds the
+    /// timing back in through [`StreamState::record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::Series`] if the sample width does not match the
+    /// channel count.
+    pub fn admit(&mut self, sample: &[f32]) -> Result<Option<ScoreRequest>, VaradeError> {
+        let mut row = sample.to_vec();
+        if let Some(norm) = &self.normalizer {
+            norm.transform_row(&mut row)?;
+        }
+        let request = self.pending_context.take().map(|context| ScoreRequest {
+            context,
+            row: row.clone(),
+        });
+        if let Some(window) = self.buffer.push(&row)? {
+            self.pending_context = Some(window);
+        }
+        Ok(request)
+    }
+
+    /// Folds one completed push into the stats: `scored` says whether the
+    /// push produced a score, `total_time` covers the whole push path and
+    /// `scoring_time` the model forward alone (zero for warm-up pushes; an
+    /// equal share of the batch forward when the score came from a batched
+    /// call).
+    pub fn record(&mut self, scored: bool, total_time: Duration, scoring_time: Duration) {
+        self.stats.pushes += 1;
+        if scored {
+            self.stats.scores += 1;
+            self.stats.scoring_time += scoring_time;
+        }
+        self.stats.total_time += total_time;
+    }
+
+    /// One-stop push: [`StreamState::admit`], score the request through the
+    /// closure, [`StreamState::record`] the timing. This is the whole body of
+    /// [`StreamingVarade::push`]; the fleet shards bypass it only to batch
+    /// the scoring call across streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::Series`] for wrong sample widths and whatever
+    /// error the scoring closure produces.
+    pub fn push_with<F>(&mut self, sample: &[f32], score_fn: F) -> Result<Option<f32>, VaradeError>
+    where
+        F: FnOnce(&[f32], &[f32]) -> Result<f32, VaradeError>,
+    {
+        let push_started = Instant::now();
+        let request = self.admit(sample)?;
+        let (score, scoring_time) = match request {
+            Some(req) => {
+                let scoring_started = Instant::now();
+                let score = score_fn(&req.context, &req.row)?;
+                (Some(score), scoring_started.elapsed())
+            }
+            None => (None, Duration::ZERO),
+        };
+        self.record(score.is_some(), push_started.elapsed(), scoring_time);
+        Ok(score)
+    }
 }
 
 /// A push-based streaming scorer built on a fitted [`VaradeDetector`].
@@ -55,20 +202,19 @@ impl PushStats {
 /// into a [`PushStats`] accumulator (see [`StreamingVarade::stats`]); the
 /// `Instant` reads cost nanoseconds against a model forward pass of tens of
 /// microseconds and up, so the hook stays on unconditionally.
+///
+/// Internally this is one [`StreamState`] paired with an owned detector —
+/// the same composition the fleet engine multiplexes across many streams.
 pub struct StreamingVarade {
     detector: VaradeDetector,
-    normalizer: Option<MinMaxNormalizer>,
-    buffer: StreamingWindow,
-    pending_context: Option<Vec<f32>>,
-    stats: PushStats,
+    state: StreamState,
 }
 
 impl std::fmt::Debug for StreamingVarade {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamingVarade")
             .field("detector", &self.detector)
-            .field("normalized", &self.normalizer.is_some())
-            .field("stats", &self.stats)
+            .field("state", &self.state)
             .finish()
     }
 }
@@ -90,31 +236,32 @@ impl StreamingVarade {
             return Err(VaradeError::NotFitted);
         }
         let window = detector.config().window;
-        let buffer = StreamingWindow::new(n_channels, window)?;
         Ok(Self {
             detector,
-            normalizer,
-            buffer,
-            pending_context: None,
-            stats: PushStats::default(),
+            state: StreamState::new(n_channels, window, normalizer)?,
         })
     }
 
     /// Number of scores produced so far.
     pub fn scores_emitted(&self) -> u64 {
-        self.stats.scores
+        self.state.stats().scores
     }
 
     /// Cumulative push/scoring timing since construction (or the last
     /// [`StreamingVarade::reset_stats`]).
     pub fn stats(&self) -> PushStats {
-        self.stats
+        self.state.stats()
     }
 
     /// Clears the timing accumulator, e.g. after a warm-up phase whose
     /// latencies should not pollute a measurement.
     pub fn reset_stats(&mut self) {
-        self.stats = PushStats::default();
+        self.state.reset_stats();
+    }
+
+    /// Read access to the wrapped detector.
+    pub fn detector(&self) -> &VaradeDetector {
+        &self.detector
     }
 
     /// Consumes the wrapper and returns the underlying detector.
@@ -130,31 +277,8 @@ impl StreamingVarade {
     /// Returns [`VaradeError::InvalidData`] if the sample width does not match
     /// the channel count.
     pub fn push(&mut self, sample: &[f32]) -> Result<Option<f32>, VaradeError> {
-        let push_started = Instant::now();
-        let mut row = sample.to_vec();
-        if let Some(norm) = &self.normalizer {
-            norm.transform_row(&mut row)?;
-        }
-        // Score the previous context against the newly observed sample, then
-        // slide the window.
-        let score = match self.pending_context.take() {
-            Some(context) => {
-                let scoring_started = Instant::now();
-                let score = self.detector.score_window(&context, &row)?;
-                self.stats.scoring_time += scoring_started.elapsed();
-                Some(score)
-            }
-            None => None,
-        };
-        if let Some(window) = self.buffer.push(&row)? {
-            self.pending_context = Some(window);
-        }
-        if score.is_some() {
-            self.stats.scores += 1;
-        }
-        self.stats.pushes += 1;
-        self.stats.total_time += push_started.elapsed();
-        Ok(score)
+        let Self { detector, state } = self;
+        state.push_with(sample, |context, row| detector.score_window(context, row))
     }
 }
 
@@ -269,6 +393,100 @@ mod tests {
     fn rejects_wrong_sample_width() {
         let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
         assert!(stream.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn push_stats_merge_sums_counters_and_times() {
+        let a = PushStats {
+            pushes: 10,
+            scores: 7,
+            total_time: Duration::from_micros(500),
+            scoring_time: Duration::from_micros(300),
+        };
+        let b = PushStats {
+            pushes: 4,
+            scores: 2,
+            total_time: Duration::from_micros(100),
+            scoring_time: Duration::from_micros(60),
+        };
+        let mut left = a;
+        left.merge(&b);
+        let mut right = b;
+        right.merge(&a);
+        // Commutative, and the default is the identity.
+        assert_eq!(left, right);
+        assert_eq!(left.pushes, 14);
+        assert_eq!(left.scores, 9);
+        assert_eq!(left.total_time, Duration::from_micros(600));
+        assert_eq!(left.scoring_time, Duration::from_micros(360));
+        let mut with_identity = a;
+        with_identity.merge(&PushStats::default());
+        assert_eq!(with_identity, a);
+    }
+
+    #[test]
+    fn stream_state_admit_and_record_mirror_push() {
+        // Drive a raw StreamState through admit/record the way a fleet shard
+        // would, and check it produces the same requests and stats bookkeeping
+        // as the closure-based push_with.
+        let mut manual = StreamState::new(2, 4, None).unwrap();
+        let mut closured = StreamState::new(2, 4, None).unwrap();
+        let mut manual_requests = Vec::new();
+        for t in 0..10 {
+            let sample = [t as f32, -(t as f32)];
+            if let Some(req) = manual.admit(&sample).unwrap() {
+                assert_eq!(req.row, sample);
+                assert_eq!(req.context.len(), 2 * 4);
+                manual_requests.push(req.clone());
+                manual.record(true, Duration::from_micros(2), Duration::from_micros(1));
+            } else {
+                manual.record(false, Duration::from_micros(2), Duration::ZERO);
+            }
+            let score = closured
+                .push_with(&sample, |context, row| {
+                    assert_eq!(row, sample);
+                    assert_eq!(context.len(), 2 * 4);
+                    Ok(42.0)
+                })
+                .unwrap();
+            assert_eq!(score.is_some(), t >= 4);
+        }
+        // Window 4: requests start with the 5th sample.
+        assert_eq!(manual_requests.len(), 10 - 4);
+        assert_eq!(manual.stats().pushes, 10);
+        assert_eq!(manual.stats().scores, 6);
+        assert_eq!(closured.stats().pushes, 10);
+        assert_eq!(closured.stats().scores, 6);
+        // The first request's context is the first four samples,
+        // channel-major.
+        assert_eq!(
+            manual_requests[0].context,
+            vec![0.0, 1.0, 2.0, 3.0, -0.0, -1.0, -2.0, -3.0]
+        );
+        assert_eq!(manual_requests[0].row, [4.0, -4.0]);
+    }
+
+    #[test]
+    fn stream_state_applies_normalizer_and_validates_width() {
+        let train_raw = {
+            let mut s = MultivariateSeries::new(vec!["a".into()], 10.0).unwrap();
+            for t in 0..50 {
+                s.push_row(&[t as f32]).unwrap();
+            }
+            s
+        };
+        let normalizer = MinMaxNormalizer::fit(&train_raw).unwrap();
+        let mut state = StreamState::new(1, 4, Some(normalizer)).unwrap();
+        assert_eq!(state.n_channels(), 1);
+        assert!(state.admit(&[1.0, 2.0]).is_err());
+        for t in 0..4 {
+            assert!(state.admit(&[t as f32]).unwrap().is_none());
+        }
+        let req = state.admit(&[49.0]).unwrap().unwrap();
+        // 49 is the training max, so it normalizes to 1.0.
+        assert!((req.row[0] - 1.0).abs() < 1e-6);
+        assert!(StreamState::new(0, 4, None).is_err());
+        assert!(StreamState::new(1, 0, None).is_err());
     }
 
     #[test]

@@ -1,0 +1,720 @@
+//! The fleet engine: registry, scoped shard workers and the serve loop.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use varade::{ScoreRequest, StreamState, VaradeDetector};
+use varade_timeseries::MinMaxNormalizer;
+
+use crate::queue::{Envelope, SampleQueue};
+use crate::{shard_of, FleetConfig, FleetError, FleetStats, ShardStats, StreamId};
+
+/// Identifier of one model group — a fitted detector shared by any number of
+/// streams — handed out by [`Fleet::register_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelGroupId(usize);
+
+/// Immutable per-stream registration data (the mutable half is the
+/// [`StreamState`], which moves into a shard worker during a serve window).
+struct StreamMeta {
+    group: usize,
+    shard: usize,
+    n_channels: usize,
+}
+
+/// Everything a serve window produced besides the driver's own return value.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Aggregate and per-shard throughput accounting.
+    pub stats: FleetStats,
+    /// Anomaly scores per stream, indexed by [`StreamId::index`], in push
+    /// order. Streams still warming up have empty score vectors.
+    pub scores: Vec<Vec<f32>>,
+}
+
+/// A sharded multi-stream scoring engine (see the crate docs for the model).
+///
+/// Build one with [`Fleet::new`], register model groups and streams, then
+/// call [`Fleet::run`] with a driver closure that feeds samples through the
+/// provided [`FleetHandle`]. `run` may be called repeatedly: stream windows
+/// and stats persist across serve windows, so a fleet can alternate between
+/// bursts of traffic and idle periods without losing warm-up.
+pub struct Fleet {
+    config: FleetConfig,
+    groups: Vec<Arc<VaradeDetector>>,
+    meta: Vec<StreamMeta>,
+    states: Vec<StreamState>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("config", &self.config)
+            .field("groups", &self.groups.len())
+            .field("streams", &self.meta.len())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Creates an empty fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for zero shards or zero queue
+    /// capacity.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            groups: Vec::new(),
+            meta: Vec::new(),
+            states: Vec::new(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Registers a fitted detector as a model group. The `Arc` is shared by
+    /// every stream in the group and across all shard workers — scoring runs
+    /// through the detector's immutable inference path, so no copies and no
+    /// locks are involved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::NotFitted`] for an unfitted detector.
+    pub fn register_model(
+        &mut self,
+        detector: Arc<VaradeDetector>,
+    ) -> Result<ModelGroupId, FleetError> {
+        if detector.n_channels().is_none() {
+            return Err(FleetError::NotFitted);
+        }
+        self.groups.push(detector);
+        Ok(ModelGroupId(self.groups.len() - 1))
+    }
+
+    /// Admits one logical stream to a model group. Pass the stream's own
+    /// [`MinMaxNormalizer`] (usually the training normalizer of its sensor)
+    /// to normalize raw samples on the fly, or `None` for pre-normalized
+    /// streams. The stream is assigned to shard
+    /// `shard_of(id, config.n_shards)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`] and
+    /// [`FleetError::InvalidConfig`] if the normalizer's channel count does
+    /// not match the model group's — caught here, where the caller can
+    /// handle it, not at serve time inside a worker.
+    pub fn register_stream(
+        &mut self,
+        group: ModelGroupId,
+        normalizer: Option<MinMaxNormalizer>,
+    ) -> Result<StreamId, FleetError> {
+        let detector = self
+            .groups
+            .get(group.0)
+            .ok_or_else(|| FleetError::UnknownId(format!("model group {}", group.0)))?;
+        let n_channels = detector.n_channels().expect("registered groups are fitted");
+        if let Some(norm) = &normalizer {
+            if norm.n_channels() != n_channels {
+                return Err(FleetError::InvalidConfig(format!(
+                    "normalizer covers {} channels, model group {} expects {}",
+                    norm.n_channels(),
+                    group.0,
+                    n_channels
+                )));
+            }
+        }
+        let window = detector.config().window;
+        let id = StreamId(self.meta.len());
+        self.meta.push(StreamMeta {
+            group: group.0,
+            shard: shard_of(id.index(), self.config.n_shards),
+            n_channels,
+        });
+        self.states
+            .push(StreamState::new(n_channels, window, normalizer)?);
+        Ok(id)
+    }
+
+    /// Number of registered streams.
+    pub fn n_streams(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.config.n_shards
+    }
+
+    /// The shard a stream is assigned to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`StreamId`].
+    pub fn shard_of_stream(&self, stream: StreamId) -> Result<usize, FleetError> {
+        self.meta
+            .get(stream.index())
+            .map(|m| m.shard)
+            .ok_or_else(|| FleetError::UnknownId(stream.to_string()))
+    }
+
+    /// Cumulative [`varade::PushStats`] of one stream (across serve windows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`StreamId`].
+    pub fn stream_stats(&self, stream: StreamId) -> Result<varade::PushStats, FleetError> {
+        self.states
+            .get(stream.index())
+            .map(|s| s.stats())
+            .ok_or_else(|| FleetError::UnknownId(stream.to_string()))
+    }
+
+    /// Opens a serve window: spawns one scoped worker thread per shard, hands
+    /// the driver a [`FleetHandle`] to push samples through, and — once the
+    /// driver returns — closes the ingress queues, drains every backlog and
+    /// joins the workers. Returns the driver's value and the window's
+    /// [`FleetOutcome`].
+    ///
+    /// A driver error aborts the window but still drains and joins cleanly;
+    /// the error is returned after the workers are down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the driver's error, a worker's scoring error
+    /// ([`FleetError::Varade`]), or [`FleetError::WorkerPanicked`].
+    pub fn run<R>(
+        &mut self,
+        driver: impl FnOnce(&FleetHandle<'_>) -> Result<R, FleetError>,
+    ) -> Result<(R, FleetOutcome), FleetError> {
+        let n_shards = self.config.n_shards;
+        let queues: Vec<SampleQueue> = (0..n_shards)
+            .map(|_| SampleQueue::new(self.config.queue_capacity))
+            .collect();
+
+        // Move each stream's state into its shard's worker for the duration
+        // of the window; they come back (with updated buffers and stats) when
+        // the workers join.
+        let mut shard_slots: Vec<Vec<ShardSlot>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (index, state) in self.states.drain(..).enumerate() {
+            let meta = &self.meta[index];
+            shard_slots[meta.shard].push(ShardSlot {
+                stream: index,
+                group: meta.group,
+                state,
+                pending: VecDeque::new(),
+                scores: Vec::new(),
+            });
+        }
+
+        let started = Instant::now();
+        let (driver_result, worker_results) = std::thread::scope(|scope| {
+            let workers: Vec<_> = shard_slots
+                .into_iter()
+                .enumerate()
+                .map(|(shard, slots)| {
+                    let queue = &queues[shard];
+                    let groups = &self.groups;
+                    let config = &self.config;
+                    scope.spawn(move || run_shard(shard, slots, queue, groups, config))
+                })
+                .collect();
+            let handle = FleetHandle {
+                queues: &queues,
+                meta: &self.meta,
+                policy: self.config.overload,
+            };
+            // Close the queues when the driver is done — including by
+            // panicking. Catching the unwind (and re-raising it only after
+            // the workers have handed the stream states back) keeps a driver
+            // panic from deadlocking `thread::scope` on workers blocked in
+            // `drain`, and from corrupting the fleet's registry. The guard
+            // backstops the close even if the catch machinery itself unwinds.
+            let closer = CloseOnDrop(&queues);
+            let driver_result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| driver(&handle)));
+            drop(closer);
+            let worker_results: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(shard, worker)| {
+                    worker
+                        .join()
+                        .map_err(|_| FleetError::WorkerPanicked { shard })
+                })
+                .collect();
+            (driver_result, worker_results)
+        });
+        let elapsed = started.elapsed();
+
+        // Restore stream states (and surface worker errors) before judging
+        // the driver, so neither a driver nor a worker error leaks the
+        // fleet's streams. Only a worker *panic* (an engine bug) leaves its
+        // shard's streams as placeholders.
+        let mut scores: Vec<Vec<f32>> = vec![Vec::new(); self.meta.len()];
+        self.states = (0..self.meta.len()).map(|_| placeholder_state()).collect();
+        let mut shard_stats = Vec::with_capacity(n_shards);
+        let mut first_error = None;
+        for joined in worker_results {
+            match joined {
+                Ok(output) => {
+                    shard_stats.push(output.stats);
+                    for slot in output.slots {
+                        scores[slot.stream] = slot.scores;
+                        self.states[slot.stream] = slot.state;
+                    }
+                    first_error = first_error.or(output.error);
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        // Everything is restored; a panicking driver can now unwind without
+        // taking the fleet's streams with it.
+        let driver_result = match driver_result {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let value = driver_result?;
+        Ok((
+            value,
+            FleetOutcome {
+                stats: FleetStats::from_shards(shard_stats, elapsed),
+                scores,
+            },
+        ))
+    }
+}
+
+/// Closes every queue when dropped — normally or during a panic unwind — so
+/// shard workers always see end-of-stream and [`Fleet::run`] can join them.
+struct CloseOnDrop<'a>(&'a [SampleQueue]);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        for queue in self.0 {
+            queue.close();
+        }
+    }
+}
+
+/// Stand-in state used while a worker owns the real one; replaced before
+/// `run` returns on every non-panicking path.
+fn placeholder_state() -> StreamState {
+    StreamState::new(1, 1, None).expect("placeholder dimensions are valid")
+}
+
+/// The driver's view of a serving fleet: push samples, observe backpressure.
+pub struct FleetHandle<'a> {
+    queues: &'a [SampleQueue],
+    meta: &'a [StreamMeta],
+    policy: crate::OverloadPolicy,
+}
+
+impl FleetHandle<'_> {
+    /// Pushes one raw sample onto `stream`'s shard queue, applying the
+    /// fleet's [`crate::OverloadPolicy`] if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign stream,
+    /// [`FleetError::SampleWidth`] for a misshapen sample, and
+    /// [`FleetError::QueueFull`] under [`crate::OverloadPolicy::Reject`] on
+    /// a saturated shard.
+    pub fn push(&self, stream: StreamId, sample: &[f32]) -> Result<(), FleetError> {
+        let meta = self
+            .meta
+            .get(stream.index())
+            .ok_or_else(|| FleetError::UnknownId(stream.to_string()))?;
+        if sample.len() != meta.n_channels {
+            return Err(FleetError::SampleWidth {
+                stream,
+                expected: meta.n_channels,
+                got: sample.len(),
+            });
+        }
+        self.queues[meta.shard].push(
+            Envelope {
+                stream,
+                sample: sample.to_vec(),
+            },
+            self.policy,
+            meta.shard,
+        )
+    }
+
+    /// Number of samples currently queued on a shard (a congestion probe for
+    /// load-shedding drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= n_shards`. (A panicking driver is safe: the serve
+    /// window shuts down cleanly and the panic propagates out of
+    /// [`Fleet::run`].)
+    pub fn queue_len(&self, shard: usize) -> usize {
+        self.queues[shard].len()
+    }
+}
+
+/// One stream's worker-side slot: its state plus the per-window backlog and
+/// score sink.
+struct ShardSlot {
+    stream: usize,
+    group: usize,
+    state: StreamState,
+    pending: VecDeque<Vec<f32>>,
+    scores: Vec<f32>,
+}
+
+struct WorkerOutput {
+    slots: Vec<ShardSlot>,
+    stats: ShardStats,
+    /// First scoring/admission error the worker hit, if any. The slots (and
+    /// their stream states) come back even on error.
+    error: Option<FleetError>,
+}
+
+/// Mutable scoring counters threaded through one serve window.
+#[derive(Default)]
+struct ShardCounters {
+    batches: u64,
+    batched_windows: u64,
+    sample_latencies: Vec<Duration>,
+}
+
+/// A request admitted in the current round, waiting for its batched score.
+struct RoundRequest {
+    slot: usize,
+    group: usize,
+    request: ScoreRequest,
+    admit_time: Duration,
+}
+
+/// The shard worker: drain the ingress queue, then process the backlog in
+/// *rounds* — one pending sample per stream per round, so per-stream order
+/// is preserved while independent streams batch together — scoring each
+/// round's requests in one batched forward per model group.
+///
+/// Never loses the stream states: on a scoring/admission error the worker
+/// closes its own queue (so a `Block`-policy driver wakes with
+/// [`FleetError::Closed`] instead of waiting forever on a dead shard),
+/// flushes the backlog, and returns the slots alongside the error.
+fn run_shard(
+    shard: usize,
+    mut slots: Vec<ShardSlot>,
+    queue: &SampleQueue,
+    groups: &[Arc<VaradeDetector>],
+    config: &FleetConfig,
+) -> WorkerOutput {
+    // Stream stats are cumulative across serve windows; the shard report
+    // covers only this window, so remember where each stream started.
+    let baselines: Vec<varade::PushStats> = slots.iter().map(|s| s.state.stats()).collect();
+    let mut counters = ShardCounters::default();
+    let error = drain_and_score(&mut slots, queue, groups, config, &mut counters).err();
+    if error.is_some() {
+        queue.close();
+        while queue.drain(usize::MAX).is_some() {}
+    }
+
+    let mut push = varade::PushStats::default();
+    for (slot, baseline) in slots.iter().zip(&baselines) {
+        let current = slot.state.stats();
+        push.merge(&varade::PushStats {
+            pushes: current.pushes - baseline.pushes,
+            scores: current.scores - baseline.scores,
+            total_time: current.total_time - baseline.total_time,
+            scoring_time: current.scoring_time - baseline.scoring_time,
+        });
+    }
+    WorkerOutput {
+        stats: ShardStats {
+            shard,
+            streams: slots.len(),
+            push,
+            batches: counters.batches,
+            batched_windows: counters.batched_windows,
+            dropped: queue.dropped(),
+            sample_latencies: counters.sample_latencies,
+        },
+        slots,
+        error,
+    }
+}
+
+/// The worker's serve loop proper (see [`run_shard`] for the error contract).
+fn drain_and_score(
+    slots: &mut [ShardSlot],
+    queue: &SampleQueue,
+    groups: &[Arc<VaradeDetector>],
+    config: &FleetConfig,
+    counters: &mut ShardCounters,
+) -> Result<(), FleetError> {
+    let slot_of_stream: HashMap<usize, usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| (slot.stream, i))
+        .collect();
+    let mut requests: Vec<RoundRequest> = Vec::new();
+
+    while let Some(drained) = queue.drain(config.queue_capacity) {
+        if let Some(delay) = config.chaos_round_delay {
+            std::thread::sleep(delay);
+        }
+        for envelope in drained {
+            let slot = slot_of_stream[&envelope.stream.index()];
+            slots[slot].pending.push_back(envelope.sample);
+        }
+        loop {
+            requests.clear();
+            let mut any_pending = false;
+            for (index, slot) in slots.iter_mut().enumerate() {
+                let Some(sample) = slot.pending.pop_front() else {
+                    continue;
+                };
+                any_pending = true;
+                let admit_started = Instant::now();
+                let admitted = slot.state.admit(&sample)?;
+                let admit_time = admit_started.elapsed();
+                match admitted {
+                    Some(request) => requests.push(RoundRequest {
+                        slot: index,
+                        group: slot.group,
+                        request,
+                        admit_time,
+                    }),
+                    None => slot.state.record(false, admit_time, Duration::ZERO),
+                }
+            }
+            if !any_pending {
+                break;
+            }
+            for (group_index, detector) in groups.iter().enumerate() {
+                let round: Vec<&RoundRequest> =
+                    requests.iter().filter(|r| r.group == group_index).collect();
+                if round.is_empty() {
+                    continue;
+                }
+                let contexts: Vec<&[f32]> =
+                    round.iter().map(|r| r.request.context.as_slice()).collect();
+                let targets: Vec<&[f32]> = round.iter().map(|r| r.request.row.as_slice()).collect();
+                let forward_started = Instant::now();
+                let scores = detector.score_windows(&contexts, &targets)?;
+                let share = forward_started.elapsed() / scores.len() as u32;
+                counters.batches += 1;
+                counters.batched_windows += scores.len() as u64;
+                for (request, score) in round.iter().zip(scores) {
+                    let slot = &mut slots[request.slot];
+                    slot.scores.push(score);
+                    slot.state.record(true, request.admit_time + share, share);
+                    if config.record_latencies {
+                        counters.sample_latencies.push(request.admit_time + share);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varade::VaradeConfig;
+    use varade_timeseries::MultivariateSeries;
+
+    fn tiny_config() -> VaradeConfig {
+        VaradeConfig {
+            window: 8,
+            base_feature_maps: 8,
+            epochs: 2,
+            batch_size: 8,
+            learning_rate: 2e-3,
+            max_train_windows: 64,
+            ..VaradeConfig::default()
+        }
+    }
+
+    fn wave_series(n: usize) -> MultivariateSeries {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..n {
+            let v = (t as f32 * 0.3).sin();
+            s.push_row(&[v, -v * 0.5]).unwrap();
+        }
+        s
+    }
+
+    fn fitted() -> Arc<VaradeDetector> {
+        let mut det = VaradeDetector::new(tiny_config());
+        det.fit_with_report(&wave_series(120)).unwrap();
+        Arc::new(det)
+    }
+
+    #[test]
+    fn registration_validates_ids_and_fitting() {
+        let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
+        assert!(matches!(
+            fleet.register_model(Arc::new(VaradeDetector::new(tiny_config()))),
+            Err(FleetError::NotFitted)
+        ));
+        let group = fleet.register_model(fitted()).unwrap();
+        assert!(fleet.register_stream(ModelGroupId(9), None).is_err());
+        let stream = fleet.register_stream(group, None).unwrap();
+        assert_eq!(fleet.n_streams(), 1);
+        assert_eq!(fleet.shard_of_stream(stream).unwrap(), 0);
+        assert!(fleet.shard_of_stream(StreamId(5)).is_err());
+        assert!(fleet.stream_stats(StreamId(5)).is_err());
+        assert_eq!(fleet.stream_stats(stream).unwrap().pushes, 0);
+    }
+
+    #[test]
+    fn serves_many_streams_and_keeps_state_across_windows() {
+        let mut fleet = Fleet::new(FleetConfig {
+            n_shards: 2,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let group = fleet.register_model(fitted()).unwrap();
+        let streams: Vec<StreamId> = (0..6)
+            .map(|_| fleet.register_stream(group, None).unwrap())
+            .collect();
+        let test = wave_series(20);
+        let (pushed, outcome) = fleet
+            .run(|handle| {
+                let mut pushed = 0u64;
+                for t in 0..test.len() {
+                    for &s in &streams {
+                        handle.push(s, test.row(t))?;
+                        pushed += 1;
+                    }
+                }
+                Ok(pushed)
+            })
+            .unwrap();
+        assert_eq!(pushed, 120);
+        assert_eq!(outcome.stats.global.pushes, 120);
+        // Window 8: each stream produces 12 scores.
+        assert_eq!(outcome.stats.global.scores, 6 * 12);
+        for s in &streams {
+            assert_eq!(outcome.scores[s.index()].len(), 12);
+            assert_eq!(fleet.stream_stats(*s).unwrap().pushes, 20);
+        }
+        assert!(outcome.stats.samples_per_sec().unwrap() > 0.0);
+        assert_eq!(outcome.stats.dropped, 0);
+        // Batching happened: fewer forward calls than scored windows.
+        let batches: u64 = outcome.stats.shards.iter().map(|s| s.batches).sum();
+        assert!(batches < 72, "{batches} batches for 72 scores");
+
+        // A second window continues the warm windows: scores arrive from the
+        // first push.
+        let (_, second) = fleet
+            .run(|handle| {
+                for &s in &streams {
+                    handle.push(s, test.row(0))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(second.stats.global.scores, 6);
+        assert_eq!(fleet.stream_stats(streams[0]).unwrap().pushes, 21);
+    }
+
+    #[test]
+    fn handle_validates_streams_and_sample_width() {
+        let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let group = fleet.register_model(fitted()).unwrap();
+        let stream = fleet.register_stream(group, None).unwrap();
+        let result = fleet.run(|handle| {
+            assert!(matches!(
+                handle.push(StreamId(7), &[0.0, 0.0]),
+                Err(FleetError::UnknownId(_))
+            ));
+            assert!(matches!(
+                handle.push(stream, &[0.0]),
+                Err(FleetError::SampleWidth {
+                    expected: 2,
+                    got: 1,
+                    ..
+                })
+            ));
+            assert_eq!(handle.queue_len(0), 0);
+            handle.push(stream, &[0.0, 0.0])
+        });
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn driver_panics_propagate_instead_of_deadlocking() {
+        let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let group = fleet.register_model(fitted()).unwrap();
+        let stream = fleet.register_stream(group, None).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fleet.run(|handle| {
+                handle.push(stream, &[0.5, 0.5])?;
+                // Also the documented panic path: an out-of-range shard.
+                let _ = handle.queue_len(99);
+                Ok(())
+            });
+        }));
+        // Without the catch/close shutdown path this would hang in
+        // thread::scope instead of reaching here.
+        assert!(caught.is_err());
+        // The fleet survives intact: the sample pushed before the panic was
+        // processed and the stream state restored, so the next window
+        // continues from it.
+        assert_eq!(fleet.stream_stats(stream).unwrap().pushes, 1);
+        let (_, outcome) = fleet
+            .run(|handle| handle.push(stream, &[0.1, 0.1]))
+            .unwrap();
+        assert_eq!(outcome.stats.global.pushes, 1);
+        assert_eq!(fleet.stream_stats(stream).unwrap().pushes, 2);
+    }
+
+    #[test]
+    fn mismatched_normalizer_is_rejected_at_registration() {
+        use varade_timeseries::MultivariateSeries;
+        let mut one_channel = MultivariateSeries::new(vec!["x".into()], 10.0).unwrap();
+        for t in 0..20 {
+            one_channel.push_row(&[t as f32]).unwrap();
+        }
+        let narrow = MinMaxNormalizer::fit(&one_channel).unwrap();
+        let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
+        // The fitted detector expects 2 channels; a 1-channel normalizer must
+        // fail here, not inside a shard worker at serve time.
+        let group = fleet.register_model(fitted()).unwrap();
+        assert!(matches!(
+            fleet.register_stream(group, Some(narrow)),
+            Err(FleetError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn driver_errors_still_drain_and_join_cleanly() {
+        let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let group = fleet.register_model(fitted()).unwrap();
+        let stream = fleet.register_stream(group, None).unwrap();
+        let err = fleet
+            .run(|handle| -> Result<(), FleetError> {
+                handle.push(stream, &[0.5, 0.5])?;
+                Err(FleetError::InvalidConfig("driver bailed".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, FleetError::InvalidConfig(_)));
+        // The pushed sample was still processed and the state restored.
+        assert_eq!(fleet.stream_stats(stream).unwrap().pushes, 1);
+        // The fleet remains serviceable.
+        let (_, outcome) = fleet
+            .run(|handle| handle.push(stream, &[0.1, 0.1]))
+            .unwrap();
+        assert_eq!(outcome.stats.global.pushes, 1);
+        assert_eq!(fleet.stream_stats(stream).unwrap().pushes, 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Bounded per-shard ingress queues with explicit overload policies.
+//!
+//! Each shard owns one [`SampleQueue`]; the driver thread pushes
+//! [`Envelope`]s into it and the shard worker drains them in arrival order.
+//! The queue is a plain `Mutex<VecDeque>` with two condition variables —
+//! `std::sync` only, no external channel crates — and every full-queue
+//! outcome is decided by the caller's [`OverloadPolicy`], never by accident.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::{FleetError, OverloadPolicy, StreamId};
+
+/// One queued sample: the stream it belongs to and its raw values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The stream the sample was pushed to.
+    pub stream: StreamId,
+    /// The raw (not yet normalized) sample, one value per channel.
+    pub sample: Vec<f32>,
+}
+
+struct QueueInner {
+    items: VecDeque<Envelope>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// A bounded MPSC queue of [`Envelope`]s for one shard.
+///
+/// Producers call [`SampleQueue::push`] with an [`OverloadPolicy`]; the
+/// shard's worker calls [`SampleQueue::drain`], which blocks while the queue
+/// is empty and open, and keeps returning the remaining backlog after
+/// [`SampleQueue::close`] so a closing fleet never abandons accepted samples.
+pub struct SampleQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for SampleQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("queue lock");
+        f.debug_struct("SampleQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.items.len())
+            .field("dropped", &inner.dropped)
+            .field("closed", &inner.closed)
+            .finish()
+    }
+}
+
+impl SampleQueue {
+    /// Creates a queue holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a [`crate::FleetConfig`] validates this
+    /// before any queue is built).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                dropped: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Number of samples currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples evicted so far by [`OverloadPolicy::DropOldest`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("queue lock").dropped
+    }
+
+    /// Enqueues one sample, resolving a full queue according to `policy`:
+    /// `Block` waits for space, `DropOldest` evicts the head (counting it),
+    /// `Reject` returns [`FleetError::QueueFull`]. `shard` only labels the
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::QueueFull`] under `Reject` on a full queue, and
+    /// [`FleetError::Closed`] if the queue has been closed.
+    pub fn push(
+        &self,
+        envelope: Envelope,
+        policy: OverloadPolicy,
+        shard: usize,
+    ) -> Result<(), FleetError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(FleetError::Closed);
+        }
+        if inner.items.len() == self.capacity {
+            match policy {
+                OverloadPolicy::Block => {
+                    while inner.items.len() == self.capacity && !inner.closed {
+                        inner = self.not_full.wait(inner).expect("queue lock");
+                    }
+                    if inner.closed {
+                        return Err(FleetError::Closed);
+                    }
+                }
+                OverloadPolicy::DropOldest => {
+                    inner.items.pop_front();
+                    inner.dropped += 1;
+                }
+                OverloadPolicy::Reject => {
+                    return Err(FleetError::QueueFull {
+                        stream: envelope.stream,
+                        shard,
+                    });
+                }
+            }
+        }
+        inner.items.push_back(envelope);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Removes and returns up to `max` samples in arrival order, blocking
+    /// while the queue is empty and open. Returns `None` only once the queue
+    /// is closed *and* fully drained — the worker's signal to exit without
+    /// ever abandoning accepted samples.
+    pub fn drain(&self, max: usize) -> Option<Vec<Envelope>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while inner.items.is_empty() {
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+        let take = inner.items.len().min(max);
+        let batch: Vec<Envelope> = inner.items.drain(..take).collect();
+        drop(inner);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Closes the queue: subsequent pushes fail with [`FleetError::Closed`],
+    /// blocked pushers wake up, and [`SampleQueue::drain`] returns the
+    /// backlog until empty, then `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn envelope(stream: usize, value: f32) -> Envelope {
+        Envelope {
+            stream: StreamId(stream),
+            sample: vec![value],
+        }
+    }
+
+    fn values(queue: &SampleQueue) -> Vec<f32> {
+        queue
+            .drain(usize::MAX)
+            .map(|batch| batch.iter().map(|e| e.sample[0]).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_head_and_counts_it() {
+        let queue = SampleQueue::new(3);
+        for v in 0..3 {
+            queue
+                .push(envelope(0, v as f32), OverloadPolicy::DropOldest, 0)
+                .unwrap();
+        }
+        assert_eq!(queue.len(), 3);
+        // Saturated: pushing 3.0 and 4.0 must evict exactly 0.0 then 1.0 —
+        // the *oldest* samples — and count each eviction.
+        queue
+            .push(envelope(0, 3.0), OverloadPolicy::DropOldest, 0)
+            .unwrap();
+        queue
+            .push(envelope(0, 4.0), OverloadPolicy::DropOldest, 0)
+            .unwrap();
+        assert_eq!(queue.dropped(), 2);
+        assert_eq!(values(&queue), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reject_surfaces_a_typed_error_and_keeps_the_queue_intact() {
+        let queue = SampleQueue::new(2);
+        queue
+            .push(envelope(1, 1.0), OverloadPolicy::Reject, 7)
+            .unwrap();
+        queue
+            .push(envelope(1, 2.0), OverloadPolicy::Reject, 7)
+            .unwrap();
+        let err = queue
+            .push(envelope(9, 3.0), OverloadPolicy::Reject, 7)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FleetError::QueueFull {
+                stream: StreamId(9),
+                shard: 7
+            }
+        );
+        assert_eq!(queue.dropped(), 0);
+        assert_eq!(values(&queue), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn block_waits_for_space_and_never_loses_data() {
+        let queue = Arc::new(SampleQueue::new(2));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for v in 0..50 {
+                    queue
+                        .push(envelope(0, v as f32), OverloadPolicy::Block, 0)
+                        .unwrap();
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while seen.len() < 50 {
+            // Consume slowly so the producer actually hits the full queue.
+            std::thread::sleep(Duration::from_micros(200));
+            if let Some(batch) = queue.drain(3) {
+                seen.extend(batch.iter().map(|e| e.sample[0]));
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..50).map(|v| v as f32).collect::<Vec<_>>());
+        assert_eq!(queue.dropped(), 0);
+    }
+
+    #[test]
+    fn close_wakes_consumers_and_flushes_the_backlog() {
+        let queue = SampleQueue::new(4);
+        queue
+            .push(envelope(0, 1.0), OverloadPolicy::Block, 0)
+            .unwrap();
+        queue
+            .push(envelope(0, 2.0), OverloadPolicy::Block, 0)
+            .unwrap();
+        queue.close();
+        // The backlog survives the close ...
+        assert_eq!(values(&queue), vec![1.0, 2.0]);
+        // ... then the consumer sees end-of-stream and producers are refused.
+        assert!(queue.drain(usize::MAX).is_none());
+        assert_eq!(
+            queue.push(envelope(0, 3.0), OverloadPolicy::Block, 0),
+            Err(FleetError::Closed)
+        );
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_producer() {
+        let queue = Arc::new(SampleQueue::new(1));
+        queue
+            .push(envelope(0, 1.0), OverloadPolicy::Block, 0)
+            .unwrap();
+        let blocked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(envelope(0, 2.0), OverloadPolicy::Block, 0))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        queue.close();
+        assert_eq!(blocked.join().unwrap(), Err(FleetError::Closed));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SampleQueue::new(0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fleet-level throughput accounting built on [`varade::PushStats`].
+//!
+//! Every stream keeps its own `PushStats`; [`ShardStats`] merges the streams
+//! of one shard via [`PushStats::merge`], and [`FleetStats`] merges the
+//! shards plus the wall-clock of the serve window. The distinction matters
+//! on purpose: merged `PushStats` times are *summed CPU time across streams*
+//! (per-core throughput), while the fleet's headline number —
+//! [`FleetStats::samples_per_sec`] — divides by *elapsed wall time*, which is
+//! what an operator sizing an edge node actually observes.
+
+use std::time::Duration;
+
+use varade::PushStats;
+
+/// Throughput accounting for one shard after a serve window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Streams assigned to this shard.
+    pub streams: usize,
+    /// Per-stream [`PushStats`] merged over the shard's streams.
+    pub push: PushStats,
+    /// Batched scoring calls issued.
+    pub batches: u64,
+    /// Windows scored through those calls (≥ `batches`; the ratio is the
+    /// achieved batch size).
+    pub batched_windows: u64,
+    /// Samples evicted by [`crate::OverloadPolicy::DropOldest`].
+    pub dropped: u64,
+    /// Per-scored-sample latency (admit plus batch-forward share), recorded
+    /// only when [`crate::FleetConfig::record_latencies`] is on.
+    pub sample_latencies: Vec<Duration>,
+}
+
+impl ShardStats {
+    /// Mean number of windows per batched scoring call, `None` before any
+    /// batch ran.
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        (self.batches > 0).then(|| self.batched_windows as f64 / self.batches as f64)
+    }
+}
+
+/// Aggregate accounting for one serve window of a [`crate::Fleet`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Wall-clock duration of the serve window (driver plus drain).
+    pub elapsed: Duration,
+    /// Per-shard breakdowns, sorted by shard index.
+    pub shards: Vec<ShardStats>,
+    /// All shards' [`PushStats`] merged (summed CPU time — see the module
+    /// docs for why this is not wall-clock throughput).
+    pub global: PushStats,
+    /// Total samples dropped across shards.
+    pub dropped: u64,
+}
+
+impl FleetStats {
+    /// Assembles the aggregate from per-shard results and the measured wall
+    /// clock of the serve window.
+    pub fn from_shards(mut shards: Vec<ShardStats>, elapsed: Duration) -> Self {
+        shards.sort_by_key(|s| s.shard);
+        let mut global = PushStats::default();
+        let mut dropped = 0;
+        for shard in &shards {
+            global.merge(&shard.push);
+            dropped += shard.dropped;
+        }
+        Self {
+            elapsed,
+            shards,
+            global,
+            dropped,
+        }
+    }
+
+    /// Aggregate wall-clock throughput: samples admitted per second of serve
+    /// window. `None` if no time elapsed.
+    pub fn samples_per_sec(&self) -> Option<f64> {
+        let secs = self.elapsed.as_secs_f64();
+        (secs > 0.0).then(|| self.global.pushes as f64 / secs)
+    }
+
+    /// Aggregate wall-clock scoring rate: scores produced per second of serve
+    /// window (excludes warm-up pushes). `None` if no time elapsed.
+    pub fn scores_per_sec(&self) -> Option<f64> {
+        let secs = self.elapsed.as_secs_f64();
+        (secs > 0.0).then(|| self.global.scores as f64 / secs)
+    }
+
+    /// Every recorded per-sample latency across shards (empty unless
+    /// [`crate::FleetConfig::record_latencies`] was on), for percentile
+    /// summaries.
+    pub fn all_sample_latencies(&self) -> Vec<Duration> {
+        let mut all: Vec<Duration> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.sample_latencies.iter().copied())
+            .collect();
+        all.sort();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(index: usize, pushes: u64, scores: u64, micros: u64, dropped: u64) -> ShardStats {
+        ShardStats {
+            shard: index,
+            streams: 2,
+            push: PushStats {
+                pushes,
+                scores,
+                total_time: Duration::from_micros(micros),
+                scoring_time: Duration::from_micros(micros / 2),
+            },
+            batches: scores.max(1),
+            batched_windows: scores,
+            dropped,
+            sample_latencies: vec![Duration::from_micros(micros)],
+        }
+    }
+
+    #[test]
+    fn from_shards_merges_and_sorts() {
+        let stats = FleetStats::from_shards(
+            vec![shard(1, 10, 8, 100, 2), shard(0, 20, 15, 300, 1)],
+            Duration::from_millis(2),
+        );
+        assert_eq!(stats.shards[0].shard, 0);
+        assert_eq!(stats.shards[1].shard, 1);
+        assert_eq!(stats.global.pushes, 30);
+        assert_eq!(stats.global.scores, 23);
+        assert_eq!(stats.dropped, 3);
+        // 30 pushes over 2 ms of wall clock.
+        assert!((stats.samples_per_sec().unwrap() - 15_000.0).abs() < 1e-6);
+        assert!((stats.scores_per_sec().unwrap() - 11_500.0).abs() < 1e-6);
+        let latencies = stats.all_sample_latencies();
+        assert_eq!(latencies.len(), 2);
+        assert!(latencies[0] <= latencies[1]);
+    }
+
+    #[test]
+    fn degenerate_stats_return_none() {
+        let empty = FleetStats::default();
+        assert!(empty.samples_per_sec().is_none());
+        assert!(empty.scores_per_sec().is_none());
+        assert!(empty.all_sample_latencies().is_empty());
+        assert!(ShardStats::default().mean_batch_size().is_none());
+        let s = shard(0, 4, 2, 10, 0);
+        assert!((s.mean_batch_size().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

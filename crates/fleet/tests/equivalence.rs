@@ -1,0 +1,185 @@
+//! The fleet must not change numerics: a stream scored through a fleet —
+//! alone on one shard, or batched with neighbours across shards — produces
+//! **bit-identical** scores to the same samples pushed through
+//! [`StreamingVarade`] directly. This is the contract that makes the serving
+//! layer transparent: operators can consolidate single-stream deployments
+//! onto a fleet node without re-validating a single threshold.
+
+use std::sync::Arc;
+
+use varade::{StreamingVarade, VaradeConfig, VaradeDetector};
+use varade_fleet::{Fleet, FleetConfig, OverloadPolicy};
+use varade_timeseries::{MinMaxNormalizer, MultivariateSeries};
+
+fn tiny_config() -> VaradeConfig {
+    VaradeConfig {
+        window: 8,
+        base_feature_maps: 8,
+        epochs: 3,
+        batch_size: 8,
+        learning_rate: 2e-3,
+        max_train_windows: 96,
+        ..VaradeConfig::default()
+    }
+}
+
+fn wave_series(n: usize, phase: f32) -> MultivariateSeries {
+    let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+    for t in 0..n {
+        let v = (t as f32 * 0.3 + phase).sin();
+        s.push_row(&[v, -v * 0.5]).unwrap();
+    }
+    s
+}
+
+fn fitted_detector() -> VaradeDetector {
+    let mut det = VaradeDetector::new(tiny_config());
+    det.fit_with_report(&wave_series(200, 0.0)).unwrap();
+    det
+}
+
+/// Scores `test` through a plain `StreamingVarade` — the reference.
+fn reference_scores(detector: VaradeDetector, test: &MultivariateSeries) -> Vec<f32> {
+    let mut stream = StreamingVarade::new(detector, 2, None).unwrap();
+    let mut scores = Vec::new();
+    for t in 0..test.len() {
+        if let Some(s) = stream.push(test.row(t)).unwrap() {
+            scores.push(s);
+        }
+    }
+    scores
+}
+
+#[test]
+fn one_stream_one_shard_fleet_is_bit_identical_to_streaming_varade() {
+    let detector = fitted_detector();
+    let test = wave_series(60, 1.0);
+    let expected = reference_scores(fitted_detector(), &test);
+
+    let mut fleet = Fleet::new(FleetConfig {
+        n_shards: 1,
+        overload: OverloadPolicy::Block,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let group = fleet.register_model(Arc::new(detector)).unwrap();
+    let stream = fleet.register_stream(group, None).unwrap();
+    let (_, outcome) = fleet
+        .run(|handle| {
+            for t in 0..test.len() {
+                handle.push(stream, test.row(t))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    let fleet_scores = &outcome.scores[stream.index()];
+    assert_eq!(fleet_scores.len(), expected.len());
+    for (t, (a, b)) in fleet_scores.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "score {t} differs: fleet {a} vs streaming {b}"
+        );
+    }
+}
+
+#[test]
+fn batched_multi_stream_fleet_still_matches_the_single_stream_reference() {
+    // Four phase-shifted streams share one detector across two shards: every
+    // stream's scores must still equal its own single-stream reference
+    // bit-for-bit, because the inference kernels are batch-invariant.
+    let phases = [0.0f32, 0.7, 1.4, 2.1];
+    let tests: Vec<MultivariateSeries> = phases.iter().map(|&p| wave_series(50, p)).collect();
+    let expected: Vec<Vec<f32>> = tests
+        .iter()
+        .map(|t| reference_scores(fitted_detector(), t))
+        .collect();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        n_shards: 2,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let group = fleet.register_model(Arc::new(fitted_detector())).unwrap();
+    let streams: Vec<_> = phases
+        .iter()
+        .map(|_| fleet.register_stream(group, None).unwrap())
+        .collect();
+    let (_, outcome) = fleet
+        .run(|handle| {
+            // Interleave pushes so shard batches really mix streams.
+            for t in 0..50 {
+                for (stream, test) in streams.iter().zip(&tests) {
+                    handle.push(*stream, test.row(t))?;
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    for (i, stream) in streams.iter().enumerate() {
+        let got = &outcome.scores[stream.index()];
+        assert_eq!(got.len(), expected[i].len());
+        for (t, (a, b)) in got.iter().zip(&expected[i]).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "stream {i} score {t}: fleet {a} vs streaming {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_stream_normalizers_match_the_streaming_wrapper() {
+    // A raw (unnormalized) stream with its own MinMaxNormalizer must score
+    // like a StreamingVarade built with the same normalizer.
+    let raw_train = {
+        let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+        for t in 0..200 {
+            let v = (t as f32 * 0.3).sin() * 50.0 + 100.0;
+            s.push_row(&[v, -v]).unwrap();
+        }
+        s
+    };
+    let normalizer = MinMaxNormalizer::fit(&raw_train).unwrap();
+    let train = normalizer.transform(&raw_train).unwrap();
+    let mut detector = VaradeDetector::new(tiny_config());
+    detector.fit_with_report(&train).unwrap();
+    let detector = Arc::new(detector);
+
+    let raw_rows: Vec<[f32; 2]> = (0..40)
+        .map(|t| {
+            let v = (t as f32 * 0.3 + 0.5).sin() * 50.0 + 100.0;
+            [v, -v]
+        })
+        .collect();
+
+    let mut fitted_again = VaradeDetector::new(tiny_config());
+    fitted_again.fit_with_report(&train).unwrap();
+    let mut reference = StreamingVarade::new(fitted_again, 2, Some(normalizer.clone())).unwrap();
+    let mut expected = Vec::new();
+    for row in &raw_rows {
+        if let Some(s) = reference.push(row).unwrap() {
+            expected.push(s);
+        }
+    }
+
+    let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
+    let group = fleet.register_model(Arc::clone(&detector)).unwrap();
+    let stream = fleet.register_stream(group, Some(normalizer)).unwrap();
+    let (_, outcome) = fleet
+        .run(|handle| {
+            for row in &raw_rows {
+                handle.push(stream, row)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    let got = &outcome.scores[stream.index()];
+    assert_eq!(got.len(), expected.len());
+    for (a, b) in got.iter().zip(&expected) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -37,6 +37,10 @@ impl Layer for Relu {
         Ok(out)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        Ok(input.map(|v| if v > 0.0 { v } else { 0.0 }))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
         let mask = self
             .mask
@@ -97,6 +101,10 @@ impl Layer for Tanh {
         let out = input.map(f32::tanh);
         self.output = Some(out.clone());
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        Ok(input.map(f32::tanh))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {

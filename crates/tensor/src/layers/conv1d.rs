@@ -160,12 +160,11 @@ impl Conv1d {
             })?;
         Ok((input.shape()[0], out_len))
     }
-}
 
-impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
-        let (batch, out_len) = self.check_input(input)?;
-        let padded = self.pad(input);
+    /// The convolution itself, over an already padded input. Shared by the
+    /// training forward (which caches `padded` afterwards) and the generic
+    /// inference path.
+    fn compute(&self, padded: &Tensor, batch: usize, out_len: usize) -> Tensor {
         let padded_len = padded.shape()[2];
         let mut out = Tensor::zeros(&[batch, self.out_channels, out_len]);
         let x = padded.as_slice();
@@ -193,8 +192,60 @@ impl Layer for Conv1d {
                 }
             }
         }
+        out
+    }
+
+    /// Specialized inference kernel for the `kernel 2 / stride 2 / padding 0`
+    /// convolutions of the VARADE backbone (paper §3.1). Instead of walking
+    /// every output element through two-element sub-slices, it streams each
+    /// input-channel row once per feature map with the time loop innermost
+    /// over contiguous output memory — the same FLOPs, but bounds checks and
+    /// loop overhead amortize over the row, which roughly halves the cost of
+    /// the backbone on the streaming path.
+    fn compute_k2s2(&self, input: &Tensor, batch: usize, out_len: usize) -> Tensor {
+        let t = input.shape()[2];
+        let mut out = Tensor::zeros(&[batch, self.out_channels, out_len]);
+        let x = input.as_slice();
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let o = out.as_mut_slice();
+        let ci_n = self.in_channels;
+        for bi in 0..batch {
+            let x_b = &x[bi * ci_n * t..(bi + 1) * ci_n * t];
+            let o_b =
+                &mut o[bi * self.out_channels * out_len..(bi + 1) * self.out_channels * out_len];
+            for oc in 0..self.out_channels {
+                let o_row = &mut o_b[oc * out_len..(oc + 1) * out_len];
+                o_row.fill(b[oc]);
+                let w_oc = &w[oc * ci_n * 2..(oc + 1) * ci_n * 2];
+                for ic in 0..ci_n {
+                    let (w0, w1) = (w_oc[ic * 2], w_oc[ic * 2 + 1]);
+                    let x_row = &x_b[ic * t..ic * t + out_len * 2];
+                    for (o_val, pair) in o_row.iter_mut().zip(x_row.chunks_exact(2)) {
+                        *o_val += w0 * pair[0] + w1 * pair[1];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let (batch, out_len) = self.check_input(input)?;
+        let padded = self.pad(input);
+        let out = self.compute(&padded, batch, out_len);
         self.cached_padded_input = Some(padded);
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let (batch, out_len) = self.check_input(input)?;
+        if self.kernel_size == 2 && self.stride == 2 && self.padding == 0 {
+            return Ok(self.compute_k2s2(input, batch, out_len));
+        }
+        Ok(self.compute(&self.pad(input), batch, out_len))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
@@ -381,6 +432,66 @@ mod tests {
         conv.backward(&Tensor::ones(y.shape())).unwrap();
         // 4 output positions, gradient 1 each.
         assert_eq!(conv.bias_grad.at(&[0]), 4.0);
+    }
+
+    #[test]
+    fn forward_infer_matches_forward_on_generic_convolutions() {
+        // Padded kernel-3 convolution takes the generic compute path, which is
+        // byte-for-byte the same code the training forward runs.
+        let mut conv = Conv1d::new(2, 3, 3, 1, 1, &mut rng());
+        let x = Tensor::from_vec(
+            (0..28).map(|i| (i as f32 * 0.31).sin()).collect(),
+            &[2, 2, 7],
+        )
+        .unwrap();
+        let trained = conv.forward(&x).unwrap();
+        let inferred = conv.forward_infer(&x).unwrap();
+        assert_eq!(trained, inferred);
+    }
+
+    #[test]
+    fn forward_infer_k2s2_kernel_matches_forward_within_rounding() {
+        // The specialized kernel fuses the two kernel taps into one addition,
+        // so it may differ from the training forward in the last bit only.
+        let mut conv = Conv1d::new(3, 5, 2, 2, 0, &mut rng());
+        let x = Tensor::from_vec(
+            (0..96).map(|i| (i as f32 * 0.17).cos()).collect(),
+            &[2, 3, 16],
+        )
+        .unwrap();
+        let trained = conv.forward(&x).unwrap();
+        let inferred = conv.forward_infer(&x).unwrap();
+        assert_eq!(trained.shape(), inferred.shape());
+        for (a, b) in trained.iter().zip(inferred.iter()) {
+            assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_infer_is_batch_invariant() {
+        // Scoring a window alone must produce bit-identical values to scoring
+        // it inside a larger batch — the contract the fleet's batched scorer
+        // relies on for its StreamingVarade equivalence guarantee.
+        let conv = Conv1d::new(2, 4, 2, 2, 0, &mut rng());
+        let row: Vec<f32> = (0..16).map(|i| (i as f32 * 0.23).sin()).collect();
+        let mut batch3 = Vec::new();
+        for shift in 0..3 {
+            batch3.extend(row.iter().map(|v| v + shift as f32));
+        }
+        let single = conv
+            .forward_infer(&Tensor::from_vec(row.clone(), &[1, 2, 8]).unwrap())
+            .unwrap();
+        let batched = conv
+            .forward_infer(&Tensor::from_vec(batch3, &[3, 2, 8]).unwrap())
+            .unwrap();
+        assert_eq!(single.as_slice(), &batched.as_slice()[..single.len()]);
+    }
+
+    #[test]
+    fn forward_infer_rejects_bad_inputs() {
+        let conv = Conv1d::new(2, 3, 2, 2, 0, &mut rng());
+        assert!(conv.forward_infer(&Tensor::zeros(&[1, 3, 8])).is_err());
+        assert!(conv.forward_infer(&Tensor::zeros(&[1, 2, 1])).is_err());
     }
 
     #[test]

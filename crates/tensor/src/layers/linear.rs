@@ -87,11 +87,10 @@ impl Linear {
         }
         Ok(())
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
-        self.check_input(input)?;
+    /// The affine map itself; shared by the training forward (which caches
+    /// the input afterwards) and the inference path.
+    fn compute(&self, input: &Tensor) -> Tensor {
         let batch = input.shape()[0];
         let mut out = Tensor::zeros(&[batch, self.out_features]);
         let x = input.as_slice();
@@ -110,8 +109,21 @@ impl Layer for Linear {
                 *o_val = acc;
             }
         }
+        out
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_input(input)?;
+        let out = self.compute(input);
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_input(input)?;
+        Ok(self.compute(input))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {

@@ -323,6 +323,17 @@ mod tests {
     }
 
     #[test]
+    fn forward_infer_is_unsupported() {
+        // The LSTM keeps the default `forward_infer`, which reports the
+        // missing immutable inference path instead of silently recomputing.
+        let lstm = Lstm::new(2, 3, &mut rng());
+        assert!(matches!(
+            lstm.forward_infer(&Tensor::ones(&[1, 2, 4])),
+            Err(TensorError::InvalidInput { layer: "lstm", .. })
+        ));
+    }
+
+    #[test]
     fn hidden_state_is_bounded_by_one() {
         let mut lstm = Lstm::new(2, 4, &mut rng());
         let x = Tensor::full(&[1, 2, 20], 10.0);

@@ -65,6 +65,17 @@ impl Layer for ResidualConvBlock {
         self.relu_out.forward(&sum)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let h = self.conv1.forward_infer(input)?;
+        let h = self.relu1.forward_infer(&h)?;
+        let h = self.conv2.forward_infer(&h)?;
+        let skip = match &self.projection {
+            Some(proj) => proj.forward_infer(input)?,
+            None => input.clone(),
+        };
+        self.relu_out.forward_infer(&h.add(&skip)?)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
         if self.cached_input.is_none() {
             return Err(TensorError::BackwardBeforeForward {

@@ -89,6 +89,14 @@ impl Layer for Sequential {
         Ok(current)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = layer.forward_infer(&current)?;
+        }
+        Ok(current)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
         let mut grad = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -192,6 +200,30 @@ mod tests {
         assert_eq!(p.flops, 2.0 * 4.0 * 8.0 + 8.0 + 2.0 * 8.0 * 2.0);
         let mut model = model;
         assert_eq!(model.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_infer_chains_like_forward() {
+        let mut r = rng();
+        let mut model = Sequential::new(vec![
+            Box::new(Conv1d::new(2, 4, 3, 1, 1, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 8, 3, &mut r)),
+        ]);
+        let x = Tensor::from_vec(
+            (0..32).map(|i| (i as f32 * 0.19).sin()).collect(),
+            &[2, 2, 8],
+        )
+        .unwrap();
+        let trained = model.forward(&x).unwrap();
+        let inferred = model.forward_infer(&x).unwrap();
+        // All layers here share the generic compute path, so the immutable
+        // pass is exactly equal, and it leaves no backward state behind.
+        assert_eq!(trained, inferred);
+        let mut fresh = Sequential::new(vec![Box::new(Relu::new())]);
+        assert!(fresh.forward_infer(&x).is_ok());
+        assert!(fresh.backward(&x).is_err());
     }
 
     #[test]

@@ -32,6 +32,17 @@ impl Layer for Flatten {
         input.reshape(&[batch, rest])
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        if input.ndim() < 2 {
+            return Err(TensorError::InvalidInput {
+                layer: "flatten",
+                reason: format!("expected rank >= 2, got {:?}", input.shape()),
+            });
+        }
+        let batch = input.shape()[0];
+        input.reshape(&[batch, input.shape()[1..].iter().product()])
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
         let shape = self
             .input_shape
@@ -69,10 +80,8 @@ impl LastTimeStep {
     pub fn new() -> Self {
         Self { input_shape: None }
     }
-}
 
-impl Layer for LastTimeStep {
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+    fn select(input: &Tensor) -> Result<Tensor, TensorError> {
         if input.ndim() != 3 || input.shape()[2] == 0 {
             return Err(TensorError::InvalidInput {
                 layer: "last_time_step",
@@ -89,8 +98,19 @@ impl Layer for LastTimeStep {
                 *out.at_mut(&[bi, ci]) = input.at(&[bi, ci, t - 1]);
             }
         }
+        Ok(out)
+    }
+}
+
+impl Layer for LastTimeStep {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let out = Self::select(input)?;
         self.input_shape = Some(input.shape().to_vec());
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        Self::select(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
@@ -158,10 +178,8 @@ impl Upsample1d {
     pub fn factor(&self) -> usize {
         self.factor
     }
-}
 
-impl Layer for Upsample1d {
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+    fn repeat(&self, input: &Tensor) -> Result<Tensor, TensorError> {
         if input.ndim() != 3 {
             return Err(TensorError::InvalidInput {
                 layer: "upsample1d",
@@ -180,8 +198,19 @@ impl Layer for Upsample1d {
                 }
             }
         }
+        Ok(out)
+    }
+}
+
+impl Layer for Upsample1d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let out = self.repeat(input)?;
         self.input_shape = Some(input.shape().to_vec());
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.repeat(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {

@@ -127,6 +127,30 @@ pub trait Layer: Send + Sync {
     /// unexpected shape.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError>;
 
+    /// Runs an inference-only forward pass through `&self`: no activations
+    /// are cached (so `backward` cannot follow), which lets one fitted model
+    /// be shared behind an `Arc` and scored from many threads concurrently —
+    /// the contract the multi-stream serving layer builds on.
+    ///
+    /// Implementations must produce the same result as [`Layer::forward`]
+    /// would for layers whose forward pass is a pure function of the input
+    /// and parameters; they are free to use a faster kernel as long as the
+    /// computation stays deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer, or
+    /// — for the default implementation — if the layer has no immutable
+    /// inference path (stateful layers like the LSTM only support
+    /// [`Layer::forward`]).
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let _ = input;
+        Err(TensorError::InvalidInput {
+            layer: self.name(),
+            reason: "layer has no immutable inference path; use forward".into(),
+        })
+    }
+
     /// Visits every `(parameter, gradient)` pair in a stable order.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor));
 

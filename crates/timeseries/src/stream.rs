@@ -70,6 +70,16 @@ impl StreamingWindow {
         self.rows.len() == self.window
     }
 
+    /// Number of samples currently buffered (at most the window length).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no samples are buffered (freshly created or just reset).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
     /// Pushes one sample. Once the buffer is full, returns the current window
     /// in channel-major order (`[channels, window]` flattened), ready to be
     /// reshaped into a `[1, channels, window]` tensor.
@@ -105,6 +115,15 @@ impl StreamingWindow {
     /// Clears the buffered history (the sample counter is preserved).
     pub fn reset(&mut self) {
         self.rows.clear();
+    }
+
+    /// Clears the buffered history *and* the sample counter, returning the
+    /// buffer to its freshly constructed state. Serving engines use this to
+    /// recycle a stream slot for a new logical stream without reallocating
+    /// (the buffer is `Clone`, so a warm slot can also be forked first).
+    pub fn reset_full(&mut self) {
+        self.rows.clear();
+        self.samples_seen = 0;
     }
 }
 
@@ -160,5 +179,26 @@ mod tests {
         assert!(!buf.is_full());
         assert_eq!(buf.samples_seen(), 2);
         assert!(buf.push(&[3.0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn full_reset_recycles_the_slot_and_clone_forks_state() {
+        let mut buf = StreamingWindow::new(1, 2).unwrap();
+        assert!(buf.is_empty());
+        buf.push(&[1.0]).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.push(&[2.0]).unwrap();
+        assert_eq!(buf.len(), 2);
+        // A clone is an independent fork of the warm state.
+        let mut fork = buf.clone();
+        assert_eq!(fork.push(&[3.0]).unwrap().unwrap(), vec![2.0, 3.0]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.samples_seen(), 2);
+        // reset_full returns to the freshly constructed state.
+        buf.reset_full();
+        assert!(buf.is_empty());
+        assert_eq!(buf.samples_seen(), 0);
+        assert!(buf.push(&[9.0]).unwrap().is_none());
+        assert_eq!(buf.samples_seen(), 1);
     }
 }

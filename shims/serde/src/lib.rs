@@ -202,26 +202,43 @@ pub trait Deserialize: Sized {
     ///
     /// Returns [`DeError`] if the value's type or shape does not match.
     fn from_json_value(value: &json::Value) -> Result<Self, DeError>;
+
+    /// Fallback used by [`de_field`] when a named field is absent from the
+    /// object entirely. The default keeps missing keys a hard error;
+    /// `Option<T>` overrides it to produce `None` — real serde's behavior,
+    /// and the hook that makes schema evolution possible: a reader that
+    /// grows a new `Option` field can still load documents written before
+    /// the field existed (e.g. pre-fleet `BENCH_*.json` baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] for every type that does not opt in.
+    fn from_missing_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{name}`")))
+    }
 }
 
 /// Extracts and deserializes one named field of a JSON object. Missing keys
-/// are a hard error for every field type — including `Option` and floats —
-/// because the shim's serializer always writes every field (`None` and
-/// non-finite floats as `null`), so an absent key can only mean a truncated
-/// or hand-edited document. Used by the `#[derive(Deserialize)]` expansion.
+/// are a hard error for every field type except `Option` (see
+/// [`Deserialize::from_missing_field`]): the shim's serializer always writes
+/// every field (`None` and non-finite floats as `null`), so for a
+/// non-`Option` field an absent key can only mean a truncated or hand-edited
+/// document. Used by the `#[derive(Deserialize)]` expansion.
 ///
 /// # Errors
 ///
-/// Returns [`DeError`] if `value` is not an object, the field is missing, or
-/// it fails to deserialize.
+/// Returns [`DeError`] if `value` is not an object, a non-`Option` field is
+/// missing, or the field fails to deserialize.
 pub fn de_field<T: Deserialize>(value: &json::Value, name: &str) -> Result<T, DeError> {
     let json::Value::Object(_) = value else {
         return Err(DeError::mismatch("object", value));
     };
-    let field = value
-        .get(name)
-        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))?;
-    T::from_json_value(field).map_err(|e| e.in_context(&format!("field `{name}`")))
+    match value.get(name) {
+        Some(field) => {
+            T::from_json_value(field).map_err(|e| e.in_context(&format!("field `{name}`")))
+        }
+        None => T::from_missing_field(name),
+    }
 }
 
 /// Checks that a JSON value is an array of exactly `arity` elements and
@@ -375,6 +392,10 @@ impl<T: Deserialize> Deserialize for Option<T> {
             json::Value::Null => Ok(None),
             other => T::from_json_value(other).map(Some),
         }
+    }
+
+    fn from_missing_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
     }
 }
 

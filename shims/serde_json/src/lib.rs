@@ -401,6 +401,22 @@ mod tests {
     }
 
     #[test]
+    fn missing_option_fields_deserialize_as_none() {
+        // Schema evolution: a reader that grew an `Option` field must still
+        // load documents written before the field existed (the pre-fleet
+        // BENCH_*.json baselines have no `fleet` key). Non-Option fields stay
+        // a hard error when absent.
+        let back: Demo = super::from_str("{\"name\":\"old\",\"count\":7,\"tags\":[]}").unwrap();
+        assert_eq!(back.name, "old");
+        assert_eq!(back.ratio, None);
+        let err = super::from_str::<Demo>("{\"name\":\"old\",\"ratio\":null,\"tags\":[]}");
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `count`"));
+    }
+
+    #[test]
     fn float_text_round_trip_is_exact() {
         // Rust's f64 Display prints the shortest string that parses back to
         // the same bits; the BENCH_*.json delta computation relies on this.
@@ -459,18 +475,16 @@ mod tests {
     }
 
     #[test]
-    fn option_fields_tolerate_null_but_not_missing_keys() {
+    fn option_fields_tolerate_null_and_missing_keys() {
         let d: Demo =
             super::from_str("{\"name\":\"n\",\"count\":1,\"ratio\":null,\"tags\":[\"t\"]}")
                 .unwrap();
         assert_eq!(d.ratio, None);
         assert_eq!(d.tags, vec!["t".to_string()]);
-        // The serializer writes every field (None as null), so an absent key
-        // means a truncated document — a hard error even for Option / float
-        // fields.
-        let err = super::from_str::<Demo>("{\"name\":\"n\",\"count\":1,\"tags\":[]}")
-            .unwrap_err()
-            .to_string();
-        assert!(err.contains("missing field `ratio`"), "{err}");
+        // An absent Option key also reads as None (see
+        // `Deserialize::from_missing_field`): newer readers must load
+        // documents written before an Option field existed.
+        let d: Demo = super::from_str("{\"name\":\"n\",\"count\":1,\"tags\":[]}").unwrap();
+        assert_eq!(d.ratio, None);
     }
 }

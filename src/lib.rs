@@ -18,6 +18,9 @@
 //!   paper's comparison (§3.3);
 //! * [`varade`] — the VARADE model itself: backbone, ELBO loss, trainer,
 //!   detector and streaming wrappers;
+//! * [`fleet`] (`varade-fleet`) — the sharded multi-stream serving engine:
+//!   many logical streams share fitted detectors across worker shards with
+//!   bounded queues, explicit backpressure and batched scoring;
 //! * [`robot`] (`varade-robot`) — the synthetic 86-channel robot testbed;
 //! * [`edge`] (`varade-edge`) — the analytical Jetson edge-platform model
 //!   regenerating Table 2 and Figure 3;
@@ -28,6 +31,7 @@ pub use varade;
 pub use varade_bench as bench;
 pub use varade_detectors as detectors;
 pub use varade_edge as edge;
+pub use varade_fleet as fleet;
 pub use varade_metrics as metrics;
 pub use varade_robot as robot;
 pub use varade_tensor as tensor;
