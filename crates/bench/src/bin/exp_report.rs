@@ -20,7 +20,8 @@ use varade_bench::experiments::ExperimentScale;
 use varade_bench::report;
 
 const USAGE: &str = "usage: exp_report [--quick] [--render-only] [--out-dir DIR] \
-                     [--baseline-dir DIR] [--md-path PATH] [--date YYYY-MM-DD]";
+                     [--baseline-dir DIR] [--md-path PATH] [--date YYYY-MM-DD] \
+                     [--backend scalar|vector] [--check-floor PATH]";
 
 struct Args {
     quick: bool,
@@ -29,6 +30,8 @@ struct Args {
     baseline_dir: PathBuf,
     md_path: PathBuf,
     date: Option<String>,
+    backend: Option<varade::BackendKind>,
+    check_floor: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
         baseline_dir: PathBuf::from("."),
         md_path: PathBuf::from("EXPERIMENTS.md"),
         date: None,
+        backend: None,
+        check_floor: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -56,15 +61,31 @@ fn parse_args() -> Result<Args, String> {
             "--baseline-dir" => args.baseline_dir = PathBuf::from(value_of(&mut i)?),
             "--md-path" => args.md_path = PathBuf::from(value_of(&mut i)?),
             "--date" => args.date = Some(value_of(&mut i)?),
+            "--backend" => args.backend = Some(value_of(&mut i)?.parse()?),
+            "--check-floor" => args.check_floor = Some(PathBuf::from(value_of(&mut i)?)),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
         i += 1;
+    }
+    if args.render_only && args.check_floor.is_some() {
+        // The floor gates a fresh run's measurements; render-only performs
+        // none, so accepting both would report a gate that never evaluated.
+        return Err(format!(
+            "--check-floor requires a measuring run and cannot be combined with --render-only\n{USAGE}"
+        ));
     }
     Ok(args)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
+    if let Some(kind) = args.backend {
+        // Must happen before any model is built: the process default freezes
+        // on first use.
+        varade_tensor::backend::set_process_default(kind).map_err(|resolved| {
+            format!("--backend {kind} came too late: the process already resolved `{resolved}`")
+        })?;
+    }
 
     if !args.render_only {
         let scale = ExperimentScale::from_quick_flag(args.quick);
@@ -88,6 +109,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             report.streaming.push_latency.p99_us,
             report.streaming.model_scoring_mean_us,
         );
+        if let Some(backends) = &report.backends {
+            for cell in &backends.cells {
+                println!(
+                    "backend {}: {:.1} samples/sec (model {:.1} us, max dev {:.2e})",
+                    cell.backend,
+                    cell.samples_per_sec,
+                    cell.model_scoring_mean_us,
+                    cell.max_rel_deviation_vs_scalar,
+                );
+            }
+            println!(
+                "vector-over-scalar speedup: {:.2}x",
+                backends.vector_over_scalar_speedup
+            );
+        }
         if let Some(fleet) = &report.fleet {
             println!(
                 "fleet: peak {:.1} samples/sec over {} cells (1-stream bit-identity: {})",
@@ -102,6 +138,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         if let Some(auc) = report.table2.auc_of("VARADE") {
             println!("VARADE AUC-ROC: {auc:.3}");
+        }
+        if let Some(floor_path) = &args.check_floor {
+            let floor = report::load_floor(floor_path)?;
+            if let Err(e) = report::check_floor(&report, &floor) {
+                // GitHub Actions error annotation: the perf-regression gate.
+                eprintln!("::error::performance regression: {e}");
+                return Err(format!("performance floor violated: {e}").into());
+            }
+            println!("performance floor check passed ({})", floor_path.display());
         }
     }
 

@@ -12,6 +12,7 @@
 //! | [`figure3`] | §4.4, Figure 3 — inference frequency vs. accuracy | [`figure3::Figure3Result`] |
 //! | [`ablation`] | §4.5 — scoring rule, KL weight λ, window T | [`ablation::AblationResultSet`] |
 //! | [`streaming`] | §3.1/§4.3 — real-time push throughput and latency | [`streaming::StreamingResult`] |
+//! | [`backend`] | beyond the paper — kernel-backend (scalar vs vector) throughput sweep | [`backend::BackendSweepResult`] |
 //! | [`fleet`] | beyond the paper — multi-stream serving throughput (streams × shards sweep) | [`fleet::FleetResult`] |
 //!
 //! Every experiment runs at one of two [`ExperimentScale`]s sharing a single
@@ -21,6 +22,7 @@
 
 pub mod ablation;
 pub mod architecture;
+pub mod backend;
 pub mod channels;
 pub mod figure3;
 pub mod fleet;

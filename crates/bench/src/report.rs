@@ -15,13 +15,16 @@ use serde::{Deserialize, Serialize};
 
 use crate::experiments::ablation::{AblationEntry, AblationResultSet};
 use crate::experiments::architecture::ArchitectureResult;
+use crate::experiments::backend::BackendSweepResult;
 use crate::experiments::channels::ChannelsResult;
 use crate::experiments::figure3::Figure3Result;
 use crate::experiments::fleet::FleetResult;
 use crate::experiments::streaming::StreamingResult;
 use crate::experiments::table2::Table2Result;
 use crate::experiments::ExperimentScale;
-use crate::experiments::{ablation, architecture, channels, figure3, fleet, streaming, table2};
+use crate::experiments::{
+    ablation, architecture, backend, channels, figure3, fleet, streaming, table2,
+};
 use crate::{compare_line, paper_row, BenchError};
 
 /// Version of the `BENCH_*.json` schema this crate writes. Bump on any
@@ -29,11 +32,39 @@ use crate::{compare_line, paper_row, BenchError};
 /// need [`MIN_SCHEMA_VERSION`] to stay put.
 ///
 /// v2 added the optional `fleet` section (multi-stream serving sweep).
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3 added the optional `meta` (host/backend metadata) and `backends`
+/// (kernel-backend throughput sweep) sections.
+pub const SCHEMA_VERSION: u32 = 3;
 
-/// Oldest schema this crate still reads. v1 reports simply lack the `fleet`
-/// section, which deserializes as `None`.
+/// Oldest schema this crate still reads. Pre-v3 reports simply lack the
+/// newer optional sections, which deserialize as `None`.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
+
+/// Host and configuration metadata recorded with every report, so the
+/// `BENCH_*.json` trajectory stays comparable across machines and backend
+/// configurations (schema v3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// The process-default kernel backend the headline sections (streaming,
+    /// fleet) ran on — `"scalar"` unless `--backend`/`VARADE_BACKEND`
+    /// selected another.
+    pub active_backend: String,
+    /// CPU cores available to the run (`std::thread::available_parallelism`;
+    /// 0 if the platform cannot say). The container baselines pin to one
+    /// core, so shard scaling numbers from multi-core hosts are not
+    /// comparable to them.
+    pub cpu_cores: usize,
+}
+
+impl RunMeta {
+    /// Captures the current process' metadata.
+    pub fn capture() -> Self {
+        Self {
+            active_backend: varade::BackendKind::active().label().to_string(),
+            cpu_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        }
+    }
+}
 
 /// Everything one `exp_report` run measured, as serialized to
 /// `BENCH_<date>.json`.
@@ -45,8 +76,12 @@ pub struct BenchReport {
     pub date: String,
     /// Scale label: `"quick"` or `"full"`.
     pub scale: String,
+    /// Host/backend metadata (`None` in pre-v3 baselines).
+    pub meta: Option<RunMeta>,
     /// Streaming push throughput and latency percentiles.
     pub streaming: StreamingResult,
+    /// Kernel-backend throughput sweep (`None` in pre-v3 baselines).
+    pub backends: Option<BackendSweepResult>,
     /// Multi-stream fleet serving sweep (`None` in pre-v2 baselines).
     pub fleet: Option<FleetResult>,
     /// Table 2: detectors × boards.
@@ -81,15 +116,20 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
     eprintln!("exp_report: running the fleet serving sweep ...");
     let shared = std::sync::Arc::new(outcome.varade);
     let fleet = fleet::run_fitted(&shared, &outcome.dataset, scale)?;
-    let varade = std::sync::Arc::try_unwrap(shared)
+    let mut varade = std::sync::Arc::try_unwrap(shared)
         .map_err(|_| BenchError::Report("fleet kept a detector reference".into()))?;
+    eprintln!("exp_report: running the kernel-backend sweep ...");
+    let backends =
+        backend::run_fitted(&mut varade, &outcome.dataset, scale.streaming_sample_cap())?;
     eprintln!("exp_report: measuring streaming throughput ...");
     let streaming = streaming::run_fitted(varade, &outcome.dataset, scale.streaming_sample_cap())?;
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
         date: date.to_string(),
         scale: scale.label().to_string(),
+        meta: Some(RunMeta::capture()),
         streaming,
+        backends: Some(backends),
         fleet: Some(fleet),
         figure3: figure3::from_table(&table2.table),
         table2,
@@ -246,6 +286,17 @@ pub fn compute_deltas(previous: &BenchReport, current: &BenchReport) -> Vec<Delt
             c.peak_samples_per_sec,
         ));
     }
+    if let (Some(p), Some(c)) = (&previous.backends, &current.backends) {
+        for kind in varade::BackendKind::ALL {
+            if let (Some(pc), Some(cc)) = (p.cell(kind), c.cell(kind)) {
+                rows.push(delta_row(
+                    &format!("{} backend samples/sec", kind.label()),
+                    pc.samples_per_sec,
+                    cc.samples_per_sec,
+                ));
+            }
+        }
+    }
     if let (Some(p), Some(c)) = (
         previous.table2.auc_of("VARADE"),
         current.table2.auc_of("VARADE"),
@@ -296,15 +347,23 @@ pub fn render_experiments_md(baselines: &[Baseline]) -> String {
     let r = &latest.report;
     out.push_str(&format!(
         "Latest baseline: `{}` (schema v{}, {} scale, {}).\n\
-         Baselines in trajectory: {}.\n\n",
+         Baselines in trajectory: {}.\n",
         latest.file_name,
         r.schema_version,
         r.scale,
         r.date,
         baselines.len()
     ));
+    if let Some(meta) = &r.meta {
+        out.push_str(&format!(
+            "Host: {} CPU core(s); headline sections ran on the `{}` kernel backend.\n",
+            meta.cpu_cores, meta.active_backend
+        ));
+    }
+    out.push('\n');
 
     render_streaming(&mut out, r);
+    render_backends(&mut out, r);
     render_fleet(&mut out, r);
     render_table2(&mut out, r);
     render_figure3(&mut out, r);
@@ -314,6 +373,45 @@ pub fn render_experiments_md(baselines: &[Baseline]) -> String {
     render_deltas(&mut out, baselines);
     render_caveats(&mut out);
     out
+}
+
+fn render_backends(out: &mut String, r: &BenchReport) {
+    out.push_str("## 2. Kernel backends (`varade_tensor::backend`)\n\n");
+    let Some(b) = &r.backends else {
+        out.push_str(
+            "This baseline predates the multi-backend substrate (schema < 3);\n\
+             the next full-scale `exp_report` run will populate this section.\n\n",
+        );
+        return;
+    };
+    out.push_str(&format!(
+        "The same fitted detector, re-routed onto each kernel backend and pushed\n\
+         through the identical single-stream scoring path ({} samples, {} channels,\n\
+         window {}). The scalar backend is the bit-exact reference; the deviation\n\
+         column is the largest relative score difference against it (contract:\n\
+         ≤ 1e-5).\n\n",
+        b.streamed_samples, b.n_channels, b.window,
+    ));
+    out.push_str(
+        "| Backend | Samples/sec | p50 (us) | p99 (us) | Model fwd (us) | Max rel. deviation |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for cell in &b.cells {
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2e} |\n",
+            cell.backend,
+            cell.samples_per_sec,
+            cell.push_latency.p50_us,
+            cell.push_latency.p99_us,
+            cell.model_scoring_mean_us,
+            cell.max_rel_deviation_vs_scalar,
+        ));
+    }
+    out.push_str(&format!(
+        "\nVector-over-scalar single-stream speedup: **{:.2}x**. Select a backend\n\
+         with `VARADE_BACKEND=scalar|vector` or `exp_report --backend <kind>`.\n\n",
+        b.vector_over_scalar_speedup,
+    ));
 }
 
 fn render_streaming(out: &mut String, r: &BenchReport) {
@@ -365,7 +463,7 @@ fn render_streaming(out: &mut String, r: &BenchReport) {
 }
 
 fn render_fleet(out: &mut String, r: &BenchReport) {
-    out.push_str("## 2. Fleet serving throughput (`varade-fleet`)\n\n");
+    out.push_str("## 3. Fleet serving throughput (`varade-fleet`)\n\n");
     let Some(fleet) = &r.fleet else {
         out.push_str(
             "This baseline predates the fleet engine (schema v1); the next\n\
@@ -414,7 +512,7 @@ fn render_fleet(out: &mut String, r: &BenchReport) {
 }
 
 fn render_table2(out: &mut String, r: &BenchReport) {
-    out.push_str("## 3. Table 2 — detectors × edge boards (paper §4.3–4.4)\n\n");
+    out.push_str("## 4. Table 2 — detectors × edge boards (paper §4.3–4.4)\n\n");
     out.push_str(
         "Accuracy comes from really training scaled-down detectors on the simulated\n\
          robot dataset; platform columns come from the analytical Jetson model.\n\n",
@@ -453,14 +551,14 @@ fn render_table2(out: &mut String, r: &BenchReport) {
 }
 
 fn render_figure3(out: &mut String, r: &BenchReport) {
-    out.push_str("## 4. Figure 3 — inference frequency vs. accuracy (paper §4.4)\n\n");
+    out.push_str("## 5. Figure 3 — inference frequency vs. accuracy (paper §4.4)\n\n");
     out.push_str("Marker size in the paper encodes power draw; here it is the last column.\n\n");
     out.push_str(&r.figure3.to_markdown());
     out.push('\n');
 }
 
 fn render_ablation(out: &mut String, r: &BenchReport) {
-    out.push_str("## 5. Ablations (paper §4.5)\n\n");
+    out.push_str("## 6. Ablations (paper §4.5)\n\n");
     let section = |out: &mut String, title: &str, entries: &[AblationEntry]| {
         out.push_str(&format!("### {title}\n\n"));
         out.push_str("| Variant | AUC-ROC | MFLOPs/inference |\n|---|---|---|\n");
@@ -487,7 +585,7 @@ fn render_ablation(out: &mut String, r: &BenchReport) {
 
 fn render_architecture(out: &mut String, r: &BenchReport) {
     let a = &r.architecture;
-    out.push_str("## 6. Architecture (paper §3.1, Figure 1)\n\n");
+    out.push_str("## 7. Architecture (paper §3.1, Figure 1)\n\n");
     out.push_str(&format!(
         "Paper-scale VARADE: window T = {}, {} input channels, {} convolutional layers,\n\
          {} trainable parameters, {:.2} MFLOPs per inference ({:.2} MB parameters,\n\
@@ -512,7 +610,7 @@ fn render_architecture(out: &mut String, r: &BenchReport) {
 
 fn render_channels(out: &mut String, r: &BenchReport) {
     let c = &r.channels;
-    out.push_str("## 7. Channel schema (paper §4.2, Table 1)\n\n");
+    out.push_str("## 8. Channel schema (paper §4.2, Table 1)\n\n");
     out.push_str(&format!(
         "{} channels: {} action identifier, {} joint (IMU) channels (7 sensors × 11),\n\
          {} power channels. The full table is printed by\n\
@@ -522,7 +620,7 @@ fn render_channels(out: &mut String, r: &BenchReport) {
 }
 
 fn render_deltas(out: &mut String, baselines: &[Baseline]) {
-    out.push_str("## 8. Trajectory — delta vs. previous baseline\n\n");
+    out.push_str("## 9. Trajectory — delta vs. previous baseline\n\n");
     if baselines.len() < 2 {
         out.push_str(
             "First baseline: nothing to compare against yet. The next full-scale\n\
@@ -550,7 +648,7 @@ fn render_deltas(out: &mut String, baselines: &[Baseline]) {
 }
 
 fn render_caveats(out: &mut String) {
-    out.push_str("## 9. Caveats\n\n");
+    out.push_str("## 10. Caveats\n\n");
     out.push_str(
         "* **Variance score at reduced scale.** The paper's variance-only scoring rule\n\
          needs paper-scale training to produce a calibrated predictive distribution;\n\
@@ -564,6 +662,66 @@ fn render_caveats(out: &mut String) {
          reproducible; samples/sec and latency percentiles depend on the machine that\n\
          generated the baseline.\n",
     );
+}
+
+/// The committed performance floor (`bench_floor.json`): hard minimums a
+/// quick `exp_report` run must clear in CI, the smoke gate against silent
+/// throughput regressions. The floor is deliberately loose — about half of
+/// the reference quick-scale throughput on the slowest machine in play — so
+/// it only trips on real regressions, not on runner jitter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFloor {
+    /// Version of this floor file format.
+    pub schema_version: u32,
+    /// Minimum acceptable quick-scale `streaming.samples_per_sec`.
+    pub quick_min_streaming_samples_per_sec: f64,
+    /// Minimum acceptable quick-scale vector-over-scalar speedup (the vector
+    /// backend must never fall behind the scalar reference).
+    pub quick_min_vector_over_scalar_speedup: f64,
+    /// Where the numbers came from, for the next person who retunes them.
+    pub note: String,
+}
+
+/// Loads a [`BenchFloor`] from `path`.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the file cannot be read or parsed.
+pub fn load_floor(path: &Path) -> Result<BenchFloor, BenchError> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| BenchError::Report(format!("{}: {e}", path.display())))
+}
+
+/// Checks a quick-scale report against the committed floor; full-scale
+/// reports are exempt (they set the trajectory instead of being gated by it).
+///
+/// # Errors
+///
+/// Returns [`BenchError::Report`] describing every violated floor.
+pub fn check_floor(report: &BenchReport, floor: &BenchFloor) -> Result<(), BenchError> {
+    if report.scale != ExperimentScale::Quick.label() {
+        return Ok(());
+    }
+    let mut violations = Vec::new();
+    if report.streaming.samples_per_sec < floor.quick_min_streaming_samples_per_sec {
+        violations.push(format!(
+            "streaming throughput {:.1} samples/sec is below the floor of {:.1}",
+            report.streaming.samples_per_sec, floor.quick_min_streaming_samples_per_sec
+        ));
+    }
+    if let Some(backends) = &report.backends {
+        if backends.vector_over_scalar_speedup < floor.quick_min_vector_over_scalar_speedup {
+            violations.push(format!(
+                "vector-over-scalar speedup {:.2}x is below the floor of {:.2}x",
+                backends.vector_over_scalar_speedup, floor.quick_min_vector_over_scalar_speedup
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(BenchError::Report(violations.join("; ")))
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 
 use varade_bench::experiments::ablation::{AblationEntry, AblationResultSet};
 use varade_bench::experiments::architecture;
+use varade_bench::experiments::backend::{BackendCell, BackendSweepResult};
 use varade_bench::experiments::channels;
 use varade_bench::experiments::figure3::Figure3Result;
 use varade_bench::experiments::fleet::{FleetResult, FleetSweepCell};
@@ -11,11 +12,37 @@ use varade_bench::experiments::streaming::StreamingResult;
 use varade_bench::experiments::table2::Table2Result;
 use varade_bench::experiments::ExperimentScale;
 use varade_bench::report::{
-    compute_deltas, file_name, load_baselines, render_experiments_md, write_report, Baseline,
-    BenchReport, SCHEMA_VERSION,
+    check_floor, compute_deltas, file_name, load_baselines, render_experiments_md, write_report,
+    Baseline, BenchFloor, BenchReport, RunMeta, SCHEMA_VERSION,
 };
 use varade_bench::timing::LatencyStats;
 use varade_edge::table::{DetectorAccuracy, Table2, Table2Row};
+
+/// Hand-built backend sweep: the vector backend at twice the scalar
+/// throughput, within the deviation contract.
+fn fixture_backends(samples_per_sec: f64) -> BackendSweepResult {
+    let cell = |backend: &str, factor: f64, dev: f64| BackendCell {
+        backend: backend.to_string(),
+        samples_per_sec: samples_per_sec * factor,
+        push_latency: LatencyStats {
+            samples: 3750,
+            mean_us: 1e6 / (samples_per_sec * factor),
+            p50_us: 900.0 / factor,
+            p90_us: 1200.0 / factor,
+            p99_us: 2000.0 / factor,
+            max_us: 4000.0 / factor,
+        },
+        model_scoring_mean_us: 850.0 / factor,
+        max_rel_deviation_vs_scalar: dev,
+    };
+    BackendSweepResult {
+        n_channels: 86,
+        window: 64,
+        streamed_samples: 3750,
+        cells: vec![cell("scalar", 1.0, 0.0), cell("vector", 2.0, 3e-7)],
+        vector_over_scalar_speedup: 2.0,
+    }
+}
 
 /// Hand-built fleet sweep whose peak scales with the streaming throughput.
 fn fixture_fleet(samples_per_sec: f64) -> FleetResult {
@@ -82,6 +109,10 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
         schema_version: SCHEMA_VERSION,
         date: date.to_string(),
         scale: "full".to_string(),
+        meta: Some(RunMeta {
+            active_backend: "scalar".to_string(),
+            cpu_cores: 1,
+        }),
         streaming: StreamingResult {
             n_channels: 86,
             window: 64,
@@ -100,6 +131,7 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
             model_scoring_mean_us: 850.0,
             score_summary: None,
         },
+        backends: Some(fixture_backends(samples_per_sec)),
         fleet: Some(fixture_fleet(samples_per_sec)),
         figure3: Figure3Result {
             points: varade_edge::figure::figure3_points(&table),
@@ -241,23 +273,29 @@ fn rendered_markdown_is_deterministic_and_contains_every_section() {
     );
     for section in [
         "## 1. Streaming throughput",
-        "## 2. Fleet serving throughput",
-        "## 3. Table 2",
-        "## 4. Figure 3",
-        "## 5. Ablations",
-        "## 6. Architecture",
-        "## 7. Channel schema",
-        "## 8. Trajectory",
-        "## 9. Caveats",
+        "## 2. Kernel backends",
+        "## 3. Fleet serving throughput",
+        "## 4. Table 2",
+        "## 5. Figure 3",
+        "## 6. Ablations",
+        "## 7. Architecture",
+        "## 8. Channel schema",
+        "## 9. Trajectory",
+        "## 10. Caveats",
     ] {
         assert!(md.contains(section), "missing section {section}");
     }
     // The fleet section reports the equivalence verdict and the sweep peak.
     assert!(md.contains("bit-identity"));
     assert!(md.contains("**confirmed**"));
-    // The delta table compares the two baselines.
+    // The backend section reports the speedup and the host metadata line is
+    // rendered from `meta`.
+    assert!(md.contains("speedup: **2.00x**"));
+    assert!(md.contains("1 CPU core(s)"));
+    // The delta table compares the two baselines, including per-backend rows.
     assert!(md.contains("`BENCH_2026-07-01.json` → `BENCH_2026-07-30.json`"));
     assert!(md.contains("+25.0%"));
+    assert!(md.contains("vector backend samples/sec"));
     // The toy-scale variance caveat is surfaced.
     assert!(md.contains("variance-score fidelity"));
 }
@@ -287,6 +325,22 @@ fn quick_report_end_to_end() {
     assert!(fleet.one_stream_bit_identical);
     assert_eq!(fleet.cells.len(), 4);
     assert!(fleet.peak_samples_per_sec > 0.0);
+    let meta = report.meta.as_ref().expect("v3 reports carry metadata");
+    assert!(meta.cpu_cores >= 1);
+    assert_eq!(
+        meta.active_backend,
+        varade::BackendKind::active().label(),
+        "meta must record the backend the run used"
+    );
+    let backends = report
+        .backends
+        .as_ref()
+        .expect("v3 reports carry a backend sweep");
+    assert_eq!(backends.cells.len(), 2);
+    assert!(backends.vector_over_scalar_speedup > 0.0);
+    for cell in &backends.cells {
+        assert!(cell.max_rel_deviation_vs_scalar <= 1e-5);
+    }
 
     // Disk round trip through the real writer/loader pair. The quick report
     // is filtered out of the baseline trajectory by design, so parse the file
@@ -300,29 +354,82 @@ fn quick_report_end_to_end() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// A v1 baseline has no `fleet` key at all (not even `null`): the loader
-/// must read it with `fleet: None` — the committed pre-fleet baseline stays
-/// part of the trajectory forever.
+/// A v1 baseline has no `fleet`, `meta` or `backends` key at all (not even
+/// `null`): the loader must read it with those sections as `None` — the
+/// committed pre-fleet and pre-backend baselines stay part of the trajectory
+/// forever.
 #[test]
-fn v1_baselines_without_a_fleet_key_still_load() {
+fn v1_baselines_without_newer_keys_still_load() {
     let mut v1 = fixture_report("2026-07-30", 1000.0, 0.8);
     v1.schema_version = 1;
     v1.fleet = None;
+    v1.meta = None;
+    v1.backends = None;
     let compact = serde_json::to_string(&v1).unwrap();
-    // Simulate the genuine v1 file: the key is absent, not null.
-    let without_key = compact.replace("\"fleet\":null,", "");
-    assert_ne!(compact, without_key, "fixture lost its fleet:null marker");
-    let back: BenchReport = serde_json::from_str(&without_key).unwrap();
+    // Simulate the genuine v1 file: the keys are absent, not null.
+    let without_keys = compact
+        .replace("\"fleet\":null,", "")
+        .replace("\"meta\":null,", "")
+        .replace("\"backends\":null,", "");
+    assert_ne!(compact, without_keys, "fixture lost its null markers");
+    let back: BenchReport = serde_json::from_str(&without_keys).unwrap();
     assert_eq!(back.schema_version, 1);
     assert!(back.fleet.is_none());
+    assert!(back.meta.is_none());
+    assert!(back.backends.is_none());
     assert_eq!(back.streaming, v1.streaming);
 
-    // And the renderer degrades gracefully for fleet-less baselines.
+    // And the renderer degrades gracefully for baselines predating the newer
+    // sections.
     let md = render_experiments_md(&[Baseline {
         file_name: file_name("2026-07-30"),
         report: back,
     }]);
     assert!(md.contains("predates the fleet engine"));
+    assert!(md.contains("predates the multi-backend substrate"));
+}
+
+#[test]
+fn floor_check_gates_quick_reports_only() {
+    let floor = BenchFloor {
+        schema_version: 1,
+        quick_min_streaming_samples_per_sec: 500.0,
+        quick_min_vector_over_scalar_speedup: 1.0,
+        note: "test fixture".to_string(),
+    };
+    // Full-scale reports are exempt regardless of their numbers.
+    let slow_full = fixture_report("2026-07-30", 1.0, 0.8);
+    check_floor(&slow_full, &floor).expect("full reports are not gated");
+
+    // A quick report above the floor passes …
+    let mut quick = fixture_report("2026-07-30", 1000.0, 0.8);
+    quick.scale = "quick".to_string();
+    check_floor(&quick, &floor).expect("healthy quick report");
+
+    // … below the throughput floor fails with a description …
+    let mut slow = quick.clone();
+    slow.streaming.samples_per_sec = 100.0;
+    let err = check_floor(&slow, &floor).unwrap_err().to_string();
+    assert!(err.contains("below the floor"), "{err}");
+
+    // … and a vector backend slower than scalar trips the speedup floor.
+    let mut regressed = quick.clone();
+    regressed
+        .backends
+        .as_mut()
+        .unwrap()
+        .vector_over_scalar_speedup = 0.8;
+    let err = check_floor(&regressed, &floor).unwrap_err().to_string();
+    assert!(err.contains("speedup"), "{err}");
+
+    // The committed floor file parses and matches this schema.
+    let committed = varade_bench::report::load_floor(std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench_floor.json"
+    )))
+    .expect("committed bench_floor.json parses");
+    assert_eq!(committed.schema_version, 1);
+    assert!(committed.quick_min_streaming_samples_per_sec > 0.0);
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! The VARADE anomaly detector: trained model + variance scoring.
 
 use varade_detectors::{AnomalyDetector, DetectorError};
-use varade_tensor::{numerics::clamp_log_var, ComputeProfile, Tensor};
+use varade_tensor::{numerics::clamp_log_var, BackendKind, ComputeProfile, Layer, Tensor};
 use varade_timeseries::{MultivariateSeries, WindowIter};
 
 use crate::{VaradeConfig, VaradeError, VaradeModel, VaradeTrainer};
@@ -47,6 +47,7 @@ pub struct VaradeDetector {
     scoring: ScoringRule,
     model: Option<VaradeModel>,
     n_channels: usize,
+    backend: BackendKind,
 }
 
 impl std::fmt::Debug for VaradeDetector {
@@ -54,6 +55,7 @@ impl std::fmt::Debug for VaradeDetector {
         f.debug_struct("VaradeDetector")
             .field("config", &self.config)
             .field("scoring", &self.scoring)
+            .field("backend", &self.backend)
             .field("fitted", &self.model.is_some())
             .finish()
     }
@@ -67,6 +69,7 @@ impl VaradeDetector {
             scoring: ScoringRule::Variance,
             model: None,
             n_channels: 0,
+            backend: BackendKind::active(),
         }
     }
 
@@ -74,11 +77,33 @@ impl VaradeDetector {
     /// ablation study).
     pub fn with_scoring(config: VaradeConfig, scoring: ScoringRule) -> Self {
         Self {
-            config,
             scoring,
-            model: None,
-            n_channels: 0,
+            ..Self::new(config)
         }
+    }
+
+    /// Selects the kernel backend (see [`varade_tensor::backend`]) the
+    /// detector trains and scores with, builder style. The scalar backend is
+    /// the bit-exact reference; the vector backend is faster within 1e-5
+    /// relative deviation.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.set_backend(kind);
+        self
+    }
+
+    /// Switches the kernel backend in place; a fitted model is re-routed
+    /// immediately, so subsequent scoring runs on `kind` without refitting —
+    /// how the backend benchmark sweeps one fitted detector across backends.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+        if let Some(model) = &mut self.model {
+            model.set_backend(kind);
+        }
+    }
+
+    /// The kernel backend this detector trains and scores with.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
     }
 
     /// The configuration in use.
@@ -240,7 +265,10 @@ impl VaradeDetector {
         let stride = (usable / self.config.max_train_windows.max(1)).max(1);
         let windows: Vec<_> = WindowIter::forecasting(train, self.config.window, stride)?.collect();
         let mut model = VaradeModel::from_config(self.config, self.n_channels)?;
-        let report = VaradeTrainer::new(self.config).train(&mut model, &windows)?;
+        model.set_backend(self.backend);
+        let report = VaradeTrainer::new(self.config)
+            .with_backend(self.backend)
+            .train(&mut model, &windows)?;
         self.model = Some(model);
         Ok(report)
     }
@@ -498,6 +526,39 @@ mod tests {
         let next: Vec<f32> = test.row(20).to_vec();
         let manual = det.score_window(&window, &next).unwrap();
         assert!((manual - series_scores[20]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backend_threads_through_fit_and_scoring() {
+        use varade_tensor::BackendKind;
+        let train = wave_series(200, 2);
+        // Train on the scalar backend, then re-route the fitted model.
+        let mut det = VaradeDetector::new(tiny_config()).with_backend(BackendKind::Scalar);
+        assert_eq!(det.backend_kind(), BackendKind::Scalar);
+        det.fit(&train).unwrap();
+        let test = wave_series(40, 2);
+        let window = tiny_config().window;
+        let mut ctx = Vec::new();
+        for c in 0..2 {
+            for t in 20 - window..20 {
+                ctx.push(test.value(t, c));
+            }
+        }
+        let target = test.row(20).to_vec();
+        let scalar_score = det.score_window(&ctx, &target).unwrap();
+        det.set_backend(BackendKind::Vector);
+        assert_eq!(det.backend_kind(), BackendKind::Vector);
+        let vector_score = det.score_window(&ctx, &target).unwrap();
+        // Same weights, reassociated kernels: close but not necessarily
+        // bit-identical.
+        assert!(
+            (vector_score - scalar_score).abs() <= 1e-5 * scalar_score.abs().max(1.0),
+            "vector {vector_score} vs scalar {scalar_score}"
+        );
+        // Round-trip back to scalar restores the exact original bits.
+        det.set_backend(BackendKind::Scalar);
+        let again = det.score_window(&ctx, &target).unwrap();
+        assert_eq!(again.to_bits(), scalar_score.to_bits());
     }
 
     #[test]

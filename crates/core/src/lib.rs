@@ -57,6 +57,10 @@ pub use detector::{ScoringRule, VaradeDetector};
 pub use model::{LayerSummary, VaradeModel};
 pub use streaming::{PushStats, ScoreRequest, StreamState, StreamingVarade};
 pub use trainer::{TrainingReport, VaradeTrainer};
+/// Re-export of the tensor crate's kernel-backend selector, so downstream
+/// crates (fleet, bench) can pick a backend without depending on
+/// `varade-tensor` directly.
+pub use varade_tensor::BackendKind;
 
 use std::fmt;
 

@@ -264,6 +264,12 @@ impl StreamingVarade {
         &self.detector
     }
 
+    /// The kernel backend the wrapped detector scores with (see
+    /// [`crate::BackendKind`]).
+    pub fn backend_kind(&self) -> crate::BackendKind {
+        self.detector.backend_kind()
+    }
+
     /// Consumes the wrapper and returns the underlying detector.
     pub fn into_detector(self) -> VaradeDetector {
         self.detector

@@ -143,6 +143,21 @@ impl Fleet {
         Ok(id)
     }
 
+    /// The kernel backend a model group's detector scores with (see
+    /// [`varade::BackendKind`]) — fixed at [`Fleet::register_model`] time,
+    /// since the shared detector is immutable behind its `Arc`. Lets an
+    /// operator confirm which backend a fleet node serves on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`].
+    pub fn model_backend(&self, group: ModelGroupId) -> Result<varade::BackendKind, FleetError> {
+        self.groups
+            .get(group.0)
+            .map(|d| d.backend_kind())
+            .ok_or_else(|| FleetError::UnknownId(format!("model group {}", group.0)))
+    }
+
     /// Number of registered streams.
     pub fn n_streams(&self) -> usize {
         self.meta.len()

@@ -1,0 +1,187 @@
+//! The bit-exact scalar reference backend.
+//!
+//! These are the crate's original hand-written loops, moved here verbatim:
+//! iteration order and accumulation association are preserved exactly, so a
+//! model built, trained and scored on [`ScalarBackend`] reproduces the
+//! pre-backend crate bit for bit (the golden-score tests in
+//! `varade-fleet/tests/equivalence.rs` pin this).
+
+use super::{Backend, BackendKind};
+
+/// The original scalar loops — the numeric reference every other backend is
+/// validated against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Scalar
+    }
+
+    fn conv1d(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        in_c: usize,
+        out_c: usize,
+        padded_len: usize,
+        out_len: usize,
+        kernel: usize,
+        stride: usize,
+    ) {
+        let (ci_n, k) = (in_c, kernel);
+        for bi in 0..batch {
+            for oc in 0..out_c {
+                let w_oc = &w[oc * ci_n * k..(oc + 1) * ci_n * k];
+                let o_row = &mut out[(bi * out_c + oc) * out_len..(bi * out_c + oc + 1) * out_len];
+                for (ot, o_val) in o_row.iter_mut().enumerate() {
+                    let start = ot * stride;
+                    let mut acc = bias[oc];
+                    for ic in 0..ci_n {
+                        let x_row = &x[(bi * ci_n + ic) * padded_len + start
+                            ..(bi * ci_n + ic) * padded_len + start + k];
+                        let w_row = &w_oc[ic * k..(ic + 1) * k];
+                        for (xv, wv) in x_row.iter().zip(w_row.iter()) {
+                            acc += xv * wv;
+                        }
+                    }
+                    *o_val = acc;
+                }
+            }
+        }
+    }
+
+    fn conv1d_k2s2(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        in_c: usize,
+        out_c: usize,
+        t: usize,
+        out_len: usize,
+    ) {
+        let ci_n = in_c;
+        for bi in 0..batch {
+            let x_b = &x[bi * ci_n * t..(bi + 1) * ci_n * t];
+            let o_b = &mut out[bi * out_c * out_len..(bi + 1) * out_c * out_len];
+            for oc in 0..out_c {
+                let o_row = &mut o_b[oc * out_len..(oc + 1) * out_len];
+                o_row.fill(bias[oc]);
+                let w_oc = &w[oc * ci_n * 2..(oc + 1) * ci_n * 2];
+                for ic in 0..ci_n {
+                    let (w0, w1) = (w_oc[ic * 2], w_oc[ic * 2 + 1]);
+                    let x_row = &x_b[ic * t..ic * t + out_len * 2];
+                    for (o_val, pair) in o_row.iter_mut().zip(x_row.chunks_exact(2)) {
+                        *o_val += w0 * pair[0] + w1 * pair[1];
+                    }
+                }
+            }
+        }
+    }
+
+    fn linear(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        in_f: usize,
+        out_f: usize,
+    ) {
+        for bi in 0..batch {
+            let x_row = &x[bi * in_f..(bi + 1) * in_f];
+            let o_row = &mut out[bi * out_f..(bi + 1) * out_f];
+            for (oi, o_val) in o_row.iter_mut().enumerate() {
+                let w_row = &w[oi * in_f..(oi + 1) * in_f];
+                let mut acc = bias[oi];
+                for (xv, wv) in x_row.iter().zip(w_row.iter()) {
+                    acc += xv * wv;
+                }
+                *o_val = acc;
+            }
+        }
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let row = &b[p * n..(p + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    fn relu(&self, x: &[f32], out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(x.iter()) {
+            *o = if v > 0.0 { v } else { 0.0 };
+        }
+    }
+
+    fn tanh(&self, x: &[f32], out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(x.iter()) {
+            *o = v.tanh();
+        }
+    }
+
+    fn sum(&self, x: &[f32]) -> f32 {
+        x.iter().sum()
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (&av, &bv) in a.iter().zip(b.iter()) {
+            acc += av * bv;
+        }
+        acc
+    }
+
+    fn norm_sq(&self, x: &[f32]) -> f32 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+            *yv += alpha * xv;
+        }
+    }
+
+    fn adam_update(
+        &self,
+        param: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        scale: f32,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        for i in 0..param.len() {
+            let g = grad[i] * scale;
+            let mi = &mut m[i];
+            let vi = &mut v[i];
+            *mi = beta1 * *mi + (1.0 - beta1) * g;
+            *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+            let m_hat = *mi / bias1;
+            let v_hat = *vi / bias2;
+            param[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}

@@ -1,5 +1,11 @@
 //! Element-wise activation layers.
+//!
+//! The element-wise kernels cannot reassociate floating-point operations, so
+//! every [`BackendKind`] produces bit-identical activations — switching
+//! backends on a fitted model only changes convolution/linear/reduction
+//! results.
 
+use crate::backend::BackendKind;
 use crate::profile::{ComputeProfile, ExecutionUnit};
 use crate::{Layer, Tensor, TensorError};
 
@@ -17,28 +23,46 @@ use crate::{Layer, Tensor, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    backend: BackendKind,
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Relu {
     /// Creates a new ReLU activation.
     pub fn new() -> Self {
-        Self { mask: None }
+        Self {
+            mask: None,
+            backend: BackendKind::active(),
+        }
+    }
+
+    fn apply(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(input.shape());
+        self.backend
+            .backend()
+            .relu(input.as_slice(), out.as_mut_slice());
+        out
     }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
         let mask: Vec<bool> = input.iter().map(|&v| v > 0.0).collect();
-        let out = input.map(|v| if v > 0.0 { v } else { 0.0 });
+        let out = self.apply(input);
         self.mask = Some(mask);
         Ok(out)
     }
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
-        Ok(input.map(|v| if v > 0.0 { v } else { 0.0 }))
+        Ok(self.apply(input))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
@@ -81,30 +105,52 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "relu"
     }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+    }
 }
 
 /// Hyperbolic tangent activation applied element-wise to any shape.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Tanh {
     output: Option<Tensor>,
+    backend: BackendKind,
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tanh {
     /// Creates a new tanh activation.
     pub fn new() -> Self {
-        Self { output: None }
+        Self {
+            output: None,
+            backend: BackendKind::active(),
+        }
+    }
+
+    fn apply(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(input.shape());
+        self.backend
+            .backend()
+            .tanh(input.as_slice(), out.as_mut_slice());
+        out
     }
 }
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
-        let out = input.map(f32::tanh);
+        let out = self.apply(input);
         self.output = Some(out.clone());
         Ok(out)
     }
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
-        Ok(input.map(f32::tanh))
+        Ok(self.apply(input))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
@@ -134,6 +180,10 @@ impl Layer for Tanh {
 
     fn name(&self) -> &'static str {
         "tanh"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
     }
 }
 

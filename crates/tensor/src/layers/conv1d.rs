@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 
+use crate::backend::BackendKind;
 use crate::init::Init;
 use crate::profile::{ComputeProfile, ExecutionUnit};
 use crate::{Layer, Tensor, TensorError};
@@ -39,6 +40,7 @@ pub struct Conv1d {
     weight_grad: Tensor,
     bias_grad: Tensor,
     cached_padded_input: Option<Tensor>,
+    backend: BackendKind,
 }
 
 impl Conv1d {
@@ -82,7 +84,19 @@ impl Conv1d {
             weight_grad: Tensor::zeros(&[out_channels, in_channels, kernel_size]),
             bias_grad: Tensor::zeros(&[out_channels]),
             cached_padded_input: None,
+            backend: BackendKind::active(),
         }
+    }
+
+    /// Replaces the kernel backend (builder form of [`Layer::set_backend`]).
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// The kernel backend this layer dispatches to.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Number of input channels.
@@ -163,70 +177,49 @@ impl Conv1d {
 
     /// The convolution itself, over an already padded input. Shared by the
     /// training forward (which caches `padded` afterwards) and the generic
-    /// inference path.
+    /// inference path; the inner loops live in the selected
+    /// [`Backend`](crate::backend::Backend).
     fn compute(&self, padded: &Tensor, batch: usize, out_len: usize) -> Tensor {
         let padded_len = padded.shape()[2];
         let mut out = Tensor::zeros(&[batch, self.out_channels, out_len]);
-        let x = padded.as_slice();
-        let w = self.weight.as_slice();
-        let b = self.bias.as_slice();
-        let o = out.as_mut_slice();
-        let (ci_n, k) = (self.in_channels, self.kernel_size);
-        for bi in 0..batch {
-            for oc in 0..self.out_channels {
-                let w_oc = &w[oc * ci_n * k..(oc + 1) * ci_n * k];
-                let o_row = &mut o[(bi * self.out_channels + oc) * out_len
-                    ..(bi * self.out_channels + oc + 1) * out_len];
-                for (ot, o_val) in o_row.iter_mut().enumerate() {
-                    let start = ot * self.stride;
-                    let mut acc = b[oc];
-                    for ic in 0..ci_n {
-                        let x_row = &x[(bi * ci_n + ic) * padded_len + start
-                            ..(bi * ci_n + ic) * padded_len + start + k];
-                        let w_row = &w_oc[ic * k..(ic + 1) * k];
-                        for (xv, wv) in x_row.iter().zip(w_row.iter()) {
-                            acc += xv * wv;
-                        }
-                    }
-                    *o_val = acc;
-                }
-            }
-        }
+        self.backend.backend().conv1d(
+            padded.as_slice(),
+            self.weight.as_slice(),
+            self.bias.as_slice(),
+            out.as_mut_slice(),
+            batch,
+            self.in_channels,
+            self.out_channels,
+            padded_len,
+            out_len,
+            self.kernel_size,
+            self.stride,
+        );
         out
     }
 
     /// Specialized inference kernel for the `kernel 2 / stride 2 / padding 0`
     /// convolutions of the VARADE backbone (paper §3.1). Instead of walking
-    /// every output element through two-element sub-slices, it streams each
-    /// input-channel row once per feature map with the time loop innermost
-    /// over contiguous output memory — the same FLOPs, but bounds checks and
-    /// loop overhead amortize over the row, which roughly halves the cost of
-    /// the backbone on the streaming path.
+    /// every output element through two-element sub-slices, the backend
+    /// kernels stream each input-channel row once per feature map with the
+    /// time loop innermost over contiguous output memory — the same FLOPs,
+    /// but bounds checks and loop overhead amortize over the row, which
+    /// roughly halves the cost of the backbone on the streaming path (and
+    /// gives the vector backend a register-resident accumulator tile).
     fn compute_k2s2(&self, input: &Tensor, batch: usize, out_len: usize) -> Tensor {
         let t = input.shape()[2];
         let mut out = Tensor::zeros(&[batch, self.out_channels, out_len]);
-        let x = input.as_slice();
-        let w = self.weight.as_slice();
-        let b = self.bias.as_slice();
-        let o = out.as_mut_slice();
-        let ci_n = self.in_channels;
-        for bi in 0..batch {
-            let x_b = &x[bi * ci_n * t..(bi + 1) * ci_n * t];
-            let o_b =
-                &mut o[bi * self.out_channels * out_len..(bi + 1) * self.out_channels * out_len];
-            for oc in 0..self.out_channels {
-                let o_row = &mut o_b[oc * out_len..(oc + 1) * out_len];
-                o_row.fill(b[oc]);
-                let w_oc = &w[oc * ci_n * 2..(oc + 1) * ci_n * 2];
-                for ic in 0..ci_n {
-                    let (w0, w1) = (w_oc[ic * 2], w_oc[ic * 2 + 1]);
-                    let x_row = &x_b[ic * t..ic * t + out_len * 2];
-                    for (o_val, pair) in o_row.iter_mut().zip(x_row.chunks_exact(2)) {
-                        *o_val += w0 * pair[0] + w1 * pair[1];
-                    }
-                }
-            }
-        }
+        self.backend.backend().conv1d_k2s2(
+            input.as_slice(),
+            self.weight.as_slice(),
+            self.bias.as_slice(),
+            out.as_mut_slice(),
+            batch,
+            self.in_channels,
+            self.out_channels,
+            t,
+            out_len,
+        );
         out
     }
 }
@@ -337,6 +330,10 @@ impl Layer for Conv1d {
 
     fn name(&self) -> &'static str {
         "conv1d"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
     }
 }
 

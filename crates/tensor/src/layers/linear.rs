@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 
+use crate::backend::BackendKind;
 use crate::init::Init;
 use crate::profile::{ComputeProfile, ExecutionUnit};
 use crate::{Layer, Tensor, TensorError};
@@ -32,6 +33,7 @@ pub struct Linear {
     weight_grad: Tensor,
     bias_grad: Tensor,
     cached_input: Option<Tensor>,
+    backend: BackendKind,
 }
 
 impl Linear {
@@ -51,7 +53,19 @@ impl Linear {
             weight_grad: Tensor::zeros(&[out_features, in_features]),
             bias_grad: Tensor::zeros(&[out_features]),
             cached_input: None,
+            backend: BackendKind::active(),
         }
+    }
+
+    /// Replaces the kernel backend (builder form of [`Layer::set_backend`]).
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// The kernel backend this layer dispatches to.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Number of input features.
@@ -89,26 +103,20 @@ impl Linear {
     }
 
     /// The affine map itself; shared by the training forward (which caches
-    /// the input afterwards) and the inference path.
+    /// the input afterwards) and the inference path. The inner loops live in
+    /// the selected [`Backend`](crate::backend::Backend).
     fn compute(&self, input: &Tensor) -> Tensor {
         let batch = input.shape()[0];
         let mut out = Tensor::zeros(&[batch, self.out_features]);
-        let x = input.as_slice();
-        let w = self.weight.as_slice();
-        let b = self.bias.as_slice();
-        let o = out.as_mut_slice();
-        for bi in 0..batch {
-            let x_row = &x[bi * self.in_features..(bi + 1) * self.in_features];
-            let o_row = &mut o[bi * self.out_features..(bi + 1) * self.out_features];
-            for (oi, o_val) in o_row.iter_mut().enumerate() {
-                let w_row = &w[oi * self.in_features..(oi + 1) * self.in_features];
-                let mut acc = b[oi];
-                for (xv, wv) in x_row.iter().zip(w_row.iter()) {
-                    acc += xv * wv;
-                }
-                *o_val = acc;
-            }
-        }
+        self.backend.backend().linear(
+            input.as_slice(),
+            self.weight.as_slice(),
+            self.bias.as_slice(),
+            out.as_mut_slice(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
         out
     }
 }
@@ -186,6 +194,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &'static str {
         "linear"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
     }
 }
 

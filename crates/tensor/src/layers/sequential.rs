@@ -1,5 +1,6 @@
 //! Sequential container chaining layers.
 
+use crate::backend::BackendKind;
 use crate::profile::ComputeProfile;
 use crate::{Layer, Tensor, TensorError};
 
@@ -131,6 +132,12 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "sequential"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        for layer in &mut self.layers {
+            layer.set_backend(kind);
+        }
     }
 }
 

@@ -7,6 +7,11 @@
 //! Gaussian negative-log-likelihood and KL-divergence losses, and the Adam
 //! optimizer — with hand-written forward and backward passes.
 //!
+//! The compute-heavy inner loops are pluggable: see [`backend`] for the
+//! [`Backend`] trait, its bit-exact scalar reference and its vectorized
+//! implementation, and how `VARADE_BACKEND` / [`BackendKind`] select between
+//! them at runtime.
+//!
 //! Every layer also reports a [`profile::ComputeProfile`] describing its
 //! per-inference cost (FLOPs, parameter bytes, activation bytes, parallel
 //! fraction), which the `varade-edge` crate uses to estimate behaviour on
@@ -41,7 +46,9 @@
 //! # Ok(())
 //! # }
 //! ```
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 
+pub mod backend;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -52,6 +59,7 @@ mod tensor;
 
 use std::fmt;
 
+pub use backend::{Backend, BackendKind, ScalarBackend, VectorBackend};
 pub use profile::{ComputeProfile, ExecutionUnit};
 pub use tensor::Tensor;
 
@@ -167,6 +175,16 @@ pub trait Layer: Send + Sync {
 
     /// Short human-readable layer name used in model summaries.
     fn name(&self) -> &'static str;
+
+    /// Selects the kernel [`backend`] this layer's compute-heavy paths
+    /// dispatch to. Containers propagate the call to their children; layers
+    /// without extracted kernels (e.g. the LSTM, pure shape ops) ignore it —
+    /// the default implementation is a no-op.
+    ///
+    /// [`backend`]: crate::backend
+    fn set_backend(&mut self, kind: BackendKind) {
+        let _ = kind;
+    }
 
     /// Total number of trainable scalar parameters.
     fn param_count(&mut self) -> usize {

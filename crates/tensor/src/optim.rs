@@ -1,5 +1,13 @@
 //! Gradient-descent optimizers.
+//!
+//! The per-parameter update loops are extracted into the kernel
+//! [`backend`](crate::backend): both optimizers capture a
+//! [`BackendKind`] at construction (the process default unless overridden
+//! with `with_backend`) and dispatch their axpy/Adam inner loops through it.
+//! The update kernels are element-wise and therefore bit-identical across
+//! backends; only the gradient-norm reduction used by clipping reassociates.
 
+use crate::backend::BackendKind;
 use crate::{Layer, Tensor};
 
 /// Plain stochastic gradient descent with an optional gradient-norm clip.
@@ -7,6 +15,7 @@ use crate::{Layer, Tensor};
 pub struct Sgd {
     learning_rate: f32,
     clip_norm: Option<f32>,
+    backend: BackendKind,
 }
 
 impl Sgd {
@@ -15,12 +24,19 @@ impl Sgd {
         Self {
             learning_rate,
             clip_norm: None,
+            backend: BackendKind::active(),
         }
     }
 
     /// Enables global gradient-norm clipping.
     pub fn with_clip_norm(mut self, clip_norm: f32) -> Self {
         self.clip_norm = Some(clip_norm);
+        self
+    }
+
+    /// Selects the kernel backend for the update loops.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
         self
     }
 
@@ -31,12 +47,14 @@ impl Sgd {
 
     /// Applies one update step to every parameter of `model`.
     pub fn step(&mut self, model: &mut dyn Layer) {
-        let scale = clip_scale(model, self.clip_norm);
+        let backend = self.backend.backend();
+        let scale = clip_scale(model, self.clip_norm, self.backend);
         let lr = self.learning_rate;
         model.visit_params(&mut |param, grad| {
-            for (p, &g) in param.iter_mut().zip(grad.iter()) {
-                *p -= lr * scale * g;
-            }
+            // p -= lr·scale·g, as y += alpha·x with alpha = -(lr·scale):
+            // negating a product is exact, so this matches the historical
+            // subtraction loop bit for bit.
+            backend.axpy(-(lr * scale), grad.as_slice(), param.as_mut_slice());
         });
     }
 }
@@ -56,6 +74,7 @@ pub struct Adam {
     clip_norm: Option<f32>,
     step_count: u64,
     moments: Vec<(Tensor, Tensor)>,
+    backend: BackendKind,
 }
 
 impl Adam {
@@ -69,12 +88,19 @@ impl Adam {
             clip_norm: None,
             step_count: 0,
             moments: Vec::new(),
+            backend: BackendKind::active(),
         }
     }
 
     /// Enables global gradient-norm clipping.
     pub fn with_clip_norm(mut self, clip_norm: f32) -> Self {
         self.clip_norm = Some(clip_norm);
+        self
+    }
+
+    /// Selects the kernel backend for the update loops.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
         self
     }
 
@@ -90,7 +116,8 @@ impl Adam {
 
     /// Applies one Adam update to every parameter of `model`.
     pub fn step(&mut self, model: &mut dyn Layer) {
-        let scale = clip_scale(model, self.clip_norm);
+        let backend = self.backend.backend();
+        let scale = clip_scale(model, self.clip_norm, self.backend);
         self.step_count += 1;
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
@@ -104,28 +131,32 @@ impl Adam {
             }
             let (m, v) = &mut moments[index];
             debug_assert_eq!(m.shape(), param.shape(), "optimizer state shape drift");
-            for i in 0..param.len() {
-                let g = grad.as_slice()[i] * scale;
-                let mi = &mut m.as_mut_slice()[i];
-                let vi = &mut v.as_mut_slice()[i];
-                *mi = b1 * *mi + (1.0 - b1) * g;
-                *vi = b2 * *vi + (1.0 - b2) * g * g;
-                let m_hat = *mi / bias1;
-                let v_hat = *vi / bias2;
-                param.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+            backend.adam_update(
+                param.as_mut_slice(),
+                grad.as_slice(),
+                m.as_mut_slice(),
+                v.as_mut_slice(),
+                scale,
+                lr,
+                b1,
+                b2,
+                eps,
+                bias1,
+                bias2,
+            );
             index += 1;
         });
     }
 }
 
 /// Computes the scale factor implementing global gradient-norm clipping.
-fn clip_scale(model: &mut dyn Layer, clip_norm: Option<f32>) -> f32 {
+fn clip_scale(model: &mut dyn Layer, clip_norm: Option<f32>, backend: BackendKind) -> f32 {
     let Some(max_norm) = clip_norm else {
         return 1.0;
     };
+    let backend = backend.backend();
     let mut total = 0.0f32;
-    model.visit_params(&mut |_, grad| total += grad.norm_sq());
+    model.visit_params(&mut |_, grad| total += backend.norm_sq(grad.as_slice()));
     let norm = total.sqrt();
     if norm > max_norm && norm > 0.0 {
         max_norm / norm

@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use crate::backend::BackendKind;
 use crate::TensorError;
 
 /// A dense, row-major, dynamically shaped tensor of `f32` values.
@@ -285,15 +286,17 @@ impl Tensor {
                 got: other.shape.clone(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        BackendKind::active()
+            .backend()
+            .axpy(alpha, &other.data, &mut self.data);
         Ok(())
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements, computed by the process-default
+    /// [`backend`](crate::backend) (the vector backend reassociates the
+    /// reduction).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        BackendKind::active().backend().sum(&self.data)
     }
 
     /// Arithmetic mean of all elements; zero for an empty tensor.
@@ -315,9 +318,10 @@ impl Tensor {
         self.data.iter().copied().fold(f32::INFINITY, f32::min)
     }
 
-    /// Squared Euclidean norm of the flattened tensor.
+    /// Squared Euclidean norm of the flattened tensor, computed by the
+    /// process-default [`backend`](crate::backend).
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum()
+        BackendKind::active().backend().norm_sq(&self.data)
     }
 
     /// Euclidean norm of the flattened tensor.
@@ -337,7 +341,8 @@ impl Tensor {
         }
     }
 
-    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`,
+    /// computed by the process-default [`backend`](crate::backend).
     ///
     /// # Errors
     ///
@@ -353,19 +358,9 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        BackendKind::active()
+            .backend()
+            .matmul(&self.data, &other.data, &mut out, m, k, n);
         Ok(Self {
             data: out,
             shape: vec![m, n],

@@ -98,10 +98,11 @@ pub(crate) fn main() -> Result<(), Box<dyn Error>> {
     println!("== varade-fleet: one detector, {N_STREAMS} streams ==\n");
     let (dataset, detector) = train_shared_detector()?;
     println!(
-        "trained on {} samples x {} channels (window {})",
+        "trained on {} samples x {} channels (window {}, {} kernel backend)",
         dataset.train.len(),
         dataset.train.n_channels(),
-        detector.config().window
+        detector.config().window,
+        detector.backend_kind(),
     );
 
     let (stats, score_counts) = serve_streams(&dataset, &detector)?;
