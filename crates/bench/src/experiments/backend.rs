@@ -9,13 +9,12 @@
 //! maximum relative deviation of its scores from the scalar reference, so a
 //! baseline documents both how much faster and how close a backend is.
 
-use std::time::Duration;
-
 use serde::{Deserialize, Serialize};
 
 use varade::{BackendKind, StreamState, VaradeDetector};
 use varade_robot::dataset::RobotDataset;
 
+use crate::experiments::time_single_stream;
 use crate::timing::LatencyStats;
 use crate::BenchError;
 
@@ -77,40 +76,31 @@ pub fn run_fitted(
     let to_stream = dataset.test.len().min(sample_cap);
     let original = detector.backend_kind();
 
+    // The cells measure the path the process actually serves on: the
+    // incremental cache is attached exactly when the process default says so
+    // (a fresh cache per cell — a re-routed backend must never reuse columns
+    // computed under another backend).
+    let incremental = varade::incremental_default();
     let mut cells = Vec::new();
     let mut reference_scores: Vec<f32> = Vec::new();
     for kind in BackendKind::ALL {
         detector.set_backend(kind);
-        // Un-timed warm-up pass: pages in this backend's code paths and the
-        // model weights before the measurement, so the first cell does not
-        // pay the process' cold-start noise and later cells are comparable.
-        let mut warmup = StreamState::new(n_channels, window, None)?;
-        for t in 0..to_stream.min(window + 64) {
-            warmup.push_with(dataset.test.row(t), |context, row| {
-                detector.score_window(context, row)
-            })?;
-        }
-        // The dataset splits are already normalized with the training
-        // normalizer, so the stream needs no normalizer of its own.
-        let mut state = StreamState::new(n_channels, window, None)?;
-        let mut latencies: Vec<Duration> = Vec::with_capacity(to_stream);
-        let mut scores: Vec<f32> = Vec::with_capacity(to_stream);
-        for t in 0..to_stream {
-            let before = state.stats().total_time;
-            let score = state.push_with(dataset.test.row(t), |context, row| {
-                detector.score_window(context, row)
-            })?;
-            latencies.push(state.stats().total_time - before);
-            if let Some(s) = score {
-                scores.push(s);
+        let det: &VaradeDetector = detector;
+        let timed = time_single_stream(det, dataset, to_stream, window, || {
+            // The dataset splits are already normalized with the training
+            // normalizer, so the stream needs no normalizer of its own.
+            let mut state = StreamState::new(n_channels, window, None)?;
+            if incremental {
+                state.attach_cache(det.incremental_cache()?);
             }
-        }
-        let stats = state.stats();
+            Ok(state)
+        })?;
         let max_rel_deviation_vs_scalar = if kind == BackendKind::Scalar {
-            reference_scores = scores;
+            reference_scores = timed.scores;
             0.0
         } else {
-            scores
+            timed
+                .scores
                 .iter()
                 .zip(&reference_scores)
                 .map(|(&s, &r)| f64::from((s - r).abs()) / f64::from(r.abs().max(1.0)))
@@ -118,12 +108,9 @@ pub fn run_fitted(
         };
         cells.push(BackendCell {
             backend: kind.label().to_string(),
-            samples_per_sec: stats.samples_per_sec().unwrap_or(0.0),
-            push_latency: LatencyStats::from_durations(&latencies)
-                .ok_or_else(|| BenchError::Report("backend cell streamed no samples".into()))?,
-            model_scoring_mean_us: stats
-                .mean_scoring_latency()
-                .map_or(0.0, |d| d.as_secs_f64() * 1e6),
+            samples_per_sec: timed.samples_per_sec,
+            push_latency: timed.push_latency,
+            model_scoring_mean_us: timed.model_scoring_mean_us,
             max_rel_deviation_vs_scalar,
         });
     }

@@ -48,10 +48,14 @@ pub struct FleetSweepCell {
     /// throughput figure (model forwards only, warm-up excluded).
     pub scores_per_sec: f64,
     /// Per-scored-sample latency distribution (admit + batched-forward
-    /// share).
+    /// share, or admit + frontier recompute on the incremental path).
     pub sample_latency: LatencyStats,
-    /// Mean windows per batched scoring call actually achieved.
+    /// Mean windows per batched scoring call actually achieved (0.0 when the
+    /// incremental path handled every window and no batch ever ran).
     pub mean_batch_size: f64,
+    /// Windows scored through per-stream incremental caches. `None` in
+    /// baselines predating the incremental path (schema < 4).
+    pub incremental_windows: Option<u64>,
 }
 
 /// Serializable outcome of the fleet-throughput experiment.
@@ -76,6 +80,9 @@ pub struct FleetResult {
     pub cells: Vec<FleetSweepCell>,
     /// Highest aggregate samples/sec across the cells.
     pub peak_samples_per_sec: f64,
+    /// Whether the sweep's streams scored through the incremental path (the
+    /// process default). `None` in baselines predating it (schema < 4).
+    pub incremental: Option<bool>,
 }
 
 impl FleetResult {
@@ -161,6 +168,7 @@ pub fn run_fitted(
         equivalence_samples,
         cells,
         peak_samples_per_sec,
+        incremental: Some(varade::incremental_default()),
     })
 }
 
@@ -179,6 +187,7 @@ fn check_equivalence(
         overload: OverloadPolicy::Block,
         record_latencies: false,
         chaos_round_delay: None,
+        incremental: None,
     })
     .map_err(fleet_err)?;
     let group = fleet
@@ -195,18 +204,20 @@ fn check_equivalence(
         .map_err(fleet_err)?;
 
     // Reference: the exact single-stream push path. [`StreamingVarade::push`]
-    // is by construction `StreamState::push_with` + `score_window` on an
-    // owned detector; driving that same pair against the shared `Arc` scores
+    // is by construction `StreamState::push_against` on an owned detector;
+    // driving that same pair against the shared `Arc` — with an incremental
+    // cache attached exactly when the fleet's streams carry one — scores
     // through identical code without retraining a second detector (the
     // literal `StreamingVarade` comparison, training included, lives in
     // `varade-fleet/tests/equivalence.rs` at a trainable scale).
     let window = detector.config().window;
     let mut reference = varade::StreamState::new(n_channels, window, None)?;
+    if varade::incremental_default() {
+        reference.attach_cache(detector.incremental_cache()?);
+    }
     let mut expected = Vec::new();
     for t in 0..samples {
-        let score = reference.push_with(dataset.test.row(t), |context, row| {
-            detector.score_window(context, row)
-        })?;
+        let score = reference.push_against(dataset.test.row(t), detector)?;
         if let Some(s) = score {
             expected.push(s);
         }
@@ -243,6 +254,7 @@ fn run_cell(
         overload: OverloadPolicy::Block,
         record_latencies: true,
         chaos_round_delay: None,
+        incremental: None,
     })
     .map_err(fleet_err)?;
     let group = fleet
@@ -271,9 +283,17 @@ fn run_cell(
     let latencies = stats.all_sample_latencies();
     let sample_latency = LatencyStats::from_durations(&latencies)
         .ok_or_else(|| BenchError::Report("fleet cell produced no scores".into()))?;
-    let (batches, windows) = stats.shards.iter().fold((0u64, 0u64), |(b, w), s| {
-        (b + s.batches, w + s.batched_windows)
-    });
+    let (batches, windows, incremental_windows) =
+        stats
+            .shards
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(b, w, i), s| {
+                (
+                    b + s.batches,
+                    w + s.batched_windows,
+                    i + s.incremental_windows,
+                )
+            });
     Ok(FleetSweepCell {
         streams,
         shards,
@@ -289,6 +309,7 @@ fn run_cell(
         } else {
             0.0
         },
+        incremental_windows: Some(incremental_windows),
     })
 }
 
@@ -328,7 +349,15 @@ mod tests {
             assert!(cell.scores_per_sec > 0.0);
             assert!(cell.scores_per_sec <= cell.samples_per_sec);
             assert!(cell.sample_latency.p50_us <= cell.sample_latency.p99_us);
-            assert!(cell.mean_batch_size >= 1.0);
+            if r.incremental == Some(true) {
+                // Every window went through the per-stream caches; the
+                // batched forward never ran.
+                assert_eq!(cell.incremental_windows, Some(cell.total_scores));
+                assert_eq!(cell.mean_batch_size, 0.0);
+            } else {
+                assert_eq!(cell.incremental_windows, Some(0));
+                assert!(cell.mean_batch_size >= 1.0);
+            }
         }
         assert!(r.peak_samples_per_sec > 0.0);
         assert_eq!(

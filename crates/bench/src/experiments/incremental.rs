@@ -1,0 +1,172 @@
+//! Incremental-vs-full streaming comparison: the same fitted detector pushed
+//! through the identical single-stream scoring path twice — once with the
+//! parity-phased [`varade::EncoderCache`] (frontier-only recompute) and once
+//! with the full per-push `forward_infer` recompute — so every baseline
+//! records both how much faster the incremental path is *and* how close its
+//! scores stay (contract: ≤ 1e-5 relative on every push).
+//!
+//! This extends the ROADMAP "reuse backbone activations across overlapping
+//! windows" item into the BENCH trajectory the same way the backend sweep
+//! extended the multi-backend item.
+
+use serde::{Deserialize, Serialize};
+
+use varade::{StreamState, VaradeDetector};
+use varade_robot::dataset::RobotDataset;
+
+use crate::experiments::time_single_stream;
+use crate::timing::LatencyStats;
+use crate::BenchError;
+
+/// One scoring path's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalCell {
+    /// `"incremental"` or `"full"`.
+    pub path: String,
+    /// End-to-end push throughput in samples per second.
+    pub samples_per_sec: f64,
+    /// Per-push latency distribution.
+    pub push_latency: LatencyStats,
+    /// Mean latency of the scoring step alone, microseconds.
+    pub model_scoring_mean_us: f64,
+}
+
+/// Serializable outcome of the incremental-vs-full experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalResult {
+    /// Channels per sample (86 for the robot stream).
+    pub n_channels: usize,
+    /// Context window of the streamed detector.
+    pub window: usize,
+    /// Test samples pushed through each path's stream.
+    pub streamed_samples: usize,
+    /// The cached frontier-only path.
+    pub incremental: IncrementalCell,
+    /// The full per-push recompute path.
+    pub full: IncrementalCell,
+    /// Incremental samples/sec divided by full samples/sec — the headline
+    /// win of the activation cache.
+    pub incremental_over_full_speedup: f64,
+    /// Largest relative score deviation between the two paths across every
+    /// push: `max |s_inc − s_full| / max(|s_full|, 1)`. The correctness
+    /// contract bounds it by 1e-5 (zero on the scalar backend, whose
+    /// incremental columns are bit-identical).
+    pub max_rel_deviation: f64,
+}
+
+/// Streams the dataset's collision split twice through the fitted detector —
+/// incremental path, then full path — timing every push and comparing every
+/// score.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the detector is unfitted, a push fails, or the
+/// two paths' scores diverge past the 1e-5 contract.
+pub fn run_fitted(
+    detector: &VaradeDetector,
+    dataset: &RobotDataset,
+    sample_cap: usize,
+) -> Result<IncrementalResult, BenchError> {
+    let n_channels = dataset.test.n_channels();
+    let window = detector.config().window;
+    let to_stream = dataset.test.len().min(sample_cap);
+
+    let mut cells = Vec::new();
+    let mut score_sets: Vec<Vec<f32>> = Vec::new();
+    for incremental in [true, false] {
+        let timed = time_single_stream(detector, dataset, to_stream, window, || {
+            make_state(detector, n_channels, window, incremental)
+        })?;
+        cells.push(IncrementalCell {
+            path: if incremental { "incremental" } else { "full" }.to_string(),
+            samples_per_sec: timed.samples_per_sec,
+            push_latency: timed.push_latency,
+            model_scoring_mean_us: timed.model_scoring_mean_us,
+        });
+        score_sets.push(timed.scores);
+    }
+
+    let (inc_scores, full_scores) = (&score_sets[0], &score_sets[1]);
+    if inc_scores.len() != full_scores.len() {
+        return Err(BenchError::Report(format!(
+            "incremental path emitted {} scores, full path {}",
+            inc_scores.len(),
+            full_scores.len()
+        )));
+    }
+    let max_rel_deviation = inc_scores
+        .iter()
+        .zip(full_scores)
+        .map(|(&a, &b)| f64::from((a - b).abs()) / f64::from(b.abs().max(1.0)))
+        .fold(0.0f64, f64::max);
+    if max_rel_deviation > 1e-5 {
+        return Err(BenchError::Report(format!(
+            "incremental scores deviate from the full recompute by {max_rel_deviation:.2e} \
+             (contract: 1e-5)"
+        )));
+    }
+
+    let full = cells.pop().expect("two cells collected");
+    let incremental = cells.pop().expect("two cells collected");
+    let speedup = if full.samples_per_sec > 0.0 {
+        incremental.samples_per_sec / full.samples_per_sec
+    } else {
+        0.0
+    };
+    Ok(IncrementalResult {
+        n_channels,
+        window,
+        streamed_samples: to_stream,
+        incremental,
+        full,
+        incremental_over_full_speedup: speedup,
+        max_rel_deviation,
+    })
+}
+
+fn make_state(
+    detector: &VaradeDetector,
+    n_channels: usize,
+    window: usize,
+    incremental: bool,
+) -> Result<StreamState, BenchError> {
+    // The dataset splits are already normalized with the training
+    // normalizer, so the stream needs no normalizer of its own.
+    let mut state = StreamState::new(n_channels, window, None)?;
+    if incremental {
+        state.attach_cache(detector.incremental_cache()?);
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentScale;
+    use varade_detectors::AnomalyDetector;
+    use varade_robot::dataset::DatasetBuilder;
+
+    #[test]
+    fn quick_incremental_comparison_holds_the_contract_and_round_trips() {
+        let scale = ExperimentScale::Quick;
+        let dataset = DatasetBuilder::new(scale.dataset_config()).build().unwrap();
+        let mut detector = VaradeDetector::new(scale.varade_config());
+        detector.fit(&dataset.train).unwrap();
+
+        let r = run_fitted(&detector, &dataset, 200).unwrap();
+        assert_eq!(r.n_channels, 86);
+        assert_eq!(r.incremental.path, "incremental");
+        assert_eq!(r.full.path, "full");
+        assert!(r.incremental.samples_per_sec > 0.0);
+        assert!(r.full.samples_per_sec > 0.0);
+        assert!(r.incremental_over_full_speedup > 0.0);
+        assert!(r.max_rel_deviation <= 1e-5);
+        if detector.backend_kind() == varade::BackendKind::Scalar {
+            assert_eq!(r.max_rel_deviation, 0.0, "scalar incremental is bit-exact");
+        }
+
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: IncrementalResult = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+}

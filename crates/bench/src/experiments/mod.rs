@@ -14,6 +14,7 @@
 //! | [`streaming`] | §3.1/§4.3 — real-time push throughput and latency | [`streaming::StreamingResult`] |
 //! | [`backend`] | beyond the paper — kernel-backend (scalar vs vector) throughput sweep | [`backend::BackendSweepResult`] |
 //! | [`fleet`] | beyond the paper — multi-stream serving throughput (streams × shards sweep) | [`fleet::FleetResult`] |
+//! | [`incremental`] | beyond the paper — incremental (cached) vs full-recompute streaming | [`incremental::IncrementalResult`] |
 //!
 //! Every experiment runs at one of two [`ExperimentScale`]s sharing a single
 //! code path: `Full` is the laptop-scale stand-in for the paper run (the
@@ -26,12 +27,66 @@ pub mod backend;
 pub mod channels;
 pub mod figure3;
 pub mod fleet;
+pub mod incremental;
 pub mod streaming;
 pub mod table2;
 
-use varade::VaradeConfig;
+use std::time::Duration;
+
+use varade::{StreamState, VaradeConfig, VaradeDetector};
 use varade_edge::table::ExperimentConfig;
-use varade_robot::dataset::DatasetConfig;
+use varade_robot::dataset::{DatasetConfig, RobotDataset};
+
+use crate::timing::LatencyStats;
+use crate::BenchError;
+
+/// One timed single-stream pass, as produced by [`time_single_stream`] — the
+/// shared measurement core of the backend and incremental experiments.
+pub(crate) struct TimedStream {
+    pub samples_per_sec: f64,
+    pub push_latency: LatencyStats,
+    pub model_scoring_mean_us: f64,
+    pub scores: Vec<f32>,
+}
+
+/// Streams `to_stream` samples of the dataset's collision split through a
+/// fresh [`StreamState`] from `make_state`, timing every push — after an
+/// un-timed warm-up pass (its own fresh state) that pages in the code path
+/// and the model weights, so successive cells measured this way stay
+/// comparable and the first never pays the process' cold-start noise.
+pub(crate) fn time_single_stream(
+    detector: &VaradeDetector,
+    dataset: &RobotDataset,
+    to_stream: usize,
+    window: usize,
+    make_state: impl Fn() -> Result<StreamState, BenchError>,
+) -> Result<TimedStream, BenchError> {
+    let mut warmup = make_state()?;
+    for t in 0..to_stream.min(window + 64) {
+        warmup.push_against(dataset.test.row(t), detector)?;
+    }
+    let mut state = make_state()?;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(to_stream);
+    let mut scores: Vec<f32> = Vec::with_capacity(to_stream);
+    for t in 0..to_stream {
+        let before = state.stats().total_time;
+        let score = state.push_against(dataset.test.row(t), detector)?;
+        latencies.push(state.stats().total_time - before);
+        if let Some(s) = score {
+            scores.push(s);
+        }
+    }
+    let stats = state.stats();
+    Ok(TimedStream {
+        samples_per_sec: stats.samples_per_sec().unwrap_or(0.0),
+        push_latency: LatencyStats::from_durations(&latencies)
+            .ok_or_else(|| BenchError::Report("timed cell streamed no samples".into()))?,
+        model_scoring_mean_us: stats
+            .mean_scoring_latency()
+            .map_or(0.0, |d| d.as_secs_f64() * 1e6),
+        scores,
+    })
+}
 
 /// Scale of an experiment run.
 ///

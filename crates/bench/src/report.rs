@@ -19,11 +19,12 @@ use crate::experiments::backend::BackendSweepResult;
 use crate::experiments::channels::ChannelsResult;
 use crate::experiments::figure3::Figure3Result;
 use crate::experiments::fleet::FleetResult;
+use crate::experiments::incremental::IncrementalResult;
 use crate::experiments::streaming::StreamingResult;
 use crate::experiments::table2::Table2Result;
 use crate::experiments::ExperimentScale;
 use crate::experiments::{
-    ablation, architecture, backend, channels, figure3, fleet, streaming, table2,
+    ablation, architecture, backend, channels, figure3, fleet, incremental, streaming, table2,
 };
 use crate::{compare_line, paper_row, BenchError};
 
@@ -34,9 +35,11 @@ use crate::{compare_line, paper_row, BenchError};
 /// v2 added the optional `fleet` section (multi-stream serving sweep).
 /// v3 added the optional `meta` (host/backend metadata) and `backends`
 /// (kernel-backend throughput sweep) sections.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4 added the optional `incremental` section (incremental-vs-full
+/// streaming comparison) plus per-section `incremental` markers.
+pub const SCHEMA_VERSION: u32 = 4;
 
-/// Oldest schema this crate still reads. Pre-v3 reports simply lack the
+/// Oldest schema this crate still reads. Pre-v4 reports simply lack the
 /// newer optional sections, which deserialize as `None`.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
 
@@ -54,6 +57,9 @@ pub struct RunMeta {
     /// core, so shard scaling numbers from multi-core hosts are not
     /// comparable to them.
     pub cpu_cores: usize,
+    /// Whether the headline sections ran on the incremental streaming path
+    /// (`"on"` unless `VARADE_INCREMENTAL=off`). `None` in pre-v4 baselines.
+    pub incremental: Option<String>,
 }
 
 impl RunMeta {
@@ -62,6 +68,14 @@ impl RunMeta {
         Self {
             active_backend: varade::BackendKind::active().label().to_string(),
             cpu_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            incremental: Some(
+                if varade::incremental_default() {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_string(),
+            ),
         }
     }
 }
@@ -80,6 +94,9 @@ pub struct BenchReport {
     pub meta: Option<RunMeta>,
     /// Streaming push throughput and latency percentiles.
     pub streaming: StreamingResult,
+    /// Incremental-vs-full streaming comparison (`None` in pre-v4
+    /// baselines).
+    pub incremental: Option<IncrementalResult>,
     /// Kernel-backend throughput sweep (`None` in pre-v3 baselines).
     pub backends: Option<BackendSweepResult>,
     /// Multi-stream fleet serving sweep (`None` in pre-v2 baselines).
@@ -121,6 +138,9 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
     eprintln!("exp_report: running the kernel-backend sweep ...");
     let backends =
         backend::run_fitted(&mut varade, &outcome.dataset, scale.streaming_sample_cap())?;
+    eprintln!("exp_report: comparing incremental vs full streaming ...");
+    let incremental =
+        incremental::run_fitted(&varade, &outcome.dataset, scale.streaming_sample_cap())?;
     eprintln!("exp_report: measuring streaming throughput ...");
     let streaming = streaming::run_fitted(varade, &outcome.dataset, scale.streaming_sample_cap())?;
     Ok(BenchReport {
@@ -129,6 +149,7 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
         scale: scale.label().to_string(),
         meta: Some(RunMeta::capture()),
         streaming,
+        incremental: Some(incremental),
         backends: Some(backends),
         fleet: Some(fleet),
         figure3: figure3::from_table(&table2.table),
@@ -284,6 +305,18 @@ pub fn compute_deltas(previous: &BenchReport, current: &BenchReport) -> Vec<Delt
             "fleet peak samples/sec",
             p.peak_samples_per_sec,
             c.peak_samples_per_sec,
+        ));
+    }
+    if let (Some(p), Some(c)) = (&previous.incremental, &current.incremental) {
+        rows.push(delta_row(
+            "incremental samples/sec",
+            p.incremental.samples_per_sec,
+            c.incremental.samples_per_sec,
+        ));
+        rows.push(delta_row(
+            "incremental-over-full speedup",
+            p.incremental_over_full_speedup,
+            c.incremental_over_full_speedup,
         ));
     }
     if let (Some(p), Some(c)) = (&previous.backends, &current.backends) {
@@ -449,6 +482,17 @@ fn render_streaming(out: &mut String, r: &BenchReport) {
             summary.auc_roc, summary.average_precision, summary.best_f1
         ));
     }
+    if let Some(inc) = &s.incremental {
+        out.push_str(&format!(
+            "Scoring path: **{}**.\n",
+            if *inc {
+                "incremental (parity-phased activation cache)"
+            } else {
+                "full per-push recompute"
+            }
+        ));
+    }
+    render_incremental(out, r);
     out.push_str(&format!(
         "\nPaper cross-reference (Table 2): VARADE runs at {:.3} Hz on the Jetson Xavier NX\n\
          and {:.3} Hz on the AGX Orin; the numbers above are a laptop-class CPU, so compare\n\
@@ -459,6 +503,48 @@ fn render_streaming(out: &mut String, r: &BenchReport) {
         paper_row("Jetson AGX Orin", "VARADE")
             .and_then(|p| p.inference_frequency_hz)
             .unwrap_or(f64::NAN),
+    ));
+}
+
+/// The incremental-vs-full comparison, rendered as a subsection of §1 so the
+/// section numbering (and the §9 trajectory) stays stable.
+fn render_incremental(out: &mut String, r: &BenchReport) {
+    out.push_str("\n### Incremental vs full recompute\n\n");
+    let Some(inc) = &r.incremental else {
+        out.push_str(
+            "This baseline predates the incremental streaming path (schema < 4);\n\
+             the next full-scale `exp_report` run will populate this comparison.\n",
+        );
+        return;
+    };
+    out.push_str(&format!(
+        "Every `push` slides the context window by one sample; the incremental path\n\
+         keeps a parity-phased cache of each backbone layer's outputs (two phase lines\n\
+         per stride-2 convolution, recursively) and recomputes only the\n\
+         receptive-field frontier — one new column per layer — instead of the whole\n\
+         window. Same fitted detector, same {} samples on each path:\n\n",
+        inc.streamed_samples,
+    ));
+    out.push_str(
+        "| Path | Samples/sec | p50 (us) | p99 (us) | Scoring mean (us) |\n\
+         |---|---|---|---|---|\n",
+    );
+    for cell in [&inc.incremental, &inc.full] {
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+            cell.path,
+            cell.samples_per_sec,
+            cell.push_latency.p50_us,
+            cell.push_latency.p99_us,
+            cell.model_scoring_mean_us,
+        ));
+    }
+    out.push_str(&format!(
+        "\nIncremental-over-full speedup: **{:.2}x**; maximum relative score deviation\n\
+         across every push: {:.2e} (contract: ≤ 1e-5; exactly 0 on the scalar backend,\n\
+         whose incremental columns are bit-identical). Disable with\n\
+         `VARADE_INCREMENTAL=off`.\n",
+        inc.incremental_over_full_speedup, inc.max_rel_deviation,
     ));
 }
 
@@ -678,6 +764,10 @@ pub struct BenchFloor {
     /// Minimum acceptable quick-scale vector-over-scalar speedup (the vector
     /// backend must never fall behind the scalar reference).
     pub quick_min_vector_over_scalar_speedup: f64,
+    /// Minimum acceptable quick-scale incremental-over-full speedup (the
+    /// cached path must never fall behind the full recompute). `None` in
+    /// pre-incremental floor files (schema 1).
+    pub quick_min_incremental_over_full_speedup: Option<f64>,
     /// Where the numbers came from, for the next person who retunes them.
     pub note: String,
 }
@@ -714,6 +804,17 @@ pub fn check_floor(report: &BenchReport, floor: &BenchFloor) -> Result<(), Bench
             violations.push(format!(
                 "vector-over-scalar speedup {:.2}x is below the floor of {:.2}x",
                 backends.vector_over_scalar_speedup, floor.quick_min_vector_over_scalar_speedup
+            ));
+        }
+    }
+    if let (Some(incremental), Some(min_speedup)) = (
+        &report.incremental,
+        floor.quick_min_incremental_over_full_speedup,
+    ) {
+        if incremental.incremental_over_full_speedup < min_speedup {
+            violations.push(format!(
+                "incremental-over-full speedup {:.2}x is below the floor of {:.2}x",
+                incremental.incremental_over_full_speedup, min_speedup
             ));
         }
     }

@@ -8,6 +8,7 @@ use varade_bench::experiments::backend::{BackendCell, BackendSweepResult};
 use varade_bench::experiments::channels;
 use varade_bench::experiments::figure3::Figure3Result;
 use varade_bench::experiments::fleet::{FleetResult, FleetSweepCell};
+use varade_bench::experiments::incremental::{IncrementalCell, IncrementalResult};
 use varade_bench::experiments::streaming::StreamingResult;
 use varade_bench::experiments::table2::Table2Result;
 use varade_bench::experiments::ExperimentScale;
@@ -64,6 +65,7 @@ fn fixture_fleet(samples_per_sec: f64) -> FleetResult {
             max_us: 200.0,
         },
         mean_batch_size: streams.min(8) as f64,
+        incremental_windows: Some(0),
     };
     FleetResult {
         n_channels: 86,
@@ -74,6 +76,34 @@ fn fixture_fleet(samples_per_sec: f64) -> FleetResult {
         equivalence_samples: 128,
         cells: vec![cell(1, 1, 1.0), cell(8, 4, 4.0)],
         peak_samples_per_sec: samples_per_sec * 4.0,
+        incremental: Some(false),
+    }
+}
+
+/// Hand-built incremental-vs-full comparison: the cached path at four times
+/// the full-recompute throughput, bit-exact.
+fn fixture_incremental(samples_per_sec: f64) -> IncrementalResult {
+    let cell = |path: &str, factor: f64| IncrementalCell {
+        path: path.to_string(),
+        samples_per_sec: samples_per_sec * factor,
+        push_latency: LatencyStats {
+            samples: 3750,
+            mean_us: 1e6 / (samples_per_sec * factor),
+            p50_us: 900.0 / factor,
+            p90_us: 1200.0 / factor,
+            p99_us: 2000.0 / factor,
+            max_us: 4000.0 / factor,
+        },
+        model_scoring_mean_us: 850.0 / factor,
+    };
+    IncrementalResult {
+        n_channels: 86,
+        window: 64,
+        streamed_samples: 3750,
+        incremental: cell("incremental", 4.0),
+        full: cell("full", 1.0),
+        incremental_over_full_speedup: 4.0,
+        max_rel_deviation: 0.0,
     }
 }
 
@@ -112,6 +142,7 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
         meta: Some(RunMeta {
             active_backend: "scalar".to_string(),
             cpu_cores: 1,
+            incremental: Some("on".to_string()),
         }),
         streaming: StreamingResult {
             n_channels: 86,
@@ -130,7 +161,9 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
             },
             model_scoring_mean_us: 850.0,
             score_summary: None,
+            incremental: Some(true),
         },
+        incremental: Some(fixture_incremental(samples_per_sec)),
         backends: Some(fixture_backends(samples_per_sec)),
         fleet: Some(fixture_fleet(samples_per_sec)),
         figure3: Figure3Result {
@@ -288,6 +321,11 @@ fn rendered_markdown_is_deterministic_and_contains_every_section() {
     // The fleet section reports the equivalence verdict and the sweep peak.
     assert!(md.contains("bit-identity"));
     assert!(md.contains("**confirmed**"));
+    // The incremental comparison renders inside §1 with its speedup and
+    // deviation audit.
+    assert!(md.contains("### Incremental vs full recompute"));
+    assert!(md.contains("Incremental-over-full speedup: **4.00x**"));
+    assert!(md.contains("VARADE_INCREMENTAL=off"));
     // The backend section reports the speedup and the host metadata line is
     // rendered from `meta`.
     assert!(md.contains("speedup: **2.00x**"));
@@ -365,18 +403,30 @@ fn v1_baselines_without_newer_keys_still_load() {
     v1.fleet = None;
     v1.meta = None;
     v1.backends = None;
+    v1.incremental = None;
+    v1.streaming.incremental = None;
     let compact = serde_json::to_string(&v1).unwrap();
-    // Simulate the genuine v1 file: the keys are absent, not null.
+    // Simulate the genuine v1 file: the keys are absent, not null. The
+    // report-level `incremental` key carries a trailing comma (followed by
+    // `backends`); the streaming section's sits last in its object.
     let without_keys = compact
         .replace("\"fleet\":null,", "")
         .replace("\"meta\":null,", "")
-        .replace("\"backends\":null,", "");
+        .replace("\"backends\":null,", "")
+        .replace("\"incremental\":null,", "")
+        .replace(",\"incremental\":null", "");
     assert_ne!(compact, without_keys, "fixture lost its null markers");
+    assert!(
+        !without_keys.contains("incremental"),
+        "an incremental key survived the v1 simulation"
+    );
     let back: BenchReport = serde_json::from_str(&without_keys).unwrap();
     assert_eq!(back.schema_version, 1);
     assert!(back.fleet.is_none());
     assert!(back.meta.is_none());
     assert!(back.backends.is_none());
+    assert!(back.incremental.is_none());
+    assert!(back.streaming.incremental.is_none());
     assert_eq!(back.streaming, v1.streaming);
 
     // And the renderer degrades gracefully for baselines predating the newer
@@ -387,14 +437,16 @@ fn v1_baselines_without_newer_keys_still_load() {
     }]);
     assert!(md.contains("predates the fleet engine"));
     assert!(md.contains("predates the multi-backend substrate"));
+    assert!(md.contains("predates the incremental streaming path"));
 }
 
 #[test]
 fn floor_check_gates_quick_reports_only() {
     let floor = BenchFloor {
-        schema_version: 1,
+        schema_version: 2,
         quick_min_streaming_samples_per_sec: 500.0,
         quick_min_vector_over_scalar_speedup: 1.0,
+        quick_min_incremental_over_full_speedup: Some(1.0),
         note: "test fixture".to_string(),
     };
     // Full-scale reports are exempt regardless of their numbers.
@@ -422,14 +474,30 @@ fn floor_check_gates_quick_reports_only() {
     let err = check_floor(&regressed, &floor).unwrap_err().to_string();
     assert!(err.contains("speedup"), "{err}");
 
-    // The committed floor file parses and matches this schema.
+    // An incremental path slower than the full recompute trips its floor.
+    let mut cache_regressed = quick.clone();
+    cache_regressed
+        .incremental
+        .as_mut()
+        .unwrap()
+        .incremental_over_full_speedup = 0.5;
+    let err = check_floor(&cache_regressed, &floor)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("incremental-over-full"), "{err}");
+
+    // The committed floor file parses, matches this schema and gates the
+    // incremental win.
     let committed = varade_bench::report::load_floor(std::path::Path::new(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../bench_floor.json"
     )))
     .expect("committed bench_floor.json parses");
-    assert_eq!(committed.schema_version, 1);
+    assert!(committed.schema_version >= 1);
     assert!(committed.quick_min_streaming_samples_per_sec > 0.0);
+    assert!(committed
+        .quick_min_incremental_over_full_speedup
+        .is_some_and(|s| s > 0.0));
 }
 
 #[test]

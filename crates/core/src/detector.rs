@@ -4,7 +4,7 @@ use varade_detectors::{AnomalyDetector, DetectorError};
 use varade_tensor::{numerics::clamp_log_var, BackendKind, ComputeProfile, Layer, Tensor};
 use varade_timeseries::{MultivariateSeries, WindowIter};
 
-use crate::{VaradeConfig, VaradeError, VaradeModel, VaradeTrainer};
+use crate::{EncoderCache, VaradeConfig, VaradeError, VaradeModel, VaradeTrainer};
 
 /// How the fitted model turns its predictive distribution into an anomaly
 /// score.
@@ -148,25 +148,9 @@ impl VaradeDetector {
         let (mu, log_var) = model.forward_variational_infer(&input)?;
         let mut scores = Vec::with_capacity(contexts.len());
         for (row, target) in targets.iter().enumerate() {
-            let score = match scoring {
-                ScoringRule::Variance => {
-                    // Mean predicted variance across channels (paper §3.2).
-                    let mut acc = 0.0f32;
-                    for c in 0..n_channels {
-                        acc += clamp_log_var(log_var.at(&[row, c])).exp();
-                    }
-                    acc / n_channels as f32
-                }
-                ScoringRule::PredictionError => {
-                    let mut acc = 0.0f32;
-                    for c in 0..n_channels {
-                        let diff = mu.at(&[row, c]) - target[c];
-                        acc += diff * diff;
-                    }
-                    acc.sqrt()
-                }
-            };
-            scores.push(score);
+            let mu_row = &mu.as_slice()[row * n_channels..(row + 1) * n_channels];
+            let lv_row = &log_var.as_slice()[row * n_channels..(row + 1) * n_channels];
+            scores.push(score_one(scoring, mu_row, lv_row, target));
         }
         Ok(scores)
     }
@@ -236,6 +220,107 @@ impl VaradeDetector {
             self.n_channels,
             self.config.window,
         )
+    }
+
+    /// Plans a fresh per-stream [`EncoderCache`] for the incremental scoring
+    /// path ([`VaradeDetector::score_window_incremental`]): the parity-phased
+    /// activation state sized for this detector's window and channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::NotFitted`] before `fit`.
+    pub fn incremental_cache(&self) -> Result<EncoderCache, VaradeError> {
+        let model = self.model.as_ref().ok_or(VaradeError::NotFitted)?;
+        Ok(EncoderCache::new(
+            model.make_incremental_cache()?,
+            self.n_channels,
+            self.config.window,
+        ))
+    }
+
+    /// Scores one window like [`VaradeDetector::score_window`], but through
+    /// the stream's [`EncoderCache`]: when the cache is primed and in sync
+    /// with `context`, only the backbone's receptive-field frontier is
+    /// recomputed (one new column per layer); `next_sample` is then ingested
+    /// so the next push finds the cache primed again.
+    ///
+    /// Cold start — a fresh cache, a cache invalidated by
+    /// [`EncoderCache::reset`], or a context whose final column does not
+    /// match the cache's last ingested sample — falls back to a full
+    /// recompute: the context window is replayed through the pipeline, which
+    /// both yields this window's head output and re-primes every phase line.
+    ///
+    /// The scalar backend's incremental scores are bit-identical to
+    /// [`VaradeDetector::score_window`]; the vector backend stays within the
+    /// usual 1e-5 relative deviation (per-column kernel association differs
+    /// from the tiled full pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::NotFitted`] before `fit` and
+    /// [`VaradeError::InvalidData`] for a misshapen window, sample or cache.
+    pub fn score_window_incremental(
+        &self,
+        cache: &mut EncoderCache,
+        context: &[f32],
+        next_sample: &[f32],
+    ) -> Result<f32, VaradeError> {
+        let model = self.model.as_ref().ok_or(VaradeError::NotFitted)?;
+        let (c, w) = (self.n_channels, self.config.window);
+        if context.len() != c * w || next_sample.len() != c {
+            return Err(VaradeError::InvalidData(format!(
+                "expected context of {} values and sample of {} values, got {} and {}",
+                c * w,
+                c,
+                context.len(),
+                next_sample.len()
+            )));
+        }
+        if cache.n_channels != c || cache.window != w {
+            return Err(VaradeError::InvalidData(format!(
+                "encoder cache planned for {} channels / window {}, detector has {} / {}",
+                cache.n_channels, cache.window, c, w
+            )));
+        }
+        if !(cache.is_primed() && cache.matches_context(context)) {
+            // Cold start / invalidated cache: replay the context window. This
+            // is a full recompute cost-wise, and it leaves every phase line
+            // primed so subsequent pushes take the frontier-only path.
+            cache.reset();
+            let mut col = vec![0.0f32; c];
+            for t in 0..w {
+                for (ci, v) in col.iter_mut().enumerate() {
+                    *v = context[ci * w + t];
+                }
+                Self::ingest(model, cache, &col)?;
+            }
+        }
+        let score = match &cache.head {
+            Some(head) => score_one(self.scoring, &head[..c], &head[c..], next_sample),
+            // Defensive: a replay always produces a head for a full window,
+            // but never silently mis-score if it somehow did not.
+            None => self.score_window(context, next_sample)?,
+        };
+        Self::ingest(model, cache, next_sample)?;
+        Ok(score)
+    }
+
+    /// Advances a cache by one sample, keeping its head output and last-row
+    /// fingerprint current.
+    fn ingest(
+        model: &VaradeModel,
+        cache: &mut EncoderCache,
+        row: &[f32],
+    ) -> Result<(), VaradeError> {
+        if let Some(head) = model.forward_incremental_raw(row, &mut cache.net)? {
+            cache.head = Some(head);
+        }
+        match &mut cache.last_row {
+            Some(last) => last.copy_from_slice(row),
+            None => cache.last_row = Some(row.to_vec()),
+        }
+        cache.ingested += 1;
+        Ok(())
     }
 
     /// Fits the detector, returning the training report (loss curves).
@@ -336,6 +421,32 @@ impl AnomalyDetector for VaradeDetector {
             .as_ref()
             .ok_or(DetectorError::NotFitted { detector: "VARADE" })?;
         Ok(model.inference_profile())
+    }
+}
+
+/// Turns one window's predicted `(mean, log_variance)` and its observed
+/// target into an anomaly score. Shared verbatim by the batched
+/// `forward_variational_infer` path and the incremental path, so the two
+/// agree bit-for-bit given identical network outputs.
+fn score_one(scoring: ScoringRule, mu: &[f32], log_var: &[f32], target: &[f32]) -> f32 {
+    let n_channels = mu.len();
+    match scoring {
+        ScoringRule::Variance => {
+            // Mean predicted variance across channels (paper §3.2).
+            let mut acc = 0.0f32;
+            for &lv in &log_var[..n_channels] {
+                acc += clamp_log_var(lv).exp();
+            }
+            acc / n_channels as f32
+        }
+        ScoringRule::PredictionError => {
+            let mut acc = 0.0f32;
+            for c in 0..n_channels {
+                let diff = mu[c] - target[c];
+                acc += diff * diff;
+            }
+            acc.sqrt()
+        }
     }
 }
 

@@ -1,0 +1,127 @@
+//! Per-stream encoder cache for incremental streaming inference.
+//!
+//! [`EncoderCache`] owns the parity-phased activation state of one logical
+//! stream (see [`varade_tensor::layers::incremental`] for the cache design)
+//! plus the bookkeeping the detector needs to trust it: the newest head
+//! output, the last ingested sample and a running sample count. The cache is
+//! fed by [`crate::VaradeDetector::score_window_incremental`]; when it is
+//! cold or does not match the context being scored (fresh stream, backend
+//! re-route, an out-of-band reset), the detector rebuilds it by replaying
+//! the context window — the cold-start fallback that keeps every push's
+//! score equal to a full `forward_infer` recompute.
+//!
+//! The path is on by default and `VARADE_INCREMENTAL=off` is the escape
+//! hatch (see [`incremental_default`]).
+
+use std::sync::OnceLock;
+
+use varade_tensor::layers::IncrementalCache;
+
+/// Parity-phased activation cache of one stream against one fitted detector.
+///
+/// Create one with [`crate::VaradeDetector::incremental_cache`], attach it to
+/// a [`crate::StreamState`] (or let [`crate::StreamingVarade::new`] do both),
+/// and every push recomputes only the backbone's receptive-field frontier
+/// instead of the whole window. A cache is tied to the detector that planned
+/// it: same channel count, window and weights. Feeding it through a
+/// *different* detector is detected only as far as shapes go — re-plan
+/// instead of sharing caches across detectors.
+#[derive(Debug, Clone)]
+pub struct EncoderCache {
+    pub(crate) net: IncrementalCache,
+    /// The newest head output, in the raw `[mean..., log_variance...]`
+    /// layout (`2 * n_channels` values) — kept combined so the hot path
+    /// slices instead of allocating per push.
+    pub(crate) head: Option<Vec<f32>>,
+    pub(crate) last_row: Option<Vec<f32>>,
+    pub(crate) ingested: u64,
+    pub(crate) n_channels: usize,
+    pub(crate) window: usize,
+}
+
+impl EncoderCache {
+    pub(crate) fn new(net: IncrementalCache, n_channels: usize, window: usize) -> Self {
+        Self {
+            net,
+            head: None,
+            last_row: None,
+            ingested: 0,
+            n_channels,
+            window,
+        }
+    }
+
+    /// Samples ingested since construction or the last [`EncoderCache::reset`].
+    pub fn samples_ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Whether the cache holds a head output for a full window — i.e. the
+    /// next matching score request can be served without a replay.
+    pub fn is_primed(&self) -> bool {
+        self.head.is_some() && self.ingested >= self.window as u64
+    }
+
+    /// Invalidates the cache: all phase state, the head output and the
+    /// ingestion counter are dropped. The next score request replays its
+    /// context window to re-prime — used after anything that changes what
+    /// the history would have produced (a backend re-route, a recycled
+    /// stream slot).
+    pub fn reset(&mut self) {
+        self.net.clear();
+        self.head = None;
+        self.last_row = None;
+        self.ingested = 0;
+    }
+
+    /// Whether the last ingested sample is bit-identical to the final column
+    /// of `context` (`[channels * window]`, channel-major) — the cheap
+    /// tripwire against a desynchronized caller. It cannot prove the whole
+    /// history matches; the contract is that the owner feeds every sample of
+    /// the stream in order.
+    pub(crate) fn matches_context(&self, context: &[f32]) -> bool {
+        let Some(last) = &self.last_row else {
+            return false;
+        };
+        if context.len() != self.n_channels * self.window {
+            return false;
+        }
+        (0..self.n_channels)
+            .all(|c| last[c].to_bits() == context[c * self.window + self.window - 1].to_bits())
+    }
+}
+
+/// Whether new streams use the incremental path by default: the
+/// `VARADE_INCREMENTAL` environment variable (`on`/`off`, also
+/// `1`/`0`/`true`/`false`/`yes`/`no`), resolved once per process and then
+/// frozen, defaulting to **on**. Per-stream overrides
+/// ([`crate::StreamingVarade::set_incremental`], the fleet's config) do not
+/// consult this again.
+///
+/// # Panics
+///
+/// Panics if `VARADE_INCREMENTAL` is set to an unknown value — a
+/// misconfigured CI lane should fail loudly, not silently measure the wrong
+/// path.
+pub fn incremental_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("VARADE_INCREMENTAL") {
+        Ok(value) => match value.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" | "yes" => true,
+            "off" | "0" | "false" | "no" => false,
+            other => panic!("VARADE_INCREMENTAL: unknown value `{other}` (expected on|off)"),
+        },
+        Err(_) => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_resolved_once_and_stable() {
+        let first = incremental_default();
+        assert_eq!(incremental_default(), first);
+    }
+}

@@ -48,13 +48,15 @@
 pub mod ablation;
 mod config;
 mod detector;
+mod incremental;
 mod model;
 mod streaming;
 mod trainer;
 
 pub use config::VaradeConfig;
 pub use detector::{ScoringRule, VaradeDetector};
-pub use model::{LayerSummary, VaradeModel};
+pub use incremental::{incremental_default, EncoderCache};
+pub use model::{LayerSummary, VaradeModel, VariationalHead};
 pub use streaming::{PushStats, ScoreRequest, StreamState, StreamingVarade};
 pub use trainer::{TrainingReport, VaradeTrainer};
 /// Re-export of the tensor crate's kernel-backend selector, so downstream

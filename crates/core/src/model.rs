@@ -3,10 +3,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use varade_tensor::layers::{Conv1d, Flatten, Linear, Relu, Sequential};
+use varade_tensor::layers::{
+    Conv1d, Flatten, IncrementalCache, Linear, Relu, Sequential, StreamStep,
+};
 use varade_tensor::{BackendKind, ComputeProfile, Layer, Tensor, TensorError};
 
 use crate::{VaradeConfig, VaradeError};
+
+/// The variational head's output for one window: `(mean, log_variance)`,
+/// one value per input channel.
+pub type VariationalHead = (Vec<f32>, Vec<f32>);
 
 /// One row of the model summary used to reproduce Figure 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +154,88 @@ impl VaradeModel {
         }
         let out = self.network.forward_infer(input)?;
         Ok(self.split_output(&out)?)
+    }
+
+    /// Plans the parity-phased incremental cache for this network's
+    /// `[1, n_channels, window]` sliding-window stream (see
+    /// [`varade_tensor::layers::incremental`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any layer lacks an incremental path (the VARADE
+    /// backbone always has one).
+    pub fn make_incremental_cache(&self) -> Result<IncrementalCache, VaradeError> {
+        Ok(self
+            .network
+            .make_incremental_cache(&[1, self.n_channels, self.config.window])?)
+    }
+
+    /// Feeds one sample (one value per channel) into the incremental
+    /// pipeline, recomputing only the backbone's receptive-field frontier.
+    /// Returns the `(mean, log_variance)` of the window that **ends** at this
+    /// sample once the pipeline has seen a full window, `None` while priming.
+    ///
+    /// Takes `&self` like [`VaradeModel::forward_variational_infer`]: all
+    /// mutable state lives in the caller's cache, so a fitted model behind an
+    /// `Arc` serves any number of streams, each with its own cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::InvalidData`] for a sample of the wrong width
+    /// or a cache planned for a different network.
+    pub fn forward_incremental(
+        &self,
+        row: &[f32],
+        cache: &mut IncrementalCache,
+    ) -> Result<Option<VariationalHead>, VaradeError> {
+        if row.len() != self.n_channels {
+            return Err(VaradeError::InvalidData(format!(
+                "sample of {} values, expected {}",
+                row.len(),
+                self.n_channels
+            )));
+        }
+        let c = self.n_channels;
+        Ok(self
+            .forward_incremental_raw(row, cache)?
+            .map(|v| (v[..c].to_vec(), v[c..].to_vec())))
+    }
+
+    /// [`VaradeModel::forward_incremental`] without the head split: returns
+    /// the raw `[mean..., log_variance...]` vector (`2 * n_channels` values)
+    /// so the per-push hot path can slice it in place instead of allocating.
+    pub(crate) fn forward_incremental_raw(
+        &self,
+        row: &[f32],
+        cache: &mut IncrementalCache,
+    ) -> Result<Option<Vec<f32>>, VaradeError> {
+        if row.len() != self.n_channels {
+            return Err(VaradeError::InvalidData(format!(
+                "sample of {} values, expected {}",
+                row.len(),
+                self.n_channels
+            )));
+        }
+        let step = StreamStep::Column {
+            stream: 0,
+            values: row.to_vec(),
+        };
+        match self.network.forward_incremental(step, cache)? {
+            None => Ok(None),
+            Some(StreamStep::Features(v)) => {
+                if v.len() != 2 * self.n_channels {
+                    return Err(VaradeError::InvalidData(format!(
+                        "incremental head produced {} values, expected {}",
+                        v.len(),
+                        2 * self.n_channels
+                    )));
+                }
+                Ok(Some(v))
+            }
+            Some(_) => Err(VaradeError::InvalidData(
+                "incremental pipeline emitted a non-feature head step".into(),
+            )),
+        }
     }
 
     /// Back-propagates gradients with respect to the mean and log-variance.

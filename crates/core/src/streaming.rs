@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use varade_timeseries::{MinMaxNormalizer, StreamingWindow};
 
-use crate::{VaradeDetector, VaradeError};
+use crate::{incremental_default, EncoderCache, VaradeDetector, VaradeError};
 
 /// Cumulative timing of the work done by [`StreamingVarade::push`], the
 /// instrumentation hook behind the `varade-bench` throughput experiments
@@ -36,8 +36,14 @@ pub struct PushStats {
 impl PushStats {
     /// Mean latency of one scoring forward pass, `None` before the first
     /// score.
+    ///
+    /// The division goes through `f64` rather than `Duration / u32`: merged
+    /// fleet accumulators can legitimately exceed `u32::MAX` scores, where a
+    /// truncating cast would silently divide by the wrong count — or wrap to
+    /// zero and panic.
     pub fn mean_scoring_latency(&self) -> Option<Duration> {
-        (self.scores > 0).then(|| self.scoring_time / self.scores as u32)
+        (self.scores > 0)
+            .then(|| Duration::from_secs_f64(self.scoring_time.as_secs_f64() / self.scores as f64))
     }
 
     /// Overall push throughput in samples per second, `None` until any time
@@ -88,6 +94,9 @@ pub struct StreamState {
     buffer: StreamingWindow,
     pending_context: Option<Vec<f32>>,
     stats: PushStats,
+    /// Parity-phased activation cache for the incremental scoring path,
+    /// `None` when the stream scores through the full recompute path.
+    cache: Option<EncoderCache>,
 }
 
 impl StreamState {
@@ -109,7 +118,38 @@ impl StreamState {
             buffer: StreamingWindow::new(n_channels, window)?,
             pending_context: None,
             stats: PushStats::default(),
+            cache: None,
         })
+    }
+
+    /// Attaches an [`EncoderCache`] (planned by
+    /// [`VaradeDetector::incremental_cache`]): subsequent
+    /// [`StreamState::push_against`] calls score through the incremental
+    /// path. The cache self-primes on the first scored push by replaying its
+    /// context, so attaching mid-stream is safe.
+    pub fn attach_cache(&mut self, cache: EncoderCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Detaches the cache, returning the stream to the full-recompute path.
+    pub fn detach_cache(&mut self) -> Option<EncoderCache> {
+        self.cache.take()
+    }
+
+    /// Read access to the attached cache, if any.
+    pub fn cache(&self) -> Option<&EncoderCache> {
+        self.cache.as_ref()
+    }
+
+    /// Mutable access to the attached cache, if any — how the fleet shards
+    /// thread per-stream caches through their batched rounds.
+    pub fn cache_mut(&mut self) -> Option<&mut EncoderCache> {
+        self.cache.as_mut()
+    }
+
+    /// Whether this stream scores through the incremental path.
+    pub fn incremental(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Number of channels per sample.
@@ -193,6 +233,40 @@ impl StreamState {
         self.record(score.is_some(), push_started.elapsed(), scoring_time);
         Ok(score)
     }
+
+    /// One-stop push against a fitted detector: like
+    /// [`StreamState::push_with`], but routing through the attached
+    /// [`EncoderCache`] when one is present — the whole body of
+    /// [`StreamingVarade::push`], shared with any caller that owns a
+    /// detector reference (the fleet shards use it for incremental streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::Series`] for wrong sample widths and whatever
+    /// the detector's scoring path produces.
+    pub fn push_against(
+        &mut self,
+        sample: &[f32],
+        detector: &VaradeDetector,
+    ) -> Result<Option<f32>, VaradeError> {
+        let push_started = Instant::now();
+        let request = self.admit(sample)?;
+        let (score, scoring_time) = match request {
+            Some(req) => {
+                let scoring_started = Instant::now();
+                let score = match self.cache.as_mut() {
+                    Some(cache) => {
+                        detector.score_window_incremental(cache, &req.context, &req.row)?
+                    }
+                    None => detector.score_window(&req.context, &req.row)?,
+                };
+                (Some(score), scoring_started.elapsed())
+            }
+            None => (None, Duration::ZERO),
+        };
+        self.record(score.is_some(), push_started.elapsed(), scoring_time);
+        Ok(score)
+    }
 }
 
 /// A push-based streaming scorer built on a fitted [`VaradeDetector`].
@@ -236,10 +310,50 @@ impl StreamingVarade {
             return Err(VaradeError::NotFitted);
         }
         let window = detector.config().window;
-        Ok(Self {
-            detector,
-            state: StreamState::new(n_channels, window, normalizer)?,
-        })
+        let mut state = StreamState::new(n_channels, window, normalizer)?;
+        // The incremental path is the process default (VARADE_INCREMENTAL);
+        // `set_incremental` overrides per stream.
+        if incremental_default() {
+            state.attach_cache(detector.incremental_cache()?);
+        }
+        Ok(Self { detector, state })
+    }
+
+    /// Whether pushes score through the incremental (cached) path.
+    pub fn incremental(&self) -> bool {
+        self.state.incremental()
+    }
+
+    /// Switches the incremental path on or off mid-stream. Turning it on
+    /// attaches a fresh [`EncoderCache`] that self-primes on the next scored
+    /// push (a full-recompute replay of its context), so scores are identical
+    /// to an uninterrupted stream; turning it off simply drops the cache.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a constructed wrapper (the detector is fitted by
+    /// construction); the `Result` mirrors [`VaradeDetector::incremental_cache`].
+    pub fn set_incremental(&mut self, on: bool) -> Result<(), VaradeError> {
+        match (on, self.state.incremental()) {
+            (true, false) => self.state.attach_cache(self.detector.incremental_cache()?),
+            (false, true) => {
+                self.state.detach_cache();
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Re-routes the wrapped detector onto another kernel backend (see
+    /// [`VaradeDetector::set_backend`]) mid-stream. The attached cache — its
+    /// columns were computed under the old backend — is invalidated, so the
+    /// next scored push re-primes with a full replay under the new backend
+    /// and the stream scores exactly like a fresh one on `kind`.
+    pub fn set_backend(&mut self, kind: crate::BackendKind) {
+        self.detector.set_backend(kind);
+        if let Some(cache) = self.state.cache_mut() {
+            cache.reset();
+        }
     }
 
     /// Number of scores produced so far.
@@ -284,7 +398,7 @@ impl StreamingVarade {
     /// the channel count.
     pub fn push(&mut self, sample: &[f32]) -> Result<Option<f32>, VaradeError> {
         let Self { detector, state } = self;
-        state.push_with(sample, |context, row| detector.score_window(context, row))
+        state.push_against(sample, detector)
     }
 }
 
@@ -349,6 +463,7 @@ mod tests {
 
     #[test]
     fn streaming_scores_match_batch_scores() {
+        let window = tiny_config().window;
         let mut det = fitted_detector();
         let test = wave_series(40);
         let batch_scores = det.score_series(&test).unwrap();
@@ -359,12 +474,17 @@ mod tests {
                 *slot = s;
             }
         }
-        for t in 9..test.len() {
+        // Warm-up pushes emit nothing; the first score lands exactly at
+        // t == window (window 8 ⇒ the 9th sample). The comparison starts at
+        // the true boundary — skipping the first emitted score would let a
+        // first-window-only bug through.
+        for (t, s) in streamed.iter().enumerate().take(window) {
+            assert!(s.is_nan(), "warm-up push {t} emitted a score");
+        }
+        for (t, (streamed, batch)) in streamed.iter().zip(&batch_scores).enumerate().skip(window) {
             assert!(
-                (streamed[t] - batch_scores[t]).abs() < 1e-5,
-                "mismatch at {t}: {} vs {}",
-                streamed[t],
-                batch_scores[t]
+                (streamed - batch).abs() < 1e-5,
+                "mismatch at {t}: {streamed} vs {batch}"
             );
         }
     }
@@ -521,5 +641,217 @@ mod tests {
         assert!(produced > 0);
         let det = stream.into_detector();
         assert!(det.is_fitted());
+    }
+
+    #[test]
+    fn mean_scoring_latency_survives_huge_merged_counters() {
+        // Merged fleet accumulators can exceed u32::MAX scores; the old
+        // `scoring_time / scores as u32` truncated (2^32 + 1 → 1) and
+        // panicked outright on an exact wrap to zero.
+        let stats = PushStats {
+            pushes: u64::from(u32::MAX) + 2,
+            scores: u64::from(u32::MAX) + 2,
+            total_time: Duration::from_secs(500_000),
+            scoring_time: Duration::from_secs(429_497),
+        };
+        let mean = stats.mean_scoring_latency().expect("scores > 0");
+        // ~429497s over ~4.29e9 scores ≈ 100 µs — not 429497s (the truncated
+        // division by 1) and not a panic (the wrapped division by 0).
+        let micros = mean.as_secs_f64() * 1e6;
+        assert!((micros - 100.0).abs() < 1.0, "mean {micros} µs");
+        let wrap = PushStats {
+            scores: u64::from(u32::MAX) + 1, // `as u32` would wrap to 0
+            scoring_time: Duration::from_secs(1),
+            ..stats
+        };
+        // The old code panicked here (division by a wrapped-to-zero count);
+        // now it returns the true sub-nanosecond mean (rounds to 0 ns).
+        assert!(wrap.mean_scoring_latency().unwrap() < Duration::from_nanos(1));
+    }
+
+    /// Streams `test` through a fresh detector trained identically to
+    /// [`fitted_detector`], with the incremental path forced on or off.
+    fn scores_with_incremental(test: &MultivariateSeries, incremental: bool) -> Vec<f32> {
+        let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        stream.set_incremental(incremental).unwrap();
+        assert_eq!(stream.incremental(), incremental);
+        (0..test.len())
+            .filter_map(|t| stream.push(test.row(t)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn incremental_scores_match_full_recompute_on_every_push() {
+        let test = wave_series(60);
+        let full = scores_with_incremental(&test, false);
+        let incremental = scores_with_incremental(&test, true);
+        assert_eq!(full.len(), incremental.len());
+        for (t, (a, b)) in incremental.iter().zip(&full).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "push {t}: incremental {a} vs full {b}"
+            );
+            // On the scalar backend the incremental columns go through the
+            // same kernels with the same association: bit-identical.
+            if crate::BackendKind::active() == crate::BackendKind::Scalar {
+                assert_eq!(a.to_bits(), b.to_bits(), "scalar bit mismatch at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_stats_keeps_the_cache_and_the_buffer() {
+        let test = wave_series(50);
+        let reference = scores_with_incremental(&test, true);
+        let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        stream.set_incremental(true).unwrap();
+        let mut scores = Vec::new();
+        for t in 0..test.len() {
+            if t == 30 {
+                stream.reset_stats();
+                assert_eq!(stream.stats(), PushStats::default());
+            }
+            if let Some(s) = stream.push(test.row(t)).unwrap() {
+                scores.push(s);
+            }
+        }
+        // The window buffer and the cache both survive the stats reset:
+        // every score equals the uninterrupted stream's bit for bit.
+        assert_eq!(scores.len(), reference.len());
+        for (t, (a, b)) in scores.iter().zip(&reference).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "score {t} diverged after reset");
+        }
+    }
+
+    #[test]
+    fn backend_reroute_invalidates_the_cache_and_matches_a_fresh_stream() {
+        use crate::BackendKind;
+        let test = wave_series(50);
+        // Reference: a stream that runs on the vector backend from the start
+        // (same scalar-trained weights).
+        let mut fresh = {
+            let mut det = VaradeDetector::new(tiny_config()).with_backend(BackendKind::Scalar);
+            det.fit(&wave_series(200)).unwrap();
+            det.set_backend(BackendKind::Vector);
+            StreamingVarade::new(det, 2, None).unwrap()
+        };
+        fresh.set_incremental(true).unwrap();
+
+        let mut rerouted = {
+            let mut det = VaradeDetector::new(tiny_config()).with_backend(BackendKind::Scalar);
+            det.fit(&wave_series(200)).unwrap();
+            StreamingVarade::new(det, 2, None).unwrap()
+        };
+        rerouted.set_incremental(true).unwrap();
+
+        let mut fresh_scores = Vec::new();
+        let mut rerouted_scores = Vec::new();
+        for t in 0..test.len() {
+            if t == 25 {
+                // Mid-stream re-route: the cache must not keep scalar columns.
+                rerouted.set_backend(BackendKind::Vector);
+                assert_eq!(rerouted.backend_kind(), BackendKind::Vector);
+            }
+            if let Some(s) = fresh.push(test.row(t)).unwrap() {
+                fresh_scores.push(s);
+            }
+            if let Some(s) = rerouted.push(test.row(t)).unwrap() {
+                rerouted_scores.push(s);
+            }
+        }
+        // From the re-route on, the re-routed stream scores exactly like the
+        // stream that was on the vector backend all along (the invalidated
+        // cache re-primes from the shared window history).
+        let window = tiny_config().window;
+        for (t, (a, b)) in rerouted_scores
+            .iter()
+            .zip(&fresh_scores)
+            .enumerate()
+            .skip(25 - window)
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "score {t} after re-route: {a} vs fresh-vector {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_stream_incremental_toggle_matches_an_untoggled_stream() {
+        let test = wave_series(60);
+        let reference = scores_with_incremental(&test, false);
+        let mut stream = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        let mut scores = Vec::new();
+        for t in 0..test.len() {
+            // off → on → off across the stream.
+            if t == 20 {
+                stream.set_incremental(true).unwrap();
+            }
+            if t == 40 {
+                stream.set_incremental(false).unwrap();
+            }
+            if let Some(s) = stream.push(test.row(t)).unwrap() {
+                scores.push(s);
+            }
+        }
+        assert_eq!(scores.len(), reference.len());
+        for (t, (a, b)) in scores.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "push {t}: toggled {a} vs untoggled {b}"
+            );
+            if crate::BackendKind::active() == crate::BackendKind::Scalar {
+                assert_eq!(a.to_bits(), b.to_bits(), "scalar bit mismatch at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cold_start_scoring_falls_back_to_a_full_recompute() {
+        // score_window_incremental with a fresh cache and an arbitrary
+        // context (no stream history at all) must equal score_window.
+        let det = fitted_detector();
+        let mut cache = det.incremental_cache().unwrap();
+        assert!(!cache.is_primed());
+        assert_eq!(cache.samples_ingested(), 0);
+        let test = wave_series(30);
+        let window = tiny_config().window;
+        let mut context = Vec::new();
+        for c in 0..2 {
+            for t in 10..10 + window {
+                context.push(test.value(t, c));
+            }
+        }
+        let row = test.row(10 + window).to_vec();
+        let full = det.score_window(&context, &row).unwrap();
+        let cold = det
+            .score_window_incremental(&mut cache, &context, &row)
+            .unwrap();
+        assert!(
+            (cold - full).abs() <= 1e-5 * full.abs().max(1.0),
+            "cold start {cold} vs full {full}"
+        );
+        assert!(cache.is_primed());
+        // A context that does not match the cache's history triggers a
+        // rebuild instead of a silent mis-score.
+        let mut other_context = Vec::new();
+        for c in 0..2 {
+            for t in 3..3 + window {
+                other_context.push(test.value(t, c));
+            }
+        }
+        let other_row = test.row(3 + window).to_vec();
+        let full = det.score_window(&other_context, &other_row).unwrap();
+        let rebuilt = det
+            .score_window_incremental(&mut cache, &other_context, &other_row)
+            .unwrap();
+        assert!((rebuilt - full).abs() <= 1e-5 * full.abs().max(1.0));
+        // Misuse keeps the typed errors.
+        assert!(det
+            .score_window_incremental(&mut cache, &[0.0; 3], &[0.0; 2])
+            .is_err());
+        let unfitted = VaradeDetector::new(tiny_config());
+        assert!(unfitted.incremental_cache().is_err());
     }
 }

@@ -138,8 +138,14 @@ impl Fleet {
             shard: shard_of(id.index(), self.config.n_shards),
             n_channels,
         });
-        self.states
-            .push(StreamState::new(n_channels, window, normalizer)?);
+        let mut state = StreamState::new(n_channels, window, normalizer)?;
+        if self.config.incremental_enabled() {
+            // One parity-phased activation cache per stream, alongside its
+            // window buffer; it travels with the state into the shard
+            // workers and persists across serve windows.
+            state.attach_cache(detector.incremental_cache()?);
+        }
+        self.states.push(state);
         Ok(id)
     }
 
@@ -403,6 +409,7 @@ struct WorkerOutput {
 struct ShardCounters {
     batches: u64,
     batched_windows: u64,
+    incremental_windows: u64,
     sample_latencies: Vec<Duration>,
 }
 
@@ -457,6 +464,7 @@ fn run_shard(
             push,
             batches: counters.batches,
             batched_windows: counters.batched_windows,
+            incremental_windows: counters.incremental_windows,
             dropped: queue.dropped(),
             sample_latencies: counters.sample_latencies,
         },
@@ -500,6 +508,32 @@ fn drain_and_score(
                 let admitted = slot.state.admit(&sample)?;
                 let admit_time = admit_started.elapsed();
                 match admitted {
+                    // Incremental streams score immediately against their own
+                    // cache: the per-stream frontier recompute is cheaper
+                    // than a batched full forward, so the round reuses the
+                    // cache instead of gathering the window into a batch.
+                    Some(request) if slot.state.incremental() => {
+                        let detector = groups[slot.group].as_ref();
+                        let forward_started = Instant::now();
+                        let score = {
+                            let cache = slot
+                                .state
+                                .cache_mut()
+                                .expect("incremental slot carries a cache");
+                            detector.score_window_incremental(
+                                cache,
+                                &request.context,
+                                &request.row,
+                            )?
+                        };
+                        let spent = forward_started.elapsed();
+                        slot.scores.push(score);
+                        slot.state.record(true, admit_time + spent, spent);
+                        counters.incremental_windows += 1;
+                        if config.record_latencies {
+                            counters.sample_latencies.push(admit_time + spent);
+                        }
+                    }
                     Some(request) => requests.push(RoundRequest {
                         slot: index,
                         group: slot.group,
@@ -640,6 +674,53 @@ mod tests {
             .unwrap();
         assert_eq!(second.stats.global.scores, 6);
         assert_eq!(fleet.stream_stats(streams[0]).unwrap().pushes, 21);
+    }
+
+    #[test]
+    fn incremental_config_pins_the_scoring_path_per_fleet() {
+        let test = wave_series(24);
+        let mut outcomes = Vec::new();
+        for incremental in [Some(true), Some(false)] {
+            let mut fleet = Fleet::new(FleetConfig {
+                incremental,
+                ..FleetConfig::default()
+            })
+            .unwrap();
+            let group = fleet.register_model(fitted()).unwrap();
+            let stream = fleet.register_stream(group, None).unwrap();
+            let (_, outcome) = fleet
+                .run(|handle| {
+                    for t in 0..test.len() {
+                        handle.push(stream, test.row(t))?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            let shard = &outcome.stats.shards[0];
+            let scored = (test.len() - 8) as u64;
+            if incremental == Some(true) {
+                // Every score came from the per-stream cache; the batched
+                // path never ran.
+                assert_eq!(shard.incremental_windows, scored);
+                assert_eq!(shard.batches, 0);
+                assert_eq!(shard.batched_windows, 0);
+            } else {
+                assert_eq!(shard.incremental_windows, 0);
+                assert_eq!(shard.batched_windows, scored);
+                assert!(shard.batches > 0);
+            }
+            outcomes.push(outcome.scores[stream.index()].clone());
+        }
+        // Same samples, same fitted weights: the two paths agree within the
+        // backend tolerance on every score.
+        let (inc, full) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(inc.len(), full.len());
+        for (t, (a, b)) in inc.iter().zip(full).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "score {t}: incremental {a} vs batched {b}"
+            );
+        }
     }
 
     #[test]

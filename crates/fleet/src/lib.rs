@@ -142,6 +142,13 @@ pub struct FleetConfig {
     /// test driver can saturate a bounded queue deterministically and observe
     /// the overload policy. `None` (the default) in production.
     pub chaos_round_delay: Option<Duration>,
+    /// Whether streams registered to this fleet score through the
+    /// incremental (parity-phased activation cache) path. `None` (the
+    /// default) follows the process default
+    /// ([`varade::incremental_default`], i.e. `VARADE_INCREMENTAL`);
+    /// `Some(_)` pins it per fleet, which is how tests compare both paths in
+    /// one process.
+    pub incremental: Option<bool>,
 }
 
 impl Default for FleetConfig {
@@ -152,11 +159,17 @@ impl Default for FleetConfig {
             overload: OverloadPolicy::Block,
             record_latencies: false,
             chaos_round_delay: None,
+            incremental: None,
         }
     }
 }
 
 impl FleetConfig {
+    /// Resolves [`FleetConfig::incremental`] against the process default.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental.unwrap_or_else(varade::incremental_default)
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

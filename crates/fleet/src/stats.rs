@@ -26,6 +26,10 @@ pub struct ShardStats {
     /// Windows scored through those calls (≥ `batches`; the ratio is the
     /// achieved batch size).
     pub batched_windows: u64,
+    /// Windows scored through per-stream incremental caches instead of a
+    /// batched forward (the frontier-only path). `batched_windows +
+    /// incremental_windows` is the shard's total scored windows.
+    pub incremental_windows: u64,
     /// Samples evicted by [`crate::OverloadPolicy::DropOldest`].
     pub dropped: u64,
     /// Per-scored-sample latency (admit plus batch-forward share), recorded
@@ -118,6 +122,7 @@ mod tests {
             },
             batches: scores.max(1),
             batched_windows: scores,
+            incremental_windows: 0,
             dropped,
             sample_latencies: vec![Duration::from_micros(micros)],
         }

@@ -42,6 +42,7 @@ fn saturated_fleet(policy: OverloadPolicy) -> (Fleet, StreamId) {
         overload: policy,
         record_latencies: false,
         chaos_round_delay: Some(Duration::from_millis(2)),
+        incremental: None,
     })
     .unwrap();
     let group = fleet.register_model(fitted_detector()).unwrap();

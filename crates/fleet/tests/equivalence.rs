@@ -223,6 +223,47 @@ fn batched_multi_stream_fleet_still_matches_the_single_stream_reference() {
 }
 
 #[test]
+fn fleet_scores_start_exactly_at_the_window_boundary_and_match_batch_scoring() {
+    // Mirror of the core `streaming_scores_match_batch_scores` boundary
+    // check: with window W, the first score is emitted for the (W+1)-th
+    // sample and must already agree with batch `score_series` — comparing
+    // from the boundary, not one past it, so a first-window-only bug cannot
+    // hide.
+    use varade_detectors::AnomalyDetector;
+    let window = tiny_config().window;
+    let mut batch_det = fitted_detector();
+    let test = wave_series(40, 1.0);
+    let batch_scores = batch_det.score_series(&test).unwrap();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        n_shards: 1,
+        overload: OverloadPolicy::Block,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let group = fleet.register_model(Arc::new(fitted_detector())).unwrap();
+    let stream = fleet.register_stream(group, None).unwrap();
+    let (_, outcome) = fleet
+        .run(|handle| {
+            for t in 0..test.len() {
+                handle.push(stream, test.row(t))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    let fleet_scores = &outcome.scores[stream.index()];
+    // Exactly one score per post-warm-up sample: the boundary is `window`.
+    assert_eq!(fleet_scores.len(), test.len() - window);
+    for (i, (streamed, batch)) in fleet_scores.iter().zip(&batch_scores[window..]).enumerate() {
+        assert!(
+            (streamed - batch).abs() < 1e-5,
+            "sample {}: fleet {streamed} vs batch {batch}",
+            i + window
+        );
+    }
+}
+
+#[test]
 fn per_stream_normalizers_match_the_streaming_wrapper() {
     // A raw (unnormalized) stream with its own MinMaxNormalizer must score
     // like a StreamingVarade built with the same normalizer.

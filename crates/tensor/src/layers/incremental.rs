@@ -1,0 +1,366 @@
+//! Parity-phased activation caches for incremental (streaming) inference.
+//!
+//! A sliding-window detector recomputes its whole backbone on every push even
+//! though consecutive windows share all but one sample. For a stride-2
+//! backbone the obstacle is alignment: sliding the window by one flips which
+//! input pairs each kernel application covers, so the previous push's
+//! activations are never directly reusable. The classic fix is to *phase* the
+//! cache: keep one cache line per alignment — even/odd at the first layer —
+//! and apply the idea recursively, because each convolution's output stream
+//! flips its own children's alignment again.
+//!
+//! Concretely, every kernel-2/stride-2 convolution splits its input stream
+//! `s` into two *phase children*: the even child holds `f(s[2j], s[2j+1])`,
+//! the odd child holds `f(s[2j+1], s[2j+2])`. A new element `s[t]` completes
+//! exactly one pair, `(s[t-1], s[t])` — the even child's when `t` is odd, the
+//! odd child's otherwise — so one push propagates exactly **one new output
+//! column per layer** down a single path of the phase tree, and the window's
+//! rightmost receptive-field frontier is the only thing ever recomputed. The
+//! two elements the final [`crate::layers::Flatten`]+[`crate::layers::Linear`]
+//! head needs are always the active leaf stream's previous and newest
+//! columns, so the head output for the window ending at the pushed sample
+//! falls out of the same chain.
+//!
+//! State per convolution is one remembered column per phase stream (the
+//! degenerate ring buffer the pairing needs); the flatten layer keeps the
+//! previous `T - 1` columns of each leaf stream. Layers whose output columns
+//! depend on window edges (same-padded convolutions, residual blocks) cannot
+//! stream columns exactly; they fall back to a *replay* cache that buffers
+//! their input window and re-runs [`crate::Layer::forward_infer`], which
+//! keeps any composition correct at full-recompute cost for the layers after
+//! the fallback.
+//!
+//! All column kernels dispatch through the selected
+//! [`Backend`](crate::backend::Backend) — a column is just a `t = 2`,
+//! `out_len = 1` call of the same `conv1d_k2s2`/`linear` kernels the full
+//! pass uses, so the scalar backend's incremental columns are **bit-identical**
+//! to its full forward and the vector backend stays within the usual 1e-5
+//! association tolerance.
+
+use std::collections::VecDeque;
+
+use crate::{Tensor, TensorError};
+
+/// One unit of work flowing through an incremental pipeline.
+#[derive(Debug, Clone)]
+pub enum StreamStep {
+    /// The newest column of phase stream `stream`: one value per channel.
+    /// The root input stream is `stream == 0`; each kernel-2/stride-2
+    /// convolution maps stream `s` to its even child `2s` or odd child
+    /// `2s + 1` depending on the pair's alignment.
+    Column {
+        /// Phase-stream identifier at the current depth of the pipeline.
+        stream: usize,
+        /// The column, one value per channel.
+        values: Vec<f32>,
+    },
+    /// A flattened feature vector (post-[`crate::layers::Flatten`]).
+    Features(Vec<f32>),
+    /// A full `[1, channels, time]` window emitted by a replay-fallback
+    /// layer; downstream layers process it with
+    /// [`crate::Layer::forward_infer`].
+    Window(Tensor),
+}
+
+/// Per-layer state for [`crate::Layer::forward_incremental`], created by
+/// [`crate::Layer::make_incremental_cache`]. Opaque: callers thread it
+/// through, layers interpret it.
+#[derive(Debug, Clone)]
+pub struct IncrementalCache {
+    pub(crate) node: CacheNode,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum CacheNode {
+    /// Phase-tree state of one kernel-2/stride-2 convolution.
+    ConvK2S2(ConvK2S2Cache),
+    /// Stateless element-wise layers (activations).
+    Elementwise,
+    /// Leaf-stream history of a flatten layer.
+    Flatten(FlattenCache),
+    /// Stateless dense head.
+    Linear,
+    /// Ring-buffered input window of a replay-fallback layer.
+    Replay(ReplayCache),
+    /// One child cache per layer of a container.
+    Seq(Vec<IncrementalCache>),
+}
+
+/// One phase stream's state inside a [`CacheNode::ConvK2S2`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PhaseStream {
+    /// The stream's previous column, waiting to pair with the next one.
+    pub(crate) prev: Option<Vec<f32>>,
+    /// Elements seen on this stream so far.
+    pub(crate) seen: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConvK2S2Cache {
+    /// Phase streams indexed by stream id, grown on demand (a window of
+    /// length `W` touches at most `W / 2^{depth+1}`... streams at this depth,
+    /// bounded by the ids that actually flow in).
+    pub(crate) streams: Vec<PhaseStream>,
+    /// Scratch for the packed `[in_channels, 2]` pair the column kernel
+    /// consumes, reused across pushes.
+    pub(crate) packed: Vec<f32>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FlattenCache {
+    /// Expected input time length (2 for the VARADE backbone).
+    pub(crate) time: usize,
+    /// Channels per column.
+    pub(crate) channels: usize,
+    /// Last `time - 1` columns per leaf stream, grown on demand.
+    pub(crate) streams: Vec<VecDeque<Vec<f32>>>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ReplayCache {
+    /// The layer's input window length.
+    pub(crate) time: usize,
+    /// Channels per column.
+    pub(crate) channels: usize,
+    /// The last `time` columns, oldest first.
+    pub(crate) cols: VecDeque<Vec<f32>>,
+}
+
+impl IncrementalCache {
+    pub(crate) fn conv_k2s2(in_channels: usize) -> Self {
+        Self {
+            node: CacheNode::ConvK2S2(ConvK2S2Cache {
+                streams: Vec::new(),
+                packed: vec![0.0; in_channels * 2],
+            }),
+        }
+    }
+
+    pub(crate) fn elementwise() -> Self {
+        Self {
+            node: CacheNode::Elementwise,
+        }
+    }
+
+    pub(crate) fn flatten(channels: usize, time: usize) -> Self {
+        Self {
+            node: CacheNode::Flatten(FlattenCache {
+                time,
+                channels,
+                streams: Vec::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn linear() -> Self {
+        Self {
+            node: CacheNode::Linear,
+        }
+    }
+
+    pub(crate) fn replay(channels: usize, time: usize) -> Self {
+        Self {
+            node: CacheNode::Replay(ReplayCache {
+                time,
+                channels,
+                cols: VecDeque::with_capacity(time),
+            }),
+        }
+    }
+
+    pub(crate) fn seq(children: Vec<IncrementalCache>) -> Self {
+        Self {
+            node: CacheNode::Seq(children),
+        }
+    }
+
+    /// Forgets every buffered column and phase state, returning the cache to
+    /// its freshly planned condition (the layer topology it was planned for
+    /// is kept). Used to invalidate a cache after anything that changes what
+    /// the stream's history would have produced — a backend re-route, a
+    /// stream reset — before re-priming from scratch.
+    pub fn clear(&mut self) {
+        match &mut self.node {
+            CacheNode::ConvK2S2(c) => c.streams.clear(),
+            CacheNode::Flatten(f) => f.streams.clear(),
+            CacheNode::Replay(r) => r.cols.clear(),
+            CacheNode::Seq(children) => children.iter_mut().for_each(IncrementalCache::clear),
+            CacheNode::Elementwise | CacheNode::Linear => {}
+        }
+    }
+}
+
+/// The error every layer returns when handed a cache it did not plan.
+pub(crate) fn cache_mismatch(layer: &'static str) -> TensorError {
+    TensorError::InvalidInput {
+        layer,
+        reason: "incremental cache was planned for a different layer".into(),
+    }
+}
+
+/// The error for a step kind a layer cannot consume.
+pub(crate) fn step_mismatch(layer: &'static str, got: &StreamStep) -> TensorError {
+    let kind = match got {
+        StreamStep::Column { .. } => "column",
+        StreamStep::Features(_) => "features",
+        StreamStep::Window(_) => "window",
+    };
+    TensorError::InvalidInput {
+        layer,
+        reason: format!("incremental step kind `{kind}` is not consumable here"),
+    }
+}
+
+/// Grows a per-stream vector to cover `stream`, filling with defaults.
+pub(crate) fn grow_to<T: Default>(streams: &mut Vec<T>, stream: usize) {
+    if stream >= streams.len() {
+        streams.resize_with(stream + 1, T::default);
+    }
+}
+
+/// Shared replay-fallback step: buffer the incoming column (root stream
+/// only — a replay layer below a strided conv would interleave phase streams
+/// into one ring, silently corrupting the window) and, once the ring holds a
+/// full input window, re-run the layer's full inference pass over it.
+pub(crate) fn replay_forward(
+    layer: &'static str,
+    r: &mut ReplayCache,
+    step: StreamStep,
+    forward: impl FnOnce(&Tensor) -> Result<Tensor, TensorError>,
+) -> Result<Option<StreamStep>, TensorError> {
+    match step {
+        StreamStep::Window(x) => Ok(Some(StreamStep::Window(forward(&x)?))),
+        StreamStep::Column { stream, values } => {
+            if stream != 0 {
+                return Err(TensorError::InvalidInput {
+                    layer,
+                    reason: "replay fallback supports only the unsplit root stream \
+                             (no strided convolution upstream)"
+                        .into(),
+                });
+            }
+            if values.len() != r.channels {
+                return Err(TensorError::InvalidInput {
+                    layer,
+                    reason: format!("column of {} values, expected {}", values.len(), r.channels),
+                });
+            }
+            if r.cols.len() == r.time {
+                r.cols.pop_front();
+            }
+            r.cols.push_back(values);
+            if r.cols.len() < r.time {
+                return Ok(None);
+            }
+            let mut data = vec![0.0f32; r.channels * r.time];
+            for (t, col) in r.cols.iter().enumerate() {
+                for (c, &v) in col.iter().enumerate() {
+                    data[c * r.time + t] = v;
+                }
+            }
+            let x = Tensor::from_vec(data, &[1, r.channels, r.time])?;
+            Ok(Some(StreamStep::Window(forward(&x)?)))
+        }
+        other @ StreamStep::Features(_) => Err(step_mismatch(layer, &other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_resets_every_node_kind() {
+        let mut conv = IncrementalCache::conv_k2s2(3);
+        if let CacheNode::ConvK2S2(c) = &mut conv.node {
+            c.streams.push(PhaseStream {
+                prev: Some(vec![1.0; 3]),
+                seen: 4,
+            });
+        }
+        let mut flat = IncrementalCache::flatten(2, 2);
+        if let CacheNode::Flatten(f) = &mut flat.node {
+            f.streams.push(VecDeque::from([vec![1.0, 2.0]]));
+        }
+        let mut replay = IncrementalCache::replay(2, 4);
+        if let CacheNode::Replay(r) = &mut replay.node {
+            r.cols.push_back(vec![0.0, 0.0]);
+        }
+        let mut seq = IncrementalCache::seq(vec![conv, flat, replay]);
+        seq.clear();
+        let CacheNode::Seq(children) = &seq.node else {
+            panic!("seq node survived clear");
+        };
+        for child in children {
+            match &child.node {
+                CacheNode::ConvK2S2(c) => assert!(c.streams.is_empty()),
+                CacheNode::Flatten(f) => assert!(f.streams.is_empty()),
+                CacheNode::Replay(r) => assert!(r.cols.is_empty()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn replay_emits_only_once_the_ring_is_full() {
+        let mut r = ReplayCache {
+            time: 3,
+            channels: 1,
+            cols: VecDeque::new(),
+        };
+        let identity = |x: &Tensor| Ok(x.clone());
+        for t in 0..2 {
+            let out = replay_forward(
+                "test",
+                &mut r,
+                StreamStep::Column {
+                    stream: 0,
+                    values: vec![t as f32],
+                },
+                identity,
+            )
+            .unwrap();
+            assert!(out.is_none(), "emitted before the ring was full");
+        }
+        let out = replay_forward(
+            "test",
+            &mut r,
+            StreamStep::Column {
+                stream: 0,
+                values: vec![2.0],
+            },
+            identity,
+        )
+        .unwrap();
+        let Some(StreamStep::Window(w)) = out else {
+            panic!("expected a window");
+        };
+        assert_eq!(w.as_slice(), &[0.0, 1.0, 2.0]);
+        // Sliding by one keeps emitting the latest window.
+        let out = replay_forward(
+            "test",
+            &mut r,
+            StreamStep::Column {
+                stream: 0,
+                values: vec![3.0],
+            },
+            identity,
+        )
+        .unwrap();
+        let Some(StreamStep::Window(w)) = out else {
+            panic!("expected a window");
+        };
+        assert_eq!(w.as_slice(), &[1.0, 2.0, 3.0]);
+        // Split streams are refused, not silently interleaved.
+        let err = replay_forward(
+            "test",
+            &mut r,
+            StreamStep::Column {
+                stream: 1,
+                values: vec![4.0],
+            },
+            identity,
+        );
+        assert!(err.is_err());
+    }
+}

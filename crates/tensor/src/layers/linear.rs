@@ -4,6 +4,9 @@ use rand::rngs::StdRng;
 
 use crate::backend::BackendKind;
 use crate::init::Init;
+use crate::layers::incremental::{
+    cache_mismatch, step_mismatch, CacheNode, IncrementalCache, StreamStep,
+};
 use crate::profile::{ComputeProfile, ExecutionUnit};
 use crate::{Layer, Tensor, TensorError};
 
@@ -132,6 +135,64 @@ impl Layer for Linear {
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
         self.check_input(input)?;
         Ok(self.compute(input))
+    }
+
+    fn make_incremental_cache(
+        &self,
+        input_shape: &[usize],
+    ) -> Result<IncrementalCache, TensorError> {
+        if input_shape.len() != 2 || input_shape[0] != 1 || input_shape[1] != self.in_features {
+            return Err(TensorError::InvalidInput {
+                layer: "linear",
+                reason: format!(
+                    "incremental cache needs a [1, {}] feature stream, got {input_shape:?}",
+                    self.in_features
+                ),
+            });
+        }
+        Ok(IncrementalCache::linear())
+    }
+
+    fn forward_incremental(
+        &self,
+        step: StreamStep,
+        cache: &mut IncrementalCache,
+    ) -> Result<Option<StreamStep>, TensorError> {
+        if !matches!(cache.node, CacheNode::Linear) {
+            return Err(cache_mismatch("linear"));
+        }
+        let features = match step {
+            StreamStep::Features(v) => v,
+            StreamStep::Window(x) => {
+                // A replay layer upstream emits its window; the head only
+                // ever sees one feature row at a time.
+                self.check_input(&x)?;
+                x.into_vec()
+            }
+            other @ StreamStep::Column { .. } => return Err(step_mismatch("linear", &other)),
+        };
+        if features.len() != self.in_features {
+            return Err(TensorError::InvalidInput {
+                layer: "linear",
+                reason: format!(
+                    "feature step of {} values, expected {}",
+                    features.len(),
+                    self.in_features
+                ),
+            });
+        }
+        let mut out = vec![0.0f32; self.out_features];
+        // Batch-1 call of the same backend kernel the full pass uses.
+        self.backend.backend().linear(
+            &features,
+            self.weight.as_slice(),
+            self.bias.as_slice(),
+            &mut out,
+            1,
+            self.in_features,
+            self.out_features,
+        );
+        Ok(Some(StreamStep::Features(out)))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {

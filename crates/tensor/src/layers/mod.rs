@@ -9,6 +9,7 @@
 
 mod activation;
 mod conv1d;
+pub mod incremental;
 mod linear;
 mod lstm;
 mod residual;
@@ -17,6 +18,7 @@ mod shape_ops;
 
 pub use activation::{Relu, Tanh};
 pub use conv1d::Conv1d;
+pub use incremental::{IncrementalCache, StreamStep};
 pub use linear::Linear;
 pub use lstm::Lstm;
 pub use residual::ResidualConvBlock;

@@ -1,6 +1,7 @@
 //! Sequential container chaining layers.
 
 use crate::backend::BackendKind;
+use crate::layers::incremental::{cache_mismatch, CacheNode, IncrementalCache, StreamStep};
 use crate::profile::ComputeProfile;
 use crate::{Layer, Tensor, TensorError};
 
@@ -94,6 +95,42 @@ impl Layer for Sequential {
         let mut current = input.clone();
         for layer in &self.layers {
             current = layer.forward_infer(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn make_incremental_cache(
+        &self,
+        input_shape: &[usize],
+    ) -> Result<IncrementalCache, TensorError> {
+        let mut shape = input_shape.to_vec();
+        let mut children = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            children.push(layer.make_incremental_cache(&shape)?);
+            shape = layer.output_shape(&shape);
+        }
+        Ok(IncrementalCache::seq(children))
+    }
+
+    fn forward_incremental(
+        &self,
+        step: StreamStep,
+        cache: &mut IncrementalCache,
+    ) -> Result<Option<StreamStep>, TensorError> {
+        let CacheNode::Seq(children) = &mut cache.node else {
+            return Err(cache_mismatch("sequential"));
+        };
+        if children.len() != self.layers.len() {
+            return Err(cache_mismatch("sequential"));
+        }
+        let mut current = Some(step);
+        for (layer, child) in self.layers.iter().zip(children.iter_mut()) {
+            let Some(step) = current else {
+                // An upstream layer is still priming; deeper layers see
+                // nothing this push.
+                break;
+            };
+            current = layer.forward_incremental(step, child)?;
         }
         Ok(current)
     }

@@ -1,6 +1,9 @@
 //! Shape-manipulation layers: flattening, last-time-step selection and
 //! nearest-neighbour upsampling.
 
+use crate::layers::incremental::{
+    self, cache_mismatch, step_mismatch, CacheNode, IncrementalCache, StreamStep,
+};
 use crate::profile::{ComputeProfile, ExecutionUnit};
 use crate::{Layer, Tensor, TensorError};
 
@@ -41,6 +44,70 @@ impl Layer for Flatten {
         }
         let batch = input.shape()[0];
         input.reshape(&[batch, input.shape()[1..].iter().product()])
+    }
+
+    fn make_incremental_cache(
+        &self,
+        input_shape: &[usize],
+    ) -> Result<IncrementalCache, TensorError> {
+        if input_shape.len() != 3 || input_shape[0] != 1 || input_shape[2] == 0 {
+            return Err(TensorError::InvalidInput {
+                layer: "flatten",
+                reason: format!(
+                    "incremental cache needs a [1, channels, time > 0] stream, got {input_shape:?}"
+                ),
+            });
+        }
+        Ok(IncrementalCache::flatten(input_shape[1], input_shape[2]))
+    }
+
+    fn forward_incremental(
+        &self,
+        step: StreamStep,
+        cache: &mut IncrementalCache,
+    ) -> Result<Option<StreamStep>, TensorError> {
+        let CacheNode::Flatten(state) = &mut cache.node else {
+            return Err(cache_mismatch("flatten"));
+        };
+        match step {
+            StreamStep::Window(x) => Ok(Some(StreamStep::Features(
+                self.forward_infer(&x)?.into_vec(),
+            ))),
+            StreamStep::Column { stream, values } => {
+                if values.len() != state.channels {
+                    return Err(TensorError::InvalidInput {
+                        layer: "flatten",
+                        reason: format!(
+                            "column of {} values, expected {}",
+                            values.len(),
+                            state.channels
+                        ),
+                    });
+                }
+                if state.time == 1 {
+                    return Ok(Some(StreamStep::Features(values)));
+                }
+                incremental::grow_to(&mut state.streams, stream);
+                let history = &mut state.streams[stream];
+                if history.len() < state.time - 1 {
+                    history.push_back(values);
+                    return Ok(None);
+                }
+                // Channel-major flatten of the leaf stream's last `time`
+                // columns — identical ordering to flattening [1, C, time].
+                let mut features = Vec::with_capacity(state.channels * state.time);
+                for c in 0..state.channels {
+                    for col in history.iter() {
+                        features.push(col[c]);
+                    }
+                    features.push(values[c]);
+                }
+                history.push_back(values);
+                history.pop_front();
+                Ok(Some(StreamStep::Features(features)))
+            }
+            other @ StreamStep::Features(_) => Err(step_mismatch("flatten", &other)),
+        }
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {

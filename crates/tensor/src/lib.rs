@@ -159,6 +159,55 @@ pub trait Layer: Send + Sync {
         })
     }
 
+    /// Plans the per-layer state [`Layer::forward_incremental`] needs to
+    /// process a stream whose sliding windows have the given `input_shape`
+    /// (`[1, channels, window]` for the convolutional layers). Containers
+    /// plan one child cache per layer by threading [`Layer::output_shape`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`TensorError::InvalidInput`]:
+    /// layers without an incremental path (e.g. the LSTM) cannot be part of
+    /// an incremental pipeline.
+    fn make_incremental_cache(
+        &self,
+        input_shape: &[usize],
+    ) -> Result<layers::IncrementalCache, TensorError> {
+        let _ = input_shape;
+        Err(TensorError::InvalidInput {
+            layer: self.name(),
+            reason: "layer has no incremental streaming path".into(),
+        })
+    }
+
+    /// Consumes one [`layers::StreamStep`] of the input stream and emits the
+    /// resulting step of the output stream, if the layer's state is primed
+    /// enough to produce one — the streaming counterpart of
+    /// [`Layer::forward_infer`] that recomputes only the receptive-field
+    /// frontier instead of the whole window (see
+    /// [`layers::incremental`] for the parity-phased cache design).
+    ///
+    /// Like `forward_infer` this takes `&self`: all mutable state lives in
+    /// the caller-owned cache, so one fitted model behind an `Arc` can serve
+    /// any number of independent streams, each with its own cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidInput`] for a step kind the layer cannot
+    /// consume, a cache planned for a different layer, or — for the default
+    /// implementation — a layer without an incremental path.
+    fn forward_incremental(
+        &self,
+        step: layers::StreamStep,
+        cache: &mut layers::IncrementalCache,
+    ) -> Result<Option<layers::StreamStep>, TensorError> {
+        let _ = (step, cache);
+        Err(TensorError::InvalidInput {
+            layer: self.name(),
+            reason: "layer has no incremental streaming path".into(),
+        })
+    }
+
     /// Visits every `(parameter, gradient)` pair in a stable order.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor));
 

@@ -1,0 +1,287 @@
+//! Property tests of the incremental streaming path: for every sliding
+//! window of a stream, the parity-phased incremental pipeline must emit the
+//! same head output as a full [`Layer::forward_infer`] recompute of that
+//! window — bit-identical on the scalar backend (same kernels, same
+//! per-column association), within 1e-5 relative deviation on the vector
+//! backend.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use varade_tensor::layers::{
+    Conv1d, Flatten, Linear, Relu, ResidualConvBlock, Sequential, StreamStep,
+};
+use varade_tensor::{BackendKind, Layer, Tensor};
+
+/// Builds a VARADE-shaped backbone for `channels` input channels and a
+/// power-of-two `window`: k2/s2 convolutions halving the time axis to 2,
+/// ReLU between, then flatten + linear head to `2 * channels` outputs.
+fn varade_stack(
+    channels: usize,
+    window: usize,
+    base_maps: usize,
+    backend: BackendKind,
+) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(11 + window as u64 + channels as u64);
+    let n_layers = (window.trailing_zeros() as usize).saturating_sub(1);
+    let mut net = Sequential::empty();
+    let mut in_ch = channels;
+    for layer in 0..n_layers {
+        let out_ch = base_maps * (1 << (layer / 2));
+        net.push(Box::new(Conv1d::new(in_ch, out_ch, 2, 2, 0, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        in_ch = out_ch;
+    }
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(
+        in_ch * (window >> n_layers),
+        2 * channels,
+        &mut rng,
+    )));
+    net.set_backend(backend);
+    net
+}
+
+/// A deterministic pseudo-random stream value.
+fn sample(t: usize, c: usize) -> f32 {
+    ((t as f32 * 0.37 + c as f32 * 1.3).sin() + (t as f32 * 0.11).cos()) * 0.7
+}
+
+/// Feeds `total` samples through the incremental pipeline and, for every
+/// emission, compares against the full forward_infer of the same window.
+fn check_stack(channels: usize, window: usize, backend: BackendKind) {
+    let net = varade_stack(channels, window, 4, backend);
+    let mut cache = net
+        .make_incremental_cache(&[1, channels, window])
+        .expect("backbone plans an incremental cache");
+    let total = 2 * window + 7;
+    let mut history: Vec<Vec<f32>> = Vec::new();
+    let mut emissions = 0usize;
+    for t in 0..total {
+        let col: Vec<f32> = (0..channels).map(|c| sample(t, c)).collect();
+        history.push(col.clone());
+        let step = StreamStep::Column {
+            stream: 0,
+            values: col,
+        };
+        let out = net.forward_incremental(step, &mut cache).unwrap();
+        if t + 1 < window {
+            assert!(
+                out.is_none(),
+                "emitted before the first window was complete"
+            );
+            continue;
+        }
+        let Some(StreamStep::Features(incremental)) = out else {
+            panic!("window ending at {t} produced no head output (w={window}, c={channels})");
+        };
+        emissions += 1;
+        // Full recompute of the window ending at `t`.
+        let mut data = Vec::with_capacity(channels * window);
+        for c in 0..channels {
+            for row in &history[t + 1 - window..=t] {
+                data.push(row[c]);
+            }
+        }
+        let x = Tensor::from_vec(data, &[1, channels, window]).unwrap();
+        let full = net.forward_infer(&x).unwrap();
+        assert_eq!(incremental.len(), full.len());
+        for (i, (a, b)) in incremental.iter().zip(full.iter()).enumerate() {
+            match backend {
+                BackendKind::Scalar => assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "scalar bit mismatch at t={t} out={i}: {a} vs {b} (w={window}, c={channels})"
+                ),
+                BackendKind::Vector => assert!(
+                    (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                    "vector deviation at t={t} out={i}: {a} vs {b} (w={window}, c={channels})"
+                ),
+            }
+        }
+    }
+    assert_eq!(emissions, total - window + 1);
+}
+
+#[test]
+fn incremental_matches_full_recompute_across_windows_channels_and_backends() {
+    for &backend in &BackendKind::ALL {
+        for &window in &[4usize, 8, 16, 32] {
+            for &channels in &[1usize, 2, 3, 5] {
+                check_stack(channels, window, backend);
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_fallback_layers_compose_with_the_streaming_head() {
+    // A residual block (same-padded convolutions — no exact column
+    // streaming) followed by flatten + linear: the block's replay cache
+    // re-runs forward_infer over its buffered window and the head consumes
+    // the emitted window, so every sliding window still scores exactly.
+    let mut rng = StdRng::seed_from_u64(3);
+    let (channels, window) = (2usize, 6usize);
+    let mut net = Sequential::empty();
+    net.push(Box::new(ResidualConvBlock::new(channels, 3, &mut rng)));
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(3 * window, 2, &mut rng)));
+    let mut cache = net.make_incremental_cache(&[1, channels, window]).unwrap();
+
+    let mut history: Vec<Vec<f32>> = Vec::new();
+    for t in 0..window + 5 {
+        let col: Vec<f32> = (0..channels).map(|c| sample(t, c)).collect();
+        history.push(col.clone());
+        let out = net
+            .forward_incremental(
+                StreamStep::Column {
+                    stream: 0,
+                    values: col,
+                },
+                &mut cache,
+            )
+            .unwrap();
+        if t + 1 < window {
+            assert!(out.is_none());
+            continue;
+        }
+        let Some(StreamStep::Features(incremental)) = out else {
+            panic!("no emission at t={t}");
+        };
+        let mut data = Vec::with_capacity(channels * window);
+        for c in 0..channels {
+            for row in &history[t + 1 - window..=t] {
+                data.push(row[c]);
+            }
+        }
+        let x = Tensor::from_vec(data, &[1, channels, window]).unwrap();
+        let full = net.forward_infer(&x).unwrap();
+        // Replay *is* forward_infer, so the composition is bit-exact.
+        for (a, b) in incremental.iter().zip(full.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn odd_time_length_k2s2_takes_the_replay_fallback_and_stays_exact() {
+    // A k2/s2 conv over an odd window cannot use the phase tree: the full
+    // pass leaves the last column unpaired while consecutive pairing would
+    // pair across it. The plan must fall back to replay, whose emissions are
+    // forward_infer itself.
+    let mut rng = StdRng::seed_from_u64(21);
+    let conv = Conv1d::new(2, 3, 2, 2, 0, &mut rng);
+    let window = 5usize;
+    let mut cache = conv.make_incremental_cache(&[1, 2, window]).unwrap();
+    let mut history: Vec<Vec<f32>> = Vec::new();
+    for t in 0..window + 6 {
+        let col = vec![sample(t, 0), sample(t, 1)];
+        history.push(col.clone());
+        let out = conv
+            .forward_incremental(
+                StreamStep::Column {
+                    stream: 0,
+                    values: col,
+                },
+                &mut cache,
+            )
+            .unwrap();
+        if t + 1 < window {
+            assert!(out.is_none());
+            continue;
+        }
+        let Some(StreamStep::Window(w)) = out else {
+            panic!("odd-T k2s2 conv must emit replay windows, got a column at t={t}");
+        };
+        let mut data = Vec::with_capacity(2 * window);
+        for c in 0..2 {
+            for row in &history[t + 1 - window..=t] {
+                data.push(row[c]);
+            }
+        }
+        let x = Tensor::from_vec(data, &[1, 2, window]).unwrap();
+        assert_eq!(w, conv.forward_infer(&x).unwrap());
+    }
+}
+
+#[test]
+fn generic_convolutions_fall_back_to_replay() {
+    // A same-padded kernel-3 conv plans a replay cache, not a phase tree,
+    // and still reproduces forward_infer exactly once primed.
+    let mut rng = StdRng::seed_from_u64(9);
+    let conv = Conv1d::new(2, 3, 3, 1, 1, &mut rng);
+    let mut cache = conv.make_incremental_cache(&[1, 2, 5]).unwrap();
+    let mut history: Vec<Vec<f32>> = Vec::new();
+    for t in 0..9 {
+        let col = vec![sample(t, 0), sample(t, 1)];
+        history.push(col.clone());
+        let out = conv
+            .forward_incremental(
+                StreamStep::Column {
+                    stream: 0,
+                    values: col,
+                },
+                &mut cache,
+            )
+            .unwrap();
+        if t + 1 < 5 {
+            assert!(out.is_none());
+            continue;
+        }
+        let Some(StreamStep::Window(w)) = out else {
+            panic!("replay conv must emit windows");
+        };
+        let mut data = Vec::with_capacity(2 * 5);
+        for c in 0..2 {
+            for row in &history[t + 1 - 5..=t] {
+                data.push(row[c]);
+            }
+        }
+        let x = Tensor::from_vec(data, &[1, 2, 5]).unwrap();
+        assert_eq!(w, conv.forward_infer(&x).unwrap());
+    }
+}
+
+#[test]
+fn misuse_is_rejected_with_typed_errors() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let conv = Conv1d::new(2, 3, 2, 2, 0, &mut rng);
+    // Wrong plan shape.
+    assert!(conv.make_incremental_cache(&[2, 2, 8]).is_err());
+    assert!(conv.make_incremental_cache(&[1, 3, 8]).is_err());
+    let mut cache = conv.make_incremental_cache(&[1, 2, 8]).unwrap();
+    // Wrong column width.
+    assert!(conv
+        .forward_incremental(
+            StreamStep::Column {
+                stream: 0,
+                values: vec![0.0; 3],
+            },
+            &mut cache,
+        )
+        .is_err());
+    // Feature steps cannot flow into a convolution.
+    assert!(conv
+        .forward_incremental(StreamStep::Features(vec![0.0; 4]), &mut cache)
+        .is_err());
+    // A cache planned for one layer kind is refused by another.
+    let linear = Linear::new(4, 2, &mut rng);
+    assert!(linear
+        .forward_incremental(StreamStep::Features(vec![0.0; 4]), &mut cache)
+        .is_err());
+    // Layers without a streaming path say so.
+    let lstm = varade_tensor::layers::Lstm::new(2, 3, &mut rng);
+    assert!(lstm.make_incremental_cache(&[1, 2, 8]).is_err());
+    // Cleared caches re-prime from scratch.
+    cache.clear();
+    assert!(conv
+        .forward_incremental(
+            StreamStep::Column {
+                stream: 0,
+                values: vec![1.0, 2.0],
+            },
+            &mut cache,
+        )
+        .unwrap()
+        .is_none());
+}

@@ -66,26 +66,42 @@ impl MinMaxNormalizer {
         self.mins.len()
     }
 
+    /// Whether channel `c`'s fitted range is degenerate: the span is zero or
+    /// below half a unit-in-the-last-place *at the channel's own magnitude*.
+    ///
+    /// The check is deliberately relative, not the old absolute
+    /// `span <= f32::EPSILON`: an absolute epsilon misclassifies any channel
+    /// whose genuine range is small in absolute terms (a sensor reporting
+    /// values around 1e-8 spans less than `f32::EPSILON` while carrying real
+    /// structure) and, conversely, says nothing useful for offset-heavy
+    /// channels (min 1e4 with a real 1e-3 range), where the quantity that
+    /// matters is the span relative to the representable resolution at that
+    /// offset. Half an ulp of `max(|lo|, |hi|)` keeps exactly the truly
+    /// constant channels (span 0) plus ranges below float resolution.
+    fn is_degenerate(&self, c: usize) -> bool {
+        let (lo, hi) = (self.mins[c], self.maxs[c]);
+        let span = hi - lo;
+        span <= 0.5 * f32::EPSILON * lo.abs().max(hi.abs())
+    }
+
     /// Normalizes a single value from channel `c`.
     pub fn transform_value(&self, c: usize, v: f32) -> f32 {
         let (lo, hi) = (self.mins[c], self.maxs[c]);
-        let span = hi - lo;
-        if span <= f32::EPSILON {
+        if self.is_degenerate(c) {
             0.0
         } else {
             // Clamp so that test-time excursions beyond the training range stay bounded.
-            (2.0 * (v - lo) / span - 1.0).clamp(-3.0, 3.0)
+            (2.0 * (v - lo) / (hi - lo) - 1.0).clamp(-3.0, 3.0)
         }
     }
 
     /// Inverse-transforms a normalized value back to the original scale.
     pub fn inverse_value(&self, c: usize, v: f32) -> f32 {
         let (lo, hi) = (self.mins[c], self.maxs[c]);
-        let span = hi - lo;
-        if span <= f32::EPSILON {
+        if self.is_degenerate(c) {
             lo
         } else {
-            (v + 1.0) / 2.0 * span + lo
+            (v + 1.0) / 2.0 * (hi - lo) + lo
         }
     }
 
@@ -206,6 +222,46 @@ mod tests {
         assert!(n.transform(&other).is_err());
         let mut row = vec![1.0];
         assert!(n.transform_row(&mut row).is_err());
+    }
+
+    #[test]
+    fn offset_heavy_channel_with_a_small_range_is_not_flattened() {
+        // min 1e4, max 1e4 + 1e-3: the span is tiny in absolute terms (the
+        // old absolute-epsilon check was one wrong constant away from calling
+        // it constant) but perfectly real relative to the channel's
+        // resolution — it must normalize to [-1, 1], not flatten to 0.
+        let n = MinMaxNormalizer::from_ranges(&[(1.0e4, 1.0e4 + 1.0e-3)]);
+        let lo = n.transform_value(0, 1.0e4);
+        let hi = n.transform_value(0, 1.0e4 + 1.0e-3);
+        assert_eq!(lo, -1.0, "training min must map to -1");
+        assert!(
+            (hi - 1.0).abs() < 1e-5,
+            "training max must map to ~1, got {hi}"
+        );
+        assert_ne!(lo, hi, "offset-heavy channel was flattened to a constant");
+        // And the inverse maps back near the original offset-heavy values.
+        assert!((n.inverse_value(0, -1.0) - 1.0e4).abs() < 1.0e-2);
+    }
+
+    #[test]
+    fn tiny_magnitude_channel_below_absolute_epsilon_still_normalizes() {
+        // A genuine range of 4e-8 sits far below the old absolute epsilon
+        // (f32::EPSILON ≈ 1.19e-7), which flattened the whole channel to 0.
+        let n = MinMaxNormalizer::from_ranges(&[(1.0e-8, 5.0e-8)]);
+        assert_eq!(n.transform_value(0, 1.0e-8), -1.0);
+        assert!((n.transform_value(0, 5.0e-8) - 1.0).abs() < 1e-5);
+        assert!((n.transform_value(0, 3.0e-8)).abs() < 1e-5);
+        assert!((n.inverse_value(0, 0.0) - 3.0e-8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truly_constant_channels_stay_flattened_at_any_offset() {
+        for &value in &[0.0f32, 3.0, -2.5e6, 1.0e-9] {
+            let n = MinMaxNormalizer::from_ranges(&[(value, value)]);
+            assert_eq!(n.transform_value(0, value), 0.0);
+            assert_eq!(n.transform_value(0, value + 1.0), 0.0);
+            assert_eq!(n.inverse_value(0, 0.7), value);
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub fn serving_config() -> FleetConfig {
         overload: OverloadPolicy::Block,
         record_latencies: false,
         chaos_round_delay: None,
+        incremental: None,
     }
 }
 

@@ -46,16 +46,32 @@ fn fleet_example_serves_all_streams_losslessly() {
     let streams_covered: usize = stats.shards.iter().map(|s| s.streams).sum();
     assert_eq!(streams_covered, N_STREAMS);
 
-    // Batching happened somewhere: with 16 interleaved streams the shard
-    // workers must score more than one window per forward call on average.
-    let (batches, windows) = stats.shards.iter().fold((0u64, 0u64), |(b, w), s| {
-        (b + s.batches, w + s.batched_windows)
-    });
-    assert!(batches > 0);
-    assert!(
-        windows as f64 / batches as f64 > 1.0,
-        "no batching: {windows} windows over {batches} calls"
-    );
+    // Every scored window is accounted to exactly one scoring path. On the
+    // incremental default every score comes from a per-stream cache; with
+    // `VARADE_INCREMENTAL=off` the 16 interleaved streams must batch more
+    // than one window per forward call on average.
+    let (batches, windows, incremental) =
+        stats
+            .shards
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(b, w, i), s| {
+                (
+                    b + s.batches,
+                    w + s.batched_windows,
+                    i + s.incremental_windows,
+                )
+            });
+    assert_eq!(windows + incremental, stats.global.scores);
+    if varade::incremental_default() {
+        assert_eq!(incremental, stats.global.scores);
+        assert_eq!(batches, 0);
+    } else {
+        assert!(batches > 0);
+        assert!(
+            windows as f64 / batches as f64 > 1.0,
+            "no batching: {windows} windows over {batches} calls"
+        );
+    }
 
     // Throughput is a positive, finite number.
     let throughput = stats.samples_per_sec().expect("time elapsed");
