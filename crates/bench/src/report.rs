@@ -20,11 +20,13 @@ use crate::experiments::channels::ChannelsResult;
 use crate::experiments::figure3::Figure3Result;
 use crate::experiments::fleet::FleetResult;
 use crate::experiments::incremental::IncrementalResult;
+use crate::experiments::persist::PersistenceResult;
 use crate::experiments::streaming::StreamingResult;
 use crate::experiments::table2::Table2Result;
 use crate::experiments::ExperimentScale;
 use crate::experiments::{
-    ablation, architecture, backend, channels, figure3, fleet, incremental, streaming, table2,
+    ablation, architecture, backend, channels, figure3, fleet, incremental, persist, streaming,
+    table2,
 };
 use crate::{compare_line, paper_row, BenchError};
 
@@ -37,9 +39,11 @@ use crate::{compare_line, paper_row, BenchError};
 /// (kernel-backend throughput sweep) sections.
 /// v4 added the optional `incremental` section (incremental-vs-full
 /// streaming comparison) plus per-section `incremental` markers.
-pub const SCHEMA_VERSION: u32 = 4;
+/// v5 added the optional `persistence` section (save/load round-trip wall
+/// time, on-disk footprint split, and the bit-identity deviation audit).
+pub const SCHEMA_VERSION: u32 = 5;
 
-/// Oldest schema this crate still reads. Pre-v4 reports simply lack the
+/// Oldest schema this crate still reads. Pre-v5 reports simply lack the
 /// newer optional sections, which deserialize as `None`.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
 
@@ -97,6 +101,8 @@ pub struct BenchReport {
     /// Incremental-vs-full streaming comparison (`None` in pre-v4
     /// baselines).
     pub incremental: Option<IncrementalResult>,
+    /// Model save/load round-trip audit (`None` in pre-v5 baselines).
+    pub persistence: Option<PersistenceResult>,
     /// Kernel-backend throughput sweep (`None` in pre-v3 baselines).
     pub backends: Option<BackendSweepResult>,
     /// Multi-stream fleet serving sweep (`None` in pre-v2 baselines).
@@ -141,6 +147,8 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
     eprintln!("exp_report: comparing incremental vs full streaming ...");
     let incremental =
         incremental::run_fitted(&varade, &outcome.dataset, scale.streaming_sample_cap())?;
+    eprintln!("exp_report: auditing the persistence round-trip ...");
+    let persistence = persist::run_fitted(&varade, &outcome.dataset, scale.streaming_sample_cap())?;
     eprintln!("exp_report: measuring streaming throughput ...");
     let streaming = streaming::run_fitted(varade, &outcome.dataset, scale.streaming_sample_cap())?;
     Ok(BenchReport {
@@ -150,6 +158,7 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
         meta: Some(RunMeta::capture()),
         streaming,
         incremental: Some(incremental),
+        persistence: Some(persistence),
         backends: Some(backends),
         fleet: Some(fleet),
         figure3: figure3::from_table(&table2.table),
@@ -319,6 +328,18 @@ pub fn compute_deltas(previous: &BenchReport, current: &BenchReport) -> Vec<Delt
             c.incremental_over_full_speedup,
         ));
     }
+    if let (Some(p), Some(c)) = (&previous.persistence, &current.persistence) {
+        rows.push(delta_row(
+            "model file size (bytes)",
+            p.file_bytes as f64,
+            c.file_bytes as f64,
+        ));
+        rows.push(delta_row(
+            "model load mean (us)",
+            p.load_mean_us,
+            c.load_mean_us,
+        ));
+    }
     if let (Some(p), Some(c)) = (&previous.backends, &current.backends) {
         for kind in varade::BackendKind::ALL {
             if let (Some(pc), Some(cc)) = (p.cell(kind), c.cell(kind)) {
@@ -398,6 +419,7 @@ pub fn render_experiments_md(baselines: &[Baseline]) -> String {
     render_streaming(&mut out, r);
     render_backends(&mut out, r);
     render_fleet(&mut out, r);
+    render_persistence(&mut out, r);
     render_table2(&mut out, r);
     render_figure3(&mut out, r);
     render_ablation(&mut out, r);
@@ -594,6 +616,44 @@ fn render_fleet(out: &mut String, r: &BenchReport) {
          figure. Latencies are per scored sample: normalization and window\n\
          buffering plus the sample's share of its batched forward pass.\n\n",
         fleet.peak_samples_per_sec, fleet.n_channels, fleet.window, fleet.queue_capacity,
+    ));
+}
+
+/// The persistence round-trip audit, rendered as a subsection of §3 (the
+/// fleet's hot-swap path is the consumer of saved models) so the section
+/// numbering (and the §9 trajectory) stays stable.
+fn render_persistence(out: &mut String, r: &BenchReport) {
+    out.push_str("### Model persistence (`varade::persist`)\n\n");
+    let Some(p) = &r.persistence else {
+        out.push_str(
+            "This baseline predates the persistence container (schema < 5);\n\
+             the next full-scale `exp_report` run will populate this audit.\n\n",
+        );
+        return;
+    };
+    out.push_str(
+        "The fitted detector serialized through the versioned container\n\
+         (magic + schema version + JSON tensor header + little-endian `f32`\n\
+         payload + CRC32), written to disk, loaded back and audited: the\n\
+         loaded copy must reproduce the original's scores **bit-for-bit**\n\
+         (this is the model file a fleet `publish_model` hot swap ships).\n\n",
+    );
+    out.push_str(&format!(
+        "| File (bytes) | Header (bytes) | Payload (bytes) | f32 elements | Save mean (us) | Load mean (us) |\n\
+         |---|---|---|---|---|---|\n\
+         | {} | {} | {} | {} | {:.1} | {:.1} |\n\n",
+        p.file_bytes,
+        p.header_bytes,
+        p.payload_bytes,
+        p.persisted_f32_elements,
+        p.save_mean_us,
+        p.load_mean_us,
+    ));
+    out.push_str(&format!(
+        "Deviation audit: {} test windows scored by both detectors ({} channels,\n\
+         window {}); maximum absolute score deviation {:.1e} (contract: exactly 0 —\n\
+         the run fails otherwise).\n\n",
+        p.audited_windows, p.n_channels, p.window, p.max_abs_deviation,
     ));
 }
 

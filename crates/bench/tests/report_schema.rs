@@ -9,6 +9,7 @@ use varade_bench::experiments::channels;
 use varade_bench::experiments::figure3::Figure3Result;
 use varade_bench::experiments::fleet::{FleetResult, FleetSweepCell};
 use varade_bench::experiments::incremental::{IncrementalCell, IncrementalResult};
+use varade_bench::experiments::persist::PersistenceResult;
 use varade_bench::experiments::streaming::StreamingResult;
 use varade_bench::experiments::table2::Table2Result;
 use varade_bench::experiments::ExperimentScale;
@@ -107,6 +108,22 @@ fn fixture_incremental(samples_per_sec: f64) -> IncrementalResult {
     }
 }
 
+/// Hand-built persistence audit: a ~1 MB model file, bit-exact round trip.
+fn fixture_persistence() -> PersistenceResult {
+    PersistenceResult {
+        n_channels: 86,
+        window: 64,
+        file_bytes: 28 + 4_096 + 1_048_576,
+        header_bytes: 4_096,
+        payload_bytes: 1_048_576,
+        persisted_f32_elements: 262_144,
+        save_mean_us: 1_200.0,
+        load_mean_us: 900.0,
+        audited_windows: 256,
+        max_abs_deviation: 0.0,
+    }
+}
+
 /// Hand-built fixture report (no training), tweakable per test.
 fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchReport {
     let table = Table2 {
@@ -164,6 +181,7 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
             incremental: Some(true),
         },
         incremental: Some(fixture_incremental(samples_per_sec)),
+        persistence: Some(fixture_persistence()),
         backends: Some(fixture_backends(samples_per_sec)),
         fleet: Some(fixture_fleet(samples_per_sec)),
         figure3: Figure3Result {
@@ -326,6 +344,11 @@ fn rendered_markdown_is_deterministic_and_contains_every_section() {
     assert!(md.contains("### Incremental vs full recompute"));
     assert!(md.contains("Incremental-over-full speedup: **4.00x**"));
     assert!(md.contains("VARADE_INCREMENTAL=off"));
+    // The persistence audit renders inside §3 with its footprint and the
+    // bit-identity verdict, and its deltas join the trajectory.
+    assert!(md.contains("### Model persistence (`varade::persist`)"));
+    assert!(md.contains("**bit-for-bit**"));
+    assert!(md.contains("model file size (bytes)"));
     // The backend section reports the speedup and the host metadata line is
     // rendered from `meta`.
     assert!(md.contains("speedup: **2.00x**"));
@@ -379,6 +402,12 @@ fn quick_report_end_to_end() {
     for cell in &backends.cells {
         assert!(cell.max_rel_deviation_vs_scalar <= 1e-5);
     }
+    let persistence = report
+        .persistence
+        .as_ref()
+        .expect("v5 reports carry a persistence audit");
+    assert!(persistence.file_bytes > 0);
+    assert_eq!(persistence.max_abs_deviation, 0.0);
 
     // Disk round trip through the real writer/loader pair. The quick report
     // is filtered out of the baseline trajectory by design, so parse the file
@@ -404,6 +433,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     v1.meta = None;
     v1.backends = None;
     v1.incremental = None;
+    v1.persistence = None;
     v1.streaming.incremental = None;
     let compact = serde_json::to_string(&v1).unwrap();
     // Simulate the genuine v1 file: the keys are absent, not null. The
@@ -413,6 +443,7 @@ fn v1_baselines_without_newer_keys_still_load() {
         .replace("\"fleet\":null,", "")
         .replace("\"meta\":null,", "")
         .replace("\"backends\":null,", "")
+        .replace("\"persistence\":null,", "")
         .replace("\"incremental\":null,", "")
         .replace(",\"incremental\":null", "");
     assert_ne!(compact, without_keys, "fixture lost its null markers");
@@ -420,12 +451,17 @@ fn v1_baselines_without_newer_keys_still_load() {
         !without_keys.contains("incremental"),
         "an incremental key survived the v1 simulation"
     );
+    assert!(
+        !without_keys.contains("persistence"),
+        "a persistence key survived the v1 simulation"
+    );
     let back: BenchReport = serde_json::from_str(&without_keys).unwrap();
     assert_eq!(back.schema_version, 1);
     assert!(back.fleet.is_none());
     assert!(back.meta.is_none());
     assert!(back.backends.is_none());
     assert!(back.incremental.is_none());
+    assert!(back.persistence.is_none());
     assert!(back.streaming.incremental.is_none());
     assert_eq!(back.streaming, v1.streaming);
 
@@ -438,6 +474,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     assert!(md.contains("predates the fleet engine"));
     assert!(md.contains("predates the multi-backend substrate"));
     assert!(md.contains("predates the incremental streaming path"));
+    assert!(md.contains("predates the persistence container"));
 }
 
 #[test]

@@ -37,6 +37,36 @@ pub enum ScoringRule {
     PredictionError,
 }
 
+impl ScoringRule {
+    /// Lower-case label used by the persistence header and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScoringRule::Variance => "variance",
+            ScoringRule::PredictionError => "prediction-error",
+        }
+    }
+}
+
+impl std::fmt::Display for ScoringRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ScoringRule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "variance" => Ok(ScoringRule::Variance),
+            "prediction-error" => Ok(ScoringRule::PredictionError),
+            other => Err(format!(
+                "unknown scoring rule {other:?} (expected \"variance\" or \"prediction-error\")"
+            )),
+        }
+    }
+}
+
 /// The VARADE anomaly detector.
 ///
 /// Wraps a [`VaradeModel`], trains it with the ELBO objective on normal data
@@ -80,6 +110,65 @@ impl VaradeDetector {
             scoring,
             ..Self::new(config)
         }
+    }
+
+    /// Reassembles a fitted detector from persisted parts — the persistence
+    /// module's constructor. Callers guarantee the model was built for this
+    /// config and channel count.
+    pub(crate) fn from_parts(
+        config: VaradeConfig,
+        scoring: ScoringRule,
+        model: VaradeModel,
+        n_channels: usize,
+        backend: BackendKind,
+    ) -> Self {
+        Self {
+            config,
+            scoring,
+            model: Some(model),
+            n_channels,
+            backend,
+        }
+    }
+
+    /// Persists the fitted detector to `path` in the versioned flat-tensor
+    /// format documented in [`crate::persist`]. Shorthand for wrapping the
+    /// detector in a bare [`crate::persist::ModelArtifact`]; bundle a
+    /// normalizer or threshold through the artifact API instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::persist::PersistError::NotFitted`] before `fit`, and
+    /// I/O or encoding failures as their own
+    /// [`crate::persist::PersistError`] variants.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::persist::PersistError> {
+        let bytes = self.to_persist_bytes()?;
+        std::fs::write(path, bytes).map_err(crate::persist::PersistError::from)
+    }
+
+    /// Serializes the fitted detector to the on-disk byte layout (the
+    /// in-memory counterpart of [`VaradeDetector::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VaradeDetector::save`] minus the I/O.
+    pub fn to_persist_bytes(&self) -> Result<Vec<u8>, crate::persist::PersistError> {
+        crate::persist::ModelArtifact::serialize_detector(self)
+    }
+
+    /// Loads a detector persisted by [`VaradeDetector::save`] (or the
+    /// artifact API — any bundled normalizer/threshold is dropped; use
+    /// [`crate::persist::ModelArtifact::load`] to keep it).
+    ///
+    /// # Errors
+    ///
+    /// Every corruption mode returns its own
+    /// [`crate::persist::PersistError`] variant; see that enum's docs.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, crate::persist::PersistError> {
+        Ok(crate::persist::ModelArtifact::load(path)?.detector)
     }
 
     /// Selects the kernel backend (see [`varade_tensor::backend`]) the

@@ -50,6 +50,7 @@ mod config;
 mod detector;
 mod incremental;
 mod model;
+pub mod persist;
 mod streaming;
 mod trainer;
 
@@ -57,6 +58,7 @@ pub use config::VaradeConfig;
 pub use detector::{ScoringRule, VaradeDetector};
 pub use incremental::{incremental_default, EncoderCache};
 pub use model::{LayerSummary, VaradeModel, VariationalHead};
+pub use persist::{ModelArtifact, PersistError, ThresholdCalibration};
 pub use streaming::{PushStats, ScoreRequest, StreamState, StreamingVarade};
 pub use trainer::{TrainingReport, VaradeTrainer};
 /// Re-export of the tensor crate's kernel-backend selector, so downstream

@@ -326,6 +326,14 @@ impl Layer for VaradeModel {
         self.network.visit_params(visitor);
     }
 
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        self.network.visit_tensors(prefix, visitor);
+    }
+
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.network.visit_tensors_mut(prefix, visitor);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         self.network.output_shape(input_shape)
     }

@@ -97,6 +97,9 @@ pub struct StreamState {
     /// Parity-phased activation cache for the incremental scoring path,
     /// `None` when the stream scores through the full recompute path.
     cache: Option<EncoderCache>,
+    /// The model version (see the fleet's per-group slots) this stream's
+    /// cache was last validated against; `0` means "never synced".
+    model_version: u64,
 }
 
 impl StreamState {
@@ -119,7 +122,44 @@ impl StreamState {
             pending_context: None,
             stats: PushStats::default(),
             cache: None,
+            model_version: 0,
         })
+    }
+
+    /// Invalidates the attached [`EncoderCache`], if any: the next scored
+    /// push replays its context window and re-primes under whatever model
+    /// and backend are current.
+    ///
+    /// This is the **single** invalidation point shared by every path that
+    /// changes what the cache's history would have produced — a backend
+    /// re-route ([`StreamingVarade::set_backend`]), a model hot swap
+    /// ([`StreamingVarade::swap_detector`], the fleet's `publish_model`
+    /// pickup) — so no caller can forget half the bookkeeping and score a
+    /// new model against columns computed under an old one.
+    pub fn invalidate_cache(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.reset();
+        }
+    }
+
+    /// The model version this stream last synced its cache against (`0`
+    /// before the first [`StreamState::sync_model_version`]).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Records that this stream now scores against model `version`,
+    /// invalidating the cache (via [`StreamState::invalidate_cache`]) when
+    /// the version actually changed. Returns `true` on a change — the fleet
+    /// shards use the signal to re-plan caches against the new model at the
+    /// round boundary where they pick it up.
+    pub fn sync_model_version(&mut self, version: u64) -> bool {
+        if self.model_version == version {
+            return false;
+        }
+        self.invalidate_cache();
+        self.model_version = version;
+        true
     }
 
     /// Attaches an [`EncoderCache`] (planned by
@@ -346,14 +386,56 @@ impl StreamingVarade {
 
     /// Re-routes the wrapped detector onto another kernel backend (see
     /// [`VaradeDetector::set_backend`]) mid-stream. The attached cache — its
-    /// columns were computed under the old backend — is invalidated, so the
-    /// next scored push re-primes with a full replay under the new backend
-    /// and the stream scores exactly like a fresh one on `kind`.
+    /// columns were computed under the old backend — is invalidated through
+    /// [`StreamState::invalidate_cache`] (the same helper the hot-swap path
+    /// uses), so the next scored push re-primes with a full replay under the
+    /// new backend and the stream scores exactly like a fresh one on `kind`.
     pub fn set_backend(&mut self, kind: crate::BackendKind) {
         self.detector.set_backend(kind);
-        if let Some(cache) = self.state.cache_mut() {
-            cache.reset();
+        self.state.invalidate_cache();
+    }
+
+    /// Hot-swaps the wrapped detector mid-stream, returning the old one —
+    /// the single-stream counterpart of the fleet's `publish_model`. The new
+    /// detector must be fitted with the same window and channel count (the
+    /// stream's buffer layout); everything else — weights, scoring rule,
+    /// backend, even `base_feature_maps` — may differ. The attached cache is
+    /// invalidated through [`StreamState::invalidate_cache`] and re-planned
+    /// against the new detector (its layer shapes may have changed), so the
+    /// next scored push replays the shared window history under the new
+    /// model: pushes are never dropped and no score mixes two models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::NotFitted`] for an unfitted replacement and
+    /// [`VaradeError::InvalidConfig`] on a window or channel-count mismatch;
+    /// the wrapper is left unchanged on error.
+    pub fn swap_detector(&mut self, new: VaradeDetector) -> Result<VaradeDetector, VaradeError> {
+        let Some(new_channels) = new.n_channels() else {
+            return Err(VaradeError::NotFitted);
+        };
+        if new.config().window != self.detector.config().window {
+            return Err(VaradeError::InvalidConfig(format!(
+                "hot swap window mismatch: stream buffers are sized for {}, replacement wants {}",
+                self.detector.config().window,
+                new.config().window
+            )));
         }
+        if new_channels != self.state.n_channels() {
+            return Err(VaradeError::InvalidConfig(format!(
+                "hot swap channel mismatch: stream carries {} channels, replacement wants {}",
+                self.state.n_channels(),
+                new_channels
+            )));
+        }
+        if self.state.incremental() {
+            self.state.invalidate_cache();
+            // Re-plan rather than reuse: the new model may have a different
+            // layer geometry (e.g. other feature-map widths) than the cache
+            // was planned for.
+            self.state.attach_cache(new.incremental_cache()?);
+        }
+        Ok(std::mem::replace(&mut self.detector, new))
     }
 
     /// Number of scores produced so far.

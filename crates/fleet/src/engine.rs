@@ -2,19 +2,121 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use varade::{ScoreRequest, StreamState, VaradeDetector};
 use varade_timeseries::MinMaxNormalizer;
 
 use crate::queue::{Envelope, SampleQueue};
-use crate::{shard_of, FleetConfig, FleetError, FleetStats, ShardStats, StreamId};
+use crate::{shard_of, FleetConfig, FleetError, FleetStats, GroupModelStats, ShardStats, StreamId};
 
 /// Identifier of one model group — a fitted detector shared by any number of
 /// streams — handed out by [`Fleet::register_model`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelGroupId(usize);
+
+/// One model group's publication slot: the detector currently being served,
+/// the previous one (kept for [`Fleet::rollback_model`]) and an epoch
+/// counter. Shard workers load `(current, version)` once per scoring round,
+/// so a publish lands atomically at the next round boundary — never in the
+/// middle of a batched forward, and never dropping a queued push.
+///
+/// A single mutex guards the whole record; it is held only for pointer-sized
+/// copies (an `Arc` clone and two integers), never across a forward pass.
+pub(crate) struct ModelSlot {
+    inner: Mutex<SlotInner>,
+}
+
+struct SlotInner {
+    current: Arc<VaradeDetector>,
+    previous: Option<Arc<VaradeDetector>>,
+    /// Monotonic publication epoch, starting at 1 for the registered model.
+    /// A rollback gets a *new* version too — streams resynchronize their
+    /// caches on any version change, whichever direction the weights moved.
+    version: u64,
+    /// Number of publish/rollback events since registration.
+    swaps: u64,
+}
+
+impl ModelSlot {
+    fn new(detector: Arc<VaradeDetector>) -> Self {
+        Self {
+            inner: Mutex::new(SlotInner {
+                current: detector,
+                previous: None,
+                version: 1,
+                swaps: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The served detector and its publication version, as one atomic read.
+    pub(crate) fn load(&self) -> (Arc<VaradeDetector>, u64) {
+        let inner = self.lock();
+        (Arc::clone(&inner.current), inner.version)
+    }
+
+    fn stats(&self, group: usize) -> GroupModelStats {
+        let inner = self.lock();
+        GroupModelStats {
+            group,
+            model_version: inner.version,
+            swap_count: inner.swaps,
+        }
+    }
+
+    /// Swaps in `detector`, retiring the served model to the rollback slot.
+    /// Validation runs against the *currently served* detector under the same
+    /// lock, so two racing publishes cannot both validate against a model
+    /// that neither ends up replacing.
+    fn publish(&self, group: usize, detector: Arc<VaradeDetector>) -> Result<u64, FleetError> {
+        let Some(new_channels) = detector.n_channels() else {
+            return Err(FleetError::NotFitted);
+        };
+        let mut inner = self.lock();
+        let serving = inner.current.as_ref();
+        if detector.config().window != serving.config().window {
+            return Err(FleetError::InvalidConfig(format!(
+                "hot swap window mismatch: group {group} streams buffer {} samples, \
+                 replacement wants {}",
+                serving.config().window,
+                detector.config().window
+            )));
+        }
+        let serving_channels = serving.n_channels().expect("served models are fitted");
+        if new_channels != serving_channels {
+            return Err(FleetError::InvalidConfig(format!(
+                "hot swap channel mismatch: group {group} serves {serving_channels} channels, \
+                 replacement wants {new_channels}"
+            )));
+        }
+        inner.previous = Some(std::mem::replace(&mut inner.current, detector));
+        inner.version += 1;
+        inner.swaps += 1;
+        Ok(inner.version)
+    }
+
+    /// Swaps the previous model back in. Current and previous trade places,
+    /// so an operator can flip between the last two published models; only a
+    /// group that never saw a publish has nothing to roll back to.
+    fn rollback(&self, group: usize) -> Result<u64, FleetError> {
+        let mut inner = self.lock();
+        let Some(previous) = inner.previous.take() else {
+            return Err(FleetError::NoRollback { group });
+        };
+        inner.previous = Some(std::mem::replace(&mut inner.current, previous));
+        inner.version += 1;
+        inner.swaps += 1;
+        Ok(inner.version)
+    }
+}
 
 /// Immutable per-stream registration data (the mutable half is the
 /// [`StreamState`], which moves into a shard worker during a serve window).
@@ -43,7 +145,7 @@ pub struct FleetOutcome {
 /// bursts of traffic and idle periods without losing warm-up.
 pub struct Fleet {
     config: FleetConfig,
-    groups: Vec<Arc<VaradeDetector>>,
+    groups: Vec<ModelSlot>,
     meta: Vec<StreamMeta>,
     states: Vec<StreamState>,
 }
@@ -82,8 +184,10 @@ impl Fleet {
 
     /// Registers a fitted detector as a model group. The `Arc` is shared by
     /// every stream in the group and across all shard workers — scoring runs
-    /// through the detector's immutable inference path, so no copies and no
-    /// locks are involved.
+    /// through the detector's immutable inference path, so no copies are
+    /// made. The group starts at model version 1; later
+    /// [`Fleet::publish_model`] calls swap the served detector without
+    /// stopping the fleet.
     ///
     /// # Errors
     ///
@@ -95,8 +199,74 @@ impl Fleet {
         if detector.n_channels().is_none() {
             return Err(FleetError::NotFitted);
         }
-        self.groups.push(detector);
+        self.groups.push(ModelSlot::new(detector));
         Ok(ModelGroupId(self.groups.len() - 1))
+    }
+
+    /// Publishes a new detector to a model group — the zero-downtime hot
+    /// swap. The previous model is retired to a rollback slot and the group's
+    /// version is bumped; shard workers pick the new model up at their next
+    /// scoring round boundary, invalidating and re-planning each affected
+    /// stream's incremental cache (its columns were computed under the old
+    /// weights) while keeping every queued push. Streams buffered mid-window
+    /// simply have their context re-scored under the new model — no push is
+    /// ever dropped by a swap.
+    ///
+    /// Callable between serve windows; for publishing *during* one, see
+    /// [`FleetHandle::publish_model`]. Returns the group's new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`],
+    /// [`FleetError::NotFitted`] for an unfitted replacement, and
+    /// [`FleetError::InvalidConfig`] if the replacement's window or channel
+    /// count differs from the served model's (stream buffers are sized for
+    /// them; everything else — weights, feature-map widths, scoring rule,
+    /// backend — may change).
+    pub fn publish_model(
+        &self,
+        group: ModelGroupId,
+        detector: Arc<VaradeDetector>,
+    ) -> Result<u64, FleetError> {
+        self.slot(group)?.publish(group.0, detector)
+    }
+
+    /// Rolls a model group back to its previously served detector (current
+    /// and previous trade places, so a second rollback re-applies the
+    /// publish). The version is bumped again — versions are publication
+    /// epochs, not weight identities — so workers resynchronize exactly as
+    /// for a forward publish. Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`] and
+    /// [`FleetError::NoRollback`] if the group was never published to.
+    pub fn rollback_model(&self, group: ModelGroupId) -> Result<u64, FleetError> {
+        self.slot(group)?.rollback(group.0)
+    }
+
+    /// The current publication version of a model group (1 after
+    /// registration, +1 per publish or rollback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`].
+    pub fn model_version(&self, group: ModelGroupId) -> Result<u64, FleetError> {
+        Ok(self.slot(group)?.load().1)
+    }
+
+    fn slot(&self, group: ModelGroupId) -> Result<&ModelSlot, FleetError> {
+        self.groups
+            .get(group.0)
+            .ok_or_else(|| FleetError::UnknownId(format!("model group {}", group.0)))
+    }
+
+    fn group_stats(&self) -> Vec<GroupModelStats> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(group, slot)| slot.stats(group))
+            .collect()
     }
 
     /// Admits one logical stream to a model group. Pass the stream's own
@@ -116,10 +286,7 @@ impl Fleet {
         group: ModelGroupId,
         normalizer: Option<MinMaxNormalizer>,
     ) -> Result<StreamId, FleetError> {
-        let detector = self
-            .groups
-            .get(group.0)
-            .ok_or_else(|| FleetError::UnknownId(format!("model group {}", group.0)))?;
+        let (detector, version) = self.slot(group)?.load();
         let n_channels = detector.n_channels().expect("registered groups are fitted");
         if let Some(norm) = &normalizer {
             if norm.n_channels() != n_channels {
@@ -139,6 +306,10 @@ impl Fleet {
             n_channels,
         });
         let mut state = StreamState::new(n_channels, window, normalizer)?;
+        // Stamp the stream with the version it was planned against, so the
+        // first serve round doesn't mistake registration for a swap and
+        // spuriously invalidate the fresh cache.
+        state.sync_model_version(version);
         if self.config.incremental_enabled() {
             // One parity-phased activation cache per stream, alongside its
             // window buffer; it travels with the state into the shard
@@ -149,19 +320,17 @@ impl Fleet {
         Ok(id)
     }
 
-    /// The kernel backend a model group's detector scores with (see
-    /// [`varade::BackendKind`]) — fixed at [`Fleet::register_model`] time,
-    /// since the shared detector is immutable behind its `Arc`. Lets an
-    /// operator confirm which backend a fleet node serves on.
+    /// The kernel backend a model group's *currently served* detector scores
+    /// with (see [`varade::BackendKind`]). Each published detector carries
+    /// its own backend choice, so this may change across
+    /// [`Fleet::publish_model`] calls. Lets an operator confirm which
+    /// backend a fleet node serves on.
     ///
     /// # Errors
     ///
     /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`].
     pub fn model_backend(&self, group: ModelGroupId) -> Result<varade::BackendKind, FleetError> {
-        self.groups
-            .get(group.0)
-            .map(|d| d.backend_kind())
-            .ok_or_else(|| FleetError::UnknownId(format!("model group {}", group.0)))
+        Ok(self.slot(group)?.load().0.backend_kind())
     }
 
     /// Number of registered streams.
@@ -250,6 +419,7 @@ impl Fleet {
             let handle = FleetHandle {
                 queues: &queues,
                 meta: &self.meta,
+                groups: &self.groups,
                 policy: self.config.overload,
             };
             // Close the queues when the driver is done — including by
@@ -306,13 +476,9 @@ impl Fleet {
             return Err(e);
         }
         let value = driver_result?;
-        Ok((
-            value,
-            FleetOutcome {
-                stats: FleetStats::from_shards(shard_stats, elapsed),
-                scores,
-            },
-        ))
+        let mut stats = FleetStats::from_shards(shard_stats, elapsed);
+        stats.groups = self.group_stats();
+        Ok((value, FleetOutcome { stats, scores }))
     }
 }
 
@@ -334,10 +500,12 @@ fn placeholder_state() -> StreamState {
     StreamState::new(1, 1, None).expect("placeholder dimensions are valid")
 }
 
-/// The driver's view of a serving fleet: push samples, observe backpressure.
+/// The driver's view of a serving fleet: push samples, observe backpressure,
+/// publish models mid-serve.
 pub struct FleetHandle<'a> {
     queues: &'a [SampleQueue],
     meta: &'a [StreamMeta],
+    groups: &'a [ModelSlot],
     policy: crate::OverloadPolicy,
 }
 
@@ -371,6 +539,51 @@ impl FleetHandle<'_> {
             self.policy,
             meta.shard,
         )
+    }
+
+    /// Publishes a new detector to a model group **while the fleet is
+    /// serving** — the mid-serve counterpart of [`Fleet::publish_model`],
+    /// with the same validation and version semantics. When this returns,
+    /// every sample pushed *afterwards* is guaranteed to be scored by the
+    /// new model (or a newer one): workers reload each group's slot at every
+    /// round boundary, and a round that admits a later push necessarily
+    /// started after the publish. Samples already queued or in flight finish
+    /// under whichever model their round loaded; none are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Fleet::publish_model`].
+    pub fn publish_model(
+        &self,
+        group: ModelGroupId,
+        detector: Arc<VaradeDetector>,
+    ) -> Result<u64, FleetError> {
+        self.slot(group)?.publish(group.0, detector)
+    }
+
+    /// Rolls a model group back mid-serve (see [`Fleet::rollback_model`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Fleet::rollback_model`].
+    pub fn rollback_model(&self, group: ModelGroupId) -> Result<u64, FleetError> {
+        self.slot(group)?.rollback(group.0)
+    }
+
+    /// The current publication version of a model group (see
+    /// [`Fleet::model_version`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`].
+    pub fn model_version(&self, group: ModelGroupId) -> Result<u64, FleetError> {
+        Ok(self.slot(group)?.load().1)
+    }
+
+    fn slot(&self, group: ModelGroupId) -> Result<&ModelSlot, FleetError> {
+        self.groups
+            .get(group.0)
+            .ok_or_else(|| FleetError::UnknownId(format!("model group {}", group.0)))
     }
 
     /// Number of samples currently queued on a shard (a congestion probe for
@@ -434,7 +647,7 @@ fn run_shard(
     shard: usize,
     mut slots: Vec<ShardSlot>,
     queue: &SampleQueue,
-    groups: &[Arc<VaradeDetector>],
+    groups: &[ModelSlot],
     config: &FleetConfig,
 ) -> WorkerOutput {
     // Stream stats are cumulative across serve windows; the shard report
@@ -477,7 +690,7 @@ fn run_shard(
 fn drain_and_score(
     slots: &mut [ShardSlot],
     queue: &SampleQueue,
-    groups: &[Arc<VaradeDetector>],
+    groups: &[ModelSlot],
     config: &FleetConfig,
     counters: &mut ShardCounters,
 ) -> Result<(), FleetError> {
@@ -497,6 +710,23 @@ fn drain_and_score(
             slots[slot].pending.push_back(envelope.sample);
         }
         loop {
+            // Round boundary: load each group's published (detector, version)
+            // exactly once, so every score in this round — batched or
+            // incremental — comes from one consistent model per group, and a
+            // concurrent publish lands atomically at the next round.
+            let round_models: Vec<(Arc<VaradeDetector>, u64)> =
+                groups.iter().map(ModelSlot::load).collect();
+            for slot in slots.iter_mut() {
+                let (detector, version) = &round_models[slot.group];
+                if slot.state.sync_model_version(*version) && slot.state.incremental() {
+                    // The stream's cache columns were computed under the old
+                    // model; `sync_model_version` already invalidated them.
+                    // Re-plan against the new detector too — its layer
+                    // geometry (feature-map widths) may differ — and let the
+                    // next scored push re-prime by replaying its context.
+                    slot.state.attach_cache(detector.incremental_cache()?);
+                }
+            }
             requests.clear();
             let mut any_pending = false;
             for (index, slot) in slots.iter_mut().enumerate() {
@@ -513,7 +743,7 @@ fn drain_and_score(
                     // than a batched full forward, so the round reuses the
                     // cache instead of gathering the window into a batch.
                     Some(request) if slot.state.incremental() => {
-                        let detector = groups[slot.group].as_ref();
+                        let detector = round_models[slot.group].0.as_ref();
                         let forward_started = Instant::now();
                         let score = {
                             let cache = slot
@@ -546,7 +776,7 @@ fn drain_and_score(
             if !any_pending {
                 break;
             }
-            for (group_index, detector) in groups.iter().enumerate() {
+            for (group_index, (detector, _)) in round_models.iter().enumerate() {
                 let round: Vec<&RoundRequest> =
                     requests.iter().filter(|r| r.group == group_index).collect();
                 if round.is_empty() {

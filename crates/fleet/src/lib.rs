@@ -26,6 +26,14 @@
 //!   inference kernels are batch-invariant, so a stream scored through the
 //!   fleet produces **bit-identical** values to the same samples pushed
 //!   through `StreamingVarade` directly (see `tests/equivalence.rs`).
+//! * **Hot swap** — [`Fleet::publish_model`] (and its mid-serve twin on
+//!   [`FleetHandle`]) atomically replaces a group's served detector — e.g.
+//!   one loaded via [`varade::VaradeDetector::load`] from a retraining job —
+//!   with zero downtime: workers pick the new model up at their next scoring
+//!   round boundary, incremental caches invalidate and re-prime by replay,
+//!   and no queued push is ever dropped. [`Fleet::rollback_model`] swaps the
+//!   previous model back; [`FleetStats::groups`] reports each group's
+//!   publication version and swap count.
 //! * **Stats** — per-stream [`varade::PushStats`] merge into per-shard
 //!   [`ShardStats`] and a global [`FleetStats`] with wall-clock aggregate
 //!   throughput, the number the `varade-bench` fleet experiment sweeps.
@@ -77,7 +85,7 @@ mod stats;
 
 pub use engine::{Fleet, FleetHandle, FleetOutcome, ModelGroupId};
 pub use queue::{Envelope, SampleQueue};
-pub use stats::{FleetStats, ShardStats};
+pub use stats::{FleetStats, GroupModelStats, ShardStats};
 
 use std::fmt;
 use std::time::Duration;
@@ -242,6 +250,11 @@ pub enum FleetError {
     },
     /// A sample was pushed after the serve window closed.
     Closed,
+    /// [`Fleet::rollback_model`] on a group that was never published to.
+    NoRollback {
+        /// The group with no previous model.
+        group: usize,
+    },
     /// A scoring call failed inside a shard worker.
     Varade(varade::VaradeError),
     /// A shard worker panicked (a bug in the engine, not a data error).
@@ -270,6 +283,10 @@ impl fmt::Display for FleetError {
                 "shard {shard} queue full, sample for {stream} rejected (OverloadPolicy::Reject)"
             ),
             FleetError::Closed => write!(f, "fleet is not serving (push outside run)"),
+            FleetError::NoRollback { group } => write!(
+                f,
+                "model group {group} has no previous model to roll back to"
+            ),
             FleetError::Varade(err) => write!(f, "scoring error: {err}"),
             FleetError::WorkerPanicked { shard } => write!(f, "worker for shard {shard} panicked"),
         }

@@ -45,6 +45,19 @@ impl ShardStats {
     }
 }
 
+/// Model publication state of one group at the close of a serve window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupModelStats {
+    /// The group's dense index (the same one inside its
+    /// [`crate::ModelGroupId`]).
+    pub group: usize,
+    /// Publication epoch of the served model: 1 after registration, +1 per
+    /// publish or rollback.
+    pub model_version: u64,
+    /// Publish/rollback events since registration.
+    pub swap_count: u64,
+}
+
 /// Aggregate accounting for one serve window of a [`crate::Fleet`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FleetStats {
@@ -57,6 +70,9 @@ pub struct FleetStats {
     pub global: PushStats,
     /// Total samples dropped across shards.
     pub dropped: u64,
+    /// Per-group model version and swap counters, sorted by group index
+    /// (filled in by the engine after the shard merge).
+    pub groups: Vec<GroupModelStats>,
 }
 
 impl FleetStats {
@@ -75,6 +91,7 @@ impl FleetStats {
             shards,
             global,
             dropped,
+            groups: Vec::new(),
         }
     }
 

@@ -405,6 +405,16 @@ impl Layer for Conv1d {
         visitor(&mut self.bias, &mut self.bias_grad);
     }
 
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        visitor(&crate::join_tensor_name(prefix, "weight"), &self.weight);
+        visitor(&crate::join_tensor_name(prefix, "bias"), &self.bias);
+    }
+
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        visitor(&crate::join_tensor_name(prefix, "weight"), &mut self.weight);
+        visitor(&crate::join_tensor_name(prefix, "bias"), &mut self.bias);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         let out_len = self.output_len(input_shape[2]).unwrap_or(0);
         vec![input_shape[0], self.out_channels, out_len]

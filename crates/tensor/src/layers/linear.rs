@@ -236,6 +236,16 @@ impl Layer for Linear {
         visitor(&mut self.bias, &mut self.bias_grad);
     }
 
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        visitor(&crate::join_tensor_name(prefix, "weight"), &self.weight);
+        visitor(&crate::join_tensor_name(prefix, "bias"), &self.bias);
+    }
+
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        visitor(&crate::join_tensor_name(prefix, "weight"), &mut self.weight);
+        visitor(&crate::join_tensor_name(prefix, "bias"), &mut self.bias);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape.first().copied().unwrap_or(1), self.out_features]
     }

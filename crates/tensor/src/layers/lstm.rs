@@ -277,6 +277,24 @@ impl Layer for Lstm {
         visitor(&mut self.bias, &mut self.bias_grad);
     }
 
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        visitor(&crate::join_tensor_name(prefix, "weight_x"), &self.weight_x);
+        visitor(&crate::join_tensor_name(prefix, "weight_h"), &self.weight_h);
+        visitor(&crate::join_tensor_name(prefix, "bias"), &self.bias);
+    }
+
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        visitor(
+            &crate::join_tensor_name(prefix, "weight_x"),
+            &mut self.weight_x,
+        );
+        visitor(
+            &crate::join_tensor_name(prefix, "weight_h"),
+            &mut self.weight_h,
+        );
+        visitor(&crate::join_tensor_name(prefix, "bias"), &mut self.bias);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape[0], self.hidden_size, input_shape[2]]
     }

@@ -137,6 +137,26 @@ impl Layer for ResidualConvBlock {
         }
     }
 
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        self.conv1
+            .visit_tensors(&crate::join_tensor_name(prefix, "conv1"), visitor);
+        self.conv2
+            .visit_tensors(&crate::join_tensor_name(prefix, "conv2"), visitor);
+        if let Some(proj) = &self.projection {
+            proj.visit_tensors(&crate::join_tensor_name(prefix, "projection"), visitor);
+        }
+    }
+
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.conv1
+            .visit_tensors_mut(&crate::join_tensor_name(prefix, "conv1"), visitor);
+        self.conv2
+            .visit_tensors_mut(&crate::join_tensor_name(prefix, "conv2"), visitor);
+        if let Some(proj) = &mut self.projection {
+            proj.visit_tensors_mut(&crate::join_tensor_name(prefix, "projection"), visitor);
+        }
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape[0], self.out_channels(), input_shape[2]]
     }

@@ -149,6 +149,24 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        for (index, layer) in self.layers.iter().enumerate() {
+            layer.visit_tensors(
+                &crate::join_tensor_name(prefix, &index.to_string()),
+                visitor,
+            );
+        }
+    }
+
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        for (index, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_tensors_mut(
+                &crate::join_tensor_name(prefix, &index.to_string()),
+                visitor,
+            );
+        }
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         let mut shape = input_shape.to_vec();
         for layer in &self.layers {
@@ -277,6 +295,44 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
         assert_eq!(model.forward(&x).unwrap(), x);
         assert_eq!(model.len(), 0);
+    }
+
+    #[test]
+    fn visit_tensors_names_are_unique_and_cover_every_parameter() {
+        let mut r = rng();
+        let mut model = Sequential::new(vec![
+            Box::new(Conv1d::new(2, 4, 2, 2, 0, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 4, 3, &mut r)),
+        ]);
+        let mut names = Vec::new();
+        let mut elements = 0;
+        model.visit_tensors("net", &mut |name, t| {
+            names.push(name.to_string());
+            elements += t.len();
+        });
+        assert_eq!(
+            names,
+            vec!["net.0.weight", "net.0.bias", "net.3.weight", "net.3.bias"]
+        );
+        assert_eq!(elements, model.param_count());
+
+        // The mutable visitor sees the same tensors under the same names in
+        // the same order — the round-trip contract persistence relies on.
+        let mut mut_names = Vec::new();
+        model.visit_tensors_mut("net", &mut |name, t| {
+            mut_names.push((name.to_string(), t.len()));
+        });
+        let lens: Vec<usize> = {
+            let mut v = Vec::new();
+            model.visit_tensors("net", &mut |_, t| v.push(t.len()));
+            v
+        };
+        assert_eq!(
+            mut_names,
+            names.iter().cloned().zip(lens).collect::<Vec<_>>()
+        );
     }
 
     #[test]

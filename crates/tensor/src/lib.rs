@@ -63,6 +63,17 @@ pub use backend::{Backend, BackendKind, ScalarBackend, VectorBackend};
 pub use profile::{ComputeProfile, ExecutionUnit};
 pub use tensor::Tensor;
 
+/// Joins a [`Layer::visit_tensors`] prefix with a component name, omitting
+/// the `.` separator when the prefix is empty, so a model visited with an
+/// empty prefix yields names like `0.weight` rather than `.0.weight`.
+pub fn join_tensor_name(prefix: &str, leaf: &str) -> String {
+    if prefix.is_empty() {
+        leaf.to_string()
+    } else {
+        format!("{prefix}.{leaf}")
+    }
+}
+
 /// Errors produced by tensor operations and layers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
@@ -210,6 +221,27 @@ pub trait Layer: Send + Sync {
 
     /// Visits every `(parameter, gradient)` pair in a stable order.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Visits every parameter tensor together with a stable, unique,
+    /// dot-separated name rooted at `prefix` (e.g. `net.0.weight`).
+    ///
+    /// The visitation order and the names are part of a layer's public
+    /// contract: the persistence layer serializes tensors in exactly this
+    /// order and addresses them by exactly these names, so reordering or
+    /// renaming is a format-breaking change. Containers append their child's
+    /// position to the prefix (`{prefix}.{index}`); leaf layers append the
+    /// parameter's role (`.weight`, `.bias`, ...). Layers without parameters
+    /// use the default no-op.
+    fn visit_tensors(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &Tensor)) {
+        let _ = (prefix, visitor);
+    }
+
+    /// Mutable counterpart of [`Layer::visit_tensors`]: visits the same
+    /// tensors, under the same names, in the same order. Used to overwrite a
+    /// freshly constructed model's parameters with deserialized weights.
+    fn visit_tensors_mut(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Tensor)) {
+        let _ = (prefix, visitor);
+    }
 
     /// Resets all parameter gradients to zero.
     fn zero_grad(&mut self) {

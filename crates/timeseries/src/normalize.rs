@@ -66,6 +66,20 @@ impl MinMaxNormalizer {
         self.mins.len()
     }
 
+    /// Fitted per-channel minima, in channel order.
+    ///
+    /// Together with [`MinMaxNormalizer::maxs`] this exposes the complete
+    /// fitted state, so a normalizer can be exported to flat tensors and
+    /// rebuilt exactly via [`MinMaxNormalizer::from_ranges`].
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Fitted per-channel maxima, in channel order.
+    pub fn maxs(&self) -> &[f32] {
+        &self.maxs
+    }
+
     /// Whether channel `c`'s fitted range is degenerate: the span is zero or
     /// below half a unit-in-the-last-place *at the channel's own magnitude*.
     ///
