@@ -145,6 +145,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 },
             );
         }
+        if let Some(m) = &report.multicore {
+            println!(
+                "multicore: {} streams x {} workers, peak {:.1} samples/sec, \
+                 {} steals in Block cell (1-stream bit-identity: {})",
+                m.streams,
+                m.workers,
+                m.peak_samples_per_sec,
+                m.cell("Block").map_or(0, |c| c.steals),
+                if m.one_stream_bit_identical {
+                    "confirmed"
+                } else {
+                    "FAILED"
+                },
+            );
+        }
         if let Some(auc) = report.table2.auc_of("VARADE") {
             println!("VARADE AUC-ROC: {auc:.3}");
         }

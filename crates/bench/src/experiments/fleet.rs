@@ -185,9 +185,7 @@ fn check_equivalence(
         n_shards: 1,
         queue_capacity: 512,
         overload: OverloadPolicy::Block,
-        record_latencies: false,
-        chaos_round_delay: None,
-        incremental: None,
+        ..FleetConfig::default()
     })
     .map_err(fleet_err)?;
     let group = fleet
@@ -253,8 +251,7 @@ fn run_cell(
         queue_capacity,
         overload: OverloadPolicy::Block,
         record_latencies: true,
-        chaos_round_delay: None,
-        incremental: None,
+        ..FleetConfig::default()
     })
     .map_err(fleet_err)?;
     let group = fleet

@@ -15,6 +15,7 @@
 //! | [`backend`] | beyond the paper — kernel-backend (scalar vs vector) throughput sweep | [`backend::BackendSweepResult`] |
 //! | [`fleet`] | beyond the paper — multi-stream serving throughput (streams × shards sweep) | [`fleet::FleetResult`] |
 //! | [`incremental`] | beyond the paper — incremental (cached) vs full-recompute streaming | [`incremental::IncrementalResult`] |
+//! | [`load`] | beyond the paper — Zipf many-stream multi-core load harness with exact sample accounting | [`load::MulticoreResult`] |
 //! | [`persist`] | beyond the paper — model save/load round-trip (footprint, wall time, bit-identity audit) | [`persist::PersistenceResult`] |
 //!
 //! Every experiment runs at one of two [`ExperimentScale`]s sharing a single
@@ -29,6 +30,7 @@ pub mod channels;
 pub mod figure3;
 pub mod fleet;
 pub mod incremental;
+pub mod load;
 pub mod persist;
 pub mod streaming;
 pub mod table2;

@@ -9,6 +9,7 @@ use varade_bench::experiments::channels;
 use varade_bench::experiments::figure3::Figure3Result;
 use varade_bench::experiments::fleet::{FleetResult, FleetSweepCell};
 use varade_bench::experiments::incremental::{IncrementalCell, IncrementalResult};
+use varade_bench::experiments::load::{LoadCell, MulticoreResult};
 use varade_bench::experiments::persist::PersistenceResult;
 use varade_bench::experiments::streaming::StreamingResult;
 use varade_bench::experiments::table2::Table2Result;
@@ -78,6 +79,63 @@ fn fixture_fleet(samples_per_sec: f64) -> FleetResult {
         cells: vec![cell(1, 1, 1.0), cell(8, 4, 4.0)],
         peak_samples_per_sec: samples_per_sec * 4.0,
         incremental: Some(false),
+    }
+}
+
+/// Hand-built Zipf load harness result: three balanced policy cells whose
+/// peak tracks the streaming throughput.
+fn fixture_multicore(samples_per_sec: f64) -> MulticoreResult {
+    let lat = |scale: f64| LatencyStats {
+        samples: 9_000,
+        mean_us: 120.0 * scale,
+        p50_us: 90.0 * scale,
+        p90_us: 200.0 * scale,
+        p99_us: 400.0 * scale,
+        max_us: 900.0 * scale,
+    };
+    let cell = |policy: &str, rejected: u64, dropped: u64| {
+        let attempted = 30_000u64;
+        let accepted = attempted - rejected;
+        let admitted = accepted - dropped;
+        let scored = admitted - 12_000;
+        LoadCell {
+            policy: policy.to_string(),
+            attempted,
+            accepted,
+            rejected,
+            admitted,
+            dropped,
+            scored,
+            warmup: admitted - scored,
+            steals: 7,
+            elapsed_secs: 3.0,
+            samples_per_sec: samples_per_sec * 8.0,
+            scores_per_sec: samples_per_sec * 5.0,
+            active_streams: 9_500,
+            scored_streams: 1_200,
+            end_to_end_latency: lat(1.0),
+            stream_p99: lat(3.0),
+            slo_us: 1_000.0,
+            slo_met_fraction: 0.97,
+        }
+    };
+    MulticoreResult {
+        cpu_cores: 1,
+        queue_impl: "lock-free-ring".to_string(),
+        workers: 2,
+        producer_lanes: 2,
+        streams: 10_000,
+        total_pushes_per_cell: 30_000,
+        zipf_s: 1.1,
+        window: 8,
+        queue_capacity: 512,
+        one_stream_bit_identical: true,
+        cells: vec![
+            cell("Block", 0, 0),
+            cell("DropOldest", 0, 250),
+            cell("Reject", 400, 0),
+        ],
+        peak_samples_per_sec: samples_per_sec * 8.0,
     }
 }
 
@@ -184,6 +242,7 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
         persistence: Some(fixture_persistence()),
         backends: Some(fixture_backends(samples_per_sec)),
         fleet: Some(fixture_fleet(samples_per_sec)),
+        multicore: Some(fixture_multicore(samples_per_sec)),
         figure3: Figure3Result {
             points: varade_edge::figure::figure3_points(&table),
         },
@@ -297,6 +356,13 @@ fn deltas_against_a_fixture_baseline_report_relative_change() {
     assert_eq!(fleet.current, 5000.0);
     assert!((fleet.change_percent - 25.0).abs() < 1e-9);
 
+    // The multicore peak (8x the streaming figure in the fixture) joins the
+    // trajectory, as does the Block cell's SLO attainment.
+    let multicore = row("multicore peak samples/sec");
+    assert_eq!(multicore.previous, 8000.0);
+    assert_eq!(multicore.current, 10000.0);
+    assert!(row("multicore Block SLO met").change_percent.abs() < 1e-9);
+
     // Same-valued metrics report a 0% change.
     assert!(row("streaming p50 latency (us)").change_percent.abs() < 1e-9);
     // Both boards are covered.
@@ -344,6 +410,11 @@ fn rendered_markdown_is_deterministic_and_contains_every_section() {
     assert!(md.contains("### Incremental vs full recompute"));
     assert!(md.contains("Incremental-over-full speedup: **4.00x**"));
     assert!(md.contains("VARADE_INCREMENTAL=off"));
+    // The load harness renders inside §3 with its ledger framing and SLO
+    // column.
+    assert!(md.contains("### Multi-core Zipf load harness (`experiments::load`)"));
+    assert!(md.contains("admitted = scored + warm-up"));
+    assert!(md.contains("SLO met"));
     // The persistence audit renders inside §3 with its footprint and the
     // bit-identity verdict, and its deltas join the trajectory.
     assert!(md.contains("### Model persistence (`varade::persist`)"));
@@ -408,6 +479,20 @@ fn quick_report_end_to_end() {
         .expect("v5 reports carry a persistence audit");
     assert!(persistence.file_bytes > 0);
     assert_eq!(persistence.max_abs_deviation, 0.0);
+    let multicore = report
+        .multicore
+        .as_ref()
+        .expect("v6 reports carry the load harness");
+    assert!(multicore.one_stream_bit_identical);
+    assert_eq!(multicore.cells.len(), 3);
+    assert_eq!(multicore.streams, 10_000);
+    assert!(multicore.peak_samples_per_sec > 0.0);
+    // run() already hard-errored on any ledger imbalance; pin the policy
+    // contracts here too.
+    assert_eq!(multicore.cell("Block").unwrap().rejected, 0);
+    assert_eq!(multicore.cell("Block").unwrap().dropped, 0);
+    assert_eq!(multicore.cell("DropOldest").unwrap().rejected, 0);
+    assert_eq!(multicore.cell("Reject").unwrap().dropped, 0);
 
     // Disk round trip through the real writer/loader pair. The quick report
     // is filtered out of the baseline trajectory by design, so parse the file
@@ -434,6 +519,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     v1.backends = None;
     v1.incremental = None;
     v1.persistence = None;
+    v1.multicore = None;
     v1.streaming.incremental = None;
     let compact = serde_json::to_string(&v1).unwrap();
     // Simulate the genuine v1 file: the keys are absent, not null. The
@@ -444,6 +530,7 @@ fn v1_baselines_without_newer_keys_still_load() {
         .replace("\"meta\":null,", "")
         .replace("\"backends\":null,", "")
         .replace("\"persistence\":null,", "")
+        .replace("\"multicore\":null,", "")
         .replace("\"incremental\":null,", "")
         .replace(",\"incremental\":null", "");
     assert_ne!(compact, without_keys, "fixture lost its null markers");
@@ -462,6 +549,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     assert!(back.backends.is_none());
     assert!(back.incremental.is_none());
     assert!(back.persistence.is_none());
+    assert!(back.multicore.is_none());
     assert!(back.streaming.incremental.is_none());
     assert_eq!(back.streaming, v1.streaming);
 
@@ -475,6 +563,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     assert!(md.contains("predates the multi-backend substrate"));
     assert!(md.contains("predates the incremental streaming path"));
     assert!(md.contains("predates the persistence container"));
+    assert!(md.contains("predates the load harness"));
 }
 
 #[test]

@@ -84,7 +84,7 @@ pub mod queue;
 mod stats;
 
 pub use engine::{Fleet, FleetHandle, FleetOutcome, ModelGroupId};
-pub use queue::{Envelope, SampleQueue};
+pub use queue::{Envelope, IngressQueue, RingQueue, SampleQueue};
 pub use stats::{FleetStats, GroupModelStats, ShardStats};
 
 use std::fmt;
@@ -103,6 +103,14 @@ impl StreamId {
     /// [`FleetOutcome::scores`]).
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Builds an id from a raw dense index, for driving the ingress queues
+    /// directly (tests, stress harnesses). Ids are only meaningful inside
+    /// the fleet that issued them — the engine rejects foreign ids with
+    /// [`FleetError::UnknownId`].
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
     }
 }
 
@@ -130,6 +138,23 @@ pub enum OverloadPolicy {
     Reject,
 }
 
+/// Which ingress-queue implementation a fleet's shards use.
+///
+/// Both variants share the same contract (overload policies, drop
+/// accounting, close-wakes-blocked-producer); the stress and liveness
+/// batteries in `tests/queue_stress.rs` run against both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Lock-free bounded ring with per-slot sequence stamps and cached
+    /// indices ([`RingQueue`]) — the default, built for real multi-core
+    /// serving where the mutex queue becomes the contention point.
+    #[default]
+    LockFreeRing,
+    /// The original `Mutex<VecDeque>`+`Condvar` queue ([`SampleQueue`]),
+    /// kept selectable as the reference implementation.
+    Mutex,
+}
+
 /// Configuration of a [`Fleet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetConfig {
@@ -141,6 +166,21 @@ pub struct FleetConfig {
     pub queue_capacity: usize,
     /// Overflow behavior of the ingress queues.
     pub overload: OverloadPolicy,
+    /// Ingress-queue implementation (see [`QueueKind`]).
+    pub queue: QueueKind,
+    /// Number of producer lanes: each shard gets one ingress ring *per
+    /// lane*, so a multi-threaded driver can give every producer thread its
+    /// own single-producer edge ([`FleetHandle::push_from`]). Per-stream
+    /// ordering is preserved as long as each stream sticks to one lane.
+    /// Must be at least 1; [`FleetHandle::push`] uses lane 0.
+    pub producer_lanes: usize,
+    /// When `true` (the default), an idle shard worker steals *whole
+    /// streams* from busy peers at round boundaries: ownership moves by a
+    /// single atomic compare-exchange, the stream's state and incremental
+    /// cache migrate intact, and scores stay bit-identical — only the
+    /// thread doing the arithmetic changes. [`ShardStats::steals`] counts
+    /// successful steals per worker.
+    pub work_stealing: bool,
     /// When `true`, every scored sample's latency (its admit time plus its
     /// share of the batched forward) is kept in
     /// [`ShardStats::sample_latencies`] for percentile reporting. Costs one
@@ -165,6 +205,9 @@ impl Default for FleetConfig {
             n_shards: 1,
             queue_capacity: 1024,
             overload: OverloadPolicy::Block,
+            queue: QueueKind::default(),
+            producer_lanes: 1,
+            work_stealing: true,
             record_latencies: false,
             chaos_round_delay: None,
             incremental: None,
@@ -193,6 +236,11 @@ impl FleetConfig {
         if self.queue_capacity == 0 {
             return Err(FleetError::InvalidConfig(
                 "shard queues need capacity for at least one sample".into(),
+            ));
+        }
+        if self.producer_lanes == 0 {
+            return Err(FleetError::InvalidConfig(
+                "a fleet needs at least one producer lane".into(),
             ));
         }
         Ok(())

@@ -1,13 +1,30 @@
 //! Bounded per-shard ingress queues with explicit overload policies.
 //!
-//! Each shard owns one [`SampleQueue`]; the driver thread pushes
-//! [`Envelope`]s into it and the shard worker drains them in arrival order.
-//! The queue is a plain `Mutex<VecDeque>` with two condition variables —
-//! `std::sync` only, no external channel crates — and every full-queue
-//! outcome is decided by the caller's [`OverloadPolicy`], never by accident.
+//! Two interchangeable implementations live here behind the [`IngressQueue`]
+//! wrapper, selected by [`crate::QueueKind`]:
+//!
+//! * [`RingQueue`] (the default) — a lock-free bounded ring with per-slot
+//!   sequence stamps (Vyukov-style), atomic head/tail counters and a
+//!   producer-side cached head index. The hot push/drain path never takes a
+//!   lock; a `Mutex`+`Condvar` pair exists only as the *parking lot* for the
+//!   two blocking slow paths ([`OverloadPolicy::Block`] producers on a full
+//!   ring, consumers on an empty one), with a timed backstop so a missed
+//!   wakeup can never hang a thread.
+//! * [`SampleQueue`] (legacy) — the original `Mutex<VecDeque>` with two
+//!   condition variables, kept selectable so the overload-policy and
+//!   shutdown-liveness batteries pin both paths.
+//!
+//! Every full-queue outcome is decided by the caller's [`OverloadPolicy`],
+//! never by accident, and both implementations share the same exact drop
+//! accounting: a sample is counted in `dropped` if and only if it was
+//! accepted and later evicted by [`OverloadPolicy::DropOldest`].
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::{FleetError, OverloadPolicy, StreamId};
 
@@ -18,6 +35,21 @@ pub struct Envelope {
     pub stream: StreamId,
     /// The raw (not yet normalized) sample, one value per channel.
     pub sample: Vec<f32>,
+    /// When the producer handed the sample to the fleet, for end-to-end
+    /// (push-to-score) latency accounting. `None` unless
+    /// [`crate::FleetConfig::record_latencies`] is on.
+    pub enqueued_at: Option<std::time::Instant>,
+}
+
+impl Envelope {
+    /// An envelope without an enqueue timestamp.
+    pub fn new(stream: StreamId, sample: Vec<f32>) -> Self {
+        Self {
+            stream,
+            sample,
+            enqueued_at: None,
+        }
+    }
 }
 
 struct QueueInner {
@@ -26,7 +58,7 @@ struct QueueInner {
     closed: bool,
 }
 
-/// A bounded MPSC queue of [`Envelope`]s for one shard.
+/// A bounded MPSC queue of [`Envelope`]s for one shard (legacy path).
 ///
 /// Producers call [`SampleQueue::push`] with an [`OverloadPolicy`]; the
 /// shard's worker calls [`SampleQueue::drain`], which blocks while the queue
@@ -153,6 +185,20 @@ impl SampleQueue {
         Some(batch)
     }
 
+    /// Non-blocking variant of [`SampleQueue::drain`]: removes and returns up
+    /// to `max` samples in arrival order, returning an empty vector (never
+    /// waiting) when the queue is currently empty.
+    pub fn try_drain(&self, max: usize) -> Vec<Envelope> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let take = inner.items.len().min(max);
+        let batch: Vec<Envelope> = inner.items.drain(..take).collect();
+        drop(inner);
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
     /// Closes the queue: subsequent pushes fail with [`FleetError::Closed`],
     /// blocked pushers wake up, and [`SampleQueue::drain`] returns the
     /// backlog until empty, then `None`.
@@ -161,19 +207,567 @@ impl SampleQueue {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Whether [`SampleQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Whether the queue is closed and empty. The mutex linearizes pushes
+    /// against [`SampleQueue::close`], so "closed and empty" is already a
+    /// stable end-of-stream verdict here (unlike the lock-free ring, which
+    /// additionally tracks in-flight pushes).
+    pub fn is_quiescent(&self) -> bool {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.closed && inner.items.is_empty()
+    }
+}
+
+/// One ring slot: a sequence stamp gating all access to the value cell.
+///
+/// The stamp encodes the slot's lifecycle against monotonically increasing
+/// logical positions: `seq == pos` means "free for the enqueue claiming
+/// position `pos`", `seq == pos + 1` means "holds the value enqueued at
+/// `pos`, free for the dequeue claiming it", and after that dequeue the
+/// stamp jumps to `pos + slots` — the enqueue position of the *next* lap.
+/// A thread only ever touches `value` between a successful claim CAS on the
+/// shared counter and its own release store of the next stamp, so the cell
+/// needs no lock even with concurrent dequeuers (the consumer draining and a
+/// `DropOldest` producer evicting are two dequeuers on one ring).
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<Envelope>>,
+}
+
+/// How long a parked thread sleeps at most before re-checking the ring: the
+/// liveness backstop that makes a lost wakeup cost a millisecond instead of a
+/// hang. Wakeups are normally delivered explicitly via the condvars.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Spins on the hot path before parking; each iteration hints the CPU and
+/// yields to the scheduler every few rounds.
+const SPIN_LIMIT: u32 = 64;
+
+/// A lock-free bounded ring of [`Envelope`]s for one producer→shard edge.
+///
+/// Layout: `slots` physical cells (the logical capacity rounded up to a
+/// power of two, minimum 2, so indexing is a mask), each carrying its own
+/// sequence stamp, plus monotonically increasing `head` (next dequeue
+/// position) and `tail` (next enqueue position) counters. The producer keeps
+/// a *cached* copy of `head` and only re-reads the shared counter when the
+/// cache says the ring looks full — the classic SPSC cached-index
+/// optimization that keeps the common enqueue to one shared atomic
+/// (the slot stamp) beyond its own `tail`.
+///
+/// Fullness is decided by the counters (`tail - head == capacity`), not by
+/// the slot stamps, which keeps a logical capacity of 1 exact and lets the
+/// physical slot count exceed the logical bound. Claims go through
+/// compare-exchange on `head`/`tail`, so the ring stays correct even with
+/// two dequeuers — which [`OverloadPolicy::DropOldest`] needs, because the
+/// producer evicts the head concurrently with the draining consumer.
+///
+/// Blocking ([`OverloadPolicy::Block`] on full, [`RingQueue::drain`] on
+/// empty) parks on a `Mutex<()>`+`Condvar` pair that the fast path never
+/// touches: waiters raise an atomic "parked" flag, the other side notifies
+/// only when it sees the flag, and every wait carries a `PARK_TIMEOUT`
+/// backstop. [`RingQueue::close`] wakes both sides promptly, so a producer
+/// parked on a full ring returns [`FleetError::Closed`] instead of hanging —
+/// the shutdown-liveness contract pinned by `tests/queue_stress.rs`.
+pub struct RingQueue {
+    slots: Box<[Slot]>,
+    mask: usize,
+    capacity: usize,
+    /// Next position to dequeue. Monotonic; wraps modulo `usize`.
+    head: AtomicUsize,
+    /// Next position to enqueue. Monotonic; wraps modulo `usize`.
+    tail: AtomicUsize,
+    /// Producer-side cache of `head`, refreshed only when the ring looks
+    /// full — the "cached index" half of the SPSC design.
+    head_cache: AtomicUsize,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+    /// Pushes currently between entry and completion. Consumers deciding
+    /// "closed and nothing can still arrive" must see this at zero: a racing
+    /// push either completed its enqueue before the counter read (so the
+    /// final sweep sees the sample) or will observe `closed` after its
+    /// increment and bail without enqueueing (SeqCst totally orders the two
+    /// flag accesses).
+    in_flight: AtomicUsize,
+    park: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    consumer_parked: AtomicBool,
+    producer_parked: AtomicBool,
+}
+
+// SAFETY: the sequence-stamp protocol gives each value cell exactly one
+// accessor at a time (see `Slot`); `Envelope` is `Send`, so moving envelopes
+// across threads through the ring is sound.
+unsafe impl Send for RingQueue {}
+unsafe impl Sync for RingQueue {}
+
+impl std::fmt::Debug for RingQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+enum TryEnqueue {
+    Done,
+    Full(Envelope),
+}
+
+impl RingQueue {
+    /// Creates a ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a [`crate::FleetConfig`] validates this
+    /// before any queue is built).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let physical = capacity.next_power_of_two().max(2);
+        let slots: Box<[Slot]> = (0..physical)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            mask: physical - 1,
+            capacity,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            head_cache: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            consumer_parked: AtomicBool::new(false),
+            producer_parked: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of samples currently queued (a racy snapshot under concurrency).
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(head).min(self.capacity)
+    }
+
+    /// Whether the queue is currently empty (a racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples evicted so far by [`OverloadPolicy::DropOldest`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Whether [`RingQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Whether the ring is closed, empty, *and* no push is in flight — the
+    /// stable "nothing can ever arrive here again" verdict a worker needs
+    /// before declaring its ingest finished.
+    pub fn is_quiescent(&self) -> bool {
+        self.is_closed() && self.in_flight.load(Ordering::SeqCst) == 0 && self.is_empty()
+    }
+
+    /// One lock-free enqueue attempt: claims the tail position when the ring
+    /// is not at logical capacity, otherwise hands the envelope back.
+    fn try_enqueue(&self, envelope: Envelope) -> TryEnqueue {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            // Counter-based fullness: exact at any logical capacity
+            // (including 1), checked against the cached head first so the
+            // common case never touches the consumer's cache line.
+            if pos.wrapping_sub(self.head_cache.load(Ordering::Relaxed)) >= self.capacity {
+                let fresh = self.head.load(Ordering::Acquire);
+                self.head_cache.store(fresh, Ordering::Relaxed);
+                if pos.wrapping_sub(fresh) >= self.capacity {
+                    return TryEnqueue::Full(envelope);
+                }
+            }
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made this thread the unique
+                        // owner of `pos`; the stamp check says the slot is
+                        // free for this lap.
+                        unsafe { (*slot.value.get()).write(envelope) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        self.wake_consumer();
+                        return TryEnqueue::Done;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else {
+                // A dequeue at this position has claimed its counter but not
+                // yet released the slot stamp (or our tail read is stale):
+                // spin briefly and re-read.
+                std::hint::spin_loop();
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One lock-free dequeue attempt. Safe under concurrent dequeuers (the
+    /// consumer and a `DropOldest`-evicting producer).
+    fn try_dequeue(&self) -> Option<Envelope> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    expected,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique owner
+                        // of `pos`, and the stamp says the value is fully
+                        // written.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.slots.len()), Ordering::Release);
+                        self.wake_producer();
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if self.tail.load(Ordering::Acquire) == pos {
+                return None;
+            } else if seq == pos {
+                // An enqueue claimed this position but has not finished its
+                // write yet: it will complete in a bounded number of steps.
+                std::hint::spin_loop();
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn wake_consumer(&self) {
+        if self.consumer_parked.load(Ordering::SeqCst) {
+            let _guard = self.park.lock().expect("park lock");
+            self.not_empty.notify_all();
+        }
+    }
+
+    fn wake_producer(&self) {
+        if self.producer_parked.load(Ordering::SeqCst) {
+            let _guard = self.park.lock().expect("park lock");
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Enqueues one sample, resolving a full ring according to `policy`:
+    /// `Block` parks until space or close, `DropOldest` evicts the head
+    /// (counting it), `Reject` returns [`FleetError::QueueFull`]. `shard`
+    /// only labels the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::QueueFull`] under `Reject` on a full ring, and
+    /// [`FleetError::Closed`] if the ring has been closed — including when
+    /// the close lands *while* a `Block` push is parked, which must wake
+    /// promptly rather than hang.
+    pub fn push(
+        &self,
+        envelope: Envelope,
+        policy: OverloadPolicy,
+        shard: usize,
+    ) -> Result<(), FleetError> {
+        // Guard the whole push with the in-flight counter so a consumer's
+        // "closed and drained" verdict can never race a push past it.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let result = self.push_inner(envelope, policy, shard);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    fn push_inner(
+        &self,
+        envelope: Envelope,
+        policy: OverloadPolicy,
+        shard: usize,
+    ) -> Result<(), FleetError> {
+        if self.is_closed() {
+            return Err(FleetError::Closed);
+        }
+        let mut envelope = match self.try_enqueue(envelope) {
+            TryEnqueue::Done => return Ok(()),
+            TryEnqueue::Full(envelope) => envelope,
+        };
+        match policy {
+            OverloadPolicy::Reject => Err(FleetError::QueueFull {
+                stream: envelope.stream,
+                shard,
+            }),
+            OverloadPolicy::DropOldest => loop {
+                if self.try_dequeue().is_some() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                match self.try_enqueue(envelope) {
+                    TryEnqueue::Done => return Ok(()),
+                    TryEnqueue::Full(e) => envelope = e,
+                }
+            },
+            OverloadPolicy::Block => {
+                let mut spins = 0u32;
+                loop {
+                    if self.is_closed() {
+                        return Err(FleetError::Closed);
+                    }
+                    envelope = match self.try_enqueue(envelope) {
+                        TryEnqueue::Done => return Ok(()),
+                        TryEnqueue::Full(e) => e,
+                    };
+                    if spins < SPIN_LIMIT {
+                        spins += 1;
+                        if spins.is_multiple_of(8) {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                        continue;
+                    }
+                    let guard = self.park.lock().expect("park lock");
+                    self.producer_parked.store(true, Ordering::SeqCst);
+                    // Re-check under the flag: a dequeue or close between our
+                    // last attempt and the flag store would otherwise be
+                    // missed (the timeout would still save us, but this keeps
+                    // the wakeup prompt).
+                    let full = self
+                        .tail
+                        .load(Ordering::Acquire)
+                        .wrapping_sub(self.head.load(Ordering::Acquire))
+                        >= self.capacity;
+                    if full && !self.is_closed() {
+                        let (_guard, _timeout) = self
+                            .not_full
+                            .wait_timeout(guard, PARK_TIMEOUT)
+                            .expect("park lock");
+                    }
+                    self.producer_parked.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking drain: removes and returns up to `max` samples in
+    /// arrival order, returning an empty vector when the ring is currently
+    /// empty.
+    pub fn try_drain(&self, max: usize) -> Vec<Envelope> {
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            match self.try_dequeue() {
+                Some(envelope) => batch.push(envelope),
+                None => break,
+            }
+        }
+        batch
+    }
+
+    /// Removes and returns up to `max` samples in arrival order, parking
+    /// while the ring is empty and open. Returns `None` only once the ring
+    /// is closed *and* fully drained — the worker's signal to exit without
+    /// ever abandoning accepted samples.
+    pub fn drain(&self, max: usize) -> Option<Vec<Envelope>> {
+        let mut spins = 0u32;
+        loop {
+            let batch = self.try_drain(max);
+            if !batch.is_empty() {
+                return Some(batch);
+            }
+            if self.is_closed() && self.in_flight.load(Ordering::SeqCst) == 0 {
+                // Closed with no push in flight: one final sweep for
+                // stragglers enqueued before the close became visible, then
+                // end-of-stream. (A push still in flight either lands before
+                // the sweep or observes the close and bails — see
+                // `in_flight` — so nothing accepted is ever abandoned.)
+                let batch = self.try_drain(max);
+                return if batch.is_empty() { None } else { Some(batch) };
+            }
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                if spins.is_multiple_of(8) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            let guard = self.park.lock().expect("park lock");
+            self.consumer_parked.store(true, Ordering::SeqCst);
+            if self.is_empty() && !self.is_closed() {
+                let (_guard, _timeout) = self
+                    .not_empty
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .expect("park lock");
+            }
+            self.consumer_parked.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Closes the ring: subsequent pushes fail with [`FleetError::Closed`],
+    /// parked producers and consumers wake promptly, and
+    /// [`RingQueue::drain`] returns the backlog until empty, then `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = self.park.lock().expect("park lock");
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+impl Drop for RingQueue {
+    fn drop(&mut self) {
+        // Envelopes still in flight own heap memory; release them.
+        while self.try_dequeue().is_some() {}
+    }
+}
+
+/// The shard-facing queue: one of the two implementations, same contract.
+///
+/// [`crate::FleetConfig::queue`] picks the variant; the engine and the test
+/// batteries are written against this wrapper so every behavior
+/// (overload policies, drop accounting, close-wakes-blocked-producer,
+/// drain-to-empty shutdown) is pinned on both paths.
+#[derive(Debug)]
+pub enum IngressQueue {
+    /// The lock-free ring (default).
+    Ring(RingQueue),
+    /// The legacy `Mutex<VecDeque>`+`Condvar` queue.
+    Legacy(SampleQueue),
+}
+
+impl IngressQueue {
+    /// Builds the queue variant selected by `kind`.
+    pub fn new(kind: crate::QueueKind, capacity: usize) -> Self {
+        match kind {
+            crate::QueueKind::LockFreeRing => IngressQueue::Ring(RingQueue::new(capacity)),
+            crate::QueueKind::Mutex => IngressQueue::Legacy(SampleQueue::new(capacity)),
+        }
+    }
+
+    /// See [`RingQueue::push`] / [`SampleQueue::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::QueueFull`] under [`OverloadPolicy::Reject`] on
+    /// a full queue, and [`FleetError::Closed`] after a close.
+    pub fn push(
+        &self,
+        envelope: Envelope,
+        policy: OverloadPolicy,
+        shard: usize,
+    ) -> Result<(), FleetError> {
+        match self {
+            IngressQueue::Ring(q) => q.push(envelope, policy, shard),
+            IngressQueue::Legacy(q) => q.push(envelope, policy, shard),
+        }
+    }
+
+    /// Non-blocking drain of up to `max` samples (empty vector when idle).
+    pub fn try_drain(&self, max: usize) -> Vec<Envelope> {
+        match self {
+            IngressQueue::Ring(q) => q.try_drain(max),
+            IngressQueue::Legacy(q) => q.try_drain(max),
+        }
+    }
+
+    /// Blocking drain; `None` once closed and fully drained.
+    pub fn drain(&self, max: usize) -> Option<Vec<Envelope>> {
+        match self {
+            IngressQueue::Ring(q) => q.drain(max),
+            IngressQueue::Legacy(q) => q.drain(max),
+        }
+    }
+
+    /// Closes the queue, waking parked producers and consumers.
+    pub fn close(&self) {
+        match self {
+            IngressQueue::Ring(q) => q.close(),
+            IngressQueue::Legacy(q) => q.close(),
+        }
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            IngressQueue::Ring(q) => q.is_closed(),
+            IngressQueue::Legacy(q) => q.is_closed(),
+        }
+    }
+
+    /// Whether the queue is closed and nothing can ever arrive again.
+    pub fn is_quiescent(&self) -> bool {
+        match self {
+            IngressQueue::Ring(q) => q.is_quiescent(),
+            IngressQueue::Legacy(q) => q.is_quiescent(),
+        }
+    }
+
+    /// Number of samples currently queued (racy snapshot on the ring).
+    pub fn len(&self) -> usize {
+        match self {
+            IngressQueue::Ring(q) => q.len(),
+            IngressQueue::Legacy(q) => q.len(),
+        }
+    }
+
+    /// Whether the queue is currently empty (racy snapshot on the ring).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples evicted so far by [`OverloadPolicy::DropOldest`].
+    pub fn dropped(&self) -> u64 {
+        match self {
+            IngressQueue::Ring(q) => q.dropped(),
+            IngressQueue::Legacy(q) => q.dropped(),
+        }
+    }
+
+    /// Human label for reports (`BenchReport`'s `multicore.queue_impl`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IngressQueue::Ring(_) => "lock-free-ring",
+            IngressQueue::Legacy(_) => "mutex-vecdeque",
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::time::Duration;
 
     fn envelope(stream: usize, value: f32) -> Envelope {
-        Envelope {
-            stream: StreamId(stream),
-            sample: vec![value],
-        }
+        Envelope::new(StreamId(stream), vec![value])
     }
 
     fn values(queue: &SampleQueue) -> Vec<f32> {
@@ -292,5 +886,108 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = SampleQueue::new(0);
+    }
+
+    // ---- RingQueue: the same contract on the lock-free path. The
+    // cross-thread interleaving battery lives in tests/queue_stress.rs;
+    // these are the single-threaded semantics.
+
+    fn ring_values(queue: &RingQueue) -> Vec<f32> {
+        queue
+            .try_drain(usize::MAX)
+            .iter()
+            .map(|e| e.sample[0])
+            .collect()
+    }
+
+    #[test]
+    fn ring_preserves_fifo_order_across_wraparound() {
+        let queue = RingQueue::new(3);
+        let mut out = Vec::new();
+        for v in 0..20 {
+            queue
+                .push(envelope(0, v as f32), OverloadPolicy::Reject, 0)
+                .unwrap();
+            if v % 3 == 2 {
+                out.extend(ring_values(&queue));
+            }
+        }
+        out.extend(ring_values(&queue));
+        assert_eq!(out, (0..20).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_drop_oldest_evicts_the_head_and_counts_it() {
+        let queue = RingQueue::new(3);
+        for v in 0..5 {
+            queue
+                .push(envelope(0, v as f32), OverloadPolicy::DropOldest, 0)
+                .unwrap();
+        }
+        assert_eq!(queue.dropped(), 2);
+        assert_eq!(ring_values(&queue), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ring_reject_surfaces_a_typed_error_at_capacity_one() {
+        let queue = RingQueue::new(1);
+        queue
+            .push(envelope(1, 1.0), OverloadPolicy::Reject, 7)
+            .unwrap();
+        let err = queue
+            .push(envelope(9, 2.0), OverloadPolicy::Reject, 7)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FleetError::QueueFull {
+                stream: StreamId(9),
+                shard: 7
+            }
+        );
+        assert_eq!(queue.len(), 1);
+        assert_eq!(ring_values(&queue), vec![1.0]);
+    }
+
+    #[test]
+    fn ring_close_flushes_backlog_then_signals_end_of_stream() {
+        let queue = RingQueue::new(4);
+        queue
+            .push(envelope(0, 1.0), OverloadPolicy::Block, 0)
+            .unwrap();
+        queue.close();
+        assert_eq!(
+            queue.drain(usize::MAX).unwrap()[0].sample,
+            vec![1.0],
+            "backlog survives the close"
+        );
+        assert!(queue.drain(usize::MAX).is_none());
+        assert_eq!(
+            queue.push(envelope(0, 2.0), OverloadPolicy::Block, 0),
+            Err(FleetError::Closed)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_zero_capacity_panics() {
+        let _ = RingQueue::new(0);
+    }
+
+    #[test]
+    fn ingress_queue_builds_the_configured_kind() {
+        let ring = IngressQueue::new(crate::QueueKind::LockFreeRing, 8);
+        let legacy = IngressQueue::new(crate::QueueKind::Mutex, 8);
+        assert_eq!(ring.label(), "lock-free-ring");
+        assert_eq!(legacy.label(), "mutex-vecdeque");
+        for queue in [&ring, &legacy] {
+            queue
+                .push(envelope(0, 1.0), OverloadPolicy::Block, 0)
+                .unwrap();
+            assert_eq!(queue.len(), 1);
+            assert_eq!(queue.try_drain(usize::MAX).len(), 1);
+            assert!(queue.is_empty());
+            queue.close();
+            assert!(queue.is_closed());
+        }
     }
 }

@@ -32,6 +32,11 @@ pub struct ShardStats {
     pub incremental_windows: u64,
     /// Samples evicted by [`crate::OverloadPolicy::DropOldest`].
     pub dropped: u64,
+    /// Streams this worker successfully stole from a peer (one count per
+    /// winning ownership compare-exchange; exact, never sampled). Zero when
+    /// [`crate::FleetConfig::work_stealing`] is off or the fleet has one
+    /// shard.
+    pub steals: u64,
     /// Per-scored-sample latency (admit plus batch-forward share), recorded
     /// only when [`crate::FleetConfig::record_latencies`] is on.
     pub sample_latencies: Vec<Duration>,
@@ -70,6 +75,9 @@ pub struct FleetStats {
     pub global: PushStats,
     /// Total samples dropped across shards.
     pub dropped: u64,
+    /// Total stream steals across shards (the sum of
+    /// [`ShardStats::steals`]).
+    pub steals: u64,
     /// Per-group model version and swap counters, sorted by group index
     /// (filled in by the engine after the shard merge).
     pub groups: Vec<GroupModelStats>,
@@ -82,15 +90,18 @@ impl FleetStats {
         shards.sort_by_key(|s| s.shard);
         let mut global = PushStats::default();
         let mut dropped = 0;
+        let mut steals = 0;
         for shard in &shards {
             global.merge(&shard.push);
             dropped += shard.dropped;
+            steals += shard.steals;
         }
         Self {
             elapsed,
             shards,
             global,
             dropped,
+            steals,
             groups: Vec::new(),
         }
     }
@@ -141,6 +152,7 @@ mod tests {
             batched_windows: scores,
             incremental_windows: 0,
             dropped,
+            steals: index as u64,
             sample_latencies: vec![Duration::from_micros(micros)],
         }
     }
@@ -156,6 +168,7 @@ mod tests {
         assert_eq!(stats.global.pushes, 30);
         assert_eq!(stats.global.scores, 23);
         assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.steals, 1);
         // 30 pushes over 2 ms of wall clock.
         assert!((stats.samples_per_sec().unwrap() - 15_000.0).abs() < 1e-6);
         assert!((stats.scores_per_sec().unwrap() - 11_500.0).abs() < 1e-6);

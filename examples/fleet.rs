@@ -49,9 +49,7 @@ pub fn serving_config() -> FleetConfig {
         n_shards: 4,
         queue_capacity: 256,
         overload: OverloadPolicy::Block,
-        record_latencies: false,
-        chaos_round_delay: None,
-        incremental: None,
+        ..FleetConfig::default()
     }
 }
 
