@@ -21,7 +21,7 @@ use varade_bench::report;
 
 const USAGE: &str = "usage: exp_report [--quick] [--render-only] [--out-dir DIR] \
                      [--baseline-dir DIR] [--md-path PATH] [--date YYYY-MM-DD] \
-                     [--backend scalar|vector] [--check-floor PATH]";
+                     [--backend scalar|vector] [--check-floor PATH] [--telemetry]";
 
 struct Args {
     quick: bool,
@@ -32,6 +32,7 @@ struct Args {
     date: Option<String>,
     backend: Option<varade::BackendKind>,
     check_floor: Option<PathBuf>,
+    telemetry: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         date: None,
         backend: None,
         check_floor: None,
+        telemetry: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
             "--date" => args.date = Some(value_of(&mut i)?),
             "--backend" => args.backend = Some(value_of(&mut i)?.parse()?),
             "--check-floor" => args.check_floor = Some(PathBuf::from(value_of(&mut i)?)),
+            "--telemetry" => args.telemetry = true,
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -72,6 +75,13 @@ fn parse_args() -> Result<Args, String> {
         // none, so accepting both would report a gate that never evaluated.
         return Err(format!(
             "--check-floor requires a measuring run and cannot be combined with --render-only\n{USAGE}"
+        ));
+    }
+    if args.render_only && args.telemetry {
+        // The telemetry artifacts come from a real telemetry-enabled serve;
+        // render-only performs none.
+        return Err(format!(
+            "--telemetry requires a measuring run and cannot be combined with --render-only\n{USAGE}"
         ));
     }
     Ok(args)
@@ -145,6 +155,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 },
             );
         }
+        if let Some(t) = &report.telemetry {
+            println!(
+                "telemetry: disabled {:.1} vs enabled {:.1} samples/sec ({:+.2}% overhead)",
+                t.disabled_samples_per_sec, t.enabled_samples_per_sec, t.overhead_pct,
+            );
+        }
         if let Some(m) = &report.multicore {
             println!(
                 "multicore: {} streams x {} workers, peak {:.1} samples/sec, \
@@ -162,6 +178,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         if let Some(auc) = report.table2.auc_of("VARADE") {
             println!("VARADE AUC-ROC: {auc:.3}");
+        }
+        if args.telemetry {
+            // Raw exposition artifacts from a real telemetry-enabled serve:
+            // the merged snapshot as JSON and its Prometheus text rendering.
+            let snapshot = varade_bench::experiments::telemetry::capture()?;
+            let json_path = out_dir.join(format!("TELEMETRY_{date}.json"));
+            let mut text = serde_json::to_string_pretty(&snapshot)?;
+            text.push('\n');
+            std::fs::write(&json_path, text)?;
+            let prom_path = out_dir.join(format!("TELEMETRY_{date}.prom"));
+            std::fs::write(&prom_path, varade_obs::prometheus_text(&snapshot))?;
+            println!("wrote {}", json_path.display());
+            println!("wrote {}", prom_path.display());
         }
         if let Some(floor_path) = &args.check_floor {
             let floor = report::load_floor(floor_path)?;

@@ -32,8 +32,10 @@ use serde::{Deserialize, Serialize};
 use varade::{VaradeConfig, VaradeDetector};
 use varade_detectors::AnomalyDetector;
 use varade_fleet::{
-    Fleet, FleetConfig, FleetError, FleetOutcome, IngressQueue, OverloadPolicy, QueueKind, StreamId,
+    Fleet, FleetConfig, FleetError, FleetOutcome, IngressQueue, OverloadPolicy, QueueKind,
+    StreamId, TelemetryConfig, TelemetrySnapshot,
 };
+use varade_obs::Stage;
 use varade_timeseries::MultivariateSeries;
 
 use crate::experiments::ExperimentScale;
@@ -125,10 +127,40 @@ pub struct LoadCell {
     /// Fraction of scored streams whose p99 end-to-end latency meets
     /// [`LoadCell::slo_us`].
     pub slo_met_fraction: f64,
+    /// Per-stage latency decomposition from the telemetry substrate, merged
+    /// across shards, in pipeline order (`None` in pre-v7 baselines).
+    pub stages: Option<Vec<StageLatencyCell>>,
+    /// The stage with the largest share of summed pipeline time — where a
+    /// latency SLO miss under this policy is actually being spent (`None` in
+    /// pre-v7 baselines).
+    pub dominant_stage: Option<String>,
+    /// Sum of the per-stage mean spans, in microseconds. Consistent with the
+    /// telemetry end-to-end mean by construction: a scored sample's five
+    /// stages partition its enqueue-to-score life (`None` in pre-v7
+    /// baselines).
+    pub stage_sum_mean_us: Option<f64>,
+    /// End-to-end distribution as recorded by the telemetry substrate.
+    /// Unlike [`LoadCell::end_to_end_latency`] (producer push call → score,
+    /// exact timestamps), this span starts at ingress enqueue and is
+    /// reconstructed from log2 histogram buckets (`None` in pre-v7
+    /// baselines).
+    pub telemetry_end_to_end: Option<LatencyStats>,
+}
+
+/// One pipeline stage's latency summary within a [`LoadCell`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLatencyCell {
+    /// Stage label in pipeline order (see [`varade_obs::Stage::label`]).
+    pub stage: String,
+    /// Latency summary of every span recorded for this stage.
+    pub latency: LatencyStats,
+    /// This stage's share of the summed pipeline time, in percent.
+    pub share_pct: f64,
 }
 
 /// Serializable outcome of the multi-core load harness — the `multicore`
-/// section of the v6 `BENCH_*.json` schema.
+/// section of the `BENCH_*.json` schema since v6 (v7 added the per-cell
+/// telemetry stage decomposition).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MulticoreResult {
     /// CPU cores available to the run (`std::thread::available_parallelism`;
@@ -170,7 +202,7 @@ impl MulticoreResult {
 /// The tiny shared detector: single channel, window 8, a few hundred
 /// parameters — large enough to exercise the real scoring path, small
 /// enough that 10⁵ stream states fit comfortably in memory.
-fn tiny_detector() -> Result<Arc<VaradeDetector>, BenchError> {
+pub(crate) fn tiny_detector() -> Result<Arc<VaradeDetector>, BenchError> {
     let mut train = MultivariateSeries::new(vec!["load".into()], 10.0)
         .map_err(|e| BenchError::Report(format!("load harness series: {e}")))?;
     for t in 0..160 {
@@ -367,6 +399,7 @@ fn run_cell(
         overload: policy,
         producer_lanes: spec.lanes,
         record_latencies: true,
+        telemetry: TelemetryConfig::enabled(),
         ..FleetConfig::default()
     })
     .map_err(fleet_err)?;
@@ -522,6 +555,22 @@ fn audit_cell(
         &format!("{policy_label}: admitted {admitted} != scored {scored} + warmup {warmup}"),
     )?;
 
+    // Ledger identity 3: the telemetry substrate's per-stage span counts and
+    // event counters must agree exactly with the engine's own ledger.
+    let snap = outcome.telemetry.as_ref().ok_or_else(|| {
+        BenchError::Report(format!(
+            "{policy_label}: telemetry was enabled but the outcome carries no snapshot"
+        ))
+    })?;
+    let (stages, dominant_stage, stage_sum_mean_us, telemetry_end_to_end) = audit_telemetry(
+        snap,
+        &policy_label,
+        admitted,
+        scored,
+        dropped,
+        outcome.stats.steals,
+    )?;
+
     // Latency: end-to-end per scored sample, then per-stream p99s and the
     // SLO fraction over scored streams.
     let mut all: Vec<Duration> = outcome.latencies.iter().flatten().copied().collect();
@@ -565,7 +614,138 @@ fn audit_cell(
         stream_p99,
         slo_us: SLO_US,
         slo_met_fraction: slo_met as f64 / scored_streams as f64,
+        stages: Some(stages),
+        dominant_stage: Some(dominant_stage),
+        stage_sum_mean_us: Some(stage_sum_mean_us),
+        telemetry_end_to_end: Some(telemetry_end_to_end),
     })
+}
+
+/// Audits the telemetry substrate's view of one cell against the engine's
+/// exact ledger and folds the per-shard histograms into the per-stage
+/// breakdown: exactly one queue-wait/assembly/normalize span per admitted
+/// sample, one forward/emit span per score, drop/steal event counts equal to
+/// the engine's own counters, and summed stage means consistent with the
+/// end-to-end mean.
+fn audit_telemetry(
+    snap: &TelemetrySnapshot,
+    policy_label: &str,
+    admitted: u64,
+    scored: u64,
+    dropped: u64,
+    steals: u64,
+) -> Result<(Vec<StageLatencyCell>, String, f64, LatencyStats), BenchError> {
+    let expected = |stage: Stage| match stage {
+        Stage::QueueWait | Stage::Assembly | Stage::Normalize => admitted,
+        Stage::Forward | Stage::Emit => scored,
+    };
+    let merged: Vec<_> = Stage::ALL
+        .iter()
+        .map(|&s| (s, snap.merged_stage(s)))
+        .collect();
+    for (stage, hist) in &merged {
+        ensure(
+            hist.count == expected(*stage),
+            &format!(
+                "{policy_label}: telemetry recorded {} {} spans, ledger expects {}",
+                hist.count,
+                stage.label(),
+                expected(*stage)
+            ),
+        )?;
+    }
+    let event_count = |kind: &str| {
+        snap.events
+            .counts
+            .iter()
+            .find(|c| c.kind == kind)
+            .map_or(0, |c| c.count)
+    };
+    ensure(
+        event_count("sample_drop") == dropped,
+        &format!(
+            "{policy_label}: {} sample_drop events, ledger dropped {dropped}",
+            event_count("sample_drop")
+        ),
+    )?;
+    ensure(
+        event_count("stream_steal") == steals,
+        &format!(
+            "{policy_label}: {} stream_steal events, engine counted {steals} steals",
+            event_count("stream_steal")
+        ),
+    )?;
+    let e2e = snap.merged_end_to_end();
+    ensure(
+        e2e.count == scored,
+        &format!(
+            "{policy_label}: telemetry end-to-end count {} != scored {scored}",
+            e2e.count
+        ),
+    )?;
+
+    let total_ns: u64 = merged.iter().map(|(_, h)| h.sum_ns).sum();
+    let stages: Vec<StageLatencyCell> = merged
+        .iter()
+        .map(|(stage, hist)| {
+            LatencyStats::from_histogram(hist)
+                .map(|latency| StageLatencyCell {
+                    stage: stage.label().to_string(),
+                    latency,
+                    share_pct: if total_ns > 0 {
+                        hist.sum_ns as f64 / total_ns as f64 * 100.0
+                    } else {
+                        0.0
+                    },
+                })
+                .ok_or_else(|| {
+                    BenchError::Report(format!(
+                        "{policy_label}: stage {} recorded no spans",
+                        stage.label()
+                    ))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let dominant_stage = merged
+        .iter()
+        .max_by_key(|(_, h)| h.sum_ns)
+        .map(|(s, _)| s.label().to_string())
+        .expect("five stages are always present");
+    let stage_sum_mean_us: f64 = stages.iter().map(|c| c.latency.mean_us).sum();
+    let telemetry_end_to_end = LatencyStats::from_histogram(&e2e).ok_or_else(|| {
+        BenchError::Report(format!("{policy_label}: telemetry end-to-end is empty"))
+    })?;
+    // Consistency: every scored sample's end-to-end span contains its forward
+    // share, so the means (exact sums over the same population) must order;
+    // and the five stages partition a scored sample's enqueue-to-score life,
+    // so their summed means reconstruct the end-to-end mean up to population
+    // differences (queue-wait/assembly/normalize also average over warm-up
+    // samples) and timer-read noise.
+    let forward_mean = stages
+        .iter()
+        .find(|c| c.stage == "forward")
+        .map_or(0.0, |c| c.latency.mean_us);
+    ensure(
+        telemetry_end_to_end.mean_us >= forward_mean,
+        &format!(
+            "{policy_label}: end-to-end mean {:.1} us below forward mean {forward_mean:.1} us",
+            telemetry_end_to_end.mean_us
+        ),
+    )?;
+    ensure(
+        stage_sum_mean_us <= telemetry_end_to_end.mean_us * 2.0 + 500.0,
+        &format!(
+            "{policy_label}: stage-mean sum {stage_sum_mean_us:.1} us inconsistent with \
+             end-to-end mean {:.1} us",
+            telemetry_end_to_end.mean_us
+        ),
+    )?;
+    Ok((
+        stages,
+        dominant_stage,
+        stage_sum_mean_us,
+        telemetry_end_to_end,
+    ))
 }
 
 #[cfg(test)]
@@ -633,6 +813,22 @@ mod tests {
             assert!(cell.samples_per_sec > 0.0);
             assert!((0.0..=1.0).contains(&cell.slo_met_fraction));
             assert!(cell.end_to_end_latency.p50_us <= cell.end_to_end_latency.p99_us);
+
+            // Telemetry stage decomposition: all five stages in pipeline
+            // order, span counts tied to the ledger, shares summing to 100%.
+            let stages = cell.stages.as_ref().unwrap();
+            assert_eq!(stages.len(), 5);
+            assert_eq!(stages[0].stage, "queue_wait");
+            assert_eq!(stages[0].latency.samples as u64, cell.admitted);
+            assert_eq!(stages[3].stage, "forward");
+            assert_eq!(stages[3].latency.samples as u64, cell.scored);
+            let share: f64 = stages.iter().map(|s| s.share_pct).sum();
+            assert!((share - 100.0).abs() < 1e-6, "shares sum to {share}");
+            let dominant = cell.dominant_stage.as_deref().unwrap();
+            assert!(stages.iter().any(|s| s.stage == dominant));
+            assert!(cell.stage_sum_mean_us.unwrap() > 0.0);
+            let tel_e2e = cell.telemetry_end_to_end.as_ref().unwrap();
+            assert_eq!(tel_e2e.samples as u64, cell.scored);
 
             let text = serde_json::to_string(&cell).unwrap();
             let back: LoadCell = serde_json::from_str(&text).unwrap();

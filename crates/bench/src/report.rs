@@ -24,10 +24,11 @@ use crate::experiments::load::MulticoreResult;
 use crate::experiments::persist::PersistenceResult;
 use crate::experiments::streaming::StreamingResult;
 use crate::experiments::table2::Table2Result;
+use crate::experiments::telemetry::TelemetryResult;
 use crate::experiments::ExperimentScale;
 use crate::experiments::{
     ablation, architecture, backend, channels, figure3, fleet, incremental, load, persist,
-    streaming, table2,
+    streaming, table2, telemetry,
 };
 use crate::{compare_line, paper_row, BenchError};
 
@@ -45,7 +46,10 @@ use crate::{compare_line, paper_row, BenchError};
 /// v6 added the optional `multicore` section (Zipf many-stream load harness:
 /// per-policy exact sample ledgers, per-stream p99 SLO attainment, steal
 /// counts).
-pub const SCHEMA_VERSION: u32 = 6;
+/// v7 added the optional `telemetry` section (`varade-obs` substrate
+/// overhead: enabled-vs-disabled fleet throughput plus the enabled run's
+/// stage distributions) and per-cell stage decompositions in `multicore`.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Oldest schema this crate still reads. Pre-v5 reports simply lack the
 /// newer optional sections, which deserialize as `None`.
@@ -114,6 +118,9 @@ pub struct BenchReport {
     /// Zipf many-stream multi-core load harness (`None` in pre-v6
     /// baselines).
     pub multicore: Option<MulticoreResult>,
+    /// Telemetry substrate overhead measurement (`None` in pre-v7
+    /// baselines).
+    pub telemetry: Option<TelemetryResult>,
     /// Table 2: detectors × boards.
     pub table2: Table2Result,
     /// Figure 3: frequency vs. accuracy series.
@@ -146,6 +153,8 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
     eprintln!("exp_report: running the fleet serving sweep ...");
     let shared = std::sync::Arc::new(outcome.varade);
     let fleet = fleet::run_fitted(&shared, &outcome.dataset, scale)?;
+    eprintln!("exp_report: measuring telemetry substrate overhead ...");
+    let telemetry = telemetry::run_fitted(&shared, &outcome.dataset, scale)?;
     let mut varade = std::sync::Arc::try_unwrap(shared)
         .map_err(|_| BenchError::Report("fleet kept a detector reference".into()))?;
     eprintln!("exp_report: running the Zipf multi-core load harness ...");
@@ -171,6 +180,7 @@ pub fn collect(scale: ExperimentScale, date: &str) -> Result<BenchReport, BenchE
         backends: Some(backends),
         fleet: Some(fleet),
         multicore: Some(multicore),
+        telemetry: Some(telemetry),
         figure3: figure3::from_table(&table2.table),
         table2,
         ablation,
@@ -340,6 +350,18 @@ pub fn compute_deltas(previous: &BenchReport, current: &BenchReport) -> Vec<Delt
             ));
         }
     }
+    if let (Some(p), Some(c)) = (&previous.telemetry, &current.telemetry) {
+        rows.push(delta_row(
+            "telemetry enabled samples/sec",
+            p.enabled_samples_per_sec,
+            c.enabled_samples_per_sec,
+        ));
+        rows.push(delta_row(
+            "telemetry overhead (%)",
+            p.overhead_pct,
+            c.overhead_pct,
+        ));
+    }
     if let (Some(p), Some(c)) = (&previous.incremental, &current.incremental) {
         rows.push(delta_row(
             "incremental samples/sec",
@@ -444,6 +466,7 @@ pub fn render_experiments_md(baselines: &[Baseline]) -> String {
     render_backends(&mut out, r);
     render_fleet(&mut out, r);
     render_multicore(&mut out, r);
+    render_telemetry(&mut out, r);
     render_persistence(&mut out, r);
     render_table2(&mut out, r);
     render_figure3(&mut out, r);
@@ -708,6 +731,77 @@ fn render_multicore(out: &mut String, r: &BenchReport) {
         m.cells.first().map_or(0.0, |c| c.slo_us),
         m.window,
     ));
+    if m.cells.iter().any(|c| c.stages.is_some()) {
+        out.push_str(
+            "Per-stage latency decomposition (telemetry substrate, merged across\n\
+             shards; \"share\" is the stage's fraction of summed pipeline time —\n\
+             the dominant stage is where an SLO miss is actually spent):\n\n",
+        );
+        out.push_str(
+            "| Policy | Stage | Spans | Mean (us) | p50 (us) | p99 (us) | Share |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for cell in &m.cells {
+            let Some(stages) = &cell.stages else { continue };
+            for s in stages {
+                let dominant = cell.dominant_stage.as_deref() == Some(s.stage.as_str());
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1}%{} |\n",
+                    cell.policy,
+                    s.stage,
+                    s.latency.samples,
+                    s.latency.mean_us,
+                    s.latency.p50_us,
+                    s.latency.p99_us,
+                    s.share_pct,
+                    if dominant { " ◀" } else { "" },
+                ));
+            }
+        }
+        out.push('\n');
+    }
+}
+
+/// The telemetry overhead measurement, rendered as a subsection of §3 (it
+/// gates the observability substrate wired through the same fleet engine) so
+/// the section numbering (and the §9 trajectory) stays stable.
+fn render_telemetry(out: &mut String, r: &BenchReport) {
+    out.push_str("### Telemetry substrate overhead (`varade-obs`)\n\n");
+    let Some(t) = &r.telemetry else {
+        out.push_str(
+            "This baseline predates the telemetry substrate (schema < 7); the\n\
+             next full-scale `exp_report` run will populate this section.\n\n",
+        );
+        return;
+    };
+    out.push_str(&format!(
+        "The same fitted detector served through two otherwise identical\n\
+         one-shard fleets ({} streams × {} samples), one with the observability\n\
+         substrate disabled and one fully enabled (per-stage histograms,\n\
+         end-to-end recording, queue-depth gauges, event ring); {} interleaved\n\
+         round pairs, best round of each mode shown, overhead from the\n\
+         CPU-cost ratio of each mode's cheapest rounds:\n\n",
+        t.streams, t.samples_per_stream, t.rounds,
+    ));
+    out.push_str(&format!(
+        "| Substrate | Samples/sec |\n|---|---|\n\
+         | disabled | {:.1} |\n\
+         | enabled | {:.1} |\n\n",
+        t.disabled_samples_per_sec, t.enabled_samples_per_sec,
+    ));
+    out.push_str(&format!(
+        "Enabled overhead: **{:.2}%** (CI gates quick runs at ≤ 2% via\n\
+         `bench_floor.json`; a negative value means the cost is below run-to-run\n\
+         noise). The enabled run recorded {} stage spans and {} structured\n\
+         events; queue wait p99 {:.1} us, model forward p99 {:.1} us,\n\
+         end-to-end p99 {:.1} us.\n\n",
+        t.overhead_pct,
+        t.stage_spans,
+        t.events_recorded,
+        t.queue_wait.p99_us,
+        t.forward.p99_us,
+        t.end_to_end.p99_us,
+    ));
 }
 
 /// The persistence round-trip audit, rendered as a subsection of §3 (the
@@ -919,6 +1013,10 @@ pub struct BenchFloor {
     /// cached path must never fall behind the full recompute). `None` in
     /// pre-incremental floor files (schema 1).
     pub quick_min_incremental_over_full_speedup: Option<f64>,
+    /// Maximum acceptable quick-scale telemetry substrate overhead, in
+    /// percent of disabled-mode fleet throughput. `None` in pre-telemetry
+    /// floor files (schema ≤ 2).
+    pub quick_max_telemetry_overhead_pct: Option<f64>,
     /// Where the numbers came from, for the next person who retunes them.
     pub note: String,
 }
@@ -966,6 +1064,16 @@ pub fn check_floor(report: &BenchReport, floor: &BenchFloor) -> Result<(), Bench
             violations.push(format!(
                 "incremental-over-full speedup {:.2}x is below the floor of {:.2}x",
                 incremental.incremental_over_full_speedup, min_speedup
+            ));
+        }
+    }
+    if let (Some(telemetry), Some(max_pct)) =
+        (&report.telemetry, floor.quick_max_telemetry_overhead_pct)
+    {
+        if telemetry.overhead_pct > max_pct {
+            violations.push(format!(
+                "telemetry substrate overhead {:.2}% exceeds the ceiling of {:.2}%",
+                telemetry.overhead_pct, max_pct
             ));
         }
     }

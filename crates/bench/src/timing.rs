@@ -10,6 +10,7 @@
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use varade_obs::HistogramSnapshot;
 
 /// Latency summary of a series of timed calls, in microseconds.
 ///
@@ -47,6 +48,26 @@ impl LatencyStats {
             p90_us: percentile(&micros, 90.0),
             p99_us: percentile(&micros, 99.0),
             max_us: micros[micros.len() - 1],
+        })
+    }
+
+    /// Summarizes a telemetry histogram snapshot; `None` when empty.
+    ///
+    /// The mean and max are exact (the histogram keeps an exact sum and
+    /// maximum); the percentiles come from the log2 buckets, so each reported
+    /// value is at least the true observed percentile and within one bucket
+    /// width of it — good enough to attribute latency, not to re-derive it.
+    pub fn from_histogram(hist: &HistogramSnapshot) -> Option<Self> {
+        if hist.count == 0 {
+            return None;
+        }
+        Some(LatencyStats {
+            samples: usize::try_from(hist.count).unwrap_or(usize::MAX),
+            mean_us: hist.mean_us(),
+            p50_us: hist.percentile_us(50.0),
+            p90_us: hist.percentile_us(90.0),
+            p99_us: hist.percentile_us(99.0),
+            max_us: hist.max_us(),
         })
     }
 
@@ -99,6 +120,42 @@ mod tests {
         assert_eq!(stats.p50_us, 42.0);
         assert_eq!(stats.p99_us, 42.0);
         assert_eq!(stats.max_us, 42.0);
+    }
+
+    #[test]
+    fn from_histogram_agrees_with_from_durations_within_one_bucket() {
+        use varade_obs::{bucket_of, bucket_upper_bound, AtomicHistogram};
+
+        assert!(LatencyStats::from_histogram(&HistogramSnapshot::empty()).is_none());
+
+        // The same latencies through both summarizers: the exact path keeps
+        // every observation, the histogram path quantizes into log2 buckets.
+        let latencies = micros(&[3, 5, 9, 17, 33, 64, 120, 250, 511, 1023]);
+        let exact = LatencyStats::from_durations(&latencies).unwrap();
+        let hist = AtomicHistogram::new();
+        for d in &latencies {
+            hist.record(*d);
+        }
+        let approx = LatencyStats::from_histogram(&hist.snapshot()).unwrap();
+
+        assert_eq!(approx.samples, exact.samples);
+        // Mean and max are exact in the histogram too.
+        assert!((approx.mean_us - exact.mean_us).abs() < 1e-9);
+        assert!((approx.max_us - exact.max_us).abs() < 1e-9);
+        // Percentiles: never below the exact nearest-rank value, and within
+        // one log2 bucket width of it.
+        for (a, e) in [
+            (approx.p50_us, exact.p50_us),
+            (approx.p90_us, exact.p90_us),
+            (approx.p99_us, exact.p99_us),
+        ] {
+            let exact_ns = (e * 1_000.0) as u64;
+            let k = bucket_of(exact_ns);
+            let lower = if k == 0 { 0 } else { 1u64 << (k - 1) };
+            let width_us = (bucket_upper_bound(k) - lower + 1) as f64 / 1_000.0;
+            assert!(a >= e - 1e-9, "histogram percentile {a} below exact {e}");
+            assert!(a - e <= width_us, "{a} vs {e}: off by more than a bucket");
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@ use varade_bench::experiments::channels;
 use varade_bench::experiments::figure3::Figure3Result;
 use varade_bench::experiments::fleet::{FleetResult, FleetSweepCell};
 use varade_bench::experiments::incremental::{IncrementalCell, IncrementalResult};
-use varade_bench::experiments::load::{LoadCell, MulticoreResult};
+use varade_bench::experiments::load::{LoadCell, MulticoreResult, StageLatencyCell};
 use varade_bench::experiments::persist::PersistenceResult;
 use varade_bench::experiments::streaming::StreamingResult;
 use varade_bench::experiments::table2::Table2Result;
+use varade_bench::experiments::telemetry::TelemetryResult;
 use varade_bench::experiments::ExperimentScale;
 use varade_bench::report::{
     check_floor, compute_deltas, file_name, load_baselines, render_experiments_md, write_report,
@@ -117,6 +118,25 @@ fn fixture_multicore(samples_per_sec: f64) -> MulticoreResult {
             stream_p99: lat(3.0),
             slo_us: 1_000.0,
             slo_met_fraction: 0.97,
+            stages: Some(
+                [
+                    ("queue_wait", 30.0),
+                    ("assembly", 2.0),
+                    ("normalize", 2.0),
+                    ("forward", 60.0),
+                    ("emit", 6.0),
+                ]
+                .iter()
+                .map(|&(stage, share)| StageLatencyCell {
+                    stage: stage.to_string(),
+                    latency: lat(0.5),
+                    share_pct: share,
+                })
+                .collect(),
+            ),
+            dominant_stage: Some("forward".to_string()),
+            stage_sum_mean_us: Some(300.0),
+            telemetry_end_to_end: Some(lat(1.0)),
         }
     };
     MulticoreResult {
@@ -136,6 +156,32 @@ fn fixture_multicore(samples_per_sec: f64) -> MulticoreResult {
             cell("Reject", 400, 0),
         ],
         peak_samples_per_sec: samples_per_sec * 8.0,
+    }
+}
+
+/// Hand-built telemetry overhead measurement: enabling the substrate costs
+/// half a percent of fleet throughput.
+fn fixture_telemetry(samples_per_sec: f64) -> TelemetryResult {
+    let lat = |scale: f64| LatencyStats {
+        samples: 1_600,
+        mean_us: 40.0 * scale,
+        p50_us: 30.0 * scale,
+        p90_us: 60.0 * scale,
+        p99_us: 90.0 * scale,
+        max_us: 200.0 * scale,
+    };
+    TelemetryResult {
+        rounds: 5,
+        streams: 4,
+        samples_per_stream: 400,
+        disabled_samples_per_sec: samples_per_sec * 2.0,
+        enabled_samples_per_sec: samples_per_sec * 2.0 * 0.995,
+        overhead_pct: 0.5,
+        stage_spans: 7_360,
+        events_recorded: 0,
+        queue_wait: lat(1.0),
+        forward: lat(20.0),
+        end_to_end: lat(25.0),
     }
 }
 
@@ -243,6 +289,7 @@ fn fixture_report(date: &str, samples_per_sec: f64, varade_auc: f64) -> BenchRep
         backends: Some(fixture_backends(samples_per_sec)),
         fleet: Some(fixture_fleet(samples_per_sec)),
         multicore: Some(fixture_multicore(samples_per_sec)),
+        telemetry: Some(fixture_telemetry(samples_per_sec)),
         figure3: Figure3Result {
             points: varade_edge::figure::figure3_points(&table),
         },
@@ -363,6 +410,12 @@ fn deltas_against_a_fixture_baseline_report_relative_change() {
     assert_eq!(multicore.current, 10000.0);
     assert!(row("multicore Block SLO met").change_percent.abs() < 1e-9);
 
+    // The telemetry overhead joins the trajectory: the enabled throughput
+    // tracks the fixture's scaling and the overhead percentage is stable.
+    let enabled = row("telemetry enabled samples/sec");
+    assert!((enabled.change_percent - 25.0).abs() < 1e-9);
+    assert!(row("telemetry overhead (%)").change_percent.abs() < 1e-9);
+
     // Same-valued metrics report a 0% change.
     assert!(row("streaming p50 latency (us)").change_percent.abs() < 1e-9);
     // Both boards are covered.
@@ -415,6 +468,13 @@ fn rendered_markdown_is_deterministic_and_contains_every_section() {
     assert!(md.contains("### Multi-core Zipf load harness (`experiments::load`)"));
     assert!(md.contains("admitted = scored + warm-up"));
     assert!(md.contains("SLO met"));
+    // The telemetry overhead comparison renders inside §3 with its ceiling
+    // framing, and the load-harness table gains the per-stage decomposition
+    // with the dominant stage marked.
+    assert!(md.contains("### Telemetry substrate overhead (`varade-obs`)"));
+    assert!(md.contains("Enabled overhead: **0.50%**"));
+    assert!(md.contains("| forward |"));
+    assert!(md.contains(" ◀"));
     // The persistence audit renders inside §3 with its footprint and the
     // bit-identity verdict, and its deltas join the trajectory.
     assert!(md.contains("### Model persistence (`varade::persist`)"));
@@ -493,6 +553,35 @@ fn quick_report_end_to_end() {
     assert_eq!(multicore.cell("Block").unwrap().dropped, 0);
     assert_eq!(multicore.cell("DropOldest").unwrap().rejected, 0);
     assert_eq!(multicore.cell("Reject").unwrap().dropped, 0);
+    // v7: every load cell decomposes its latency into the five pipeline
+    // stages, names the dominant one, and carries the telemetry end-to-end
+    // distribution. run() already hard-errored on any span-count mismatch.
+    for cell in &multicore.cells {
+        let stages = cell
+            .stages
+            .as_ref()
+            .expect("v7 load cells carry the stage decomposition");
+        assert_eq!(stages.len(), 5, "{}: five pipeline stages", cell.policy);
+        let share: f64 = stages.iter().map(|s| s.share_pct).sum();
+        assert!(
+            (share - 100.0).abs() < 1e-6,
+            "{}: shares sum to 100",
+            cell.policy
+        );
+        let dominant = cell.dominant_stage.as_ref().expect("dominant stage named");
+        assert!(stages.iter().any(|s| &s.stage == dominant));
+        assert!(cell.stage_sum_mean_us.is_some_and(|s| s > 0.0));
+        assert!(cell.telemetry_end_to_end.is_some());
+    }
+    let telemetry = report
+        .telemetry
+        .as_ref()
+        .expect("v7 reports carry the telemetry overhead measurement");
+    assert!(telemetry.disabled_samples_per_sec > 0.0);
+    assert!(telemetry.enabled_samples_per_sec > 0.0);
+    assert!(telemetry.overhead_pct.is_finite());
+    assert!(telemetry.stage_spans > 0);
+    assert!(telemetry.end_to_end.samples > 0);
 
     // Disk round trip through the real writer/loader pair. The quick report
     // is filtered out of the baseline trajectory by design, so parse the file
@@ -520,6 +609,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     v1.incremental = None;
     v1.persistence = None;
     v1.multicore = None;
+    v1.telemetry = None;
     v1.streaming.incremental = None;
     let compact = serde_json::to_string(&v1).unwrap();
     // Simulate the genuine v1 file: the keys are absent, not null. The
@@ -531,6 +621,7 @@ fn v1_baselines_without_newer_keys_still_load() {
         .replace("\"backends\":null,", "")
         .replace("\"persistence\":null,", "")
         .replace("\"multicore\":null,", "")
+        .replace("\"telemetry\":null,", "")
         .replace("\"incremental\":null,", "")
         .replace(",\"incremental\":null", "");
     assert_ne!(compact, without_keys, "fixture lost its null markers");
@@ -542,6 +633,10 @@ fn v1_baselines_without_newer_keys_still_load() {
         !without_keys.contains("persistence"),
         "a persistence key survived the v1 simulation"
     );
+    assert!(
+        !without_keys.contains("telemetry"),
+        "a telemetry key survived the v1 simulation"
+    );
     let back: BenchReport = serde_json::from_str(&without_keys).unwrap();
     assert_eq!(back.schema_version, 1);
     assert!(back.fleet.is_none());
@@ -550,6 +645,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     assert!(back.incremental.is_none());
     assert!(back.persistence.is_none());
     assert!(back.multicore.is_none());
+    assert!(back.telemetry.is_none());
     assert!(back.streaming.incremental.is_none());
     assert_eq!(back.streaming, v1.streaming);
 
@@ -564,6 +660,7 @@ fn v1_baselines_without_newer_keys_still_load() {
     assert!(md.contains("predates the incremental streaming path"));
     assert!(md.contains("predates the persistence container"));
     assert!(md.contains("predates the load harness"));
+    assert!(md.contains("predates the telemetry substrate"));
 }
 
 #[test]
@@ -573,6 +670,7 @@ fn floor_check_gates_quick_reports_only() {
         quick_min_streaming_samples_per_sec: 500.0,
         quick_min_vector_over_scalar_speedup: 1.0,
         quick_min_incremental_over_full_speedup: Some(1.0),
+        quick_max_telemetry_overhead_pct: Some(2.0),
         note: "test fixture".to_string(),
     };
     // Full-scale reports are exempt regardless of their numbers.
@@ -612,6 +710,13 @@ fn floor_check_gates_quick_reports_only() {
         .to_string();
     assert!(err.contains("incremental-over-full"), "{err}");
 
+    // A telemetry substrate costing more than the ceiling trips its gate.
+    let mut heavy = quick.clone();
+    heavy.telemetry.as_mut().unwrap().overhead_pct = 5.0;
+    let err = check_floor(&heavy, &floor).unwrap_err().to_string();
+    assert!(err.contains("telemetry"), "{err}");
+    assert!(err.contains("ceiling"), "{err}");
+
     // The committed floor file parses, matches this schema and gates the
     // incremental win.
     let committed = varade_bench::report::load_floor(std::path::Path::new(concat!(
@@ -624,6 +729,9 @@ fn floor_check_gates_quick_reports_only() {
     assert!(committed
         .quick_min_incremental_over_full_speedup
         .is_some_and(|s| s > 0.0));
+    assert!(committed
+        .quick_max_telemetry_overhead_pct
+        .is_some_and(|p| p > 0.0));
 }
 
 #[test]

@@ -8,6 +8,7 @@
 
 use std::time::{Duration, Instant};
 
+use varade_obs::spanclock::SpanStamp;
 use varade_timeseries::{MinMaxNormalizer, StreamingWindow};
 
 use crate::{incremental_default, EncoderCache, VaradeDetector, VaradeError};
@@ -31,6 +32,14 @@ pub struct PushStats {
     pub total_time: Duration,
     /// Wall-clock time spent in the model's scoring forward pass alone.
     pub scoring_time: Duration,
+    /// Wall-clock time spent normalizing incoming rows. Accumulated only
+    /// when per-stage timing is on (see [`StreamState::set_stage_timing`]);
+    /// zero otherwise.
+    pub normalize_time: Duration,
+    /// Wall-clock time spent assembling the context window (row copy,
+    /// ring-buffer push, context copy-out). Accumulated only when per-stage
+    /// timing is on; zero otherwise.
+    pub assembly_time: Duration,
 }
 
 impl PushStats {
@@ -67,6 +76,37 @@ impl PushStats {
         self.scores += other.scores;
         self.total_time += other.total_time;
         self.scoring_time += other.scoring_time;
+        self.normalize_time += other.normalize_time;
+        self.assembly_time += other.assembly_time;
+    }
+}
+
+/// Per-stage timing of one [`StreamState::admit_timed`] call: how the
+/// admission cost splits between normalization (row materialization +
+/// normalizer transform) and context-window assembly (ring-buffer push +
+/// context copy-out).
+///
+/// `admit_timed` fills in [`AdmitTiming::normalize`] (the only boundary that
+/// needs an interior clock read); the caller — who already times the whole
+/// admission span for its own stats — derives the assembly share with
+/// [`AdmitTiming::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmitTiming {
+    /// Time from admission start through the end of the normalizer's
+    /// `transform_row` (zero without a normalizer).
+    pub normalize: Duration,
+    /// Time spent sliding the context window. Derived, not measured:
+    /// [`AdmitTiming::finish`] sets it to `total - normalize`.
+    pub assembly: Duration,
+}
+
+impl AdmitTiming {
+    /// Completes the split given the whole admission span as measured by the
+    /// caller: everything that was not the normalizer transform is window
+    /// assembly. Saturates to zero if clock skew makes `total` come out
+    /// smaller than the normalize span.
+    pub fn finish(&mut self, total: Duration) {
+        self.assembly = total.saturating_sub(self.normalize);
     }
 }
 
@@ -94,6 +134,10 @@ pub struct StreamState {
     buffer: StreamingWindow,
     pending_context: Option<Vec<f32>>,
     stats: PushStats,
+    /// Whether pushes time the normalize/assembly stages individually (see
+    /// [`StreamState::set_stage_timing`]); off by default so the untimed hot
+    /// path carries no extra clock reads.
+    stage_timing: bool,
     /// Parity-phased activation cache for the incremental scoring path,
     /// `None` when the stream scores through the full recompute path.
     cache: Option<EncoderCache>,
@@ -121,6 +165,7 @@ impl StreamState {
             buffer: StreamingWindow::new(n_channels, window)?,
             pending_context: None,
             stats: PushStats::default(),
+            stage_timing: false,
             cache: None,
             model_version: 0,
         })
@@ -233,6 +278,73 @@ impl StreamState {
         Ok(request)
     }
 
+    /// [`StreamState::admit`] with the normalize stage measured into
+    /// `timing.normalize`. Behaviorally identical to `admit` — same
+    /// requests, same errors, same buffer state — at the cost of **one**
+    /// interior clock read (zero without a normalizer): `started` is the
+    /// stamp the caller took when it began the admission (it needs one for
+    /// its own stats anyway), and the single read after `transform_row`
+    /// closes the normalize span. The span therefore covers the row
+    /// materialization the transform operates in place on — nanoseconds
+    /// against the transform itself, and the honest boundary given that the
+    /// copy exists *for* the normalizer. The caller completes the split with
+    /// [`AdmitTiming::finish`]; everything after the transform (ring-buffer
+    /// push, context copy-out) lands in assembly. A `SpanStamp` read is
+    /// ~20 ns on the reference container and the hot path pays for every
+    /// one. The fleet engine and the telemetry-enabled streaming path call
+    /// this; everyone else keeps the untimed `admit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VaradeError::Series`] if the sample width does not match the
+    /// channel count.
+    pub fn admit_timed(
+        &mut self,
+        sample: &[f32],
+        started: SpanStamp,
+        timing: &mut AdmitTiming,
+    ) -> Result<Option<ScoreRequest>, VaradeError> {
+        let mut row = sample.to_vec();
+        if let Some(norm) = &self.normalizer {
+            norm.transform_row(&mut row)?;
+            timing.normalize = SpanStamp::now().duration_since(started);
+        }
+        let request = self.pending_context.take().map(|context| ScoreRequest {
+            context,
+            row: row.clone(),
+        });
+        if let Some(window) = self.buffer.push(&row)? {
+            self.pending_context = Some(window);
+        }
+        Ok(request)
+    }
+
+    /// Switches per-stage admission timing on or off: when on, every push
+    /// through [`StreamState::push_against`] splits its admission cost into
+    /// [`PushStats::normalize_time`] and [`PushStats::assembly_time`].
+    pub fn set_stage_timing(&mut self, on: bool) {
+        if on {
+            // Pay the span-clock calibration now, not inside the first
+            // timed push.
+            varade_obs::spanclock::warm();
+        }
+        self.stage_timing = on;
+    }
+
+    /// Whether per-stage admission timing is on.
+    pub fn stage_timing(&self) -> bool {
+        self.stage_timing
+    }
+
+    /// Folds one measured admission split into the stats accumulator — how
+    /// callers that drive [`StreamState::admit_timed`] directly (the fleet
+    /// shards) keep [`PushStats`] stage totals consistent with their own
+    /// histograms.
+    pub fn record_admit_timing(&mut self, timing: AdmitTiming) {
+        self.stats.normalize_time += timing.normalize;
+        self.stats.assembly_time += timing.assembly;
+    }
+
     /// Folds one completed push into the stats: `scored` says whether the
     /// push produced a score, `total_time` covers the whole push path and
     /// `scoring_time` the model forward alone (zero for warm-up pushes; an
@@ -290,7 +402,16 @@ impl StreamState {
         detector: &VaradeDetector,
     ) -> Result<Option<f32>, VaradeError> {
         let push_started = Instant::now();
-        let request = self.admit(sample)?;
+        let request = if self.stage_timing {
+            let admit_started = SpanStamp::now();
+            let mut timing = AdmitTiming::default();
+            let request = self.admit_timed(sample, admit_started, &mut timing)?;
+            timing.finish(SpanStamp::now().duration_since(admit_started));
+            self.record_admit_timing(timing);
+            request
+        } else {
+            self.admit(sample)?
+        };
         let (score, scoring_time) = match request {
             Some(req) => {
                 let scoring_started = Instant::now();
@@ -436,6 +557,19 @@ impl StreamingVarade {
             self.state.attach_cache(new.incremental_cache()?);
         }
         Ok(std::mem::replace(&mut self.detector, new))
+    }
+
+    /// Switches per-stage admission timing on or off (see
+    /// [`StreamState::set_stage_timing`]): when on, [`StreamingVarade::stats`]
+    /// additionally splits the push cost into normalize and window-assembly
+    /// time, at the cost of four clock reads per push. Off by default.
+    pub fn set_stage_timing(&mut self, on: bool) {
+        self.state.set_stage_timing(on);
+    }
+
+    /// Whether per-stage admission timing is on.
+    pub fn stage_timing(&self) -> bool {
+        self.state.stage_timing()
     }
 
     /// Number of scores produced so far.
@@ -610,12 +744,16 @@ mod tests {
             scores: 7,
             total_time: Duration::from_micros(500),
             scoring_time: Duration::from_micros(300),
+            normalize_time: Duration::from_micros(40),
+            assembly_time: Duration::from_micros(80),
         };
         let b = PushStats {
             pushes: 4,
             scores: 2,
             total_time: Duration::from_micros(100),
             scoring_time: Duration::from_micros(60),
+            normalize_time: Duration::from_micros(10),
+            assembly_time: Duration::from_micros(15),
         };
         let mut left = a;
         left.merge(&b);
@@ -627,6 +765,8 @@ mod tests {
         assert_eq!(left.scores, 9);
         assert_eq!(left.total_time, Duration::from_micros(600));
         assert_eq!(left.scoring_time, Duration::from_micros(360));
+        assert_eq!(left.normalize_time, Duration::from_micros(50));
+        assert_eq!(left.assembly_time, Duration::from_micros(95));
         let mut with_identity = a;
         with_identity.merge(&PushStats::default());
         assert_eq!(with_identity, a);
@@ -672,6 +812,66 @@ mod tests {
             vec![0.0, 1.0, 2.0, 3.0, -0.0, -1.0, -2.0, -3.0]
         );
         assert_eq!(manual_requests[0].row, [4.0, -4.0]);
+    }
+
+    #[test]
+    fn stage_timing_splits_admission_without_changing_scores() {
+        let test = wave_series(40);
+        let mut plain = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        let mut timed = StreamingVarade::new(fitted_detector(), 2, None).unwrap();
+        assert!(!timed.stage_timing());
+        timed.set_stage_timing(true);
+        assert!(timed.stage_timing());
+        for t in 0..test.len() {
+            let a = plain.push(test.row(t)).unwrap();
+            let b = timed.push(test.row(t)).unwrap();
+            // Stage timing is observation only: identical scores.
+            assert_eq!(a.map(f32::to_bits), b.map(f32::to_bits));
+        }
+        // The untimed stream accumulates no stage split; the timed one does,
+        // and the split stays inside the total.
+        assert_eq!(plain.stats().assembly_time, Duration::ZERO);
+        assert_eq!(plain.stats().normalize_time, Duration::ZERO);
+        let stats = timed.stats();
+        assert!(stats.assembly_time > Duration::ZERO);
+        // No normalizer attached: the normalize stage is exactly zero.
+        assert_eq!(stats.normalize_time, Duration::ZERO);
+        assert!(stats.assembly_time + stats.scoring_time <= stats.total_time);
+    }
+
+    #[test]
+    fn admit_timed_matches_admit_and_measures_the_normalizer() {
+        let train_raw = {
+            let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+            for t in 0..50 {
+                s.push_row(&[t as f32, -(t as f32)]).unwrap();
+            }
+            s
+        };
+        let normalizer = MinMaxNormalizer::fit(&train_raw).unwrap();
+        let mut plain = StreamState::new(2, 4, Some(normalizer.clone())).unwrap();
+        let mut timed = StreamState::new(2, 4, Some(normalizer)).unwrap();
+        let mut saw_normalize = false;
+        for t in 0..12 {
+            let sample = [t as f32, -(t as f32)];
+            let mut timing = AdmitTiming::default();
+            let a = plain.admit(&sample).unwrap();
+            let admit_started = SpanStamp::now();
+            let b = timed
+                .admit_timed(&sample, admit_started, &mut timing)
+                .unwrap();
+            timing.finish(SpanStamp::now().duration_since(admit_started));
+            assert_eq!(a, b, "push {t}");
+            saw_normalize |= timing.normalize > Duration::ZERO;
+            timed.record_admit_timing(timing);
+        }
+        assert!(saw_normalize, "normalizer span never measured");
+        assert!(timed.stats().assembly_time > Duration::ZERO);
+        // Width validation is preserved.
+        let mut timing = AdmitTiming::default();
+        assert!(timed
+            .admit_timed(&[1.0], SpanStamp::now(), &mut timing)
+            .is_err());
     }
 
     #[test]
@@ -735,6 +935,7 @@ mod tests {
             scores: u64::from(u32::MAX) + 2,
             total_time: Duration::from_secs(500_000),
             scoring_time: Duration::from_secs(429_497),
+            ..PushStats::default()
         };
         let mean = stats.mean_scoring_latency().expect("scores > 0");
         // ~429497s over ~4.29e9 scores ≈ 100 µs — not 429497s (the truncated

@@ -31,7 +31,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use varade::{ScoreRequest, StreamState, VaradeDetector};
+use varade::{AdmitTiming, ScoreRequest, StreamState, VaradeDetector};
+use varade_obs::spanclock::SpanStamp;
+use varade_obs::{FleetEvent, ShardTelemetry, Stage, StageRecorder, Telemetry, TelemetrySnapshot};
 use varade_timeseries::MinMaxNormalizer;
 
 use crate::queue::{Envelope, IngressQueue};
@@ -168,6 +170,11 @@ pub struct FleetOutcome {
     /// including queue wait — which is what a per-stream p99 SLO should
     /// measure (the load harness in `varade-bench` consumes this).
     pub latencies: Vec<Vec<Duration>>,
+    /// Merged telemetry snapshot taken at the close of the serve window;
+    /// `None` unless [`FleetConfig::telemetry`] is enabled. Taking it drains
+    /// the event ring, so events appear either here or in an earlier
+    /// [`FleetHandle::telemetry`] snapshot, never both (totals stay exact).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A sharded multi-stream scoring engine (see the crate docs for the model).
@@ -182,6 +189,12 @@ pub struct Fleet {
     groups: Vec<ModelSlot>,
     meta: Vec<StreamMeta>,
     states: Vec<StreamState>,
+    /// The shared telemetry substrate (per-shard stage histograms plus the
+    /// event ring). Built disabled-and-empty unless
+    /// [`FleetConfig::telemetry`] asks for it; persists across serve windows
+    /// so histograms accumulate, and is re-partitioned (resetting history)
+    /// only when [`Fleet::register_model`] adds a model group.
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -203,11 +216,13 @@ impl Fleet {
     /// capacity or zero producer lanes.
     pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
         config.validate()?;
+        let telemetry = Arc::new(Telemetry::new(&config.telemetry, config.n_shards, 0));
         Ok(Self {
             config,
             groups: Vec::new(),
             meta: Vec::new(),
             states: Vec::new(),
+            telemetry,
         })
     }
 
@@ -234,6 +249,17 @@ impl Fleet {
             return Err(FleetError::NotFitted);
         }
         self.groups.push(ModelSlot::new(detector));
+        if self.telemetry.is_enabled() && self.telemetry.n_groups() != self.groups.len() {
+            // Stage histograms are partitioned by model group, so adding a
+            // group re-partitions (and resets) the substrate. Groups are
+            // normally all registered before the first serve window, where
+            // there is no history to lose.
+            self.telemetry = Arc::new(Telemetry::new(
+                &self.config.telemetry,
+                self.config.n_shards,
+                self.groups.len(),
+            ));
+        }
         Ok(ModelGroupId(self.groups.len() - 1))
     }
 
@@ -262,7 +288,12 @@ impl Fleet {
         group: ModelGroupId,
         detector: Arc<VaradeDetector>,
     ) -> Result<u64, FleetError> {
-        self.slot(group)?.publish(group.0, detector)
+        let version = self.slot(group)?.publish(group.0, detector)?;
+        self.telemetry.record_event(FleetEvent::ModelSwap {
+            group: group.0 as u64,
+            version,
+        });
+        Ok(version)
     }
 
     /// Rolls a model group back to its previously served detector (current
@@ -276,7 +307,22 @@ impl Fleet {
     /// Returns [`FleetError::UnknownId`] for a foreign [`ModelGroupId`] and
     /// [`FleetError::NoRollback`] if the group was never published to.
     pub fn rollback_model(&self, group: ModelGroupId) -> Result<u64, FleetError> {
-        self.slot(group)?.rollback(group.0)
+        let version = self.slot(group)?.rollback(group.0)?;
+        self.telemetry.record_event(FleetEvent::ModelRollback {
+            group: group.0 as u64,
+            version,
+        });
+        Ok(version)
+    }
+
+    /// Merged telemetry snapshot of the whole substrate (see
+    /// [`Telemetry::snapshot`]): per-(shard, group, stage) latency
+    /// histograms, end-to-end distributions, queue-depth gauges and the
+    /// event-ring drain. Cheap and empty when [`FleetConfig::telemetry`] is
+    /// disabled. Draining is consuming for the verbatim recent events;
+    /// histogram and counter totals are cumulative across serve windows.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The current publication version of a model group (1 after
@@ -420,9 +466,16 @@ impl Fleet {
     ) -> Result<(R, FleetOutcome), FleetError> {
         let n_shards = self.config.n_shards;
         let lanes = self.config.producer_lanes;
+        let telemetry = &self.telemetry;
         // One ingress ring per producer→shard edge, indexed shard-major.
         let queues: Vec<IngressQueue> = (0..n_shards * lanes)
-            .map(|_| IngressQueue::new(self.config.queue, self.config.queue_capacity))
+            .map(|edge| {
+                let mut queue = IngressQueue::new(self.config.queue, self.config.queue_capacity);
+                if telemetry.is_enabled() {
+                    queue.attach_events(Arc::clone(telemetry), (edge % lanes) as u64);
+                }
+                queue
+            })
             .collect();
 
         // Stream stats are cumulative across serve windows; the shard report
@@ -455,7 +508,10 @@ impl Fleet {
                     let groups = &self.groups;
                     let config = &self.config;
                     let shared = &shared;
-                    scope.spawn(move || run_worker(shard, cells, my_queues, groups, config, shared))
+                    let telemetry = telemetry.as_ref();
+                    scope.spawn(move || {
+                        run_worker(shard, cells, my_queues, groups, config, shared, telemetry)
+                    })
                 })
                 .collect();
             let handle = FleetHandle {
@@ -464,7 +520,11 @@ impl Fleet {
                 meta: &self.meta,
                 groups: &self.groups,
                 policy: self.config.overload,
-                record_latencies: self.config.record_latencies,
+                // Telemetry needs the ingress timestamp for the queue-wait
+                // and end-to-end histograms even when the driver did not ask
+                // for per-stream latency vectors.
+                stamp_ingress: self.config.record_latencies || telemetry.is_enabled(),
+                telemetry: telemetry.as_ref(),
             };
             // Close the queues when the driver is done — including by
             // panicking. Catching the unwind (and re-raising it only after
@@ -508,6 +568,8 @@ impl Fleet {
                 scores: current.scores - baseline.scores,
                 total_time: current.total_time - baseline.total_time,
                 scoring_time: current.scoring_time - baseline.scoring_time,
+                normalize_time: current.normalize_time - baseline.normalize_time,
+                assembly_time: current.assembly_time - baseline.assembly_time,
             });
             home_streams[self.meta[index].shard] += 1;
             scores[index] = slot.scores;
@@ -531,6 +593,7 @@ impl Fleet {
                         dropped: output.dropped,
                         steals: output.counters.steals,
                         sample_latencies: output.counters.sample_latencies,
+                        queue_depth_high_water: output.counters.queue_depth_high_water,
                     });
                     first_error = first_error.or(output.error);
                 }
@@ -555,6 +618,10 @@ impl Fleet {
                 stats,
                 scores,
                 latencies,
+                telemetry: self
+                    .telemetry
+                    .is_enabled()
+                    .then(|| self.telemetry.snapshot()),
             },
         ))
     }
@@ -585,7 +652,10 @@ pub struct FleetHandle<'a> {
     meta: &'a [StreamMeta],
     groups: &'a [ModelSlot],
     policy: crate::OverloadPolicy,
-    record_latencies: bool,
+    /// Whether pushes stamp an ingress timestamp: on when per-stream latency
+    /// vectors were requested *or* telemetry needs queue-wait spans.
+    stamp_ingress: bool,
+    telemetry: &'a Telemetry,
 }
 
 impl FleetHandle<'_> {
@@ -636,7 +706,7 @@ impl FleetHandle<'_> {
             sample: sample.to_vec(),
             // Stamped before any blocking, so a `Block`-policy wait shows up
             // in the end-to-end latency — as it should.
-            enqueued_at: self.record_latencies.then(Instant::now),
+            enqueued_at: self.stamp_ingress.then(SpanStamp::now),
         };
         self.queues[meta.shard * self.lanes + lane].push(envelope, self.policy, meta.shard)
     }
@@ -658,7 +728,12 @@ impl FleetHandle<'_> {
         group: ModelGroupId,
         detector: Arc<VaradeDetector>,
     ) -> Result<u64, FleetError> {
-        self.slot(group)?.publish(group.0, detector)
+        let version = self.slot(group)?.publish(group.0, detector)?;
+        self.telemetry.record_event(FleetEvent::ModelSwap {
+            group: group.0 as u64,
+            version,
+        });
+        Ok(version)
     }
 
     /// Rolls a model group back mid-serve (see [`Fleet::rollback_model`]).
@@ -667,7 +742,21 @@ impl FleetHandle<'_> {
     ///
     /// Same contract as [`Fleet::rollback_model`].
     pub fn rollback_model(&self, group: ModelGroupId) -> Result<u64, FleetError> {
-        self.slot(group)?.rollback(group.0)
+        let version = self.slot(group)?.rollback(group.0)?;
+        self.telemetry.record_event(FleetEvent::ModelRollback {
+            group: group.0 as u64,
+            version,
+        });
+        Ok(version)
+    }
+
+    /// Live telemetry snapshot taken *mid-serve* — the operator's "what is
+    /// the fleet doing right now" probe (see [`Fleet::telemetry`] for the
+    /// between-windows counterpart). Stage and end-to-end histograms are
+    /// cumulative; the verbatim recent events are drained, so an event shows
+    /// up in exactly one snapshot while the per-kind totals remain exact.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The current publication version of a model group (see
@@ -706,7 +795,7 @@ impl FleetHandle<'_> {
 /// enqueue timestamp for end-to-end latency accounting.
 struct PendingSample {
     sample: Vec<f32>,
-    enqueued_at: Option<Instant>,
+    enqueued_at: Option<SpanStamp>,
 }
 
 /// The mutable scoring half of one stream, guarded by the cell's slot mutex.
@@ -835,6 +924,11 @@ struct WorkerCounters {
     incremental_windows: u64,
     steals: u64,
     sample_latencies: Vec<Duration>,
+    /// Largest ingress backlog seen at any of this worker's drain points
+    /// (summed across its lanes) — feeds
+    /// [`ShardStats::queue_depth_high_water`], and is maintained whether or
+    /// not telemetry is enabled.
+    queue_depth_high_water: u64,
 }
 
 /// The shard worker: drain this shard's ingress rings, deliver to the target
@@ -856,6 +950,7 @@ fn run_worker(
     groups: &[ModelSlot],
     config: &FleetConfig,
     shared: &SharedState,
+    telemetry: &Telemetry,
 ) -> WorkerOutput {
     let mut counters = WorkerCounters::default();
     let mut owned: Vec<usize> = cells
@@ -872,6 +967,7 @@ fn run_worker(
         groups,
         config,
         shared,
+        telemetry,
         &mut owned,
         &mut counters,
         &mut ingest_counted,
@@ -916,10 +1012,18 @@ fn serve_loop(
     groups: &[ModelSlot],
     config: &FleetConfig,
     shared: &SharedState,
+    telemetry: &Telemetry,
     owned: &mut Vec<usize>,
     counters: &mut WorkerCounters,
     ingest_counted: &mut bool,
 ) -> Result<(), FleetError> {
+    // Hoisted once per worker: the disabled path never re-checks telemetry
+    // inside the serve loop (`shard()` returns `None` when disabled). Stage
+    // spans go through a write-local recorder that batches them into the
+    // shared registry; dropping it at worker exit flushes the tail, so
+    // post-window snapshots are exact.
+    let shard_telemetry = telemetry.shard(shard);
+    let mut recorder = shard_telemetry.map(ShardTelemetry::recorder);
     let mut steal_cursor = shard % cells.len().max(1);
     let mut idle_spins = 0u32;
     loop {
@@ -928,10 +1032,12 @@ fn serve_loop(
         let mut drained_any = false;
         if !*ingest_counted {
             let mut all_done = true;
+            let mut drained_total = 0u64;
             for queue in my_queues {
                 let batch = queue.try_drain(config.queue_capacity);
                 if !batch.is_empty() {
                     drained_any = true;
+                    drained_total += batch.len() as u64;
                     for envelope in batch {
                         cells[envelope.stream.index()].deliver(PendingSample {
                             sample: envelope.sample,
@@ -941,6 +1047,16 @@ fn serve_loop(
                 }
                 if !queue.is_quiescent() {
                     all_done = false;
+                }
+            }
+            if drained_total > 0 {
+                // The backlog that had accumulated by this drain point,
+                // summed across the shard's lanes.
+                if drained_total > counters.queue_depth_high_water {
+                    counters.queue_depth_high_water = drained_total;
+                }
+                if let Some(tel) = shard_telemetry {
+                    tel.observe_queue_depth(drained_total);
                 }
             }
             if all_done {
@@ -957,10 +1073,25 @@ fn serve_loop(
         }
 
         // --- One scoring round over the streams this worker owns.
-        let processed = run_round(shard, cells, owned, groups, config, counters)?;
+        let processed = run_round(
+            shard,
+            cells,
+            owned,
+            groups,
+            config,
+            counters,
+            telemetry,
+            recorder.as_mut(),
+        )?;
         if processed > 0 || drained_any {
             idle_spins = 0;
             continue;
+        }
+
+        // Idle moment: publish buffered spans so a live snapshot taken
+        // while the fleet is quiescent sees exact totals.
+        if let Some(rec) = recorder.as_mut() {
+            rec.flush();
         }
 
         // --- Idle: steal backlog, or terminate once nothing can arrive.
@@ -974,6 +1105,7 @@ fn serve_loop(
                 &mut steal_cursor,
                 min_pending,
                 counters,
+                telemetry,
             ) {
                 idle_spins = 0;
                 continue;
@@ -1002,6 +1134,7 @@ fn serve_loop(
 /// claim is one compare-exchange on the owner word; winning it is what
 /// [`WorkerCounters::steals`] counts, so the counter is exact by
 /// construction.
+#[allow(clippy::too_many_arguments)]
 fn try_steal(
     shard: usize,
     cells: &[StreamCell],
@@ -1009,6 +1142,7 @@ fn try_steal(
     cursor: &mut usize,
     min_pending: usize,
     counters: &mut WorkerCounters,
+    telemetry: &Telemetry,
 ) -> bool {
     let n = cells.len();
     for step in 0..n {
@@ -1028,6 +1162,11 @@ fn try_steal(
         {
             *cursor = (index + 1) % n;
             counters.steals += 1;
+            telemetry.record_event(FleetEvent::StreamSteal {
+                stream: index as u64,
+                from_shard: owner as u64,
+                to_shard: shard as u64,
+            });
             owned.push(index);
             return true;
         }
@@ -1043,7 +1182,7 @@ struct BatchEntry<'a> {
     guard: MutexGuard<'a, ScoreSlot>,
     request: ScoreRequest,
     admit_time: Duration,
-    enqueued_at: Option<Instant>,
+    enqueued_at: Option<SpanStamp>,
 }
 
 /// One scoring round: pop at most one pending sample per owned stream (under
@@ -1051,6 +1190,18 @@ struct BatchEntry<'a> {
 /// batch the rest — loading each group's published model once, *after* the
 /// pops, so the publish-then-push guarantee holds (see the module docs).
 /// Returns the number of samples processed.
+///
+/// When telemetry is enabled (`recorder` is `Some`), each admitted
+/// sample's life is decomposed into per-stage spans: queue wait (enqueue →
+/// pop), window assembly and normalization (via
+/// [`StreamState::admit_timed`]), model forward, and score emission — all
+/// buffered through the worker's write-local [`StageRecorder`]. The
+/// existing stats path is untouched: `admit_time` is still measured as one
+/// span around the whole admission (all per-sample timers here use
+/// [`SpanStamp`] — same-thread spans, the span clock's cheap case), so
+/// [`varade::PushStats`] and shard accounting are identical with telemetry
+/// on or off.
+#[allow(clippy::too_many_arguments)]
 fn run_round(
     shard: usize,
     cells: &[StreamCell],
@@ -1058,6 +1209,8 @@ fn run_round(
     groups: &[ModelSlot],
     config: &FleetConfig,
     counters: &mut WorkerCounters,
+    telemetry: &Telemetry,
+    mut recorder: Option<&mut StageRecorder<'_>>,
 ) -> Result<usize, FleetError> {
     // Cheap pruning of streams stolen from us; the authoritative check is
     // the owner re-read under the slot lock below.
@@ -1082,9 +1235,33 @@ fn run_round(
             continue;
         };
         processed += 1;
-        let admit_started = Instant::now();
-        let admitted = slot.state.admit(&pending.sample)?;
-        let admit_time = admit_started.elapsed();
+        // One stamp ends the queue-wait span and starts the admission span
+        // (a cross-thread read: the producer stamped `enqueued_at`;
+        // `duration_since` saturates to zero under stamp skew).
+        let admit_started = SpanStamp::now();
+        if let (Some(tel), Some(enqueued)) = (recorder.as_deref_mut(), pending.enqueued_at) {
+            tel.record_stage_ns(
+                cell.group,
+                Stage::QueueWait,
+                admit_started.nanos_since(enqueued),
+            );
+        }
+        let mut timing = AdmitTiming::default();
+        let admitted = if recorder.is_some() {
+            slot.state
+                .admit_timed(&pending.sample, admit_started, &mut timing)?
+        } else {
+            slot.state.admit(&pending.sample)?
+        };
+        let admit_time = SpanStamp::now().duration_since(admit_started);
+        if let Some(tel) = recorder.as_deref_mut() {
+            // The admission span the stats path measures anyway completes
+            // the assembly/normalize split — no interior stamps beyond the
+            // one `admit_timed` spends closing the normalize span.
+            timing.finish(admit_time);
+            tel.record_stage(cell.group, Stage::Assembly, timing.assembly);
+            tel.record_stage(cell.group, Stage::Normalize, timing.normalize);
+        }
         match admitted {
             // Incremental streams score immediately against their own cache:
             // the per-stream frontier recompute is cheaper than a batched
@@ -1098,9 +1275,13 @@ fn run_round(
                     // Re-plan against the new detector too — its layer
                     // geometry (feature-map widths) may differ — and let the
                     // next scored push re-prime by replaying its context.
+                    telemetry.record_event(FleetEvent::CacheInvalidation {
+                        stream: index as u64,
+                        model_version: version,
+                    });
                     slot.state.attach_cache(detector.incremental_cache()?);
                 }
-                let forward_started = Instant::now();
+                let forward_started = SpanStamp::now();
                 let score = {
                     let cache = slot
                         .state
@@ -1108,7 +1289,12 @@ fn run_round(
                         .expect("incremental slot carries a cache");
                     detector.score_window_incremental(cache, &request.context, &request.row)?
                 };
-                let spent = forward_started.elapsed();
+                // The forward-end stamp doubles as the emit-span start, and
+                // the single end-of-emit stamp below also closes the
+                // end-to-end span — one extra clock read for the whole
+                // enabled path.
+                let forward_end = SpanStamp::now();
+                let spent = forward_end.duration_since(forward_started);
                 slot.scores.push(score);
                 slot.state.record(true, admit_time + spent, spent);
                 counters.incremental_windows += 1;
@@ -1116,8 +1302,17 @@ fn run_round(
                     counters.sample_latencies.push(admit_time + spent);
                     let end_to_end = pending
                         .enqueued_at
-                        .map_or(admit_time + spent, |t| t.elapsed());
+                        .map_or(admit_time + spent, |t| SpanStamp::now().duration_since(t));
                     slot.latencies.push(end_to_end);
+                }
+                if let Some(tel) = recorder.as_deref_mut() {
+                    let end = SpanStamp::now();
+                    tel.record_stage(cell.group, Stage::Forward, spent);
+                    tel.record_stage_ns(cell.group, Stage::Emit, end.nanos_since(forward_end));
+                    match pending.enqueued_at {
+                        Some(t) => tel.record_end_to_end_ns(end.nanos_since(t)),
+                        None => tel.record_end_to_end(admit_time + spent),
+                    }
                 }
             }
             Some(request) => batch.push(BatchEntry {
@@ -1166,11 +1361,18 @@ fn run_round(
             .iter()
             .map(|entry| entry.request.row.as_slice())
             .collect();
-        let forward_started = Instant::now();
+        let forward_started = SpanStamp::now();
         let scores = detector.score_windows(&contexts, &targets)?;
-        let share = forward_started.elapsed() / scores.len() as u32;
+        let forward_done = SpanStamp::now();
+        let share = forward_done.duration_since(forward_started) / scores.len() as u32;
         counters.batches += 1;
         counters.batched_windows += scores.len() as u64;
+        // Emit spans chain: each entry's emit starts where the previous
+        // entry's ended (the forward-done stamp for the first), so draining
+        // a batch of n scores costs n clock reads instead of 2n — every
+        // instant between forward completion and the last score landing is
+        // attributed to exactly one emit span.
+        let mut emit_started = forward_done;
         for (entry, score) in round.iter_mut().zip(scores) {
             entry.guard.scores.push(score);
             entry
@@ -1179,10 +1381,25 @@ fn run_round(
                 .record(true, entry.admit_time + share, share);
             if config.record_latencies {
                 counters.sample_latencies.push(entry.admit_time + share);
-                let end_to_end = entry
-                    .enqueued_at
-                    .map_or(entry.admit_time + share, |t| t.elapsed());
+                let end_to_end = entry.enqueued_at.map_or(entry.admit_time + share, |t| {
+                    SpanStamp::now().duration_since(t)
+                });
                 entry.guard.latencies.push(end_to_end);
+            }
+            if let Some(tel) = recorder.as_deref_mut() {
+                let group = cells[entry.cell].group;
+                // One end-of-emit read closes the emit span, the end-to-end
+                // span, and opens the next entry's emit. Each window gets
+                // the forward share of the batched call, mirroring the
+                // `PushStats` attribution.
+                let end = SpanStamp::now();
+                tel.record_stage(group, Stage::Forward, share);
+                tel.record_stage_ns(group, Stage::Emit, end.nanos_since(emit_started));
+                match entry.enqueued_at {
+                    Some(t) => tel.record_end_to_end_ns(end.nanos_since(t)),
+                    None => tel.record_end_to_end(entry.admit_time + share),
+                }
+                emit_started = end;
             }
         }
     }

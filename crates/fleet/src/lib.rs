@@ -86,6 +86,10 @@ mod stats;
 pub use engine::{Fleet, FleetHandle, FleetOutcome, ModelGroupId};
 pub use queue::{Envelope, IngressQueue, RingQueue, SampleQueue};
 pub use stats::{FleetStats, GroupModelStats, ShardStats};
+/// Re-export of the telemetry substrate's configuration and snapshot types,
+/// so fleet consumers can enable and consume telemetry without depending on
+/// `varade-obs` directly.
+pub use varade_obs::{TelemetryConfig, TelemetrySnapshot};
 
 use std::fmt;
 use std::time::Duration;
@@ -197,6 +201,16 @@ pub struct FleetConfig {
     /// `Some(_)` pins it per fleet, which is how tests compare both paths in
     /// one process.
     pub incremental: Option<bool>,
+    /// Telemetry substrate configuration (see [`varade_obs::TelemetryConfig`]).
+    /// Disabled by default: the serve loop then allocates no per-shard
+    /// registries and every record point reduces to one predictable branch.
+    /// When enabled, workers decompose each push into per-stage latency
+    /// histograms (queue-wait / assembly / normalize / forward / emit, per
+    /// model group and per shard) and trace structured events (swaps,
+    /// steals, drops, parks, cache invalidations) into an overwrite ring —
+    /// all exposed through [`FleetHandle::telemetry`] and
+    /// [`FleetOutcome::telemetry`].
+    pub telemetry: varade_obs::TelemetryConfig,
 }
 
 impl Default for FleetConfig {
@@ -211,6 +225,7 @@ impl Default for FleetConfig {
             record_latencies: false,
             chaos_round_delay: None,
             incremental: None,
+            telemetry: varade_obs::TelemetryConfig::disabled(),
         }
     }
 }

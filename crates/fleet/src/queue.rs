@@ -23,10 +23,45 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use varade_obs::{FleetEvent, Telemetry};
+
 use crate::{FleetError, OverloadPolicy, StreamId};
+
+/// A queue's connection to the fleet's telemetry substrate: the producer
+/// lane this queue serves and the shared event ring. Attached only when
+/// telemetry is enabled, so the `None` path costs one branch per slow-path
+/// site (never on the lock-free fast path).
+#[derive(Debug, Clone)]
+struct QueueEvents {
+    telemetry: Arc<Telemetry>,
+    lane: u64,
+}
+
+impl QueueEvents {
+    fn drop_sample(&self, stream: StreamId) {
+        self.telemetry.record_event(FleetEvent::SampleDrop {
+            lane: self.lane,
+            stream: stream.index() as u64,
+        });
+    }
+
+    fn park(&self, producer: bool) {
+        self.telemetry.record_event(FleetEvent::QueuePark {
+            lane: self.lane,
+            producer,
+        });
+    }
+
+    fn unpark(&self, producer: bool) {
+        self.telemetry.record_event(FleetEvent::QueueUnpark {
+            lane: self.lane,
+            producer,
+        });
+    }
+}
 
 /// One queued sample: the stream it belongs to and its raw values.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,8 +72,11 @@ pub struct Envelope {
     pub sample: Vec<f32>,
     /// When the producer handed the sample to the fleet, for end-to-end
     /// (push-to-score) latency accounting. `None` unless
-    /// [`crate::FleetConfig::record_latencies`] is on.
-    pub enqueued_at: Option<std::time::Instant>,
+    /// [`crate::FleetConfig::record_latencies`] or telemetry is on. A
+    /// [`SpanStamp`](varade_obs::spanclock::SpanStamp) rather than an
+    /// `Instant` because the producer stamps every sample on the ingress
+    /// fast path, where the TSC read is ~4x cheaper.
+    pub enqueued_at: Option<varade_obs::spanclock::SpanStamp>,
 }
 
 impl Envelope {
@@ -69,6 +107,7 @@ pub struct SampleQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    events: Option<QueueEvents>,
 }
 
 impl std::fmt::Debug for SampleQueue {
@@ -101,6 +140,7 @@ impl SampleQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            events: None,
         }
     }
 
@@ -141,16 +181,25 @@ impl SampleQueue {
         if inner.items.len() == self.capacity {
             match policy {
                 OverloadPolicy::Block => {
+                    if let Some(events) = &self.events {
+                        events.park(true);
+                    }
                     while inner.items.len() == self.capacity && !inner.closed {
                         inner = self.not_full.wait(inner).expect("queue lock");
+                    }
+                    if let Some(events) = &self.events {
+                        events.unpark(true);
                     }
                     if inner.closed {
                         return Err(FleetError::Closed);
                     }
                 }
                 OverloadPolicy::DropOldest => {
-                    inner.items.pop_front();
+                    let evicted = inner.items.pop_front();
                     inner.dropped += 1;
+                    if let (Some(events), Some(evicted)) = (&self.events, evicted) {
+                        events.drop_sample(evicted.stream);
+                    }
                 }
                 OverloadPolicy::Reject => {
                     return Err(FleetError::QueueFull {
@@ -172,11 +221,28 @@ impl SampleQueue {
     /// ever abandoning accepted samples.
     pub fn drain(&self, max: usize) -> Option<Vec<Envelope>> {
         let mut inner = self.inner.lock().expect("queue lock");
+        let mut parked = false;
         while inner.items.is_empty() {
             if inner.closed {
+                if parked {
+                    if let Some(events) = &self.events {
+                        events.unpark(false);
+                    }
+                }
                 return None;
             }
+            if !parked {
+                parked = true;
+                if let Some(events) = &self.events {
+                    events.park(false);
+                }
+            }
             inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+        if parked {
+            if let Some(events) = &self.events {
+                events.unpark(false);
+            }
         }
         let take = inner.items.len().min(max);
         let batch: Vec<Envelope> = inner.items.drain(..take).collect();
@@ -211,6 +277,13 @@ impl SampleQueue {
     /// Whether [`SampleQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Connects the queue's slow-path events (drops, park/unpark) to the
+    /// fleet's telemetry substrate. `lane` labels which producer lane this
+    /// queue serves.
+    pub fn attach_events(&mut self, telemetry: Arc<Telemetry>, lane: u64) {
+        self.events = Some(QueueEvents { telemetry, lane });
     }
 
     /// Whether the queue is closed and empty. The mutex linearizes pushes
@@ -298,6 +371,7 @@ pub struct RingQueue {
     not_full: Condvar,
     consumer_parked: AtomicBool,
     producer_parked: AtomicBool,
+    events: Option<QueueEvents>,
 }
 
 // SAFETY: the sequence-stamp protocol gives each value cell exactly one
@@ -353,6 +427,7 @@ impl RingQueue {
             not_full: Condvar::new(),
             consumer_parked: AtomicBool::new(false),
             producer_parked: AtomicBool::new(false),
+            events: None,
         }
     }
 
@@ -376,6 +451,14 @@ impl RingQueue {
     /// Whether [`RingQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Connects the ring's slow-path events (drops, park/unpark) to the
+    /// fleet's telemetry substrate. `lane` labels which producer lane this
+    /// ring serves. The lock-free fast path is untouched: events fire only
+    /// from the overload/parking slow paths.
+    pub fn attach_events(&mut self, telemetry: Arc<Telemetry>, lane: u64) {
+        self.events = Some(QueueEvents { telemetry, lane });
     }
 
     /// Whether the ring is closed, empty, *and* no push is in flight — the
@@ -527,8 +610,11 @@ impl RingQueue {
                 shard,
             }),
             OverloadPolicy::DropOldest => loop {
-                if self.try_dequeue().is_some() {
+                if let Some(evicted) = self.try_dequeue() {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
+                    if let Some(events) = &self.events {
+                        events.drop_sample(evicted.stream);
+                    }
                 }
                 match self.try_enqueue(envelope) {
                     TryEnqueue::Done => return Ok(()),
@@ -537,12 +623,28 @@ impl RingQueue {
             },
             OverloadPolicy::Block => {
                 let mut spins = 0u32;
+                // One park/unpark event pair per blocked push (not per
+                // 1 ms timeout lap), so event volume tracks backpressure
+                // episodes rather than wall time.
+                let mut park_reported = false;
                 loop {
                     if self.is_closed() {
+                        if park_reported {
+                            if let Some(events) = &self.events {
+                                events.unpark(true);
+                            }
+                        }
                         return Err(FleetError::Closed);
                     }
                     envelope = match self.try_enqueue(envelope) {
-                        TryEnqueue::Done => return Ok(()),
+                        TryEnqueue::Done => {
+                            if park_reported {
+                                if let Some(events) = &self.events {
+                                    events.unpark(true);
+                                }
+                            }
+                            return Ok(());
+                        }
                         TryEnqueue::Full(e) => e,
                     };
                     if spins < SPIN_LIMIT {
@@ -565,6 +667,12 @@ impl RingQueue {
                         .load(Ordering::Acquire)
                         .wrapping_sub(self.head.load(Ordering::Acquire))
                         >= self.capacity;
+                    if full && !park_reported {
+                        park_reported = true;
+                        if let Some(events) = &self.events {
+                            events.park(true);
+                        }
+                    }
                     if full && !self.is_closed() {
                         let (_guard, _timeout) = self
                             .not_full
@@ -597,9 +705,16 @@ impl RingQueue {
     /// ever abandoning accepted samples.
     pub fn drain(&self, max: usize) -> Option<Vec<Envelope>> {
         let mut spins = 0u32;
+        // One park/unpark pair per empty-wait episode (see `push_inner`).
+        let mut park_reported = false;
         loop {
             let batch = self.try_drain(max);
             if !batch.is_empty() {
+                if park_reported {
+                    if let Some(events) = &self.events {
+                        events.unpark(false);
+                    }
+                }
                 return Some(batch);
             }
             if self.is_closed() && self.in_flight.load(Ordering::SeqCst) == 0 {
@@ -608,6 +723,11 @@ impl RingQueue {
                 // end-of-stream. (A push still in flight either lands before
                 // the sweep or observes the close and bails — see
                 // `in_flight` — so nothing accepted is ever abandoned.)
+                if park_reported {
+                    if let Some(events) = &self.events {
+                        events.unpark(false);
+                    }
+                }
                 let batch = self.try_drain(max);
                 return if batch.is_empty() { None } else { Some(batch) };
             }
@@ -622,6 +742,12 @@ impl RingQueue {
             }
             let guard = self.park.lock().expect("park lock");
             self.consumer_parked.store(true, Ordering::SeqCst);
+            if !park_reported && self.is_empty() && !self.is_closed() {
+                park_reported = true;
+                if let Some(events) = &self.events {
+                    events.park(false);
+                }
+            }
             if self.is_empty() && !self.is_closed() {
                 let (_guard, _timeout) = self
                     .not_empty
@@ -720,6 +846,18 @@ impl IngressQueue {
         match self {
             IngressQueue::Ring(q) => q.is_closed(),
             IngressQueue::Legacy(q) => q.is_closed(),
+        }
+    }
+
+    /// Connects slow-path queue events (sample drops under
+    /// [`OverloadPolicy::DropOldest`], producer/consumer park and unpark)
+    /// to the fleet's telemetry substrate. Called by the engine at serve-
+    /// window setup when telemetry is enabled; without it the queue records
+    /// nothing.
+    pub fn attach_events(&mut self, telemetry: Arc<Telemetry>, lane: u64) {
+        match self {
+            IngressQueue::Ring(q) => q.attach_events(telemetry, lane),
+            IngressQueue::Legacy(q) => q.attach_events(telemetry, lane),
         }
     }
 

@@ -40,6 +40,10 @@ pub struct ShardStats {
     /// Per-scored-sample latency (admit plus batch-forward share), recorded
     /// only when [`crate::FleetConfig::record_latencies`] is on.
     pub sample_latencies: Vec<Duration>,
+    /// Largest ingress backlog this shard ever observed at a drain point
+    /// (summed across its lanes) — a sustained-backlog signal a briefly-full
+    /// ring cannot fake. Exact, maintained every round.
+    pub queue_depth_high_water: u64,
 }
 
 impl ShardStats {
@@ -81,6 +85,9 @@ pub struct FleetStats {
     /// Per-group model version and swap counters, sorted by group index
     /// (filled in by the engine after the shard merge).
     pub groups: Vec<GroupModelStats>,
+    /// Largest per-shard ingress backlog observed anywhere in the fleet (the
+    /// max of [`ShardStats::queue_depth_high_water`]).
+    pub queue_depth_high_water: u64,
 }
 
 impl FleetStats {
@@ -91,10 +98,12 @@ impl FleetStats {
         let mut global = PushStats::default();
         let mut dropped = 0;
         let mut steals = 0;
+        let mut queue_depth_high_water = 0;
         for shard in &shards {
             global.merge(&shard.push);
             dropped += shard.dropped;
             steals += shard.steals;
+            queue_depth_high_water = queue_depth_high_water.max(shard.queue_depth_high_water);
         }
         Self {
             elapsed,
@@ -103,6 +112,7 @@ impl FleetStats {
             dropped,
             steals,
             groups: Vec::new(),
+            queue_depth_high_water,
         }
     }
 
@@ -147,6 +157,7 @@ mod tests {
                 scores,
                 total_time: Duration::from_micros(micros),
                 scoring_time: Duration::from_micros(micros / 2),
+                ..PushStats::default()
             },
             batches: scores.max(1),
             batched_windows: scores,
@@ -154,6 +165,7 @@ mod tests {
             dropped,
             steals: index as u64,
             sample_latencies: vec![Duration::from_micros(micros)],
+            queue_depth_high_water: 3 * index as u64,
         }
     }
 
@@ -169,6 +181,8 @@ mod tests {
         assert_eq!(stats.global.scores, 23);
         assert_eq!(stats.dropped, 3);
         assert_eq!(stats.steals, 1);
+        // Shard high-water marks fold by max, not by sum.
+        assert_eq!(stats.queue_depth_high_water, 3);
         // 30 pushes over 2 ms of wall clock.
         assert!((stats.samples_per_sec().unwrap() - 15_000.0).abs() < 1e-6);
         assert!((stats.scores_per_sec().unwrap() - 11_500.0).abs() < 1e-6);

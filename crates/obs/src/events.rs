@@ -1,0 +1,431 @@
+//! Structured event tracing: a fixed-capacity overwrite ring of typed fleet
+//! events with monotonic sequence numbers and exact overwrite accounting.
+//!
+//! Producers (worker shards, producer lanes, the control plane) record
+//! events wait-free: one `fetch_add` to claim a global sequence number, four
+//! relaxed word stores for the payload, one release store to publish. The
+//! ring never blocks a producer — when full, the oldest events are
+//! overwritten, and the single-consumer [`EventRing::drain`] reports exactly
+//! how many were lost, so `drained + overwritten == recorded` holds at
+//! quiescence.
+//!
+//! The implementation uses only atomics (no `unsafe`): each slot is a
+//! seqlock-stamped quad of `AtomicU64` payload words. A reader validates the
+//! stamp before and after copying the words; a slot whose stamp moved was
+//! overwritten and is counted as such instead of being decoded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A typed event emitted by the serving stack.
+///
+/// Every variant carries only plain integers so records are fixed-size and a
+/// torn racing write can never produce an invalid bit pattern — the decoder
+/// validates the discriminant word and counts anything unintelligible as
+/// overwritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A model group published a new detector version.
+    ModelSwap {
+        /// Model group index.
+        group: u64,
+        /// Version now being served.
+        version: u64,
+    },
+    /// A model group rolled back to its previous detector version.
+    ModelRollback {
+        /// Model group index.
+        group: u64,
+        /// Version now being served (the restored one).
+        version: u64,
+    },
+    /// A worker stole ownership of a stream from another shard.
+    StreamSteal {
+        /// Stolen stream id.
+        stream: u64,
+        /// Shard that lost the stream.
+        from_shard: u64,
+        /// Shard that won the CAS.
+        to_shard: u64,
+    },
+    /// An ingress queue evicted or refused a sample under overload.
+    SampleDrop {
+        /// Producer lane whose queue dropped.
+        lane: u64,
+        /// Stream id of the dropped sample.
+        stream: u64,
+    },
+    /// A queue endpoint parked (blocked waiting) on sustained full/empty.
+    QueuePark {
+        /// Producer lane index.
+        lane: u64,
+        /// `true` for the producer side, `false` for the consumer side.
+        producer: bool,
+    },
+    /// A queue endpoint unparked after a park.
+    QueueUnpark {
+        /// Producer lane index.
+        lane: u64,
+        /// `true` for the producer side, `false` for the consumer side.
+        producer: bool,
+    },
+    /// A stream's incremental encoder cache was invalidated (model swap).
+    CacheInvalidation {
+        /// Stream id whose cache was discarded.
+        stream: u64,
+        /// Model version the stream resynced to.
+        model_version: u64,
+    },
+}
+
+/// Number of distinct [`FleetEvent`] kinds.
+pub const EVENT_KINDS: usize = 7;
+
+impl FleetEvent {
+    /// Stable label for the event kind (used in exposition and summaries).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            FleetEvent::ModelSwap { .. } => "model_swap",
+            FleetEvent::ModelRollback { .. } => "model_rollback",
+            FleetEvent::StreamSteal { .. } => "stream_steal",
+            FleetEvent::SampleDrop { .. } => "sample_drop",
+            FleetEvent::QueuePark { .. } => "queue_park",
+            FleetEvent::QueueUnpark { .. } => "queue_unpark",
+            FleetEvent::CacheInvalidation { .. } => "cache_invalidation",
+        }
+    }
+
+    /// Human-readable one-line rendering of the payload.
+    pub fn detail(&self) -> String {
+        match *self {
+            FleetEvent::ModelSwap { group, version } => {
+                format!("group={group} version={version}")
+            }
+            FleetEvent::ModelRollback { group, version } => {
+                format!("group={group} version={version}")
+            }
+            FleetEvent::StreamSteal {
+                stream,
+                from_shard,
+                to_shard,
+            } => format!("stream={stream} from={from_shard} to={to_shard}"),
+            FleetEvent::SampleDrop { lane, stream } => format!("lane={lane} stream={stream}"),
+            FleetEvent::QueuePark { lane, producer }
+            | FleetEvent::QueueUnpark { lane, producer } => {
+                format!(
+                    "lane={lane} side={}",
+                    if producer { "producer" } else { "consumer" }
+                )
+            }
+            FleetEvent::CacheInvalidation {
+                stream,
+                model_version,
+            } => format!("stream={stream} model_version={model_version}"),
+        }
+    }
+
+    /// Packs the event into a fixed quad of words: `[kind, a, b, c]`.
+    fn encode(&self) -> [u64; 4] {
+        match *self {
+            FleetEvent::ModelSwap { group, version } => [0, group, version, 0],
+            FleetEvent::ModelRollback { group, version } => [1, group, version, 0],
+            FleetEvent::StreamSteal {
+                stream,
+                from_shard,
+                to_shard,
+            } => [2, stream, from_shard, to_shard],
+            FleetEvent::SampleDrop { lane, stream } => [3, lane, stream, 0],
+            FleetEvent::QueuePark { lane, producer } => [4, lane, u64::from(producer), 0],
+            FleetEvent::QueueUnpark { lane, producer } => [5, lane, u64::from(producer), 0],
+            FleetEvent::CacheInvalidation {
+                stream,
+                model_version,
+            } => [6, stream, model_version, 0],
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode); `None` for an invalid kind word.
+    fn decode(words: [u64; 4]) -> Option<FleetEvent> {
+        let [kind, a, b, c] = words;
+        Some(match kind {
+            0 => FleetEvent::ModelSwap {
+                group: a,
+                version: b,
+            },
+            1 => FleetEvent::ModelRollback {
+                group: a,
+                version: b,
+            },
+            2 => FleetEvent::StreamSteal {
+                stream: a,
+                from_shard: b,
+                to_shard: c,
+            },
+            3 => FleetEvent::SampleDrop { lane: a, stream: b },
+            4 => FleetEvent::QueuePark {
+                lane: a,
+                producer: b != 0,
+            },
+            5 => FleetEvent::QueueUnpark {
+                lane: a,
+                producer: b != 0,
+            },
+            6 => FleetEvent::CacheInvalidation {
+                stream: a,
+                model_version: b,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// An event together with the global sequence number it was recorded under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequencedEvent {
+    /// Monotonic record sequence number (0-based, gap-free across the ring).
+    pub seq: u64,
+    /// The decoded event.
+    pub event: FleetEvent,
+}
+
+/// One ring slot: a publish stamp plus the packed payload words.
+///
+/// `stamp == seq + 1` marks the slot as holding the completed record for
+/// global sequence `seq`; 0 means never written.
+#[derive(Debug)]
+struct EventSlot {
+    stamp: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+/// Single-consumer drain cursor and lifetime loss accounting.
+#[derive(Debug, Default)]
+struct DrainCursor {
+    /// Next sequence number the consumer has not yet accounted for.
+    next: u64,
+    /// Lifetime total of events returned by `drain`.
+    drained: u64,
+    /// Lifetime total of events lost to overwriting (never returned).
+    overwritten: u64,
+}
+
+/// Result of one [`EventRing::drain`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDrain {
+    /// Events recovered by this call, in sequence order.
+    pub events: Vec<SequencedEvent>,
+    /// Lifetime total of recorded events (the ring's sequence counter).
+    pub recorded: u64,
+    /// Lifetime total of drained events, including this call's.
+    pub drained: u64,
+    /// Lifetime total of overwritten (lost) events.
+    pub overwritten: u64,
+}
+
+/// Fixed-capacity overwrite MPSC ring of [`FleetEvent`]s.
+///
+/// Recording is wait-free and never blocks: when producers outrun the
+/// consumer the oldest undrained events are overwritten. [`drain`]
+/// (single-consumer, internally serialized) returns every surviving event in
+/// sequence order and accounts for every lost one, so once producers are
+/// quiescent `recorded == drained + overwritten` exactly.
+///
+/// [`drain`]: Self::drain
+#[derive(Debug)]
+pub struct EventRing {
+    head: AtomicU64,
+    slots: Box<[EventSlot]>,
+    cursor: Mutex<DrainCursor>,
+}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` undrained events
+    /// (`capacity` is rounded up to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            head: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| EventSlot {
+                    stamp: AtomicU64::new(0),
+                    words: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            cursor: Mutex::new(DrainCursor::default()),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lifetime count of recorded events.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one event; wait-free, overwrites the oldest on overflow.
+    pub fn record(&self, event: FleetEvent) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let words = event.encode();
+        for (w, &v) in slot.words.iter().zip(words.iter()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.stamp.store(seq + 1, Ordering::Release);
+        seq
+    }
+
+    /// Drains every completed event since the previous drain, in order.
+    ///
+    /// Events whose slot was reused before they could be read are counted in
+    /// `overwritten` rather than silently skipped; an event whose producer
+    /// has claimed a sequence number but not yet published stays pending and
+    /// will be picked up by the next drain. Internally serialized — callers
+    /// may invoke it from any thread, one at a time.
+    pub fn drain(&self) -> EventDrain {
+        let mut cursor = self.cursor.lock().expect("event ring cursor poisoned");
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        if head.saturating_sub(cursor.next) > cap {
+            // Producers lapped the consumer: everything older than one full
+            // ring behind the head is unrecoverable by construction.
+            cursor.overwritten += head - cap - cursor.next;
+            cursor.next = head - cap;
+        }
+        let mut events = Vec::new();
+        let mut seq = cursor.next;
+        while seq < head {
+            let slot = &self.slots[(seq % cap) as usize];
+            let before = slot.stamp.load(Ordering::Acquire);
+            if before == seq + 1 {
+                let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+                let after = slot.stamp.load(Ordering::Acquire);
+                match FleetEvent::decode(words) {
+                    Some(event) if after == seq + 1 => {
+                        events.push(SequencedEvent { seq, event });
+                        cursor.drained += 1;
+                    }
+                    // Overwritten between the stamp checks (or torn beyond
+                    // recognition): the record is lost, account for it.
+                    _ => cursor.overwritten += 1,
+                }
+            } else if before > seq + 1 {
+                // The slot already holds a later generation: this sequence
+                // number was overwritten before we got to it.
+                cursor.overwritten += 1;
+            } else {
+                // A producer claimed this sequence number but has not yet
+                // published; stop here and let the next drain pick it up.
+                break;
+            }
+            seq += 1;
+        }
+        cursor.next = seq;
+        EventDrain {
+            events,
+            recorded: head,
+            drained: cursor.drained,
+            overwritten: cursor.overwritten,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        let events = [
+            FleetEvent::ModelSwap {
+                group: 1,
+                version: 2,
+            },
+            FleetEvent::ModelRollback {
+                group: 3,
+                version: 1,
+            },
+            FleetEvent::StreamSteal {
+                stream: 42,
+                from_shard: 0,
+                to_shard: 3,
+            },
+            FleetEvent::SampleDrop { lane: 1, stream: 9 },
+            FleetEvent::QueuePark {
+                lane: 0,
+                producer: true,
+            },
+            FleetEvent::QueueUnpark {
+                lane: 0,
+                producer: false,
+            },
+            FleetEvent::CacheInvalidation {
+                stream: 7,
+                model_version: 2,
+            },
+        ];
+        for e in events {
+            assert_eq!(FleetEvent::decode(e.encode()), Some(e));
+            assert!(!e.kind_label().is_empty());
+            assert!(!e.detail().is_empty());
+        }
+        assert_eq!(FleetEvent::decode([99, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn drain_returns_events_in_sequence_order() {
+        let ring = EventRing::new(8);
+        for i in 0..5u64 {
+            ring.record(FleetEvent::SampleDrop { lane: 0, stream: i });
+        }
+        let d = ring.drain();
+        assert_eq!(d.recorded, 5);
+        assert_eq!(d.drained, 5);
+        assert_eq!(d.overwritten, 0);
+        let seqs: Vec<u64> = d.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_is_counted_exactly() {
+        let ring = EventRing::new(4);
+        for i in 0..10u64 {
+            ring.record(FleetEvent::SampleDrop { lane: 0, stream: i });
+        }
+        let d = ring.drain();
+        assert_eq!(d.recorded, 10);
+        assert_eq!(d.drained + d.overwritten, d.recorded);
+        assert_eq!(d.events.len(), 4);
+        assert_eq!(d.events[0].seq, 6);
+        // A second drain with nothing new recorded returns no events but the
+        // same lifetime totals.
+        let d2 = ring.drain();
+        assert!(d2.events.is_empty());
+        assert_eq!(d2.drained, d.drained);
+        assert_eq!(d2.overwritten, d.overwritten);
+    }
+
+    #[test]
+    fn concurrent_producers_conserve_accounting() {
+        let ring = EventRing::new(64);
+        let threads = 4;
+        let per_thread = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        ring.record(FleetEvent::SampleDrop { lane: t, stream: i });
+                    }
+                });
+            }
+        });
+        let d = ring.drain();
+        assert_eq!(d.recorded, threads * per_thread);
+        assert_eq!(d.drained + d.overwritten, d.recorded);
+        // Sequence numbers of survivors are strictly increasing.
+        assert!(d.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

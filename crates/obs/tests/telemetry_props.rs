@@ -1,0 +1,151 @@
+//! Property and concurrency tests for the telemetry core: histogram merge
+//! algebra, counter exactness under threads, and event-ring overwrite
+//! accounting.
+
+use proptest::prelude::*;
+use varade_obs::{AtomicHistogram, Counter, EventRing, FleetEvent, HistogramSnapshot, BUCKETS};
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = AtomicHistogram::new();
+    for &v in values {
+        h.record_ns(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..64),
+        b in prop::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..48),
+        b in prop::collection::vec(0u64..u64::MAX, 0..48),
+        c in prop::collection::vec(0u64..u64::MAX, 0..48),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+    }
+
+    #[test]
+    fn merge_conserves_counts_exactly(
+        a in prop::collection::vec(0u64..u64::MAX, 0..64),
+        b in prop::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let merged = ha.merge(&hb);
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+        prop_assert_eq!(merged.buckets.len(), BUCKETS);
+        // Merging with the identity changes nothing.
+        prop_assert_eq!(ha.merge(&HistogramSnapshot::empty()), ha);
+        // A merged histogram equals recording both sets into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    #[test]
+    fn percentiles_from_buckets_stay_within_one_bucket_width(
+        mut values in prop::collection::vec(0u64..u64::MAX / 2, 1..200),
+        q in 1.0f64..100.0,
+    ) {
+        let snap = hist_of(&values);
+        values.sort_unstable();
+        let rank = ((q / 100.0) * values.len() as f64).ceil() as usize;
+        let exact = values[rank.clamp(1, values.len()) - 1];
+        let approx = snap.percentile_ns(q);
+        let k = varade_obs::bucket_of(exact);
+        let width = if k == 0 {
+            1
+        } else {
+            varade_obs::bucket_upper_bound(k) - (1u64 << (k - 1)) + 1
+        };
+        prop_assert!(approx >= exact);
+        prop_assert!(approx - exact <= width, "q={} approx={} exact={}", q, approx, exact);
+    }
+
+    #[test]
+    fn event_ring_accounting_is_exact_for_any_capacity_and_volume(
+        capacity in 1usize..40,
+        volume in 0u64..200,
+    ) {
+        let ring = EventRing::new(capacity);
+        for i in 0..volume {
+            ring.record(FleetEvent::SampleDrop { lane: 0, stream: i });
+        }
+        let d = ring.drain();
+        prop_assert_eq!(d.recorded, volume);
+        prop_assert_eq!(d.drained + d.overwritten, d.recorded);
+        prop_assert_eq!(d.events.len() as u64, volume.min(capacity as u64));
+        // Survivors are the newest `capacity` events, in order.
+        for (i, e) in d.events.iter().enumerate() {
+            prop_assert_eq!(e.seq, volume.saturating_sub(d.events.len() as u64) + i as u64);
+        }
+    }
+}
+
+#[test]
+fn concurrent_counters_are_exact_under_n_threads() {
+    let threads = 8u64;
+    let per_thread = 25_000u64;
+    let counter = Counter::new();
+    let hist = AtomicHistogram::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (counter, hist) = (&counter, &hist);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    counter.inc();
+                    hist.record_ns(t * per_thread + i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), threads * per_thread);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, threads * per_thread);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    assert_eq!(snap.max_ns, threads * per_thread - 1);
+}
+
+#[test]
+fn concurrent_event_ring_conserves_drained_plus_overwritten() {
+    let ring = EventRing::new(128);
+    let threads = 6u64;
+    let per_thread = 4_000u64;
+    // Drain concurrently with production: lifetime totals must still balance
+    // once producers are quiescent.
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ring = &ring;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    ring.record(FleetEvent::StreamSteal {
+                        stream: t * per_thread + i,
+                        from_shard: t,
+                        to_shard: (t + 1) % threads,
+                    });
+                }
+            });
+        }
+        let ring = &ring;
+        s.spawn(move || {
+            for _ in 0..50 {
+                let _ = ring.drain();
+                std::thread::yield_now();
+            }
+        });
+    });
+    let d = ring.drain();
+    assert_eq!(d.recorded, threads * per_thread);
+    assert_eq!(d.drained + d.overwritten, d.recorded);
+}
