@@ -19,9 +19,17 @@ use std::process::ExitCode;
 use varade_bench::experiments::ExperimentScale;
 use varade_bench::report;
 
-const USAGE: &str = "usage: exp_report [--quick] [--render-only] [--out-dir DIR] \
-                     [--baseline-dir DIR] [--md-path PATH] [--date YYYY-MM-DD] \
-                     [--backend scalar|vector] [--check-floor PATH] [--telemetry]";
+/// Usage string with the `--backend` values enumerated from
+/// [`varade::BackendKind::ALL`] itself, so a new backend can never leave the
+/// help text stale.
+fn usage() -> String {
+    format!(
+        "usage: exp_report [--quick] [--render-only] [--out-dir DIR] \
+         [--baseline-dir DIR] [--md-path PATH] [--date YYYY-MM-DD] \
+         [--backend {}] [--check-floor PATH] [--telemetry]",
+        varade::BackendKind::ALL.map(|k| k.label()).join("|")
+    )
+}
 
 struct Args {
     quick: bool,
@@ -66,7 +74,7 @@ fn parse_args() -> Result<Args, String> {
             "--backend" => args.backend = Some(value_of(&mut i)?.parse()?),
             "--check-floor" => args.check_floor = Some(PathBuf::from(value_of(&mut i)?)),
             "--telemetry" => args.telemetry = true,
-            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
         i += 1;
     }
@@ -74,14 +82,16 @@ fn parse_args() -> Result<Args, String> {
         // The floor gates a fresh run's measurements; render-only performs
         // none, so accepting both would report a gate that never evaluated.
         return Err(format!(
-            "--check-floor requires a measuring run and cannot be combined with --render-only\n{USAGE}"
+            "--check-floor requires a measuring run and cannot be combined with --render-only\n{}",
+            usage()
         ));
     }
     if args.render_only && args.telemetry {
         // The telemetry artifacts come from a real telemetry-enabled serve;
         // render-only performs none.
         return Err(format!(
-            "--telemetry requires a measuring run and cannot be combined with --render-only\n{USAGE}"
+            "--telemetry requires a measuring run and cannot be combined with --render-only\n{}",
+            usage()
         ));
     }
     Ok(args)
@@ -141,6 +151,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "vector-over-scalar speedup: {:.2}x",
                 backends.vector_over_scalar_speedup
+            );
+        }
+        if let Some(q) = &report.quantization {
+            println!(
+                "quantization: {} int8 bytes replace {} f32 bytes ({:.4}x), \
+                 max AUC deviation {:.4}, {:.1} samples/sec ({:.2}x scalar)",
+                q.int8_payload_bytes,
+                q.f32_weight_bytes,
+                q.footprint_ratio,
+                q.max_auc_deviation,
+                q.quant_samples_per_sec,
+                q.quant_over_scalar_throughput,
             );
         }
         if let Some(fleet) = &report.fleet {

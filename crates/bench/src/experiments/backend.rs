@@ -21,7 +21,7 @@ use crate::BenchError;
 /// One backend's row of the sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackendCell {
-    /// Backend label (`"scalar"` | `"vector"`).
+    /// Backend label (`"scalar"` | `"vector"` | `"quant"`).
     pub backend: String,
     /// End-to-end push throughput in samples per second.
     pub samples_per_sec: f64,
@@ -31,7 +31,9 @@ pub struct BackendCell {
     pub model_scoring_mean_us: f64,
     /// Maximum relative deviation of this backend's scores from the scalar
     /// reference cell: `max |s − s_ref| / max(|s_ref|, 1)`. Zero for the
-    /// scalar cell itself; the backend contract bounds it by 1e-5.
+    /// scalar cell itself; bounded by [`BackendKind::score_tolerance`] where
+    /// that contract applies (the quant backend instead bounds per-experiment
+    /// AUC deviation — see the quantization experiment).
     pub max_rel_deviation_vs_scalar: f64,
 }
 
@@ -141,7 +143,7 @@ mod tests {
     use varade_robot::dataset::DatasetBuilder;
 
     #[test]
-    fn quick_backend_sweep_covers_both_backends_and_round_trips() {
+    fn quick_backend_sweep_covers_every_backend_and_round_trips() {
         let scale = ExperimentScale::Quick;
         let dataset = DatasetBuilder::new(scale.dataset_config()).build().unwrap();
         let mut detector = VaradeDetector::new(scale.varade_config());
@@ -157,12 +159,19 @@ mod tests {
         for cell in &r.cells {
             assert!(cell.samples_per_sec > 0.0);
             assert!(cell.model_scoring_mean_us > 0.0);
-            assert!(
-                cell.max_rel_deviation_vs_scalar <= 1e-5,
-                "{} deviates by {}",
-                cell.backend,
-                cell.max_rel_deviation_vs_scalar
-            );
+            let kind: BackendKind = cell.backend.parse().unwrap();
+            // Quant has no per-score tolerance contract (its bound is on AUC
+            // deviation, checked by the quantization experiment) — its cell
+            // only has to be finite.
+            match kind.score_tolerance() {
+                Some(tolerance) => assert!(
+                    cell.max_rel_deviation_vs_scalar <= tolerance,
+                    "{} deviates by {}",
+                    cell.backend,
+                    cell.max_rel_deviation_vs_scalar
+                ),
+                None => assert!(cell.max_rel_deviation_vs_scalar.is_finite()),
+            }
         }
         let vector = r.cell(BackendKind::Vector).unwrap();
         assert!(vector.max_rel_deviation_vs_scalar > 0.0 || vector.samples_per_sec > 0.0);

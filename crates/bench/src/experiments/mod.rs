@@ -17,6 +17,7 @@
 //! | [`incremental`] | beyond the paper — incremental (cached) vs full-recompute streaming | [`incremental::IncrementalResult`] |
 //! | [`load`] | beyond the paper — Zipf many-stream multi-core load harness with exact sample accounting | [`load::MulticoreResult`] |
 //! | [`persist`] | beyond the paper — model save/load round-trip (footprint, wall time, bit-identity audit) | [`persist::PersistenceResult`] |
+//! | [`quantization`] | beyond the paper — int8 quant backend audit (footprint ratio, throughput, AUC deviation vs scalar) | [`quantization::QuantizationResult`] |
 //! | [`telemetry`] | beyond the paper — `varade-obs` substrate overhead (enabled vs disabled fleet throughput) | [`telemetry::TelemetryResult`] |
 //!
 //! Every experiment runs at one of two [`ExperimentScale`]s sharing a single
@@ -33,6 +34,7 @@ pub mod fleet;
 pub mod incremental;
 pub mod load;
 pub mod persist;
+pub mod quantization;
 pub mod streaming;
 pub mod table2;
 pub mod telemetry;

@@ -443,6 +443,11 @@ impl VaradeDetector {
         let report = VaradeTrainer::new(self.config)
             .with_backend(self.backend)
             .train(&mut model, &windows)?;
+        // Re-issue the backend selection now that the weights are final:
+        // training forwards drop any cached int8 plane (the weights were
+        // moving), so under the quant backend this is where post-training
+        // quantization of the fitted weights actually happens.
+        model.set_backend(self.backend);
         self.model = Some(model);
         Ok(report)
     }

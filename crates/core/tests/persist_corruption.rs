@@ -240,6 +240,143 @@ fn corrupted_header_json_is_a_typed_error() {
     ));
 }
 
+// ---------------------------------------------------------------------------
+// Format v2: the quantized-plane region. Same discipline as above — every
+// way the int8 tail or its header table can rot maps to a typed
+// `PersistError::Quant`, never a panic or a silently-wrong plane.
+// ---------------------------------------------------------------------------
+
+/// A fitted detector persisted on the quant backend: format v2, with the
+/// int8 tail and the `quant.*.scales` tensors present.
+fn valid_quant_bytes() -> Vec<u8> {
+    let config = VaradeConfig {
+        window: 8,
+        base_feature_maps: 8,
+        epochs: 2,
+        batch_size: 8,
+        learning_rate: 2e-3,
+        max_train_windows: 48,
+        kl_weight: 0.05,
+        seed: 11,
+    };
+    let mut s = MultivariateSeries::new(vec!["a".into(), "b".into()], 10.0).unwrap();
+    for t in 0..100 {
+        let v = (t as f32 * 0.29).sin();
+        s.push_row(&[v, -v * 0.4]).unwrap();
+    }
+    let mut det = VaradeDetector::new(config).with_backend(BackendKind::Quant);
+    det.fit(&s).unwrap();
+    det.to_persist_bytes().unwrap()
+}
+
+fn expect_quant_error(bytes: &[u8], needle: &str) {
+    match ModelArtifact::from_bytes(bytes) {
+        Err(PersistError::Quant(reason)) => {
+            assert!(
+                reason.contains(needle),
+                "reason {reason:?} lacks {needle:?}"
+            )
+        }
+        other => panic!("expected Quant({needle:?}…), got {other:?}"),
+    }
+}
+
+#[test]
+fn quant_fixture_is_v2_and_loads() {
+    let bytes = valid_quant_bytes();
+    assert_eq!(
+        u16::from_le_bytes(bytes[6..8].try_into().unwrap()),
+        FORMAT_VERSION,
+        "a plane-carrying model must persist as format v2"
+    );
+    let det = ModelArtifact::from_bytes(&bytes).unwrap().detector;
+    assert_eq!(det.backend_kind(), BackendKind::Quant);
+}
+
+#[test]
+fn truncated_int8_tail_is_detected() {
+    // Drop the tail's last code and re-stamp the prelude: the file is
+    // byte-consistent, but the plane table now declares more tail bytes than
+    // the payload holds.
+    let mut bytes = valid_quant_bytes();
+    bytes.truncate(bytes.len() - 1);
+    restamp(&mut bytes);
+    expect_quant_error(&bytes, "tail holds");
+}
+
+/// Like [`edit_header`], but targets the LAST occurrence — the plane table
+/// follows the tensor table in the header, so this reaches plane entries
+/// whose field text also appears in a tensor entry.
+fn edit_header_last(bytes: &mut [u8], from: &str, to: &str) {
+    assert_eq!(from.len(), to.len(), "header edits must preserve length");
+    let start = PRELUDE_LEN;
+    let end = payload_start(bytes);
+    let header = &bytes[start..end];
+    let pos = header
+        .windows(from.len())
+        .rposition(|w| w == from.as_bytes())
+        .unwrap_or_else(|| panic!("header does not contain {from:?}"));
+    bytes[start + pos..start + pos + from.len()].copy_from_slice(to.as_bytes());
+}
+
+#[test]
+fn broken_plane_offset_is_detected() {
+    // The planes tile the tail contiguously, so the last plane's offset (the
+    // last `"offset"` key in the header — the plane table follows the tensor
+    // table) can never be 0 ... unless corrupted to break the tiling.
+    let mut bytes = valid_quant_bytes();
+    let end = payload_start(&bytes);
+    let header = String::from_utf8(bytes[PRELUDE_LEN..end].to_vec()).unwrap();
+    let last_offset = header.rfind("\"offset\":").expect("plane table present");
+    let digits: String = header[last_offset + "\"offset\":".len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    assert_ne!(digits, "0", "the last plane cannot sit at the tail's start");
+    // Swap the leading digit for a different one: same length, valid JSON,
+    // wrong offset.
+    let mut wrong = digits.clone();
+    let first = wrong.remove(0);
+    wrong.insert(0, if first == '9' { '8' } else { '9' });
+    edit_header_last(
+        &mut bytes,
+        &format!("\"offset\":{digits}"),
+        &format!("\"offset\":{wrong}"),
+    );
+    expect_quant_error(&bytes, "contiguity");
+}
+
+#[test]
+fn out_of_range_int8_code_is_detected() {
+    // -128 never appears in a valid plane (the grid is [-127, 127], keeping
+    // the affine map symmetric). The payload's last byte is the final code
+    // of the last plane; re-stamping makes the checksum genuinely valid, so
+    // only the explicit grid audit can refuse it.
+    let mut bytes = valid_quant_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] = 0x80;
+    restamp(&mut bytes);
+    expect_quant_error(&bytes, "outside [-127, 127]");
+}
+
+#[test]
+fn planes_in_a_v1_file_are_detected() {
+    // Stamp the prelude back to format v1 while the header still declares
+    // planes: v1 payloads are all-f32 by definition.
+    let mut bytes = valid_quant_bytes();
+    bytes[6..8].copy_from_slice(&1u16.to_le_bytes());
+    expect_quant_error(&bytes, "format v1");
+}
+
+#[test]
+fn plane_missing_its_scale_tensor_is_detected() {
+    // Re-key the first plane's scale tensor (the only tensor with the
+    // `quant.` prefix naming `model.0.weight`): its plane is now orphaned.
+    let mut bytes = valid_quant_bytes();
+    edit_header(&mut bytes, "quant.model.0.weight", "quant.model.0.weighx");
+    expect_quant_error(&bytes, "missing scale tensor");
+}
+
 #[test]
 fn io_failures_are_typed() {
     let missing = std::env::temp_dir().join("varade-no-such-file.varade");

@@ -5,8 +5,9 @@
 //!
 //! 1. **Byte identity**: save → load → save reproduces the file byte for
 //!    byte, across window sizes {4, 8, 16, 32} × channel counts {1, 2, 3, 5}
-//!    × both kernel backends. Weights travel as raw little-endian bits and
-//!    the header serializer is deterministic, so nothing may drift.
+//!    × every kernel backend (the quant backend exercises the v2 layout with
+//!    its int8 tail). Weights travel as raw little-endian bits and the
+//!    header serializer is deterministic, so nothing may drift.
 //! 2. **Score identity**: a loaded detector scores **bit-identically** to
 //!    the original across the same matrix — same backend, same bits, every
 //!    window of a test stream.
@@ -18,7 +19,7 @@ use varade_timeseries::{MinMaxNormalizer, MultivariateSeries};
 
 const WINDOWS: [usize; 4] = [4, 8, 16, 32];
 const CHANNELS: [usize; 4] = [1, 2, 3, 5];
-const BACKENDS: [BackendKind; 2] = [BackendKind::Scalar, BackendKind::Vector];
+const BACKENDS: [BackendKind; 3] = BackendKind::ALL;
 
 fn tiny_config(window: usize) -> VaradeConfig {
     VaradeConfig {

@@ -1,0 +1,152 @@
+//! Decision-quality contract of the int8 quant backend.
+//!
+//! Quantizing a fitted detector rounds every conv/linear weight onto a
+//! per-row int8 grid, so individual scores legitimately move — the quant
+//! backend deliberately carries no per-score deviation bound (its
+//! [`BackendKind::score_tolerance`] is `None`). What it does guarantee:
+//!
+//! 1. **AUC stability**: on a labeled anomaly stream, the quantized
+//!    detector's AUC-ROC stays within 0.01 of the scalar reference, across
+//!    window sizes {4, 8, 16, 32} × channel counts {1, 2, 3, 5} — the same
+//!    matrix `persist_roundtrip.rs` pins for the byte format.
+//! 2. **Determinism**: quantization is a pure function of the weights, so
+//!    re-routing back and forth between scalar and quant rebuilds planes
+//!    that score bit-identically.
+//! 3. **Round-trip bit-stability**: quantize → save → load → score equals
+//!    the pre-save quant scores bit for bit (the persisted planes are the
+//!    live planes, not a re-derivation).
+
+use varade::persist::ModelArtifact;
+use varade::{BackendKind, VaradeConfig, VaradeDetector};
+use varade_detectors::AnomalyDetector;
+use varade_metrics::auc_roc;
+use varade_timeseries::MultivariateSeries;
+
+const WINDOWS: [usize; 4] = [4, 8, 16, 32];
+const CHANNELS: [usize; 4] = [1, 2, 3, 5];
+/// The contract the `quantization` bench experiment and the committed
+/// `bench_floor.json` enforce at full scale.
+const MAX_AUC_DEVIATION: f64 = 0.01;
+
+fn tiny_config(window: usize) -> VaradeConfig {
+    VaradeConfig {
+        window,
+        base_feature_maps: 8,
+        epochs: 2,
+        batch_size: 8,
+        learning_rate: 2e-3,
+        max_train_windows: 48,
+        kl_weight: 0.05,
+        seed: 7,
+    }
+}
+
+fn wave_series(n: usize, channels: usize) -> MultivariateSeries {
+    let names: Vec<String> = (0..channels).map(|c| format!("ch{c}")).collect();
+    let mut s = MultivariateSeries::new(names, 10.0).unwrap();
+    for t in 0..n {
+        let row: Vec<f32> = (0..channels)
+            .map(|c| ((t as f32 * 0.31) + c as f32 * 0.6).sin() * 0.7)
+            .collect();
+        s.push_row(&row).unwrap();
+    }
+    s
+}
+
+/// The wave stream with spike anomalies injected at fixed post-warmup
+/// positions, plus the matching label vector.
+fn labeled_series(n: usize, channels: usize, window: usize) -> (MultivariateSeries, Vec<bool>) {
+    let clean = wave_series(n, channels);
+    let names: Vec<String> = (0..channels).map(|c| format!("ch{c}")).collect();
+    let mut s = MultivariateSeries::new(names, 10.0).unwrap();
+    let labels: Vec<bool> = (0..n)
+        .map(|t| t >= window + 2 && (t - window).is_multiple_of(9))
+        .collect();
+    for (t, &anomalous) in labels.iter().enumerate() {
+        let mut row = clean.row(t).to_vec();
+        if anomalous {
+            row[0] += 2.5;
+        }
+        s.push_row(&row).unwrap();
+    }
+    (s, labels)
+}
+
+fn fitted(window: usize, channels: usize) -> VaradeDetector {
+    let mut det = VaradeDetector::new(tiny_config(window)).with_backend(BackendKind::Scalar);
+    det.fit(&wave_series(window * 4 + 60, channels)).unwrap();
+    det
+}
+
+#[test]
+fn quant_auc_stays_within_the_deviation_ceiling_across_the_matrix() {
+    for &window in &WINDOWS {
+        for &channels in &CHANNELS {
+            let mut det = fitted(window, channels);
+            let (test, labels) = labeled_series(window * 3 + 40, channels, window);
+            // Drop the warm-up prefix: its fill value is the post-warmup
+            // minimum, which the backends may legitimately disagree on.
+            let scalar: Vec<f32> = det.score_series(&test).unwrap()[window..].to_vec();
+            det.set_backend(BackendKind::Quant);
+            let quant: Vec<f32> = det.score_series(&test).unwrap()[window..].to_vec();
+            let labels = &labels[window..];
+            assert!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+            let scalar_auc = auc_roc(&scalar, labels).unwrap();
+            let quant_auc = auc_roc(&quant, labels).unwrap();
+            let deviation = (scalar_auc - quant_auc).abs();
+            assert!(
+                deviation <= MAX_AUC_DEVIATION,
+                "w={window} c={channels}: AUC {scalar_auc:.4} (scalar) vs \
+                 {quant_auc:.4} (quant), deviation {deviation:.4} > {MAX_AUC_DEVIATION}"
+            );
+        }
+    }
+}
+
+#[test]
+fn requantizing_the_same_weights_is_bit_deterministic() {
+    for &window in &WINDOWS {
+        for &channels in &CHANNELS {
+            let mut det = fitted(window, channels);
+            let test = wave_series(window * 2 + 20, channels);
+            det.set_backend(BackendKind::Quant);
+            let first = det.score_series(&test).unwrap();
+            // Route back to scalar (dropping the planes) and re-quantize:
+            // the grid is a pure function of the weights.
+            det.set_backend(BackendKind::Scalar);
+            det.set_backend(BackendKind::Quant);
+            let second = det.score_series(&test).unwrap();
+            for (t, (a, b)) in first.iter().zip(&second).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "w={window} c={channels} t={t}: requantization drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantize_save_load_score_is_bit_stable_across_the_matrix() {
+    for &window in &WINDOWS {
+        for &channels in &CHANNELS {
+            let mut det = fitted(window, channels);
+            det.set_backend(BackendKind::Quant);
+            let test = wave_series(window * 2 + 20, channels);
+            let before = det.score_series(&test).unwrap();
+            let mut loaded = ModelArtifact::from_bytes(&det.to_persist_bytes().unwrap())
+                .unwrap()
+                .detector;
+            assert_eq!(loaded.backend_kind(), BackendKind::Quant);
+            let after = loaded.score_series(&test).unwrap();
+            for (t, (a, b)) in before.iter().zip(&after).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "w={window} c={channels} t={t}: persisted planes drifted"
+                );
+            }
+        }
+    }
+}

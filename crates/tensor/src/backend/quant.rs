@@ -1,0 +1,654 @@
+//! Post-training int8 weight quantization: packed planes and their kernels.
+//!
+//! The quant backend trades weight precision for footprint: conv/linear
+//! weights are re-encoded **per output channel** as affine int8
+//! (`x ≈ scale · (q − zero_point)`), shrinking the weight payload to ¼ of
+//! f32, while activations, biases and accumulators stay f32 so the numerics
+//! degrade gracefully. Quantization happens **once**, post training, when a
+//! layer's `set_backend(BackendKind::Quant)` builds its [`QuantizedPlane`]
+//! from the current f32 weights; scoring then dispatches to the `*_q8`
+//! kernels below. Training always runs in f32 (a training forward drops any
+//! cached plane — the weights are about to move), and re-routing back to
+//! scalar/vector simply drops the planes.
+//!
+//! The `*_q8` kernels mirror the scalar reference loops tap for tap: for
+//! every output element they accumulate `Σ xᵢ · (qᵢ − zero_point)` in f32 in
+//! the scalar iteration order, then apply `bias + scale · acc` once. Each
+//! output column's association is independent of the batch and of its
+//! neighbours, so the quant backend keeps the batch-invariance contract and
+//! the incremental streaming path (the `t = 2 / out_len = 1` column case) is
+//! bit-identical to the full pass — the same guarantees the scalar backend
+//! gives, just on quantized weights.
+
+use super::{Backend, BackendKind, ScalarBackend};
+
+/// The int8 quantization grid: symmetric `[-127, 127]` (the `-128` code is
+/// never produced, keeping negation and the zero-point representable).
+pub const QMIN: i32 = -127;
+/// Upper end of the int8 quantization grid.
+pub const QMAX: i32 = 127;
+
+/// One weight tensor re-encoded as per-output-channel affine int8.
+///
+/// `data` keeps the exact row-major layout of the f32 weight it was built
+/// from (`[rows, row_len]`, where a row is one output channel's taps:
+/// `in_channels · kernel` for a convolution, `in_features` for a linear
+/// layer), so the quant kernels walk it with the same indexing as the f32
+/// kernels. Each row `r` dequantizes as
+/// `w[r][i] ≈ scales[r] · (data[r][i] − zero_points[r])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPlane {
+    rows: usize,
+    row_len: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    zero_points: Vec<i8>,
+}
+
+impl QuantizedPlane {
+    /// Quantizes a row-major `[rows, row_len]` f32 weight tensor.
+    ///
+    /// Per row, the quantization range spans `[min(w, 0), max(w, 0)]` (zero
+    /// is always representable) mapped onto `[-127, 127]`; the scale and
+    /// zero-point derive deterministically from the weights, so quantizing
+    /// the same weights always yields the same bits — the property the
+    /// persistence round-trip tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * row_len` or either dimension is
+    /// zero — planes are built from tensors whose shape the layer already
+    /// validated.
+    pub fn quantize(weights: &[f32], rows: usize, row_len: usize) -> Self {
+        assert!(rows > 0 && row_len > 0, "plane dimensions must be positive");
+        assert_eq!(weights.len(), rows * row_len, "weight/plane size mismatch");
+        let mut data = Vec::with_capacity(rows * row_len);
+        let mut scales = Vec::with_capacity(rows);
+        let mut zero_points = Vec::with_capacity(rows);
+        for row in weights.chunks_exact(row_len) {
+            let mut lo = 0.0f32;
+            let mut hi = 0.0f32;
+            for &w in row {
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+            let span = hi - lo;
+            let scale = if span > 0.0 {
+                span / (QMAX - QMIN) as f32
+            } else {
+                // All-zero row: any positive scale encodes it exactly.
+                1.0
+            };
+            let zp = ((QMIN as f32 - lo / scale).round() as i32).clamp(QMIN, QMAX) as i8;
+            scales.push(scale);
+            zero_points.push(zp);
+            for &w in row {
+                let q = ((w / scale).round() as i32 + i32::from(zp)).clamp(QMIN, QMAX);
+                data.push(q as i8);
+            }
+        }
+        Self {
+            rows,
+            row_len,
+            data,
+            scales,
+            zero_points,
+        }
+    }
+
+    /// Rebuilds a plane from persisted parts, validating every invariant the
+    /// quantizer guarantees — the persistence loader's constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: dimension or
+    /// length mismatches, a non-finite or non-positive scale, or a code
+    /// outside the `[-127, 127]` grid.
+    pub fn from_parts(
+        rows: usize,
+        row_len: usize,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+        zero_points: Vec<i8>,
+    ) -> Result<Self, String> {
+        if rows == 0 || row_len == 0 {
+            return Err(format!(
+                "plane dimensions {rows}x{row_len} must be positive"
+            ));
+        }
+        if data.len() != rows * row_len {
+            return Err(format!(
+                "plane data holds {} codes, expected {rows}x{row_len} = {}",
+                data.len(),
+                rows * row_len
+            ));
+        }
+        if scales.len() != rows || zero_points.len() != rows {
+            return Err(format!(
+                "{} scales / {} zero points for {rows} rows",
+                scales.len(),
+                zero_points.len()
+            ));
+        }
+        if let Some(i) = scales.iter().position(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(format!(
+                "scale {} of row {i} is not finite-positive",
+                scales[i]
+            ));
+        }
+        for (what, codes) in [("code", &data), ("zero point", &zero_points)] {
+            if let Some(i) = codes.iter().position(|&q| i32::from(q) < QMIN) {
+                return Err(format!("{what} {} at {i} is outside [-127, 127]", codes[i]));
+            }
+        }
+        Ok(Self {
+            rows,
+            row_len,
+            data,
+            scales,
+            zero_points,
+        })
+    }
+
+    /// Number of rows (output channels / features).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Taps per row (`in_channels · kernel` or `in_features`).
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// The packed int8 codes, row-major like the f32 weight.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-row zero points.
+    pub fn zero_points(&self) -> &[i8] {
+        &self.zero_points
+    }
+
+    /// Bytes of the int8 weight payload itself (one byte per tap) — the
+    /// footprint number compared against `4 ·` the f32 element count.
+    pub fn int8_payload_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes of the per-row affine metadata (f32 scale + i8 zero point per
+    /// row), reported alongside the payload so footprint claims stay honest.
+    pub fn metadata_bytes(&self) -> u64 {
+        (self.scales.len() * 4 + self.zero_points.len()) as u64
+    }
+
+    /// The f32 weights this plane stands in for (`scale · (q − zp)` per
+    /// element) — the reconstruction whose error the equivalence battery
+    /// bounds.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            let zp = f32::from(self.zero_points[r]);
+            for &q in &self.data[r * self.row_len..(r + 1) * self.row_len] {
+                out.push(scale * (f32::from(q) - zp));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute reconstruction error against the original weights.
+    pub fn max_abs_error(&self, weights: &[f32]) -> f32 {
+        self.dequantize()
+            .iter()
+            .zip(weights)
+            .map(|(d, w)| (d - w).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// Generic 1-D convolution over a quantized weight plane; the int8 twin of
+/// [`ScalarBackend::conv1d`](super::Backend::conv1d) with identical iteration
+/// order and an f32 accumulator over `x · (q − zp)`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_q8(
+    x: &[f32],
+    plane: &QuantizedPlane,
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    in_c: usize,
+    out_c: usize,
+    padded_len: usize,
+    out_len: usize,
+    kernel: usize,
+    stride: usize,
+) {
+    debug_assert_eq!(plane.rows, out_c);
+    debug_assert_eq!(plane.row_len, in_c * kernel);
+    let (ci_n, k) = (in_c, kernel);
+    for bi in 0..batch {
+        for oc in 0..out_c {
+            let q_oc = &plane.data[oc * ci_n * k..(oc + 1) * ci_n * k];
+            let zp = f32::from(plane.zero_points[oc]);
+            let scale = plane.scales[oc];
+            let o_row = &mut out[(bi * out_c + oc) * out_len..(bi * out_c + oc + 1) * out_len];
+            for (ot, o_val) in o_row.iter_mut().enumerate() {
+                let start = ot * stride;
+                let mut acc = 0.0f32;
+                for ic in 0..ci_n {
+                    let x_row = &x[(bi * ci_n + ic) * padded_len + start
+                        ..(bi * ci_n + ic) * padded_len + start + k];
+                    let q_row = &q_oc[ic * k..(ic + 1) * k];
+                    for (xv, &qv) in x_row.iter().zip(q_row.iter()) {
+                        acc += xv * (f32::from(qv) - zp);
+                    }
+                }
+                *o_val = bias[oc] + scale * acc;
+            }
+        }
+    }
+}
+
+/// Kernel-2 / stride-2 / padding-0 convolution over a quantized plane — the
+/// int8 twin of the backbone hot kernel. Per output column the accumulation
+/// order matches the scalar loop, so the `t = 2 / out_len = 1` incremental
+/// column case produces the same bits as the full pass.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_k2s2_q8(
+    x: &[f32],
+    plane: &QuantizedPlane,
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    in_c: usize,
+    out_c: usize,
+    t: usize,
+    out_len: usize,
+) {
+    debug_assert_eq!(plane.rows, out_c);
+    debug_assert_eq!(plane.row_len, in_c * 2);
+    let ci_n = in_c;
+    for bi in 0..batch {
+        let x_b = &x[bi * ci_n * t..(bi + 1) * ci_n * t];
+        let o_b = &mut out[bi * out_c * out_len..(bi + 1) * out_c * out_len];
+        for oc in 0..out_c {
+            let o_row = &mut o_b[oc * out_len..(oc + 1) * out_len];
+            o_row.fill(0.0);
+            let q_oc = &plane.data[oc * ci_n * 2..(oc + 1) * ci_n * 2];
+            let zp = f32::from(plane.zero_points[oc]);
+            for ic in 0..ci_n {
+                let (w0, w1) = (
+                    f32::from(q_oc[ic * 2]) - zp,
+                    f32::from(q_oc[ic * 2 + 1]) - zp,
+                );
+                let x_row = &x_b[ic * t..ic * t + out_len * 2];
+                for (o_val, pair) in o_row.iter_mut().zip(x_row.chunks_exact(2)) {
+                    *o_val += w0 * pair[0] + w1 * pair[1];
+                }
+            }
+            let (scale, b) = (plane.scales[oc], bias[oc]);
+            for o_val in o_row.iter_mut() {
+                *o_val = b + scale * *o_val;
+            }
+        }
+    }
+}
+
+/// Fully connected affine map over a quantized plane — the int8 twin of
+/// [`ScalarBackend::linear`](super::Backend::linear). Rows are independent,
+/// so the batch-1 incremental head call is bit-identical to the batched pass.
+#[allow(clippy::too_many_arguments)]
+pub fn linear_q8(
+    x: &[f32],
+    plane: &QuantizedPlane,
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    in_f: usize,
+    out_f: usize,
+) {
+    debug_assert_eq!(plane.rows, out_f);
+    debug_assert_eq!(plane.row_len, in_f);
+    for bi in 0..batch {
+        let x_row = &x[bi * in_f..(bi + 1) * in_f];
+        let o_row = &mut out[bi * out_f..(bi + 1) * out_f];
+        for (oi, o_val) in o_row.iter_mut().enumerate() {
+            let q_row = &plane.data[oi * in_f..(oi + 1) * in_f];
+            let zp = f32::from(plane.zero_points[oi]);
+            let mut acc = 0.0f32;
+            for (xv, &qv) in x_row.iter().zip(q_row.iter()) {
+                acc += xv * (f32::from(qv) - zp);
+            }
+            *o_val = bias[oi] + plane.scales[oi] * acc;
+        }
+    }
+}
+
+/// The int8 post-training-quantization backend.
+///
+/// Selecting [`BackendKind::Quant`] does two things: layers with quantizable
+/// weights (conv, linear) build and cache a [`QuantizedPlane`] and route
+/// their **inference** paths through the `*_q8` kernels above; everything
+/// else — training forwards/backwards, optimizer updates, activations,
+/// reductions — delegates to the bit-exact [`ScalarBackend`], because
+/// post-training quantization only re-encodes fitted weights and must never
+/// perturb how they are fitted. The [`Backend`] trait's f32 kernels therefore
+/// forward to scalar verbatim; the quantized dispatch lives at the layer
+/// level, where the planes do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuantBackend;
+
+impl Backend for QuantBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Quant
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv1d(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        in_c: usize,
+        out_c: usize,
+        padded_len: usize,
+        out_len: usize,
+        kernel: usize,
+        stride: usize,
+    ) {
+        ScalarBackend.conv1d(
+            x, w, bias, out, batch, in_c, out_c, padded_len, out_len, kernel, stride,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv1d_k2s2(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        in_c: usize,
+        out_c: usize,
+        t: usize,
+        out_len: usize,
+    ) {
+        ScalarBackend.conv1d_k2s2(x, w, bias, out, batch, in_c, out_c, t, out_len);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn linear(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        in_f: usize,
+        out_f: usize,
+    ) {
+        ScalarBackend.linear(x, w, bias, out, batch, in_f, out_f);
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        ScalarBackend.matmul(a, b, out, m, k, n);
+    }
+
+    fn relu(&self, x: &[f32], out: &mut [f32]) {
+        ScalarBackend.relu(x, out);
+    }
+
+    fn tanh(&self, x: &[f32], out: &mut [f32]) {
+        ScalarBackend.tanh(x, out);
+    }
+
+    fn sum(&self, x: &[f32]) -> f32 {
+        ScalarBackend.sum(x)
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        ScalarBackend.dot(a, b)
+    }
+
+    fn norm_sq(&self, x: &[f32]) -> f32 {
+        ScalarBackend.norm_sq(x)
+    }
+
+    fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        ScalarBackend.axpy(alpha, x, y);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn adam_update(
+        &self,
+        param: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        scale: f32,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        ScalarBackend.adam_update(
+            param, grad, m, v, scale, lr, beta1, beta2, eps, bias1, bias2,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deterministic(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x94d0_49bb_1331_11eb) ^ (state >> 31);
+                ((state >> 40) as f32 / (1u32 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_bounds_per_row_error_by_half_a_step() {
+        let w = deterministic(6 * 20, 3);
+        let plane = QuantizedPlane::quantize(&w, 6, 20);
+        let deq = plane.dequantize();
+        for (r, row) in w.chunks_exact(20).enumerate() {
+            let step = plane.scales()[r];
+            for (i, &v) in row.iter().enumerate() {
+                let err = (deq[r * 20 + i] - v).abs();
+                // Rounding to the nearest code costs at most half a step
+                // (plus one ulp of slack for the affine arithmetic).
+                assert!(
+                    err <= 0.5 * step * 1.001,
+                    "row {r} tap {i}: err {err} vs step {step}"
+                );
+            }
+        }
+        assert_eq!(plane.int8_payload_bytes(), 6 * 20);
+        assert_eq!(plane.metadata_bytes(), 6 * 5);
+    }
+
+    #[test]
+    fn quantize_is_deterministic_and_zero_preserving() {
+        let w = deterministic(4 * 9, 11);
+        let a = QuantizedPlane::quantize(&w, 4, 9);
+        let b = QuantizedPlane::quantize(&w, 4, 9);
+        assert_eq!(a, b);
+        let zeros = QuantizedPlane::quantize(&[0.0; 12], 3, 4);
+        assert!(zeros.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_corruption() {
+        let w = deterministic(5 * 7, 2);
+        let plane = QuantizedPlane::quantize(&w, 5, 7);
+        let rebuilt = QuantizedPlane::from_parts(
+            5,
+            7,
+            plane.data().to_vec(),
+            plane.scales().to_vec(),
+            plane.zero_points().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, plane);
+        assert!(QuantizedPlane::from_parts(0, 7, vec![], vec![], vec![]).is_err());
+        assert!(QuantizedPlane::from_parts(
+            5,
+            7,
+            vec![0; 34],
+            plane.scales().to_vec(),
+            plane.zero_points().to_vec()
+        )
+        .is_err());
+        let mut bad_scales = plane.scales().to_vec();
+        bad_scales[2] = f32::NAN;
+        assert!(QuantizedPlane::from_parts(
+            5,
+            7,
+            plane.data().to_vec(),
+            bad_scales,
+            plane.zero_points().to_vec()
+        )
+        .is_err());
+        let mut bad_zp = plane.zero_points().to_vec();
+        bad_zp[0] = -128;
+        assert!(QuantizedPlane::from_parts(
+            5,
+            7,
+            plane.data().to_vec(),
+            plane.scales().to_vec(),
+            bad_zp
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn q8_kernels_match_scalar_on_dequantized_weights() {
+        // The q8 kernels must compute exactly what the scalar kernels would
+        // on the dequantized weights, modulo the factored-out scale: compare
+        // against a scalar pass over `dequantize()` with a loose bound (the
+        // association of scale·Σ differs from Σ of scale·products).
+        let (batch, in_c, out_c, out_len) = (2, 3, 4, 5);
+        let t = out_len * 2;
+        let x = deterministic(batch * in_c * t, 7);
+        let w = deterministic(out_c * in_c * 2, 8);
+        let bias = deterministic(out_c, 9);
+        let plane = QuantizedPlane::quantize(&w, out_c, in_c * 2);
+        let mut got = vec![0.0f32; batch * out_c * out_len];
+        conv1d_k2s2_q8(&x, &plane, &bias, &mut got, batch, in_c, out_c, t, out_len);
+        let mut want = vec![0.0f32; batch * out_c * out_len];
+        ScalarBackend.conv1d_k2s2(
+            &x,
+            &plane.dequantize(),
+            &bias,
+            &mut want,
+            batch,
+            in_c,
+            out_c,
+            t,
+            out_len,
+        );
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0), "{g} vs {w}");
+        }
+
+        let (in_f, out_f) = (in_c * t, 4);
+        let wl = deterministic(out_f * in_f, 10);
+        let lplane = QuantizedPlane::quantize(&wl, out_f, in_f);
+        let mut lg = vec![0.0f32; batch * out_f];
+        linear_q8(&x, &lplane, &bias, &mut lg, batch, in_f, out_f);
+        let mut lw = vec![0.0f32; batch * out_f];
+        ScalarBackend.linear(&x, &lplane.dequantize(), &bias, &mut lw, batch, in_f, out_f);
+        for (g, w) in lg.iter().zip(lw.iter()) {
+            assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0), "{g} vs {w}");
+        }
+
+        let padded_len = 7;
+        let (kernel, stride, gout_len) = (3, 2, 3);
+        let xg = deterministic(batch * in_c * padded_len, 12);
+        let wg = deterministic(out_c * in_c * kernel, 13);
+        let gplane = QuantizedPlane::quantize(&wg, out_c, in_c * kernel);
+        let mut gg = vec![0.0f32; batch * out_c * gout_len];
+        conv1d_q8(
+            &xg, &gplane, &bias, &mut gg, batch, in_c, out_c, padded_len, gout_len, kernel, stride,
+        );
+        let mut gw = vec![0.0f32; batch * out_c * gout_len];
+        ScalarBackend.conv1d(
+            &xg,
+            &gplane.dequantize(),
+            &bias,
+            &mut gw,
+            batch,
+            in_c,
+            out_c,
+            padded_len,
+            gout_len,
+            kernel,
+            stride,
+        );
+        for (g, w) in gg.iter().zip(gw.iter()) {
+            assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn k2s2_q8_incremental_column_is_bit_identical_to_full_pass() {
+        let (in_c, out_c, out_len) = (5, 6, 8);
+        let t = out_len * 2;
+        let x = deterministic(in_c * t, 21);
+        let w = deterministic(out_c * in_c * 2, 22);
+        let bias = deterministic(out_c, 23);
+        let plane = QuantizedPlane::quantize(&w, out_c, in_c * 2);
+        let mut full = vec![0.0f32; out_c * out_len];
+        conv1d_k2s2_q8(&x, &plane, &bias, &mut full, 1, in_c, out_c, t, out_len);
+        // Re-derive every output column through the t = 2 / out_len = 1 call
+        // the incremental path uses.
+        for j in 0..out_len {
+            let mut packed = vec![0.0f32; in_c * 2];
+            for ic in 0..in_c {
+                packed[ic * 2] = x[ic * t + 2 * j];
+                packed[ic * 2 + 1] = x[ic * t + 2 * j + 1];
+            }
+            let mut col = vec![0.0f32; out_c];
+            conv1d_k2s2_q8(&packed, &plane, &bias, &mut col, 1, in_c, out_c, 2, 1);
+            for oc in 0..out_c {
+                assert_eq!(col[oc].to_bits(), full[oc * out_len + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quant_backend_f32_kernels_delegate_to_scalar() {
+        let x = deterministic(64, 31);
+        let y = deterministic(64, 32);
+        assert_eq!(
+            QuantBackend.sum(&x).to_bits(),
+            ScalarBackend.sum(&x).to_bits()
+        );
+        assert_eq!(
+            QuantBackend.dot(&x, &y).to_bits(),
+            ScalarBackend.dot(&x, &y).to_bits()
+        );
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        QuantBackend.tanh(&x, &mut a);
+        ScalarBackend.tanh(&x, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(QuantBackend.kind(), BackendKind::Quant);
+    }
+}

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use crate::backend::BackendKind;
+use crate::backend::{quant, BackendKind, QuantizedPlane};
 use crate::init::Init;
 use crate::layers::incremental::{
     cache_mismatch, step_mismatch, CacheNode, IncrementalCache, StreamStep,
@@ -37,6 +37,10 @@ pub struct Linear {
     bias_grad: Tensor,
     cached_input: Option<Tensor>,
     backend: BackendKind,
+    /// Int8 re-encoding of `weight`, present iff `backend` is
+    /// [`BackendKind::Quant`] and the weights haven't moved since
+    /// [`Layer::set_backend`] built it (a training forward drops it).
+    quant: Option<QuantizedPlane>,
 }
 
 impl Linear {
@@ -48,7 +52,7 @@ impl Linear {
             out_features,
             rng,
         );
-        Self {
+        let mut layer = Self {
             in_features,
             out_features,
             weight,
@@ -57,13 +61,25 @@ impl Linear {
             bias_grad: Tensor::zeros(&[out_features]),
             cached_input: None,
             backend: BackendKind::active(),
-        }
+            quant: None,
+        };
+        layer.refresh_quant();
+        layer
     }
 
     /// Replaces the kernel backend (builder form of [`Layer::set_backend`]).
     pub fn with_backend(mut self, kind: BackendKind) -> Self {
         self.backend = kind;
+        self.refresh_quant();
         self
+    }
+
+    /// Re-derives the cached int8 plane from the current weights when the
+    /// quant backend is selected, and drops it otherwise.
+    fn refresh_quant(&mut self) {
+        self.quant = (self.backend == BackendKind::Quant).then(|| {
+            QuantizedPlane::quantize(self.weight.as_slice(), self.out_features, self.in_features)
+        });
     }
 
     /// The kernel backend this layer dispatches to.
@@ -122,10 +138,26 @@ impl Linear {
         );
         out
     }
+
+    /// Batch-`batch` quantized affine map over the cached plane.
+    fn compute_q8(&self, plane: &QuantizedPlane, x: &[f32], out: &mut [f32], batch: usize) {
+        quant::linear_q8(
+            x,
+            plane,
+            self.bias.as_slice(),
+            out,
+            batch,
+            self.in_features,
+            self.out_features,
+        );
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        // Training is about to move the weights; drop any cached int8 plane
+        // (`set_backend`, re-issued after fitting, re-quantizes).
+        self.quant = None;
         self.check_input(input)?;
         let out = self.compute(input);
         self.cached_input = Some(input.clone());
@@ -134,6 +166,12 @@ impl Layer for Linear {
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, TensorError> {
         self.check_input(input)?;
+        if let Some(plane) = &self.quant {
+            let batch = input.shape()[0];
+            let mut out = Tensor::zeros(&[batch, self.out_features]);
+            self.compute_q8(plane, input.as_slice(), out.as_mut_slice(), batch);
+            return Ok(out);
+        }
         Ok(self.compute(input))
     }
 
@@ -182,16 +220,21 @@ impl Layer for Linear {
             });
         }
         let mut out = vec![0.0f32; self.out_features];
-        // Batch-1 call of the same backend kernel the full pass uses.
-        self.backend.backend().linear(
-            &features,
-            self.weight.as_slice(),
-            self.bias.as_slice(),
-            &mut out,
-            1,
-            self.in_features,
-            self.out_features,
-        );
+        // Batch-1 call of the same kernel the full pass uses — quantized
+        // plane included, so incremental stays bit-identical per backend.
+        if let Some(plane) = &self.quant {
+            self.compute_q8(plane, &features, &mut out, 1);
+        } else {
+            self.backend.backend().linear(
+                &features,
+                self.weight.as_slice(),
+                self.bias.as_slice(),
+                &mut out,
+                1,
+                self.in_features,
+                self.out_features,
+            );
+        }
         Ok(Some(StreamStep::Features(out)))
     }
 
@@ -246,6 +289,20 @@ impl Layer for Linear {
         visitor(&crate::join_tensor_name(prefix, "bias"), &mut self.bias);
     }
 
+    fn visit_quant_planes(&self, prefix: &str, visitor: &mut dyn FnMut(&str, &QuantizedPlane)) {
+        if let Some(plane) = &self.quant {
+            visitor(&crate::join_tensor_name(prefix, "weight"), plane);
+        }
+    }
+
+    fn visit_quant_planes_mut(
+        &mut self,
+        prefix: &str,
+        visitor: &mut dyn FnMut(&str, &mut Option<QuantizedPlane>),
+    ) {
+        visitor(&crate::join_tensor_name(prefix, "weight"), &mut self.quant);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape.first().copied().unwrap_or(1), self.out_features]
     }
@@ -269,6 +326,7 @@ impl Layer for Linear {
 
     fn set_backend(&mut self, kind: BackendKind) {
         self.backend = kind;
+        self.refresh_quant();
     }
 }
 

@@ -1,4 +1,4 @@
-//! Scalar ↔ vector backend equivalence contract, kernel by kernel.
+//! Scalar ↔ vector ↔ quant backend equivalence contract, kernel by kernel.
 //!
 //! Every kernel extracted into the [`varade_tensor::backend`] trait is
 //! exercised on random shapes and values:
@@ -9,12 +9,18 @@
 //! * element-wise kernels (relu, tanh, axpy, the Adam update) must be
 //!   **bit-identical** — no reassociation is possible, and the golden-score
 //!   guarantees of the fleet tests rely on it.
+//!
+//! The quant backend's *trait* kernels delegate to the scalar reference (its
+//! int8 math lives in the cached-plane layer paths, covered by the
+//! `quant_equivalence` suite in `varade`), so it must track scalar exactly
+//! here; the tolerance loops below compare every non-scalar backend against
+//! index 0.
 
 use proptest::prelude::*;
 
-use varade_tensor::backend::{Backend, BackendKind, ScalarBackend, VectorBackend};
+use varade_tensor::backend::{Backend, BackendKind, QuantBackend, ScalarBackend, VectorBackend};
 
-const BACKENDS: [&dyn Backend; 2] = [&ScalarBackend, &VectorBackend];
+const BACKENDS: [&dyn Backend; 3] = [&ScalarBackend, &VectorBackend, &QuantBackend];
 
 /// Asserts `got` within 1e-5 of `reference`, relative to `magnitude` — the
 /// same reduction computed over the absolute values of its terms, which is
@@ -70,7 +76,9 @@ proptest! {
             &abs(&x), &abs(&w), &abs(&b), &mut mag,
             batch, in_c, out_c, padded_len, out_len, kernel, stride,
         );
-        assert_close(&outs[1], &outs[0], &mag, "conv1d");
+        for o in &outs[1..] {
+            assert_close(o, &outs[0], &mag, "conv1d");
+        }
     }
 
     #[test]
@@ -93,7 +101,9 @@ proptest! {
         }
         let mut mag = vec![0.0f32; batch * out_c * out_len];
         ScalarBackend.conv1d_k2s2(&abs(&x), &abs(&w), &abs(&b), &mut mag, batch, in_c, out_c, t, out_len);
-        assert_close(&outs[1], &outs[0], &mag, "conv1d_k2s2");
+        for o in &outs[1..] {
+            assert_close(o, &outs[0], &mag, "conv1d_k2s2");
+        }
     }
 
     #[test]
@@ -136,7 +146,9 @@ proptest! {
         }
         let mut mag = vec![0.0f32; batch * out_f];
         ScalarBackend.linear(&abs(&x), &abs(&w), &abs(&b), &mut mag, batch, in_f, out_f);
-        assert_close(&outs[1], &outs[0], &mag, "linear");
+        for o in &outs[1..] {
+            assert_close(o, &outs[0], &mag, "linear");
+        }
     }
 
     #[test]
@@ -156,7 +168,9 @@ proptest! {
         }
         let mut mag = vec![0.0f32; m * n];
         ScalarBackend.matmul(&abs(&a), &abs(&b), &mut mag, m, k, n);
-        assert_close(&outs[1], &outs[0], &mag, "matmul");
+        for o in &outs[1..] {
+            assert_close(o, &outs[0], &mag, "matmul");
+        }
     }
 
     #[test]
@@ -179,17 +193,19 @@ proptest! {
 
     #[test]
     fn elementwise_kernels_are_bit_identical(x in values(97), y in values(97), alpha in -2.0f32..2.0) {
-        let mut relu = [vec![0.0f32; 97], vec![0.0f32; 97]];
-        let mut tanh = [vec![0.0f32; 97], vec![0.0f32; 97]];
-        let mut axpy = [y.clone(), y.clone()];
+        let mut relu = [vec![0.0f32; 97], vec![0.0f32; 97], vec![0.0f32; 97]];
+        let mut tanh = [vec![0.0f32; 97], vec![0.0f32; 97], vec![0.0f32; 97]];
+        let mut axpy = [y.clone(), y.clone(), y.clone()];
         for (i, be) in BACKENDS.iter().enumerate() {
             be.relu(&x, &mut relu[i]);
             be.tanh(&x, &mut tanh[i]);
             be.axpy(alpha, &x, &mut axpy[i]);
         }
-        for (pair, name) in [(&relu, "relu"), (&tanh, "tanh"), (&axpy, "axpy")] {
-            for (a, b) in pair[0].iter().zip(pair[1].iter()) {
-                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} not bit-identical", name);
+        for (set, name) in [(&relu, "relu"), (&tanh, "tanh"), (&axpy, "axpy")] {
+            for other in &set[1..] {
+                for (a, b) in set[0].iter().zip(other.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} not bit-identical", name);
+                }
             }
         }
     }
@@ -198,12 +214,11 @@ proptest! {
     fn adam_update_is_bit_identical(seed in 0u64..1000, scale in 0.1f32..1.0) {
         let n = 61;
         let grad = deterministic(n, seed);
-        let mut params = [deterministic(n, seed ^ 1), deterministic(n, seed ^ 1)];
-        let mut ms = [deterministic(n, seed ^ 2), deterministic(n, seed ^ 2)];
-        let mut vs = [
-            deterministic(n, seed ^ 3).iter().map(|v| v.abs()).collect::<Vec<_>>(),
-            deterministic(n, seed ^ 3).iter().map(|v| v.abs()).collect::<Vec<_>>(),
-        ];
+        let mut params: Vec<Vec<f32>> = (0..BACKENDS.len()).map(|_| deterministic(n, seed ^ 1)).collect();
+        let mut ms: Vec<Vec<f32>> = (0..BACKENDS.len()).map(|_| deterministic(n, seed ^ 2)).collect();
+        let mut vs: Vec<Vec<f32>> = (0..BACKENDS.len())
+            .map(|_| deterministic(n, seed ^ 3).iter().map(|v| v.abs()).collect())
+            .collect();
         for (i, be) in BACKENDS.iter().enumerate() {
             be.adam_update(
                 &mut params[i], &grad, &mut ms[i], &mut vs[i],
@@ -211,8 +226,10 @@ proptest! {
             );
         }
         for field in [&params, &ms, &vs] {
-            for (a, b) in field[0].iter().zip(field[1].iter()) {
-                prop_assert_eq!(a.to_bits(), b.to_bits(), "adam state not bit-identical");
+            for other in &field[1..] {
+                for (a, b) in field[0].iter().zip(other.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "adam state not bit-identical");
+                }
             }
         }
     }
@@ -232,6 +249,7 @@ fn deterministic(n: usize, seed: u64) -> Vec<f32> {
 
 #[test]
 fn backend_kinds_resolve_to_their_implementations() {
-    assert_eq!(BackendKind::Scalar.backend().kind(), BackendKind::Scalar);
-    assert_eq!(BackendKind::Vector.backend().kind(), BackendKind::Vector);
+    for kind in BackendKind::ALL {
+        assert_eq!(kind.backend().kind(), kind);
+    }
 }

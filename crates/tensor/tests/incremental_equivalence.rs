@@ -1,9 +1,9 @@
 //! Property tests of the incremental streaming path: for every sliding
 //! window of a stream, the parity-phased incremental pipeline must emit the
 //! same head output as a full [`Layer::forward_infer`] recompute of that
-//! window — bit-identical on the scalar backend (same kernels, same
-//! per-column association), within 1e-5 relative deviation on the vector
-//! backend.
+//! window — bit-identical on the scalar and quant backends (same kernels,
+//! same per-column association), within 1e-5 relative deviation on the
+//! vector backend.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,10 +88,10 @@ fn check_stack(channels: usize, window: usize, backend: BackendKind) {
         assert_eq!(incremental.len(), full.len());
         for (i, (a, b)) in incremental.iter().zip(full.iter()).enumerate() {
             match backend {
-                BackendKind::Scalar => assert_eq!(
+                BackendKind::Scalar | BackendKind::Quant => assert_eq!(
                     a.to_bits(),
                     b.to_bits(),
-                    "scalar bit mismatch at t={t} out={i}: {a} vs {b} (w={window}, c={channels})"
+                    "{backend:?} bit mismatch at t={t} out={i}: {a} vs {b} (w={window}, c={channels})"
                 ),
                 BackendKind::Vector => assert!(
                     (a - b).abs() <= 1e-5 * b.abs().max(1.0),
