@@ -1,0 +1,83 @@
+//! Workspace concurrency-discipline lint CLI.
+//!
+//! ```text
+//! varade-lint [--root <dir>] [--config <lint.toml>] [--github]
+//! ```
+//!
+//! Scans every in-scope `.rs` file under the workspace root, prints findings
+//! (`--github` switches to `::error file=..,line=..::` annotations for
+//! GitHub Actions), and exits non-zero if any finding is unsuppressed. With
+//! no `--root`, the workspace root is located by walking up from the current
+//! directory to the first ancestor containing `lint.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use varade_check::lint::{lint_workspace, Config};
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut github = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config = args.next().map(PathBuf::from),
+            "--github" => github = true,
+            "--help" | "-h" => {
+                eprintln!("usage: varade-lint [--root <dir>] [--config <lint.toml>] [--github]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("varade-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_root) else {
+        eprintln!("varade-lint: no workspace root found (no lint.toml in any ancestor)");
+        return ExitCode::from(2);
+    };
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("varade-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match lint_workspace(&root, &cfg) {
+        Err(e) => {
+            eprintln!("varade-lint: {e}");
+            ExitCode::from(2)
+        }
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("varade-lint: clean ({} ok)", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                if github {
+                    println!("{}", f.github());
+                } else {
+                    println!("{f}");
+                }
+            }
+            eprintln!("varade-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! `varade-check` — correctness tooling for the workspace's lock-free hot
+//! path: an exhaustive bounded-interleaving **model checker** (loom-style)
+//! and a **concurrency-discipline lint**.
+//!
+//! # Model checker
+//!
+//! [`model`] runs a closure under a deterministic scheduler and explores
+//! *every* interleaving of its instrumented synchronization operations
+//! within a preemption bound, deduplicating by state hash. The structures
+//! under test opt in by routing their `std::sync` imports through a
+//! `cfg(varade_check)` alias module that selects [`sync`] (see
+//! `varade-fleet`'s and `varade-obs`'s `src/sync.rs`); normal builds
+//! re-export `std` and are bit-identical. On an invariant violation the
+//! explorer panics with the full failing schedule and a seed that
+//! `VARADE_CHECK_REPLAY=<seed>` replays deterministically.
+//!
+//! ```
+//! use varade_check::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let report = varade_check::model("counter-conservation", || {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let n = Arc::clone(&n);
+//!             // ORDERING: model executes sequentially consistently anyway.
+//!             varade_check::thread::spawn(move || {
+//!                 n.fetch_add(1, Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(report.exhausted);
+//! ```
+//!
+//! # Lint
+//!
+//! [`lint`] (and the `varade-lint` binary) mechanically enforce the
+//! workspace's `// SAFETY:` / `// ORDERING:` comment discipline, the
+//! memory-ordering and atomic-import allowlists, and the no-`Instant::now`
+//! rule on the span-stamped hot path. Configuration is the checked-in
+//! `lint.toml`.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod lint;
+pub mod sync;
+
+pub use explore::{model, model_with, parse_seed, Options, Report};
+pub use sync::thread;

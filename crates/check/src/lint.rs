@@ -1,0 +1,532 @@
+//! `varade-lint`: a line-oriented concurrency-discipline lint for the
+//! workspace (no external parser dependencies — same offline constraint as
+//! the shims).
+//!
+//! Rules (each suppressible per line with `// LINT-ALLOW: <rule> — reason`
+//! on the same line or the line immediately above):
+//!
+//! | rule | requirement |
+//! |---|---|
+//! | `unsafe-safety` | every `unsafe` keyword in code is preceded (≤ 8 lines) by a `// SAFETY:` comment |
+//! | `ordering-allowlist` | `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` only in `[ordering] allow` paths |
+//! | `ordering-justify` | every memory-ordering use in an allowed file carries a `// ORDERING:` comment (same line or ≤ 4 lines above) |
+//! | `atomic-import` | `std::sync::atomic` / `core::sync::atomic` paths only in `[atomic-import] allow` paths |
+//! | `instant-hot-path` | no `Instant::now` in `[instant] deny` paths (the span-stamped hot path) |
+//!
+//! Matching is token-aware at line granularity: string literals and comments
+//! are stripped before code patterns are tested (so a doc comment mentioning
+//! `unsafe` is not a finding), while comment text is what the `SAFETY:` /
+//! `ORDERING:` / `LINT-ALLOW:` checks read. Only the five memory-ordering
+//! variant names are matched, so `std::cmp::Ordering::{Less,Equal,Greater}`
+//! never false-positives.
+//!
+//! Configuration lives in the checked-in `lint.toml` at the workspace root,
+//! parsed by a hand-rolled subset parser ([`Config::parse`]): `[section]`
+//! headers and `key = ["path", ...]` string arrays, `#` comments.
+//!
+//! The scanner walks `**/*.rs` under the workspace, skipping `target/`,
+//! `shims/` (vendored stand-ins), `.git/`, and per-crate `tests/`,
+//! `benches/`, `examples/` (the contract covers shipped code; test code is
+//! exercised by the model checker instead). Fixture files with seeded
+//! violations live under `crates/check/tests/fixtures/*.rs.txt` precisely so
+//! this walk never picks them up.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How far back (in lines) a `// SAFETY:` comment may sit from its `unsafe`.
+const SAFETY_LOOKBACK: usize = 8;
+/// How far back a `// ORDERING:` comment may sit from its ordering use
+/// (multi-line `compare_exchange` calls put the orderings several lines
+/// below the justification).
+const ORDERING_LOOKBACK: usize = 8;
+
+/// Lint rule identifiers, as used in findings and `LINT-ALLOW:` waivers.
+pub const RULES: [&str; 5] = [
+    "unsafe-safety",
+    "ordering-allowlist",
+    "ordering-justify",
+    "atomic-import",
+    "instant-hot-path",
+];
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes (workspace-relative, `/`-separated) where memory
+    /// orderings may appear.
+    pub ordering_allow: Vec<String>,
+    /// Path prefixes where `std::sync::atomic` may be named.
+    pub atomic_import_allow: Vec<String>,
+    /// Path prefixes where `Instant::now` is forbidden.
+    pub instant_deny: Vec<String>,
+}
+
+impl Config {
+    /// Parses the `lint.toml` subset: `[section]` headers, `#` comments, and
+    /// `key = ["value", ...]` string arrays (single- or multi-line).
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut pending: Option<(String, String)> = None; // (key, accumulated array text)
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_hash_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((key, mut acc)) = pending.take() {
+                acc.push(' ');
+                acc.push_str(&line);
+                if acc.matches('[').count() == acc.matches(']').count() {
+                    cfg.assign(&section, &key, parse_string_array(&acc, lineno)?)?;
+                } else {
+                    pending = Some((key, acc));
+                }
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                section = line[1..line.len() - 1].trim().to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml line {}: expected `key = [...]`", lineno + 1))?;
+            let key = key.trim().to_string();
+            let value = value.trim().to_string();
+            if value.matches('[').count() != value.matches(']').count() {
+                pending = Some((key, value));
+            } else {
+                cfg.assign(&section, &key, parse_string_array(&value, lineno)?)?;
+            }
+        }
+        if pending.is_some() {
+            return Err("lint.toml: unterminated array".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Reads and parses the config at `path`.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Config::parse(&text)
+    }
+
+    fn assign(&mut self, section: &str, key: &str, values: Vec<String>) -> Result<(), String> {
+        match (section, key) {
+            ("ordering", "allow") => self.ordering_allow = values,
+            ("atomic-import", "allow") => self.atomic_import_allow = values,
+            ("instant", "deny") => self.instant_deny = values,
+            _ => return Err(format!("lint.toml: unknown key [{section}] {key}")),
+        }
+        Ok(())
+    }
+}
+
+fn strip_hash_comment(line: &str) -> &str {
+    // Good enough for lint.toml: none of our values contain '#'.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_string_array(text: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml line {}: expected a [..] array", lineno + 1))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| {
+                format!(
+                    "lint.toml line {}: expected a quoted string, got `{part}`",
+                    lineno + 1
+                )
+            })?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    /// GitHub Actions annotation form (`::error file=..,line=..::msg`).
+    pub fn github(&self) -> String {
+        format!(
+            "::error file={},line={}::[{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source line split into its code and comment parts, with literals
+/// blanked out of the code part.
+#[derive(Debug, Default, Clone)]
+struct SplitLine {
+    code: String,
+    comment: String,
+}
+
+/// Splits `content` into per-line (code, comment) pairs, blanking string
+/// literals and tracking `/* */` block comments across lines.
+fn split_lines(content: &str) -> Vec<SplitLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for raw in content.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    comment.push(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    // Line comment: the rest of the line is comment text.
+                    comment
+                        .push_str(&raw[raw.char_indices().nth(i).map(|(b, _)| b).unwrap_or(0)..]);
+                    i = bytes.len();
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    // String literal: blank it (keep the quotes so token
+                    // boundaries survive). Handles \" escapes; raw strings
+                    // with embedded quotes are rare enough that the simple
+                    // scan is acceptable for a line lint.
+                    code.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == '\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if bytes[i] == '"' {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    code.push('"');
+                    i += 1;
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(SplitLine { code, comment });
+    }
+    out
+}
+
+/// True if `needle` occurs in `hay` delimited by non-identifier characters.
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+const ORDERING_VARIANTS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn uses_memory_ordering(code: &str) -> bool {
+    ORDERING_VARIANTS.iter().any(|v| code.contains(v))
+}
+
+fn path_matches(file: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        file == p || file.starts_with(&format!("{p}/")) || (p.ends_with(".rs") && file == *p)
+    })
+}
+
+/// True if line `idx` carries (or the line above carries) a waiver for
+/// `rule`.
+fn waived(lines: &[SplitLine], idx: usize, rule: &str) -> bool {
+    let hit = |l: &SplitLine| {
+        l.comment
+            .split("LINT-ALLOW:")
+            .skip(1)
+            .any(|rest| rest.trim_start().starts_with(rule))
+    };
+    hit(&lines[idx]) || (idx > 0 && hit(&lines[idx - 1]))
+}
+
+/// True if any comment within `lookback` lines at or before `idx` contains
+/// `marker`.
+fn comment_nearby(lines: &[SplitLine], idx: usize, lookback: usize, marker: &str) -> bool {
+    let lo = idx.saturating_sub(lookback);
+    lines[lo..=idx].iter().any(|l| l.comment.contains(marker))
+}
+
+/// Lints one file's content. `file` is the workspace-relative path used for
+/// allowlist matching and reporting.
+pub fn lint_file(file: &str, content: &str, cfg: &Config) -> Vec<Finding> {
+    let lines = split_lines(content);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        // Rule: unsafe-safety.
+        if has_word(&line.code, "unsafe")
+            && !comment_nearby(&lines, idx, SAFETY_LOOKBACK, "SAFETY:")
+            && !waived(&lines, idx, "unsafe-safety")
+        {
+            findings.push(Finding {
+                file: file.into(),
+                line: lineno,
+                rule: "unsafe-safety",
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_LOOKBACK} lines"
+                ),
+            });
+        }
+        // Rules: ordering-allowlist / ordering-justify.
+        if uses_memory_ordering(&line.code) {
+            if !path_matches(file, &cfg.ordering_allow) {
+                if !waived(&lines, idx, "ordering-allowlist") {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: lineno,
+                        rule: "ordering-allowlist",
+                        message: "memory ordering outside the allowlisted modules \
+                                  (see lint.toml [ordering])"
+                            .into(),
+                    });
+                }
+            } else if !comment_nearby(&lines, idx, ORDERING_LOOKBACK, "ORDERING:")
+                && !waived(&lines, idx, "ordering-justify")
+            {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: lineno,
+                    rule: "ordering-justify",
+                    message: format!(
+                        "memory-ordering use without a `// ORDERING:` justification \
+                         within {ORDERING_LOOKBACK} lines"
+                    ),
+                });
+            }
+        }
+        // Rule: atomic-import.
+        if (line.code.contains("std::sync::atomic") || line.code.contains("core::sync::atomic"))
+            && !path_matches(file, &cfg.atomic_import_allow)
+            && !waived(&lines, idx, "atomic-import")
+        {
+            findings.push(Finding {
+                file: file.into(),
+                line: lineno,
+                rule: "atomic-import",
+                message: "`std::sync::atomic` outside the allowlisted modules \
+                          (see lint.toml [atomic-import])"
+                    .into(),
+            });
+        }
+        // Rule: instant-hot-path.
+        if line.code.contains("Instant::now")
+            && path_matches(file, &cfg.instant_deny)
+            && !waived(&lines, idx, "instant-hot-path")
+        {
+            findings.push(Finding {
+                file: file.into(),
+                line: lineno,
+                rule: "instant-hot-path",
+                message: "`Instant::now` on the span-stamped hot path \
+                          (use the SpanStamp TSC clock; see lint.toml [instant])"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Directory names the workspace walk skips entirely.
+const SKIP_DIRS: [&str; 6] = ["target", "shims", ".git", "tests", "benches", "examples"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every in-scope `.rs` file under `root`; findings are sorted by
+/// path and line.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    if files.is_empty() {
+        return Err(format!("no .rs files found under {}", root.display()));
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        findings.extend(lint_file(&rel, &content, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            ordering_allow: vec!["crates/ok".into()],
+            atomic_import_allow: vec!["crates/ok".into()],
+            instant_deny: vec!["crates/hot".into()],
+        }
+    }
+
+    #[test]
+    fn parses_config_subset() {
+        let cfg = Config::parse(
+            "# comment\n[ordering]\nallow = [\n  \"a/b\", # trailing\n  \"c\",\n]\n\
+             [atomic-import]\nallow = [\"a/b\"]\n[instant]\ndeny = [\"hot\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.ordering_allow, vec!["a/b", "c"]);
+        assert_eq!(cfg.atomic_import_allow, vec!["a/b"]);
+        assert_eq!(cfg.instant_deny, vec!["hot"]);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() {\n    unsafe { g() }\n}\n";
+        let good = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}\n";
+        assert_eq!(
+            lint_file("crates/x.rs", bad, &cfg())[0].rule,
+            "unsafe-safety"
+        );
+        assert!(lint_file("crates/x.rs", good, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let text = "//! no `unsafe` here\nfn f() { let _ = \"unsafe\"; }\n";
+        assert!(lint_file("crates/x.rs", text, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn ordering_outside_allowlist_flagged() {
+        let text = "fn f(a: &AtomicUsize) { a.load(Ordering::Acquire); }\n";
+        let f = lint_file("crates/other/src/lib.rs", text, &cfg());
+        assert_eq!(f[0].rule, "ordering-allowlist");
+        // cmp::Ordering variants never trigger.
+        let cmpy = "fn g() { let _ = std::cmp::Ordering::Less; }\n";
+        assert!(lint_file("crates/other/src/lib.rs", cmpy, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn ordering_in_allowlist_needs_justification() {
+        let bad = "fn f(a: &AtomicUsize) { a.load(Ordering::Acquire); }\n";
+        let good =
+            "fn f(a: &AtomicUsize) { a.load(Ordering::Acquire); /* nope */ } // ORDERING: pairs with the Release store in g.\n";
+        assert_eq!(
+            lint_file("crates/ok/src/q.rs", bad, &cfg())[0].rule,
+            "ordering-justify"
+        );
+        assert!(lint_file("crates/ok/src/q.rs", good, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let text =
+            "// LINT-ALLOW: instant-hot-path — coarse round timing only\nlet t = Instant::now();\n";
+        assert!(lint_file("crates/hot/src/e.rs", text, &cfg()).is_empty());
+        let unwaived = "let t = Instant::now();\n";
+        assert_eq!(
+            lint_file("crates/hot/src/e.rs", unwaived, &cfg())[0].rule,
+            "instant-hot-path"
+        );
+    }
+
+    #[test]
+    fn atomic_import_outside_allowlist_flagged() {
+        let text = "use std::sync::atomic::AtomicUsize;\n";
+        assert_eq!(
+            lint_file("crates/other/src/lib.rs", text, &cfg())[0].rule,
+            "atomic-import"
+        );
+        assert!(lint_file("crates/ok/src/q.rs", text, &cfg()).is_empty());
+    }
+}

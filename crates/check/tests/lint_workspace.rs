@@ -1,0 +1,130 @@
+//! Integration tests for `varade-lint`: the real workspace must lint clean
+//! against the checked-in `lint.toml`, and each rule must demonstrably fire
+//! on the seeded-violation fixtures under `tests/fixtures/` (stored as
+//! `.rs.txt` so the workspace walk and rustc both ignore them).
+
+use std::path::{Path, PathBuf};
+
+use varade_check::lint::{lint_file, lint_workspace, Config};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn workspace_config(root: &Path) -> Config {
+    Config::load(&root.join("lint.toml")).expect("lint.toml parses")
+}
+
+/// The whole workspace is lint-clean under the checked-in configuration.
+/// A failure here means a new `unsafe`, ordering, atomic import, or
+/// hot-path `Instant::now` landed without its required justification —
+/// fix the site or (deliberately, reviewably) extend `lint.toml`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let findings = lint_workspace(&root, &workspace_config(&root)).expect("walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "varade-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs a fixture through `lint_file` as if it lived at `as_path` inside the
+/// real workspace configuration, and asserts exactly one finding with the
+/// expected rule. "Exactly one" keeps each fixture a minimal reproducer.
+fn assert_fires(name: &str, as_path: &str, rule: &str) {
+    let cfg = workspace_config(&workspace_root());
+    let findings = lint_file(as_path, &fixture(name), &cfg);
+    assert_eq!(
+        findings.len(),
+        1,
+        "fixture {name} at {as_path}: expected exactly one finding, got {findings:?}"
+    );
+    assert_eq!(
+        findings[0].rule, rule,
+        "fixture {name}: wrong rule fired: {findings:?}"
+    );
+}
+
+#[test]
+fn seeded_unsafe_without_safety_comment_fires() {
+    // Placed in a module with no atomic restrictions: the only defect is
+    // the missing SAFETY comment.
+    assert_fires(
+        "unsafe_no_safety.rs.txt",
+        "crates/detectors/src/seeded.rs",
+        "unsafe-safety",
+    );
+}
+
+#[test]
+fn seeded_ordering_outside_allowlist_fires() {
+    // The fixture imports atomics AND names an ordering, so place it where
+    // imports are allowed but orderings are not to isolate the rule.
+    let cfg = workspace_config(&workspace_root());
+    let findings = lint_file(
+        "crates/fleet/src/sync.rs",
+        &fixture("ordering_outside_allowlist.rs.txt"),
+        &cfg,
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "ordering-allowlist"),
+        "expected ordering-allowlist to fire: {findings:?}"
+    );
+}
+
+#[test]
+fn seeded_ordering_without_justification_fires() {
+    assert_fires(
+        "ordering_unjustified.rs.txt",
+        "crates/fleet/src/queue.rs",
+        "ordering-justify",
+    );
+}
+
+#[test]
+fn seeded_atomic_import_outside_allowlist_fires() {
+    assert_fires(
+        "atomic_import.rs.txt",
+        "crates/detectors/src/seeded.rs",
+        "atomic-import",
+    );
+}
+
+#[test]
+fn seeded_instant_on_hot_path_fires() {
+    assert_fires(
+        "instant_hot_path.rs.txt",
+        "crates/fleet/src/seeded.rs",
+        "instant-hot-path",
+    );
+}
+
+/// The same fixtures are silent when placed outside the restricted paths,
+/// proving the findings come from the configuration, not the text alone.
+#[test]
+fn seeded_instant_fixture_is_clean_off_the_hot_path() {
+    let cfg = workspace_config(&workspace_root());
+    let findings = lint_file(
+        "crates/core/src/seeded.rs",
+        &fixture("instant_hot_path.rs.txt"),
+        &cfg,
+    );
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}

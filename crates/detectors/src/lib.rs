@@ -41,6 +41,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod autoencoder;
 mod gbrf;
 mod iforest;

@@ -40,6 +40,8 @@
 //! assert!(estimate.power_w >= device.idle.power_w);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod execution;
 pub mod figure;

@@ -499,6 +499,7 @@ impl Fleet {
             n_workers: n_shards,
         };
 
+        // LINT-ALLOW: instant-hot-path — once-per-serve-window wall clock for the outcome's elapsed field, not per-sample timing.
         let started = Instant::now();
         let (driver_result, worker_results) = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..n_shards)
@@ -845,6 +846,10 @@ impl StreamCell {
     }
 
     fn deliver(&self, sample: PendingSample) {
+        // ORDERING: SeqCst — `queued` is the cross-worker work-visibility
+        // signal: the endgame emptiness sweep must totally order against
+        // every deliver/pop so a worker can never terminate while a sample
+        // it cannot see is pending (see docs/CONCURRENCY.md).
         self.queued.fetch_add(1, Ordering::SeqCst);
         self.pending
             .lock()
@@ -862,6 +867,7 @@ impl StreamCell {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop_front();
         if popped.is_some() {
+            // ORDERING: SeqCst — mirror of `deliver` (see there).
             self.queued.fetch_sub(1, Ordering::SeqCst);
         }
         popped
@@ -877,6 +883,7 @@ impl StreamCell {
         pending.clear();
         drop(pending);
         if n > 0 {
+            // ORDERING: SeqCst — mirror of `deliver` (see there).
             self.queued.fetch_sub(n, Ordering::SeqCst);
         }
     }
@@ -984,6 +991,9 @@ fn run_worker(
             while !queue.try_drain(usize::MAX).is_empty() {}
         }
         for &index in &owned {
+            // ORDERING: Acquire — pairs with the AcqRel owner CAS in
+            // `try_steal`; seeing ourselves as owner orders us after the
+            // last completed steal of this cell.
             if cells[index].owner.load(Ordering::Acquire) == shard {
                 cells[index].clear_pending();
             }
@@ -991,6 +1001,8 @@ fn run_worker(
         if !ingest_counted {
             // Without this the surviving workers would wait forever for our
             // rings to drain.
+            // ORDERING: SeqCst — `ingest_done` anchors the endgame total
+            // order with `queued` (see `deliver`).
             shared.ingest_done.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -1060,6 +1072,8 @@ fn serve_loop(
                 }
             }
             if all_done {
+                // ORDERING: SeqCst — `ingest_done` anchors the endgame
+                // total order with `queued` (see `deliver`).
                 shared.ingest_done.fetch_add(1, Ordering::SeqCst);
                 *ingest_counted = true;
             }
@@ -1095,6 +1109,9 @@ fn serve_loop(
         }
 
         // --- Idle: steal backlog, or terminate once nothing can arrive.
+        // ORDERING: SeqCst — the endgame read must order after every
+        // worker's `ingest_done` increment and before the `queued` sweep
+        // below; any deliver racing this pair is seen by one of the two.
         let endgame = shared.ingest_done.load(Ordering::SeqCst) == shared.n_workers;
         if config.work_stealing && cells.len() > 1 {
             let min_pending = if endgame { 1 } else { STEAL_MIN_PENDING };
@@ -1111,6 +1128,9 @@ fn serve_loop(
                 continue;
             }
         }
+        // ORDERING: SeqCst — emptiness sweep; pairs with the SeqCst
+        // `queued` RMWs so no pending sample can hide from a terminating
+        // worker (see `deliver`).
         if endgame
             && !cells
                 .iter()
@@ -1148,13 +1168,21 @@ fn try_steal(
     for step in 0..n {
         let index = (*cursor + step) % n;
         let cell = &cells[index];
+        // ORDERING: SeqCst — consistent view of the backlog gauge with the
+        // endgame sweep (see `CellState::deliver`).
         if cell.queued.load(Ordering::SeqCst) < min_pending {
             continue;
         }
+        // ORDERING: Acquire — pairs with the AcqRel CAS below so the read
+        // sits in the cell's ownership chain.
         let owner = cell.owner.load(Ordering::Acquire);
         if owner == shard {
             continue;
         }
+        // ORDERING: AcqRel success — the steal is a link in the ownership
+        // release chain (the loser's prior writes happen-before the
+        // winner's first slot access); Relaxed failure — a lost race needs
+        // no ordering, we just move on.
         if cell
             .owner
             .compare_exchange(owner, shard, Ordering::AcqRel, Ordering::Relaxed)
@@ -1214,11 +1242,14 @@ fn run_round(
 ) -> Result<usize, FleetError> {
     // Cheap pruning of streams stolen from us; the authoritative check is
     // the owner re-read under the slot lock below.
+    // ORDERING: Acquire — pairs with the AcqRel owner CAS in `try_steal`.
     owned.retain(|&index| cells[index].owner.load(Ordering::Acquire) == shard);
     let mut processed = 0usize;
     let mut batch: Vec<BatchEntry<'_>> = Vec::new();
     for &index in owned.iter() {
         let cell = &cells[index];
+        // ORDERING: SeqCst — backlog gauge read; pairs with the SeqCst
+        // RMWs in `deliver`/`pop_pending`.
         if cell.queued.load(Ordering::SeqCst) == 0 {
             continue;
         }
@@ -1228,6 +1259,8 @@ fn run_round(
         let Ok(mut slot) = cell.slot.try_lock() else {
             continue;
         };
+        // ORDERING: Acquire — authoritative ownership re-check under the
+        // slot lock; pairs with the AcqRel owner CAS in `try_steal`.
         if cell.owner.load(Ordering::Acquire) != shard {
             continue;
         }

@@ -82,6 +82,7 @@
 mod engine;
 pub mod queue;
 mod stats;
+pub(crate) mod sync;
 
 pub use engine::{Fleet, FleetHandle, FleetOutcome, ModelGroupId};
 pub use queue::{Envelope, IngressQueue, RingQueue, SampleQueue};

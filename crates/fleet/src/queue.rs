@@ -22,9 +22,14 @@
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+// All synchronization goes through the `crate::sync` alias (std in normal
+// builds, varade-check's instrumented facade under `--cfg varade_check`) so
+// tests/model_check.rs explores this exact code, not a test-only fork.
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 
 use varade_obs::{FleetEvent, Telemetry};
 
@@ -318,8 +323,10 @@ struct Slot {
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// Spins on the hot path before parking; each iteration hints the CPU and
-/// yields to the scheduler every few rounds.
-const SPIN_LIMIT: u32 = 64;
+/// yields to the scheduler every few rounds. Shrunk under model checking so
+/// bounded exploration reaches the parking slow path within a few decisions
+/// instead of burning the schedule budget on spin iterations.
+const SPIN_LIMIT: u32 = if cfg!(varade_check) { 2 } else { 64 };
 
 /// A lock-free bounded ring of [`Envelope`]s for one producer→shard edge.
 ///
@@ -386,6 +393,7 @@ impl std::fmt::Debug for RingQueue {
             .field("capacity", &self.capacity)
             .field("len", &self.len())
             .field("dropped", &self.dropped())
+            // ORDERING: Relaxed — debug snapshot, no synchronization intent.
             .field("closed", &self.closed.load(Ordering::Relaxed))
             .finish()
     }
@@ -433,6 +441,9 @@ impl RingQueue {
 
     /// Number of samples currently queued (a racy snapshot under concurrency).
     pub fn len(&self) -> usize {
+        // ORDERING: Acquire on both counters so the snapshot is no staler
+        // than the caller's last synchronization point; the value is still
+        // racy by nature and used only for reporting.
         let head = self.head.load(Ordering::Acquire);
         let tail = self.tail.load(Ordering::Acquire);
         tail.wrapping_sub(head).min(self.capacity)
@@ -445,11 +456,16 @@ impl RingQueue {
 
     /// Samples evicted so far by [`OverloadPolicy::DropOldest`].
     pub fn dropped(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic counter with no ordering contract;
+        // exactness comes from fetch_add, not from ordering.
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Whether [`RingQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
+        // ORDERING: SeqCst — participates in the close/`in_flight` total
+        // order (see `in_flight`): a pusher that misses `closed` here must
+        // have its in-flight increment visible to the quiescence check.
         self.closed.load(Ordering::SeqCst)
     }
 
@@ -465,27 +481,41 @@ impl RingQueue {
     /// stable "nothing can ever arrive here again" verdict a worker needs
     /// before declaring its ingest finished.
     pub fn is_quiescent(&self) -> bool {
+        // ORDERING: SeqCst — the "closed and no push in flight" verdict
+        // relies on the total order between the pusher's in-flight increment
+        // and its `closed` check (see the `in_flight` field docs).
         self.is_closed() && self.in_flight.load(Ordering::SeqCst) == 0 && self.is_empty()
     }
 
     /// One lock-free enqueue attempt: claims the tail position when the ring
     /// is not at logical capacity, otherwise hands the envelope back.
     fn try_enqueue(&self, envelope: Envelope) -> TryEnqueue {
+        // ORDERING: Relaxed — a stale tail read only costs a failed CAS.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             // Counter-based fullness: exact at any logical capacity
             // (including 1), checked against the cached head first so the
             // common case never touches the consumer's cache line.
+            // ORDERING: Relaxed on the cache — it is this producer's private
+            // conservative copy; a stale value only forces the refresh below.
             if pos.wrapping_sub(self.head_cache.load(Ordering::Relaxed)) >= self.capacity {
+                // ORDERING: Acquire pairs with the dequeuer's Release stamp
+                // store: a freed position implies its value was fully read.
                 let fresh = self.head.load(Ordering::Acquire);
+                // ORDERING: Relaxed — private cache refresh (see above).
                 self.head_cache.store(fresh, Ordering::Relaxed);
                 if pos.wrapping_sub(fresh) >= self.capacity {
                     return TryEnqueue::Full(envelope);
                 }
             }
             let slot = &self.slots[pos & self.mask];
+            // ORDERING: Acquire pairs with the Release stamp store of the
+            // dequeue that freed this slot, so the cell is ours to write.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos {
+                // ORDERING: Relaxed on the tail CAS — claiming the position
+                // needs atomicity, not ordering; publication happens via the
+                // slot stamp's Release below.
                 match self.tail.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -497,6 +527,8 @@ impl RingQueue {
                         // owner of `pos`; the stamp check says the slot is
                         // free for this lap.
                         unsafe { (*slot.value.get()).write(envelope) };
+                        // ORDERING: Release publishes the value write above
+                        // to the dequeuer's Acquire stamp load.
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         self.wake_consumer();
                         return TryEnqueue::Done;
@@ -507,7 +539,8 @@ impl RingQueue {
                 // A dequeue at this position has claimed its counter but not
                 // yet released the slot stamp (or our tail read is stale):
                 // spin briefly and re-read.
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
+                // ORDERING: Relaxed — fresh tail read for the retry.
                 pos = self.tail.load(Ordering::Relaxed);
             }
         }
@@ -516,12 +549,19 @@ impl RingQueue {
     /// One lock-free dequeue attempt. Safe under concurrent dequeuers (the
     /// consumer and a `DropOldest`-evicting producer).
     fn try_dequeue(&self) -> Option<Envelope> {
+        // ORDERING: Relaxed — a stale head read only costs a failed CAS.
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ORDERING: Acquire pairs with the enqueuer's Release stamp
+            // store, so a stamp of `pos + 1` implies the value is written.
             let seq = slot.seq.load(Ordering::Acquire);
             let expected = pos.wrapping_add(1);
             if seq == expected {
+                // ORDERING: Relaxed on the head CAS — claiming needs
+                // atomicity only; the value read is ordered by the Acquire
+                // stamp load above, and the free is published by the Release
+                // stamp store below.
                 match self.head.compare_exchange_weak(
                     pos,
                     expected,
@@ -533,6 +573,8 @@ impl RingQueue {
                         // of `pos`, and the stamp says the value is fully
                         // written.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // ORDERING: Release publishes the value *read* (the
+                        // cell is clear) to the next lap's enqueuer Acquire.
                         slot.seq
                             .store(pos.wrapping_add(self.slots.len()), Ordering::Release);
                         self.wake_producer();
@@ -540,19 +582,26 @@ impl RingQueue {
                     }
                     Err(current) => pos = current,
                 }
+            // ORDERING: Acquire — an up-to-date emptiness check against the
+            // enqueuer's tail updates before reporting the ring empty.
             } else if self.tail.load(Ordering::Acquire) == pos {
                 return None;
             } else if seq == pos {
                 // An enqueue claimed this position but has not finished its
                 // write yet: it will complete in a bounded number of steps.
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
             } else {
+                // ORDERING: Relaxed — fresh head read for the retry.
                 pos = self.head.load(Ordering::Relaxed);
             }
         }
     }
 
     fn wake_consumer(&self) {
+        // ORDERING: SeqCst — totally ordered against the consumer's
+        // flag-store/ring-recheck sequence in `drain`, so either we see the
+        // parked flag here or the consumer's recheck sees our enqueue (the
+        // timed backstop covers the remaining machine-level window).
         if self.consumer_parked.load(Ordering::SeqCst) {
             let _guard = self.park.lock().expect("park lock");
             self.not_empty.notify_all();
@@ -560,6 +609,8 @@ impl RingQueue {
     }
 
     fn wake_producer(&self) {
+        // ORDERING: SeqCst — mirror of `wake_consumer` for the producer-side
+        // parked flag in `push_inner`.
         if self.producer_parked.load(Ordering::SeqCst) {
             let _guard = self.park.lock().expect("park lock");
             self.not_full.notify_all();
@@ -585,6 +636,10 @@ impl RingQueue {
     ) -> Result<(), FleetError> {
         // Guard the whole push with the in-flight counter so a consumer's
         // "closed and drained" verdict can never race a push past it.
+        // ORDERING: SeqCst on both — the increment must be totally ordered
+        // before this push's `closed` check (in `push_inner`) and the
+        // decrement after its enqueue, so `is_quiescent`'s SeqCst reads see
+        // either the in-flight push or its completed effect.
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         let result = self.push_inner(envelope, policy, shard);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -611,6 +666,9 @@ impl RingQueue {
             }),
             OverloadPolicy::DropOldest => loop {
                 if let Some(evicted) = self.try_dequeue() {
+                    // ORDERING: Relaxed — exactness of the drop ledger comes
+                    // from the atomic RMW; no ordering contract with the
+                    // ring counters is needed.
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     if let Some(events) = &self.events {
                         events.drop_sample(evicted.stream);
@@ -650,18 +708,23 @@ impl RingQueue {
                     if spins < SPIN_LIMIT {
                         spins += 1;
                         if spins.is_multiple_of(8) {
-                            std::thread::yield_now();
+                            crate::sync::thread::yield_now();
                         } else {
-                            std::hint::spin_loop();
+                            crate::sync::hint::spin_loop();
                         }
                         continue;
                     }
                     let guard = self.park.lock().expect("park lock");
+                    // ORDERING: SeqCst — flag store totally ordered before
+                    // the fullness re-check below; pairs with the SeqCst
+                    // flag load in `wake_producer` (see `wake_consumer`).
                     self.producer_parked.store(true, Ordering::SeqCst);
                     // Re-check under the flag: a dequeue or close between our
                     // last attempt and the flag store would otherwise be
                     // missed (the timeout would still save us, but this keeps
                     // the wakeup prompt).
+                    // ORDERING: Acquire on both counters — the freshest
+                    // fullness view available before committing to the wait.
                     let full = self
                         .tail
                         .load(Ordering::Acquire)
@@ -679,6 +742,7 @@ impl RingQueue {
                             .wait_timeout(guard, PARK_TIMEOUT)
                             .expect("park lock");
                     }
+                    // ORDERING: SeqCst — symmetric clear of the parked flag.
                     self.producer_parked.store(false, Ordering::SeqCst);
                 }
             }
@@ -717,6 +781,9 @@ impl RingQueue {
                 }
                 return Some(batch);
             }
+            // ORDERING: SeqCst — the close/`in_flight` quiescence protocol
+            // (see the `in_flight` field docs): a racing push either landed
+            // before this read or will observe `closed` and bail.
             if self.is_closed() && self.in_flight.load(Ordering::SeqCst) == 0 {
                 // Closed with no push in flight: one final sweep for
                 // stragglers enqueued before the close became visible, then
@@ -734,13 +801,15 @@ impl RingQueue {
             if spins < SPIN_LIMIT {
                 spins += 1;
                 if spins.is_multiple_of(8) {
-                    std::thread::yield_now();
+                    crate::sync::thread::yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 }
                 continue;
             }
             let guard = self.park.lock().expect("park lock");
+            // ORDERING: SeqCst — flag store totally ordered before the
+            // emptiness re-check; pairs with `wake_consumer`'s SeqCst load.
             self.consumer_parked.store(true, Ordering::SeqCst);
             if !park_reported && self.is_empty() && !self.is_closed() {
                 park_reported = true;
@@ -753,7 +822,18 @@ impl RingQueue {
                     .not_empty
                     .wait_timeout(guard, PARK_TIMEOUT)
                     .expect("park lock");
+            } else if self.is_empty() {
+                // Closed but a push is still in flight (the quiescence check
+                // above saw `in_flight != 0`): it will land or bail within a
+                // few instructions, and it never notifies, so don't park —
+                // but don't busy-spin against it either; on a loaded core
+                // that starves the very push we are waiting out. (Found by
+                // the model checker as a schedule where this loop spins
+                // forever while the pusher never runs.)
+                drop(guard);
+                crate::sync::thread::yield_now();
             }
+            // ORDERING: SeqCst — symmetric clear of the parked flag.
             self.consumer_parked.store(false, Ordering::SeqCst);
         }
     }
@@ -762,6 +842,9 @@ impl RingQueue {
     /// parked producers and consumers wake promptly, and
     /// [`RingQueue::drain`] returns the backlog until empty, then `None`.
     pub fn close(&self) {
+        // ORDERING: SeqCst — anchors the close/`in_flight` total order: any
+        // push whose SeqCst increment follows this store must also see
+        // `closed` in `push_inner` and bail (see the `in_flight` docs).
         self.closed.store(true, Ordering::SeqCst);
         let _guard = self.park.lock().expect("park lock");
         self.not_empty.notify_all();

@@ -1,0 +1,39 @@
+//! Synchronization-primitive alias for the lock-free hot path.
+//!
+//! Normal builds re-export `std::sync` (and `std::hint`/`std::thread`)
+//! directly — a zero-cost alias with bit-identical codegen, pinned by the
+//! existing golden/equivalence suites. Under `RUSTFLAGS="--cfg
+//! varade_check"` the same names resolve to `varade_check::sync`'s
+//! instrumented facade, so `tests/model_check.rs` can exhaustively explore
+//! every bounded interleaving of [`crate::queue`]'s atomics through the
+//! *production* code path (no test-only forks of the queue logic).
+//!
+//! Only `queue.rs` routes through this module; `engine.rs`'s round/steal
+//! counters stay on `std::sync::atomic` (model-checking the whole engine is
+//! a ROADMAP follow-on).
+
+pub(crate) mod atomic {
+    #[cfg(not(varade_check))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    #[cfg(varade_check)]
+    pub(crate) use varade_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(varade_check))]
+pub(crate) use std::sync::{Condvar, Mutex};
+#[cfg(varade_check)]
+pub(crate) use varade_check::sync::{Condvar, Mutex};
+
+pub(crate) mod hint {
+    #[cfg(not(varade_check))]
+    pub(crate) use std::hint::spin_loop;
+    #[cfg(varade_check)]
+    pub(crate) use varade_check::sync::hint::spin_loop;
+}
+
+pub(crate) mod thread {
+    #[cfg(not(varade_check))]
+    pub(crate) use std::thread::yield_now;
+    #[cfg(varade_check)]
+    pub(crate) use varade_check::sync::thread::yield_now;
+}

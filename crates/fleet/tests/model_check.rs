@@ -1,0 +1,261 @@
+//! Exhaustive interleaving verification of the lock-free ingress ring.
+//!
+//! These tests only compile under `--cfg varade_check`, which swaps the
+//! `crate::sync` alias inside `varade-fleet` from `std` to varade-check's
+//! instrumented facade. Every atomic load/store/RMW, mutex acquire, and
+//! condvar wait in [`varade_fleet::RingQueue`] then becomes a scheduling
+//! point, and [`varade_check::model`] runs the closure under every distinct
+//! interleaving within the preemption bound (default 2, override with
+//! `VARADE_CHECK_PREEMPTIONS`, `unbounded` for full DFS).
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg varade_check" cargo test -p varade-fleet --test model_check --release
+//! ```
+//!
+//! On a violation the harness panics with a numbered operation trace and a
+//! `VARADE_CHECK_REPLAY=<seed>` seed that deterministically reproduces the
+//! failing schedule; the same trace is written under `target/varade-check/`.
+#![cfg(varade_check)]
+
+use std::sync::Arc;
+
+use varade_check::thread;
+use varade_fleet::{Envelope, FleetError, OverloadPolicy, RingQueue, StreamId};
+
+fn env(stream: usize) -> Envelope {
+    Envelope::new(StreamId::from_index(stream), vec![stream as f32])
+}
+
+/// Options for the open-ended models whose schedule space dwarfs the default
+/// 10^6 budget: cap at `cap` schedules unless the environment explicitly
+/// tunes the bounds (CI quick lanes tighten, the multicore lane loosens).
+/// Returns whether the env took over, so callers skip volume assertions
+/// under a tightened run.
+fn bounded(cap: u64) -> (varade_check::Options, bool) {
+    let tuned = std::env::var_os("VARADE_CHECK_MAX_SCHEDULES").is_some()
+        || std::env::var_os("VARADE_CHECK_PREEMPTIONS").is_some();
+    let mut opts = varade_check::Options::from_env();
+    if !tuned {
+        opts.max_schedules = cap;
+    }
+    (opts, tuned)
+}
+
+/// A capacity-1 ring forces strict push/pop alternation: the consumer must
+/// observe every sample, in exact producer order, and the ring must be empty
+/// once producer and consumer agree they are done.
+#[test]
+fn capacity1_ring_exact_alternation() {
+    let report = varade_check::model("fleet_capacity1_alternation", || {
+        let q = Arc::new(RingQueue::new(1));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..3 {
+                    q.push(env(i), OverloadPolicy::Block, 0)
+                        .expect("ring is never closed in this model");
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            for e in q.try_drain(4) {
+                got.push(e.stream.index());
+            }
+            if got.len() < 3 {
+                thread::yield_now();
+            }
+        }
+        producer.join().expect("producer panicked");
+        assert_eq!(
+            got,
+            vec![0, 1, 2],
+            "capacity-1 ring must hand samples over in exact push order"
+        );
+        assert!(q.is_empty(), "ring must be empty after full handover");
+        assert_eq!(q.dropped(), 0, "Block policy never drops");
+    });
+    assert!(report.schedules > 0);
+}
+
+/// Two producers racing one consumer through a capacity-2 ring: every
+/// accepted sample is drained exactly once, each producer's samples arrive
+/// in that producer's program order, and nothing is dropped or duplicated.
+#[test]
+fn two_producer_one_consumer_conservation() {
+    let (opts, tuned) = bounded(25_000);
+    let report = varade_check::model_with(opts, "fleet_2p1c_conservation", || {
+        let q = Arc::new(RingQueue::new(2));
+        let spawn_producer = |base: usize| {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..2 {
+                    q.push(env(base + i), OverloadPolicy::Block, 0)
+                        .expect("ring is never closed in this model");
+                }
+            })
+        };
+        let p1 = spawn_producer(0);
+        let p2 = spawn_producer(10);
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            for e in q.try_drain(4) {
+                got.push(e.stream.index());
+            }
+            if got.len() < 4 {
+                thread::yield_now();
+            }
+        }
+        p1.join().expect("producer 1 panicked");
+        p2.join().expect("producer 2 panicked");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            vec![0, 1, 10, 11],
+            "conservation: each accepted sample drained exactly once"
+        );
+        let pos = |s: usize| got.iter().position(|&g| g == s).expect("present");
+        assert!(pos(0) < pos(1), "producer 1's samples must stay in order");
+        assert!(pos(10) < pos(11), "producer 2's samples must stay in order");
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 0);
+    });
+    if !tuned {
+        assert!(
+            report.schedules >= 10_000,
+            "expected at least 10^4 distinct schedules, explored {}",
+            report.schedules
+        );
+    }
+}
+
+/// Regression for the close-burst stranding bug: a `close` racing an
+/// in-flight push must never strand a sample the push reported as accepted.
+/// The consumer's `drain` loop must return every `Ok` push before yielding
+/// `None`, and the ring must report quiescent afterwards.
+#[test]
+fn close_never_strands_accepted_samples() {
+    let report = varade_check::model("fleet_close_quiescence", || {
+        let q = Arc::new(RingQueue::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut accepted = 0usize;
+                for i in 0..2 {
+                    match q.push(env(i), OverloadPolicy::Reject, 0) {
+                        Ok(()) => accepted += 1,
+                        Err(FleetError::Closed) => break,
+                        Err(e) => panic!("unexpected push error: {e:?}"),
+                    }
+                }
+                accepted
+            })
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        let mut popped = 0usize;
+        while let Some(batch) = q.drain(4) {
+            popped += batch.len();
+        }
+        let accepted = producer.join().expect("producer panicked");
+        closer.join().expect("closer panicked");
+        assert_eq!(
+            popped, accepted,
+            "close-burst stranding: {accepted} pushes accepted but only {popped} drained"
+        );
+        assert!(
+            q.is_quiescent(),
+            "drain returned None but the ring is not quiescent"
+        );
+    });
+    assert!(report.schedules > 0);
+}
+
+/// DropOldest drop accounting is exact: with concurrent producers evicting
+/// each other on a capacity-1 ring, `remaining + dropped` must equal the
+/// number of accepted pushes — no eviction is ever double-counted or lost.
+#[test]
+fn drop_oldest_accounting_is_exact() {
+    let report = varade_check::model("fleet_dropoldest_exact", || {
+        let q = Arc::new(RingQueue::new(1));
+        let p1 = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..2 {
+                    q.push(env(i), OverloadPolicy::DropOldest, 0)
+                        .expect("DropOldest never fails while open");
+                }
+            })
+        };
+        let p2 = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.push(env(10), OverloadPolicy::DropOldest, 0)
+                    .expect("DropOldest never fails while open");
+            })
+        };
+        p1.join().expect("producer 1 panicked");
+        p2.join().expect("producer 2 panicked");
+        let remaining = q.try_drain(8).len() as u64;
+        assert_eq!(
+            remaining + q.dropped(),
+            3,
+            "drop ledger must account for every accepted push exactly once \
+             (remaining={remaining}, dropped={})",
+            q.dropped()
+        );
+    });
+    assert!(report.schedules > 0);
+}
+
+/// Regression for the capacity-1 fullness bug: the counter-based fullness
+/// test must report full if and only if the ring actually holds `capacity`
+/// samples. Sequentially, push/reject/pop/push must behave exactly; under a
+/// racing consumer, accepted and rejected pushes must still conserve.
+#[test]
+fn capacity1_fullness_is_exact() {
+    let report = varade_check::model("fleet_capacity1_fullness", || {
+        let q = Arc::new(RingQueue::new(1));
+        // Deterministic prefix: exact fullness at capacity 1.
+        q.push(env(0), OverloadPolicy::Reject, 0)
+            .expect("empty ring");
+        match q.push(env(1), OverloadPolicy::Reject, 0) {
+            Err(FleetError::QueueFull { .. }) => {}
+            other => panic!("full capacity-1 ring must reject, got {other:?}"),
+        }
+        assert_eq!(q.try_drain(1).len(), 1, "one sample must be present");
+        q.push(env(2), OverloadPolicy::Reject, 0)
+            .expect("freed slot must accept again");
+        assert_eq!(q.try_drain(1).len(), 1);
+
+        // Racy suffix: conservation of accept/reject against a consumer.
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut accepted = 0usize;
+                for i in 0..2 {
+                    match q.push(env(20 + i), OverloadPolicy::Reject, 0) {
+                        Ok(()) => accepted += 1,
+                        Err(FleetError::QueueFull { .. }) => {}
+                        Err(e) => panic!("unexpected push error: {e:?}"),
+                    }
+                }
+                accepted
+            })
+        };
+        let popped = q.try_drain(1).len();
+        let accepted = producer.join().expect("producer panicked");
+        let remaining = q.try_drain(2).len();
+        assert_eq!(
+            accepted,
+            popped + remaining,
+            "every accepted push is drained exactly once"
+        );
+    });
+    assert!(report.schedules > 0);
+}

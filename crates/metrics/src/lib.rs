@@ -19,6 +19,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod event;
 mod pr;
 mod roc;

@@ -2,20 +2,32 @@
 //! events with monotonic sequence numbers and exact overwrite accounting.
 //!
 //! Producers (worker shards, producer lanes, the control plane) record
-//! events wait-free: one `fetch_add` to claim a global sequence number, four
-//! relaxed word stores for the payload, one release store to publish. The
-//! ring never blocks a producer — when full, the oldest events are
-//! overwritten, and the single-consumer [`EventRing::drain`] reports exactly
-//! how many were lost, so `drained + overwritten == recorded` holds at
-//! quiescence.
+//! events without ever waiting on the consumer: one `fetch_add` to claim a
+//! global sequence number, one CAS to claim the slot's stamp, four relaxed
+//! word stores for the payload, one release store to publish. When full,
+//! the oldest events are overwritten — a producer lapped by a newer
+//! generation gives up its slot rather than stomping it, and one finding
+//! the previous generation still mid-publish spins only for that writer's
+//! O(1) remaining stores — and the single-consumer [`EventRing::drain`]
+//! reports exactly how many were lost, so
+//! `drained + overwritten == recorded` holds at quiescence.
 //!
 //! The implementation uses only atomics (no `unsafe`): each slot is a
-//! seqlock-stamped quad of `AtomicU64` payload words. A reader validates the
-//! stamp before and after copying the words; a slot whose stamp moved was
-//! overwritten and is counted as such instead of being decoded.
+//! seqlock-stamped quad of `AtomicU64` payload words. A writer claims the
+//! stamp (setting the [`WRITING`] marker) before touching the payload; a
+//! reader validates a published stamp before and after copying the words. A
+//! slot whose stamp moved was overwritten and is counted as such instead of
+//! being decoded, and stamps only ever move to newer generations, so a
+//! delayed writer can neither tear an event that a reader would accept nor
+//! wedge the drain cursor on a stale stamp. These properties are verified
+//! over every interleaving (within the preemption bound) by
+//! `tests/model_check.rs`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+// All synchronization goes through the `crate::sync` alias (std in normal
+// builds, varade-check's instrumented facade under `--cfg varade_check`) so
+// tests/model_check.rs explores this exact code, not a test-only fork.
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 
 /// A typed event emitted by the serving stack.
 ///
@@ -191,11 +203,22 @@ pub struct SequencedEvent {
 /// One ring slot: a publish stamp plus the packed payload words.
 ///
 /// `stamp == seq + 1` marks the slot as holding the completed record for
-/// global sequence `seq`; 0 means never written.
+/// global sequence `seq`; `(seq + 1) | WRITING` marks a producer mid-write
+/// for that sequence; 0 means never written.
 #[derive(Debug)]
 struct EventSlot {
     stamp: AtomicU64,
     words: [AtomicU64; 4],
+}
+
+/// High bit of a slot stamp: the generation is claimed but not yet
+/// published. Sequence numbers are 63-bit in practice (u64 lifetime counter),
+/// so the bit can never collide with a real `seq + 1`.
+const WRITING: u64 = 1 << 63;
+
+/// The generation number of a stamp, with the [`WRITING`] marker stripped.
+fn stamp_gen(stamp: u64) -> u64 {
+    stamp & !WRITING
 }
 
 /// Single-consumer drain cursor and lifetime loss accounting.
@@ -224,7 +247,7 @@ pub struct EventDrain {
 
 /// Fixed-capacity overwrite MPSC ring of [`FleetEvent`]s.
 ///
-/// Recording is wait-free and never blocks: when producers outrun the
+/// Recording never blocks: when producers outrun the
 /// consumer the oldest undrained events are overwritten. [`drain`]
 /// (single-consumer, internally serialized) returns every surviving event in
 /// sequence order and accounts for every lost one, so once producers are
@@ -262,18 +285,83 @@ impl EventRing {
 
     /// Lifetime count of recorded events.
     pub fn recorded(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic counter snapshot for reporting; the
+        // drain path re-reads it with Acquire where ordering matters.
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Records one event; wait-free, overwrites the oldest on overflow.
+    /// Records one event; never blocks, overwrites the oldest on overflow.
+    /// Retries are bounded by the number of producers racing for the same
+    /// slot, and a producer that loses its slot to a newer generation gives
+    /// up immediately (the event counts as overwritten).
     pub fn record(&self, event: FleetEvent) -> u64 {
+        // ORDERING: AcqRel — the claim must be a single total-order RMW so
+        // every producer gets a unique sequence number; Acquire also orders
+        // this producer's payload stores after any prior generation's.
         let seq = self.head.fetch_add(1, Ordering::AcqRel);
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let target = seq + 1;
+        // Claim the slot's stamp before touching the payload. A blind store
+        // here is the classic overwrite-ring bug: a producer delayed after
+        // claiming an *old* sequence number can stomp the state of a newer
+        // generation, making the drain-side stamp re-check wrongly validate
+        // mixed payload words (a torn event) or wedge the cursor on a stale
+        // stamp (breaking loss accounting). Both were found by the
+        // model-check suite in crates/obs/tests/model_check.rs. Exclusive
+        // slot ownership is the only cure: a writer that merely *loses* the
+        // stamp race could still land its plain payload stores arbitrarily
+        // late, tearing whatever generation is published by then — so a
+        // claim, once granted, is never stolen. A writer finding the
+        // previous generation still mid-publish briefly spins (bounded by
+        // that writer's four stores plus one); one finding a *newer*
+        // generation already in the slot has been lapped and gives up — the
+        // drain accounts its event as overwritten when the cursor passes
+        // `seq`. Waits run only writer-on-older-writer, never on the
+        // consumer, so the well-founded generation order rules out cycles.
+        // ORDERING: Acquire — see the CAS below; the initial load just seeds
+        // the loop with a current value.
+        let mut cur = slot.stamp.load(Ordering::Acquire);
+        let mut spins = 0u32;
+        loop {
+            if stamp_gen(cur) > target {
+                return seq;
+            }
+            if cur & WRITING != 0 {
+                spins += 1;
+                if spins.is_multiple_of(8) {
+                    crate::sync::thread::yield_now();
+                } else {
+                    crate::sync::hint::spin_loop();
+                }
+                // ORDERING: Acquire — pairs with the owner's Release publish
+                // so our payload stores are ordered after theirs.
+                cur = slot.stamp.load(Ordering::Acquire);
+                continue;
+            }
+            // ORDERING: AcqRel — on success the claim is a total-order point
+            // between writers racing for the slot and publishes nothing yet
+            // (the WRITING marker tells readers and writers to stand off).
+            match slot.stamp.compare_exchange_weak(
+                cur,
+                target | WRITING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
         let words = event.encode();
         for (w, &v) in slot.words.iter().zip(words.iter()) {
+            // ORDERING: Relaxed — payload words are published as a unit by
+            // the Release stamp store below (seqlock write side); readers
+            // never trust them without a matching published stamp.
             w.store(v, Ordering::Relaxed);
         }
-        slot.stamp.store(seq + 1, Ordering::Release);
+        // ORDERING: Release publishes the four payload stores above to the
+        // drain side's Acquire stamp load (seqlock publish). A plain store
+        // is sound because a granted claim is exclusive until this point.
+        slot.stamp.store(target, Ordering::Release);
         seq
     }
 
@@ -286,6 +374,9 @@ impl EventRing {
     /// may invoke it from any thread, one at a time.
     pub fn drain(&self) -> EventDrain {
         let mut cursor = self.cursor.lock().expect("event ring cursor poisoned");
+        // ORDERING: Acquire pairs with the producers' AcqRel claim: every
+        // record whose claim precedes this read is either published or will
+        // be (its slot stays pending, not skipped).
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
         if head.saturating_sub(cursor.next) > cap {
@@ -298,9 +389,17 @@ impl EventRing {
         let mut seq = cursor.next;
         while seq < head {
             let slot = &self.slots[(seq % cap) as usize];
+            // ORDERING: Acquire pairs with the producer's Release stamp
+            // store, so a matching stamp implies the payload words below are
+            // the published ones (seqlock validate-before).
             let before = slot.stamp.load(Ordering::Acquire);
             if before == seq + 1 {
+                // ORDERING: Relaxed — the two Acquire stamp loads bracket
+                // these reads; a concurrent overwrite is detected by the
+                // stamp re-check, not prevented by payload ordering.
                 let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+                // ORDERING: Acquire — seqlock validate-after: if the stamp
+                // still matches, the words read above were not overwritten.
                 let after = slot.stamp.load(Ordering::Acquire);
                 match FleetEvent::decode(words) {
                     Some(event) if after == seq + 1 => {
@@ -311,13 +410,17 @@ impl EventRing {
                     // recognition): the record is lost, account for it.
                     _ => cursor.overwritten += 1,
                 }
-            } else if before > seq + 1 {
-                // The slot already holds a later generation: this sequence
-                // number was overwritten before we got to it.
+            } else if stamp_gen(before) > seq + 1 {
+                // The slot already holds (or is being claimed by) a later
+                // generation: this sequence number was overwritten before we
+                // got to it.
                 cursor.overwritten += 1;
             } else {
-                // A producer claimed this sequence number but has not yet
-                // published; stop here and let the next drain pick it up.
+                // Either this sequence's producer is mid-write (WRITING
+                // marker) or it has not claimed the slot yet (older stamp):
+                // stop here and let the next drain pick it up. It cannot be
+                // skipped: an aborting producer only ever gives way to a
+                // *newer* generation, which the branch above accounts for.
                 break;
             }
             seq += 1;

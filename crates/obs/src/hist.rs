@@ -76,6 +76,9 @@ impl AtomicHistogram {
     /// Records one raw nanosecond value.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
+        // ORDERING: Relaxed throughout — buckets, sum, and max are
+        // independent monotonic statistics; no reader infers anything from
+        // one about another, so no happens-before edges are needed.
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         // Load-then-max: after the first few samples the current maximum
@@ -87,6 +90,8 @@ impl AtomicHistogram {
 
     /// Total number of recorded samples (summed over the buckets).
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — per-bucket counts are independently monotone;
+        // the sum is a point-in-time approximation, exact at quiescence.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
@@ -98,6 +103,8 @@ impl AtomicHistogram {
         if local.count == 0 {
             return;
         }
+        // ORDERING: Relaxed — same contract as `record_ns`: each field is an
+        // independent monotone accumulator, so folding needs no ordering.
         for (bucket, &n) in self.buckets.iter().zip(local.buckets.iter()) {
             if n != 0 {
                 bucket.fetch_add(n, Ordering::Relaxed);
@@ -114,11 +121,14 @@ impl AtomicHistogram {
     /// snapshot is therefore exact once writers are quiescent and
     /// monotonically approximate while they are not.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ORDERING: Relaxed — snapshots are monotonically approximate under
+        // concurrent writers (see the doc comment above), exact once quiescent.
         let buckets: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        // ORDERING: Relaxed — same approximate-snapshot contract as above.
         HistogramSnapshot {
             count: buckets.iter().sum(),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),

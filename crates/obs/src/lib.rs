@@ -29,6 +29,7 @@ mod expo;
 mod hist;
 mod metrics;
 pub mod spanclock;
+pub(crate) mod sync;
 
 pub use events::{EventDrain, EventRing, FleetEvent, SequencedEvent, EVENT_KINDS};
 pub use expo::prometheus_text;

@@ -28,11 +28,14 @@ impl Counter {
     /// Increments by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — a lone monotone counter carries no payload for
+        // other memory; readers only need eventual visibility of the total.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — see `add`; the read is a statistical sample.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -61,17 +64,22 @@ impl Gauge {
     /// Records the current level and updates the high-water mark.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — the level and its high-water mark are read
+        // independently; fetch_max keeps the mark exact without any
+        // happens-before edge to the plain store.
         self.value.store(v, Ordering::Relaxed);
         self.high_water.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Latest recorded level.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — latest-store-wins sample; see `set`.
         self.value.load(Ordering::Relaxed)
     }
 
     /// Largest level ever recorded.
     pub fn high_water(&self) -> u64 {
+        // ORDERING: Relaxed — monotone max; see `set`.
         self.high_water.load(Ordering::Relaxed)
     }
 

@@ -78,6 +78,7 @@ mod imp {
     fn ns_per_tick() -> f64 {
         static RATE: OnceLock<f64> = OnceLock::new();
         *RATE.get_or_init(|| {
+            // LINT-ALLOW: instant-hot-path — this IS the once-per-process TSC calibration the rule points hot paths at.
             let started = Instant::now();
             let c0 = now();
             while started.elapsed() < Duration::from_micros(200) {
@@ -120,6 +121,7 @@ mod imp {
 
     #[inline]
     pub(super) fn now() -> Inner {
+        // LINT-ALLOW: instant-hot-path — non-x86_64 fallback: Instant is the best monotonic source when there is no TSC.
         Instant::now()
     }
 
@@ -147,6 +149,7 @@ mod tests {
         // Spin for ~2 ms measured by Instant and check the SpanStamp span
         // agrees within a generous tolerance (covers calibration error and
         // scheduler preemption in CI).
+        // LINT-ALLOW: instant-hot-path — test oracle: the wall clock is the reference the span is checked against.
         let wall = Instant::now();
         let s0 = SpanStamp::now();
         while wall.elapsed() < Duration::from_millis(2) {

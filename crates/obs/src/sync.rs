@@ -1,0 +1,38 @@
+//! Synchronization-primitive alias for the event ring.
+//!
+//! Normal builds re-export `std::sync` directly — a zero-cost alias with
+//! bit-identical codegen. Under `RUSTFLAGS="--cfg varade_check"` the same
+//! names resolve to `varade_check::sync`'s instrumented facade, so
+//! `tests/model_check.rs` can exhaustively explore every bounded
+//! interleaving of [`crate::EventRing`]'s seqlock-stamped record/drain
+//! protocol through the production code path.
+//!
+//! Only `events.rs` routes through this module; the counter/gauge/histogram
+//! atomics in `metrics.rs`/`hist.rs` are independent monotonic cells with no
+//! cross-atomic protocol to check.
+
+pub(crate) mod atomic {
+    #[cfg(not(varade_check))]
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+    #[cfg(varade_check)]
+    pub(crate) use varade_check::sync::atomic::{AtomicU64, Ordering};
+}
+
+#[cfg(not(varade_check))]
+pub(crate) use std::sync::Mutex;
+#[cfg(varade_check)]
+pub(crate) use varade_check::sync::Mutex;
+
+pub(crate) mod hint {
+    #[cfg(not(varade_check))]
+    pub(crate) use std::hint::spin_loop;
+    #[cfg(varade_check)]
+    pub(crate) use varade_check::sync::hint::spin_loop;
+}
+
+pub(crate) mod thread {
+    #[cfg(not(varade_check))]
+    pub(crate) use std::thread::yield_now;
+    #[cfg(varade_check)]
+    pub(crate) use varade_check::sync::thread::yield_now;
+}

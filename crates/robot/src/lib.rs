@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod anomaly;
 pub mod arm;
 pub mod dataset;

@@ -46,6 +46,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 #![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 
 pub mod backend;

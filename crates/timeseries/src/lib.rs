@@ -25,6 +25,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod kalman;
 mod normalize;
 mod quaternion;
